@@ -1,0 +1,89 @@
+"""Ablation A1: the paper's log-odds Δ (Eq. 5) vs the classic Δ.
+
+§3.3.2 argues that the classic absolute-difference Δ "fits badly":
+R=0.999 vs R=0.99 gives Δ=0.009 although the plans differ by an order of
+magnitude in failure odds, so the annealing accepts order-of-magnitude
+regressions almost freely. This bench runs the same searches with both
+settings and reports the reliability of the plans they find.
+
+Expected shape: the log-odds Δ finds plans at least as reliable as the
+classic Δ on average, and by construction rejects big regressions far
+more often (quantified directly on the acceptance probabilities).
+"""
+
+import math
+
+from repro.app.structure import ApplicationStructure
+from repro.core.anneal import acceptance_probability, classic_delta, paper_delta
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.objectives import ClassicReliabilityObjective, ReliabilityObjective
+from repro.core.search import DeploymentSearch, SearchSpec
+
+from common import ResultTable, bench_scales, inventory, topology
+
+BUDGET_SECONDS = 6.0
+TRIALS = 3
+
+
+def _experiment_acceptance_probability_contrast():
+    """The Eq. 5 example, as accept probabilities at mid temperature."""
+    table = ResultTable(
+        "ablation_delta_acceptance",
+        f"{'R_current':>10} {'R_neighbor':>11} {'P_accept(classic)':>18} "
+        f"{'P_accept(log-odds)':>19}",
+    )
+    temperature = 0.5
+    cases = [(0.999, 0.99), (0.9999, 0.999), (0.99, 0.9)]
+    for rc, rn in cases:
+        p_classic = acceptance_probability(classic_delta(rc, rn), temperature)
+        p_paper = acceptance_probability(paper_delta(rc, rn), temperature)
+        table.row(f"{rc:>10} {rn:>11} {p_classic:>18.4f} {p_paper:>19.4f}")
+        # One order of magnitude worse must be accepted far less often
+        # under the paper's Δ.
+        assert p_paper < p_classic
+        assert p_classic > 0.8  # the classic Δ barely notices
+        assert p_paper <= math.exp(-1.0 / temperature) + 1e-9
+    table.save()
+
+
+def _experiment_search_quality_with_both_deltas():
+    scale = bench_scales()[0]
+    structure = ApplicationStructure.k_of_n(4, 5)
+    reference = ReliabilityAssessor(
+        topology(scale), inventory(scale), rounds=40_000, rng=99
+    )
+    table = ResultTable(
+        "ablation_delta_search",
+        f"{'delta':<10} {'trial':>6} {'best_R':>9} {'odds':>10}",
+    )
+    means = {}
+    for name, objective in (
+        ("log-odds", ReliabilityObjective()),
+        ("classic", ClassicReliabilityObjective()),
+    ):
+        scores = []
+        for trial in range(TRIALS):
+            assessor = ReliabilityAssessor(
+                topology(scale), inventory(scale), rounds=8_000, rng=trial
+            )
+            search = DeploymentSearch(assessor, objective=objective, rng=trial + 50)
+            result = search.search(
+                SearchSpec(structure, max_seconds=BUDGET_SECONDS)
+            )
+            score = reference.assess(result.best_plan, structure).score
+            scores.append(score)
+            table.row(f"{name:<10} {trial:>6} {score:>9.4f} {1 - score:>10.4f}")
+        means[name] = sum(scores) / len(scores)
+    table.row(f"{'log-odds':<10} {'mean':>6} {means['log-odds']:>9.4f}")
+    table.row(f"{'classic':<10} {'mean':>6} {means['classic']:>9.4f}")
+    table.save()
+    # Shape: log-odds is not worse (both explore; log-odds protects bests).
+    assert means["log-odds"] >= means["classic"] - 5e-3
+
+def test_acceptance_probability_contrast(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_acceptance_probability_contrast, iterations=1, rounds=1)
+
+def test_search_quality_with_both_deltas(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_search_quality_with_both_deltas, iterations=1, rounds=1)

@@ -1,0 +1,109 @@
+"""Ablation A3: correlated dependencies on vs off (§3.2.3).
+
+Assesses the *same* plans under three dependency models:
+
+* ``none`` — no dependency information (§3.4's minimal mode): hosts and
+  switches fail only by themselves, independently;
+* ``paper`` — the evaluation's 5 shared power supplies;
+* ``rich`` — redundant power pairs, redundant rack cooling, and shared
+  OS/library images (the full Fig. 5 shape).
+
+Expected shape: ignoring dependencies overestimates reliability — the
+independent-failure assumption is exactly the blind spot reCloud exists
+to close — and the penalty is largest for plans that happen to share
+supplies. The second table shows the flip side: with the rich inventory,
+the *avoidable* (correlated) failure mass grows relative to the
+unavoidable per-host floor, so searching pays off even more than under
+the paper inventory (this is where the paper's order-of-magnitude gap
+lives; see EXPERIMENTS.md).
+"""
+
+from repro.app.structure import ApplicationStructure
+from repro.baselines.common_practice import enhanced_common_practice_plan
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.core.search import DeploymentSearch, SearchSpec
+from repro.faults.dependencies import DependencyModel
+from repro.faults.inventory import build_rich_inventory
+
+from common import ResultTable, bench_scales, inventory, topology, workload
+
+ROUNDS = 40_000
+STRUCTURE = ApplicationStructure.k_of_n(4, 5)
+
+
+def _models(scale):
+    topo = topology(scale)
+    return {
+        "none": DependencyModel.empty(topo),
+        "paper": inventory(scale),
+        "rich": build_rich_inventory(topo, seed=4),
+    }
+
+
+def _experiment_dependency_model_effect_on_scores():
+    scale = bench_scales()[0]
+    topo = topology(scale)
+    models = _models(scale)
+    plans = {
+        "random": DeploymentPlan.random(topo, STRUCTURE, rng=11),
+        "rack-diverse": DeploymentPlan.random(
+            topo, STRUCTURE, rng=12, forbid_shared_rack=True
+        ),
+    }
+    table = ResultTable(
+        "ablation_dependencies",
+        f"{'plan':<13} " + " ".join(f"{m:>10}" for m in models),
+    )
+    scores = {}
+    for plan_name, plan in plans.items():
+        row = []
+        for model_name, model in models.items():
+            assessor = ReliabilityAssessor(topo, model, rounds=ROUNDS, rng=9)
+            score = assessor.assess(plan, STRUCTURE).score
+            scores[(plan_name, model_name)] = score
+            row.append(f"{score:>10.4f}")
+        table.row(f"{plan_name:<13} " + " ".join(row))
+    table.save()
+    # Shape: ignoring dependencies overestimates reliability.
+    for plan_name in plans:
+        assert (
+            scores[(plan_name, "none")] >= scores[(plan_name, "paper")] - 2e-3
+        ), plan_name
+
+
+def _experiment_search_gain_grows_with_dependency_richness():
+    """reCloud's win over the enhanced CP, per dependency model."""
+    scale = bench_scales()[0]
+    topo = topology(scale)
+    table = ResultTable(
+        "ablation_dependencies_search",
+        f"{'model':<7} {'ECP_R':>9} {'reCloud_R':>10} {'odds_ratio':>11}",
+    )
+    ratios = {}
+    for model_name, model in _models(scale).items():
+        if model_name == "none":
+            continue
+        reference = ReliabilityAssessor(topo, model, rounds=ROUNDS, rng=99)
+        ecp = enhanced_common_practice_plan(topo, workload(scale), model, 5)
+        ecp_score = reference.assess(ecp, STRUCTURE).score
+        assessor = ReliabilityAssessor(topo, model, rounds=8_000, rng=5)
+        search = DeploymentSearch(assessor, rng=7)
+        result = search.search(SearchSpec(STRUCTURE, max_seconds=8.0))
+        found = reference.assess(result.best_plan, STRUCTURE).score
+        ratio = (1 - ecp_score) / max(1 - found, 1e-9)
+        ratios[model_name] = ratio
+        table.row(
+            f"{model_name:<7} {ecp_score:>9.4f} {found:>10.4f} {ratio:>10.2f}x"
+        )
+    table.save()
+    assert ratios["paper"] > 1.0
+    assert ratios["rich"] > 1.0
+
+def test_dependency_model_effect_on_scores(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_dependency_model_effect_on_scores, iterations=1, rounds=1)
+
+def test_search_gain_grows_with_dependency_richness(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_search_gain_grows_with_dependency_richness, iterations=1, rounds=1)

@@ -1,0 +1,94 @@
+"""Fig. 10: time to evolve and assess one deployment plan.
+
+The paper's Fig. 10 plots the per-plan cost of one search iteration —
+evolve a neighbour plan and assess it over 10^4 rounds, *without* the
+network-transformations shortcut — across the four data-center scales
+and the four K-of-N settings.
+
+Expected shape: the cost is modest at every scale (270 ms in the large
+DC on the paper's Java stack), and the K/N setting has little impact,
+because route-and-check itself is cheap and the per-round context setup
+dominates.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.app.structure import ApplicationStructure
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+
+from common import (
+    REDUNDANCY_SETTINGS,
+    ResultTable,
+    bench_scales,
+    inventory,
+    topology,
+)
+
+ROUNDS = 10_000
+
+
+def _evolve_and_assess(scale, structure, plan, assessor, rng):
+    neighbor = plan.random_neighbor(topology(scale), rng=rng)
+    return neighbor, assessor.assess(neighbor, structure)
+
+
+@pytest.mark.parametrize("scale", bench_scales())
+@pytest.mark.parametrize("k_n", REDUNDANCY_SETTINGS, ids=lambda kn: f"{kn[0]}of{kn[1]}")
+def test_evolve_and_assess_time(benchmark, scale, k_n):
+    k, n = k_n
+    structure = ApplicationStructure.k_of_n(k, n)
+    topo = topology(scale)
+    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=ROUNDS, rng=5)
+    plan = DeploymentPlan.random(topo, structure, rng=6)
+    rng = np.random.default_rng(7)
+    benchmark.pedantic(
+        lambda: _evolve_and_assess(scale, structure, plan, assessor, rng),
+        iterations=1,
+        rounds=5,
+    )
+
+
+def _experiment_fig10_table_and_shape():
+    table = ResultTable(
+        "fig10_redundancy",
+        f"{'scale':<8} "
+        + " ".join(f"{f'{k}-of-{n} (ms)':>13}" for k, n in REDUNDANCY_SETTINGS),
+    )
+    per_scale = {}
+    for scale in bench_scales():
+        topo = topology(scale)
+        times = []
+        for k, n in REDUNDANCY_SETTINGS:
+            structure = ApplicationStructure.k_of_n(k, n)
+            assessor = ReliabilityAssessor(
+                topo, inventory(scale), rounds=ROUNDS, rng=5
+            )
+            plan = DeploymentPlan.random(topo, structure, rng=6)
+            rng = np.random.default_rng(7)
+            best = float("inf")
+            for _ in range(5):
+                start = time.perf_counter()
+                plan, _result = _evolve_and_assess(
+                    scale, structure, plan, assessor, rng
+                )
+                best = min(best, time.perf_counter() - start)
+            times.append(best * 1e3)
+        per_scale[scale] = times
+        table.row(f"{scale:<8} " + " ".join(f"{t:>13.1f}" for t in times))
+    table.save()
+
+    # Shape 1: K-of-N has little impact (max/min < 10x within a scale,
+    # vs ~250x spread across the scales axis in the paper's figure).
+    for scale, times in per_scale.items():
+        assert max(times) / min(times) < 10, (scale, times)
+    # Shape 2: cost stays practical everywhere (paper: <= 270 ms in Java).
+    for scale, times in per_scale.items():
+        assert max(times) < 5_000, (scale, times)
+
+def test_fig10_table_and_shape(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_fig10_table_and_shape, iterations=1, rounds=1)

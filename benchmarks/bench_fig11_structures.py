@@ -1,0 +1,111 @@
+"""Fig. 11: complex application structures.
+
+The paper's Fig. 11 plots the per-plan evolve-and-assess time for
+multi-layer applications (1-4 layers, 4-of-5 per layer) and for
+microservice "X-Y" structures (3-5, 5-10, 10-20; 4-of-5 per component)
+across data-center scales, without network transformations.
+
+Expected shape: the number of layers has little impact; microservice
+meshes cost more (quadratically many core pairs) but stay within
+practical bounds (the paper: <1 s for the 210-component 10-20 structure
+in the large DC).
+
+The 10-20 structure deploys 1,050 instances, which only fits in the
+medium/large DCs; structures are skipped on DCs without enough hosts.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.app.generators import microservice_mesh, multilayer
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+
+from common import ResultTable, bench_scales, inventory, topology
+
+ROUNDS = 10_000
+
+STRUCTURES = {
+    "1-layer": lambda: multilayer(1),
+    "2-layers": lambda: multilayer(2),
+    "3-layers": lambda: multilayer(3),
+    "4-layers": lambda: multilayer(4),
+    "micro-3-5": lambda: microservice_mesh(3, 5),
+    "micro-5-10": lambda: microservice_mesh(5, 10),
+    "micro-10-20": lambda: microservice_mesh(10, 20),
+}
+
+
+def _measure(scale, structure, repetitions=3):
+    topo = topology(scale)
+    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=ROUNDS, rng=5)
+    plan = DeploymentPlan.random(topo, structure, rng=6)
+    rng = np.random.default_rng(7)
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        neighbor = plan.random_neighbor(topo, rng=rng)
+        assessor.assess(neighbor, structure)
+        best = min(best, time.perf_counter() - start)
+        plan = neighbor
+    return best * 1e3
+
+
+def _experiment_fig11_table_and_shape():
+    table = ResultTable(
+        "fig11_structures",
+        f"{'structure':<12} {'instances':>10} "
+        + " ".join(f"{f'{s} (ms)':>13}" for s in bench_scales()),
+    )
+    layer_times_last_scale = []
+    for name, factory in STRUCTURES.items():
+        structure = factory()
+        cells = []
+        for scale in bench_scales():
+            if structure.total_instances > len(topology(scale).hosts):
+                cells.append("    (too big)")
+                continue
+            reps = 1 if structure.total_instances > 300 else 3
+            ms = _measure(scale, structure, repetitions=reps)
+            cells.append(f"{ms:>13.1f}")
+            if name.endswith("-layers") or name == "1-layer":
+                if scale == bench_scales()[-1]:
+                    layer_times_last_scale.append(ms)
+        table.row(f"{name:<12} {structure.total_instances:>10} " + " ".join(cells))
+    table.save()
+
+    # Shape: layer count has little impact (paper's observation).
+    if len(layer_times_last_scale) >= 2:
+        assert max(layer_times_last_scale) / min(layer_times_last_scale) < 8
+
+
+@pytest.mark.parametrize("layers", [1, 2, 4])
+def test_multilayer_time(benchmark, layers):
+    scale = bench_scales()[-1]
+    structure = multilayer(layers)
+    topo = topology(scale)
+    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=ROUNDS, rng=5)
+    plan = DeploymentPlan.random(topo, structure, rng=6)
+    benchmark.pedantic(
+        lambda: assessor.assess(plan, structure), iterations=1, rounds=3
+    )
+
+
+@pytest.mark.parametrize("mesh", [(3, 5), (5, 10)], ids=lambda m: f"{m[0]}-{m[1]}")
+def test_microservice_time(benchmark, mesh):
+    scale = bench_scales()[-1]
+    structure = microservice_mesh(*mesh)
+    topo = topology(scale)
+    if structure.total_instances > len(topo.hosts):
+        pytest.skip(f"{structure.name} needs {structure.total_instances} hosts")
+    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=ROUNDS, rng=5)
+    plan = DeploymentPlan.random(topo, structure, rng=6)
+    benchmark.pedantic(
+        lambda: assessor.assess(plan, structure), iterations=1, rounds=2
+    )
+
+def test_fig11_table_and_shape(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_fig11_table_and_shape, iterations=1, rounds=1)

@@ -1,0 +1,91 @@
+"""Fig. 8: accuracy of deployment assessment.
+
+The paper's Fig. 8 plots the 95 % confidence-interval width of the
+reliability assessment against the number of sampling rounds, for the
+four K-of-N redundancy settings. Expected shape: the CI width decreases
+as ~n^-1/2 with the round count, and 10^4 rounds put it in the 1e-3/1e-4
+range the paper calls "normally sufficient".
+"""
+
+import math
+
+import pytest
+
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.app.structure import ApplicationStructure
+
+from common import (
+    REDUNDANCY_SETTINGS,
+    ResultTable,
+    bench_rounds,
+    bench_scales,
+    inventory,
+    topology,
+)
+
+
+def _scale():
+    return bench_scales()[-1]  # the largest configured DC
+
+
+def _ci_width(scale, k, n, rounds, seed):
+    topo = topology(scale)
+    structure = ApplicationStructure.k_of_n(k, n)
+    plan = DeploymentPlan.random(topo, structure, rng=seed)
+    assessor = ReliabilityAssessor(
+        topo, inventory(scale), rounds=rounds, rng=seed + 1
+    )
+    return assessor.assess(plan, structure).estimate.confidence_interval_width
+
+
+def _experiment_fig8_table_and_shape():
+    scale = _scale()
+    rounds_sweep = sorted(set(bench_rounds()) | {1_000, 10_000})
+    table = ResultTable(
+        "fig8_accuracy",
+        f"{'redundancy':<12} " + " ".join(f"{f'n={r}':>12}" for r in rounds_sweep),
+    )
+    for k, n in REDUNDANCY_SETTINGS:
+        widths = [_ci_width(scale, k, n, rounds, seed=17) for rounds in rounds_sweep]
+        table.row(
+            f"{f'{k}-of-{n}':<12} " + " ".join(f"{w:>12.2e}" for w in widths)
+        )
+        # Shape: width decreases with rounds at roughly n^-1/2. A width of
+        # exactly 0 means every round was reliable (the estimate saturated
+        # at 1.0, possible for 1-of-2 on small DCs at few rounds), which
+        # carries no slope information - skip those cells.
+        if widths[0] == 0.0 or widths[-1] == 0.0:
+            continue
+        assert widths[-1] < widths[0]
+        expected_ratio = math.sqrt(rounds_sweep[-1] / rounds_sweep[0])
+        observed_ratio = widths[0] / max(widths[-1], 1e-12)
+        assert observed_ratio > expected_ratio / 3
+    table.save()
+
+
+def _experiment_fig8_10k_rounds_sufficient():
+    """At 10^4 rounds the CI width reaches the paper's 'sufficient' zone."""
+    width = _ci_width(_scale(), 4, 5, 10_000, seed=23)
+    assert width < 2e-2
+
+
+@pytest.mark.parametrize("rounds", bench_rounds())
+def test_assessment_time_vs_rounds(benchmark, rounds):
+    """Cost side of the accuracy trade-off (context for Fig. 8)."""
+    scale = _scale()
+    topo = topology(scale)
+    structure = ApplicationStructure.k_of_n(4, 5)
+    plan = DeploymentPlan.random(topo, structure, rng=5)
+    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=rounds, rng=6)
+    benchmark.pedantic(
+        lambda: assessor.assess(plan, structure), iterations=1, rounds=3
+    )
+
+def test_fig8_table_and_shape(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_fig8_table_and_shape, iterations=1, rounds=1)
+
+def test_fig8_10k_rounds_sufficient(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_fig8_10k_rounds_sufficient, iterations=1, rounds=1)

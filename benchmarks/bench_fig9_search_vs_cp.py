@@ -1,0 +1,136 @@
+"""Fig. 9: reCloud vs the enhanced common practice (multi-objective).
+
+The paper's Fig. 9 compares, per K-of-N redundancy setting, the
+reliability of the plan found by reCloud (searching with the holistic
+measure: reliability + average-workload utility, equal weights) against
+the enhanced common practice (top-5 least-loaded rack-diverse plans,
+pick the most power-diverse), as the search budget grows from 3 s to
+300 s. The common practice itself has negligible search time.
+
+Expected shape: reCloud's plan is more reliable than the enhanced CP's
+at every budget, the gap grows with budget, and the failure odds of the
+reCloud plan are a multiple of the CP's (the paper reports ~10x; see
+EXPERIMENTS.md for why this reproduction's fault model caps the ratio
+lower, and the rich-inventory ablation where it widens again).
+
+All plans are re-scored with one independent high-round assessor so the
+comparison is apples to apples.
+
+The searches enable the paper's Step-1 heuristic ("no hosts from the same
+rack", §3.3.1) for the initial plan: for the easy redundancy settings
+(1-of-2, 2-of-3) a rack-diverse placement is already near-optimal, and a
+cold random start would spend the whole small budget rediscovering it.
+"""
+
+import pytest
+
+from repro.app.structure import ApplicationStructure
+from repro.baselines.common_practice import enhanced_common_practice_plan
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.objectives import CompositeObjective, WorkloadUtilityObjective
+from repro.core.search import DeploymentSearch, SearchSpec
+
+from common import (
+    REDUNDANCY_SETTINGS,
+    ResultTable,
+    bench_scales,
+    inventory,
+    search_budgets,
+    topology,
+    workload,
+)
+
+REFERENCE_ROUNDS = 40_000
+SEARCH_ROUNDS = 10_000
+
+
+def _reference(scale):
+    return ReliabilityAssessor(
+        topology(scale), inventory(scale), rounds=REFERENCE_ROUNDS, rng=99
+    )
+
+
+def _search_for(scale, seed):
+    assessor = ReliabilityAssessor(
+        topology(scale), inventory(scale), rounds=SEARCH_ROUNDS, rng=seed
+    )
+    objective = CompositeObjective.reliability_and_utility(
+        WorkloadUtilityObjective(workload(scale))
+    )
+    return DeploymentSearch(assessor, objective=objective, rng=seed + 1)
+
+
+def _experiment_fig9_recloud_vs_enhanced_cp():
+    scale = bench_scales()[-1]
+    budgets = search_budgets()
+    reference = _reference(scale)
+    table = ResultTable(
+        "fig9_search_vs_cp",
+        f"{'redundancy':<12} {'ECP_R':>9} "
+        + " ".join(f"{f'reCloud@{int(b)}s':>13}" for b in budgets)
+        + f" {'odds_ratio':>11} {'plans':>7} {'skipped':>8}",
+    )
+    for k, n in REDUNDANCY_SETTINGS:
+        structure = ApplicationStructure.k_of_n(k, n)
+        ecp = enhanced_common_practice_plan(
+            topology(scale), workload(scale), inventory(scale), n
+        )
+        ecp_score = reference.assess(ecp, structure).score
+
+        recloud_scores = []
+        last_result = None
+        for budget in budgets:
+            search = _search_for(scale, seed=int(budget) * 10 + k)
+            last_result = search.search(SearchSpec(structure, max_seconds=budget, forbid_shared_rack=True))
+            recloud_scores.append(
+                reference.assess(last_result.best_plan, structure).score
+            )
+        odds_ratio = (1 - ecp_score) / max(1 - recloud_scores[-1], 1e-9)
+        table.row(
+            f"{f'{k}-of-{n}':<12} {ecp_score:>9.4f} "
+            + " ".join(f"{s:>13.4f}" for s in recloud_scores)
+            + f" {odds_ratio:>10.2f}x {last_result.plans_assessed:>7} "
+            f"{last_result.plans_skipped_symmetric:>8}"
+        )
+        # Shape: reCloud's plan at the largest budget beats the enhanced CP.
+        assert recloud_scores[-1] > ecp_score - 1e-3, (k, n)
+        assert odds_ratio > 1.0, (k, n)
+    table.save()
+
+
+def _experiment_fig9_reliability_ordering_across_settings():
+    """Fewer required instances -> higher reliability (the paper's 2-of-3
+    vs 4-of-5 observation)."""
+    scale = bench_scales()[0]
+    reference = _reference(scale)
+    budget = min(search_budgets())
+    scores = {}
+    for k, n in ((2, 3), (4, 5)):
+        structure = ApplicationStructure.k_of_n(k, n)
+        search = _search_for(scale, seed=77 + k)
+        result = search.search(SearchSpec(structure, max_seconds=budget, forbid_shared_rack=True))
+        scores[(k, n)] = reference.assess(result.best_plan, structure).score
+    assert scores[(2, 3)] >= scores[(4, 5)] - 5e-3
+
+
+@pytest.mark.parametrize("budget", search_budgets()[:1])
+def test_search_throughput(benchmark, budget):
+    """Plans evolved per unit time (context: ~438 plans in 30 s at large
+    scale in the paper)."""
+    scale = bench_scales()[-1]
+    structure = ApplicationStructure.k_of_n(4, 5)
+
+    def run():
+        search = _search_for(scale, seed=5)
+        return search.search(SearchSpec(structure, max_seconds=budget, forbid_shared_rack=True))
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert result.plans_considered > 5
+
+def test_fig9_recloud_vs_enhanced_cp(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_fig9_recloud_vs_enhanced_cp, iterations=1, rounds=1)
+
+def test_fig9_reliability_ordering_across_settings(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_fig9_reliability_ordering_across_settings, iterations=1, rounds=1)

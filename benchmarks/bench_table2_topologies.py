@@ -1,0 +1,51 @@
+"""Table 2: the four fat-tree data centers with external connectivity.
+
+Regenerates the paper's Table 2 — per scale: ports per switch, core /
+aggregation / edge / border switch counts, hosts, power supplies — and
+times topology construction (not part of the paper's table, but the
+substrate cost every other experiment pays once).
+"""
+
+import pytest
+
+from repro.topology.presets import PAPER_SCALES, paper_topology
+
+from common import ResultTable, bench_scales, inventory, topology
+
+
+def _experiment_table2_counts_match_paper():
+    table = ResultTable(
+        "table2_topologies",
+        f"{'scale':<8} {'k':>4} {'cores':>6} {'aggs':>6} {'edges':>6} "
+        f"{'borders':>8} {'hosts':>7} {'power':>6} {'links':>7}",
+    )
+    for scale in bench_scales():
+        spec = PAPER_SCALES[scale]
+        summary = topology(scale).summarize()
+        model = inventory(scale)
+        assert summary.core_switches == spec.core_switches
+        assert summary.aggregation_switches == spec.aggregation_switches
+        assert summary.edge_switches == spec.edge_switches
+        assert summary.border_switches == spec.border_switches
+        assert summary.hosts == spec.hosts
+        assert model.dependency_count() == spec.power_supplies
+        table.row(
+            f"{scale:<8} {spec.k:>4} {summary.core_switches:>6} "
+            f"{summary.aggregation_switches:>6} {summary.edge_switches:>6} "
+            f"{summary.border_switches:>8} {summary.hosts:>7} "
+            f"{model.dependency_count():>6} {summary.links:>7}"
+        )
+    table.save()
+
+
+@pytest.mark.parametrize("scale", bench_scales())
+def test_topology_construction_time(benchmark, scale):
+    spec = PAPER_SCALES[scale]
+    result = benchmark.pedantic(
+        lambda: paper_topology(scale, seed=99), iterations=1, rounds=2
+    )
+    assert result.summarize().hosts == spec.hosts
+
+def test_table2_counts_match_paper(benchmark):
+    """One-shot benchmarked run of the experiment above."""
+    benchmark.pedantic(_experiment_table2_counts_match_paper, iterations=1, rounds=1)

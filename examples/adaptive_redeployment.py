@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Adaptive redeployment under changing conditions.
+
+The paper's conclusion highlights that reCloud's 30-second searches make
+it feasible to *periodically recalculate* a running application's
+deployment as system conditions vary. This example simulates several
+monitoring epochs:
+
+* host workloads drift every epoch (telemetry tick);
+* occasionally a component enters bathtub-curve wear-out and its failure
+  probability jumps;
+* each epoch, reCloud re-searches with the multi-objective measure and
+  migrates if the new plan is meaningfully better.
+
+Run:  python examples/adaptive_redeployment.py
+"""
+
+import numpy as np
+
+from repro import (
+    ApplicationStructure,
+    CompositeObjective,
+    DeploymentSearch,
+    HostWorkloadModel,
+    ReliabilityAssessor,
+    SearchSpec,
+    WorkloadUtilityObjective,
+    build_paper_inventory,
+    paper_topology,
+)
+from repro.faults.probability import BathtubCurve
+
+EPOCHS = 4
+MIGRATION_GAIN_THRESHOLD = 0.002  # migrate only for a real improvement
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    topology = paper_topology("tiny", seed=1)
+    inventory = build_paper_inventory(topology, seed=2)
+    workload = HostWorkloadModel.paper_default(topology, seed=3)
+    structure = ApplicationStructure.k_of_n(4, 5)
+
+    assessor = ReliabilityAssessor(topology, inventory, rounds=8_000, rng=4)
+    objective = CompositeObjective.reliability_and_utility(
+        WorkloadUtilityObjective(workload)
+    )
+    search = DeploymentSearch(assessor, objective=objective, rng=5)
+
+    result = search.search(SearchSpec(structure, max_seconds=5.0))
+    current_plan = result.best_plan
+    print(f"Initial deployment: {current_plan}")
+    print(f"  {result.best_assessment.estimate}")
+
+    for epoch in range(1, EPOCHS + 1):
+        print(f"\n--- epoch {epoch} ---")
+
+        # Telemetry tick: workloads drift.
+        workload.drift(stddev=0.05, seed=rng)
+
+        # Sometimes a deployed host starts wearing out (bathtub curve).
+        if epoch % 2 == 0:
+            victim = current_plan.hosts()[int(rng.integers(5))]
+            plateau = topology.component(victim).failure_probability
+            curve = BathtubCurve(plateau_probability=plateau)
+            worn = curve.probability_at(0.97)  # near end of life
+            topology.override_probabilities({victim: worn})
+            assessor.refresh_probabilities()
+            print(f"  wear-out detected: {victim} p {plateau:.4f} -> {worn:.4f}")
+
+        current_score = assessor.assess(current_plan, structure).score
+        print(f"  current plan reliability: {current_score:.4f}")
+
+        result = search.search(SearchSpec(structure, max_seconds=5.0))
+        candidate_score = result.best_assessment.score
+        if candidate_score > current_score + MIGRATION_GAIN_THRESHOLD:
+            moved = set(current_plan.hosts()) - set(result.best_plan.hosts())
+            current_plan = result.best_plan
+            print(
+                f"  MIGRATE: new plan at R={candidate_score:.4f}, "
+                f"evacuated {sorted(moved)}"
+            )
+        else:
+            print(
+                f"  keep current plan (best candidate {candidate_score:.4f} "
+                "not meaningfully better)"
+            )
+
+    print("\nFinal deployment:", current_plan)
+
+
+if __name__ == "__main__":
+    main()

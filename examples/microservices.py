@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Assessing a microservices application (§3.2.4, §4.2.3).
+
+Builds the paper's "X-Y" microservice structure — X fully-meshed core
+services, each with Y supporting services — and shows:
+
+1. quantitative reliability assessment with rigorous error bounds for a
+   structure with dozens of components, and
+2. how the reliability of a random placement degrades as the mesh grows,
+   while a short reCloud search recovers most of it.
+
+Run:  python examples/microservices.py
+"""
+
+import time
+
+from repro import (
+    DeploymentPlan,
+    DeploymentSearch,
+    ReliabilityAssessor,
+    SearchSpec,
+    build_paper_inventory,
+    microservice_mesh,
+    paper_topology,
+)
+
+
+def main() -> None:
+    topology = paper_topology("small", seed=1)
+    inventory = build_paper_inventory(topology, seed=2)
+    assessor = ReliabilityAssessor(topology, inventory, rounds=5_000, rng=3)
+
+    print("Random placements for growing microservice meshes:")
+    print(f"{'structure':<14} {'components':>11} {'instances':>10} "
+          f"{'R(random)':>10} {'CI width':>10} {'assess ms':>10}")
+    meshes = [(2, 3), (3, 5), (5, 10)]
+    for cores, supports in meshes:
+        structure = microservice_mesh(cores, supports)
+        plan = DeploymentPlan.random(topology, structure, rng=cores)
+        start = time.perf_counter()
+        result = assessor.assess(plan, structure)
+        elapsed = (time.perf_counter() - start) * 1e3
+        print(
+            f"{structure.name:<14} {len(structure.components):>11} "
+            f"{structure.total_instances:>10} {result.score:>10.4f} "
+            f"{result.estimate.confidence_interval_width:>10.2e} "
+            f"{elapsed:>10.1f}"
+        )
+
+    # Search for a better placement of the 3-5 mesh.
+    structure = microservice_mesh(3, 5)
+    print(f"\nSearching a better placement for {structure.name} "
+          f"({structure.total_instances} instances)...")
+    search = DeploymentSearch(assessor, rng=7)
+    result = search.search(SearchSpec(structure, max_seconds=15.0))
+
+    reference = ReliabilityAssessor(topology, inventory, rounds=20_000, rng=9)
+    random_score = reference.assess(
+        DeploymentPlan.random(topology, structure, rng=3), structure
+    ).score
+    found_score = reference.assess(result.best_plan, structure).score
+    print(f"  random placement : R = {random_score:.4f}")
+    print(f"  reCloud placement: R = {found_score:.4f} "
+          f"(after {result.plans_assessed} assessments, "
+          f"{result.plans_skipped_symmetric} symmetric skips)")
+    print(
+        "\nEvery component kept its 4-of-5 redundancy; the search only "
+        "moved instances away from shared power supplies and shared "
+        "edge/aggregation switches."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Application structures: K-of-N, layered and microservice applications."""
+
+from repro.app.generators import microservice_mesh, multilayer, two_tier
+from repro.app.structure import (
+    EXTERNAL,
+    ApplicationStructure,
+    ComponentSpec,
+    InstanceRef,
+    ReachabilityRequirement,
+)
+
+__all__ = [
+    "ApplicationStructure",
+    "ComponentSpec",
+    "EXTERNAL",
+    "InstanceRef",
+    "ReachabilityRequirement",
+    "microservice_mesh",
+    "multilayer",
+    "two_tier",
+]

@@ -1,0 +1,90 @@
+"""An INDaaS-style comparator (Zhai et al., OSDI 2014) — the prior system.
+
+INDaaS is the system reCloud improves on (§1, §5). Its characteristics,
+reproduced here as a baseline:
+
+* it **compares given deployment plans** and picks the most independent
+  one — it cannot search for plans;
+* its sampling is **Monte-Carlo**, not dagger (the cost gap is Fig. 7);
+* it reports **relative rankings**, not quantitative reliability with
+  error bounds — mirrored by returning an ordering plus opaque scores;
+* it treats the application as a **monolithic entity**: only simple
+  "K alive of N" checks, no internal structure.
+
+Internally we reuse reCloud's assessor with a Monte-Carlo sampler, which
+if anything flatters INDaaS (it shares our fast route-and-check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.faults.dependencies import DependencyModel
+from repro.sampling.montecarlo import MonteCarloSampler
+from repro.topology.base import Topology
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RankedPlan:
+    """One plan in INDaaS's output ranking (most independent first)."""
+
+    rank: int
+    plan: DeploymentPlan
+    relative_score: float
+
+
+class IndaasComparator:
+    """Ranks *given* plans by independence, INDaaS-style."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        dependency_model: DependencyModel | None = None,
+        rounds: int = 10_000,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self._assessor = ReliabilityAssessor(
+            topology,
+            dependency_model,
+            sampler=MonteCarloSampler(),
+            rounds=rounds,
+            rng=rng,
+        )
+
+    def rank_plans(
+        self, plans: Sequence[DeploymentPlan], k: int
+    ) -> list[RankedPlan]:
+        """Order candidate plans from most to least reliable.
+
+        Following INDaaS's interface, only the *relative* ordering is
+        meaningful; no error bounds accompany the scores, and the caller
+        must supply the candidate plans.
+        """
+        if not plans:
+            raise ConfigurationError("INDaaS needs at least one candidate plan")
+        sizes = {plan.instance_count() for plan in plans}
+        if len(sizes) != 1:
+            raise ConfigurationError(
+                f"all candidate plans must deploy the same instance count, got {sizes}"
+            )
+        scored = []
+        for plan in plans:
+            result = self._assessor.assess_k_of_n(plan.hosts(), k)
+            scored.append((result.score, plan))
+        scored.sort(key=lambda item: item[0], reverse=True)
+        return [
+            RankedPlan(rank=i + 1, plan=plan, relative_score=score)
+            for i, (score, plan) in enumerate(scored)
+        ]
+
+    def select_most_independent(
+        self, plans: Sequence[DeploymentPlan], k: int
+    ) -> DeploymentPlan:
+        """INDaaS's end result: the most independent of the given plans."""
+        return self.rank_plans(plans, k)[0].plan

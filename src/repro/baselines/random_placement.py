@@ -1,0 +1,60 @@
+"""Random-placement baselines.
+
+The weakest reference points: a single uniformly random plan (reCloud's
+own Step-1 starting point) and best-of-``k`` random plans (what a naive
+"generate and assess a few" approach achieves without any search).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.app.structure import ApplicationStructure
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.topology.base import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+
+def random_plan(
+    topology: Topology,
+    structure: ApplicationStructure,
+    rng: int | np.random.Generator | None = None,
+    forbid_shared_rack: bool = False,
+) -> DeploymentPlan:
+    """One uniformly random plan (optionally rack-diverse)."""
+    return DeploymentPlan.random(
+        topology, structure, rng=rng, forbid_shared_rack=forbid_shared_rack
+    )
+
+
+def best_of_random(
+    assessor: ReliabilityAssessor,
+    structure: ApplicationStructure,
+    candidates: int,
+    rng: int | np.random.Generator | None = None,
+    forbid_shared_rack: bool = False,
+) -> tuple[DeploymentPlan, float]:
+    """Assess ``candidates`` random plans and keep the most reliable.
+
+    This is the naive search the paper dismisses as unscalable (§1): it
+    serves as the no-annealing ablation reference.
+    """
+    if candidates < 1:
+        raise ConfigurationError(f"need at least one candidate, got {candidates}")
+    generator = make_rng(rng)
+    best_plan: DeploymentPlan | None = None
+    best_score = -1.0
+    for _ in range(candidates):
+        plan = random_plan(
+            assessor.topology,
+            structure,
+            rng=generator,
+            forbid_shared_rack=forbid_shared_rack,
+        )
+        score = assessor.assess(plan, structure).score
+        if score > best_score:
+            best_plan, best_score = plan, score
+    assert best_plan is not None
+    return best_plan, best_score

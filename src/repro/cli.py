@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin operational wrapper around the library for providers who want to
+drive reCloud from scripts:
+
+``topology``   print a data center's Table-2 style summary
+``assess``     assess a concrete plan's reliability with error bounds
+``search``     search for a reliable plan within a time budget
+``risk``       single-failure risk report for a plan
+``baseline``   show the common-practice / enhanced-CP plans
+
+All commands operate on the paper's preset data centers (``--scale``)
+with the §4.1 inventory, seeded deterministically (``--seed``), and can
+emit machine-readable JSON (``--json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import serialization
+from repro.app.structure import ApplicationStructure
+from repro.baselines.common_practice import (
+    common_practice_plan,
+    enhanced_common_practice_plan,
+    power_diversity,
+)
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.objectives import CompositeObjective, WorkloadUtilityObjective
+from repro.core.plan import DeploymentPlan
+from repro.core.risk import RiskAnalyzer
+from repro.core.search import DeploymentSearch, SearchSpec
+from repro.faults.inventory import build_paper_inventory
+from repro.faults.probability import annual_downtime_hours
+from repro.topology.presets import PAPER_SCALES, paper_topology
+from repro.util.errors import ReproError
+from repro.workload.model import HostWorkloadModel
+
+
+def _build_context(args):
+    topology = paper_topology(args.scale, seed=args.seed)
+    inventory = build_paper_inventory(topology, seed=args.seed + 1)
+    return topology, inventory
+
+
+def _emit(args, document: dict, human: str) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(human)
+
+
+def _parse_hosts(raw: str) -> list[str]:
+    return [h.strip() for h in raw.split(",") if h.strip()]
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_topology(args) -> int:
+    topology, inventory = _build_context(args)
+    summary = topology.summarize()
+    document = {
+        "scale": args.scale,
+        "ports_per_switch": summary.ports_per_switch,
+        "core_switches": summary.core_switches,
+        "aggregation_switches": summary.aggregation_switches,
+        "edge_switches": summary.edge_switches,
+        "border_switches": summary.border_switches,
+        "hosts": summary.hosts,
+        "links": summary.links,
+        "power_supplies": inventory.dependency_count(),
+    }
+    human = "\n".join(f"{key:>22}: {value}" for key, value in document.items())
+    _emit(args, document, human)
+    return 0
+
+
+def cmd_assess(args) -> int:
+    topology, inventory = _build_context(args)
+    hosts = _parse_hosts(args.hosts)
+    assessor = ReliabilityAssessor(
+        topology, inventory, rounds=args.rounds, rng=args.seed + 2
+    )
+    result = assessor.assess_k_of_n(hosts, args.k)
+    document = serialization.assessment_to_dict(result)
+    human = (
+        f"plan      : {result.plan}\n"
+        f"estimate  : {result.estimate}\n"
+        f"downtime  : {annual_downtime_hours(result.score):.1f} h/year\n"
+        f"sampled   : {result.sampled_components} components\n"
+        f"elapsed   : {result.elapsed_seconds * 1e3:.1f} ms"
+    )
+    _emit(args, document, human)
+    return 0
+
+
+def cmd_search(args) -> int:
+    topology, inventory = _build_context(args)
+    structure = ApplicationStructure.k_of_n(args.k, args.n)
+    assessor = ReliabilityAssessor(
+        topology, inventory, rounds=args.rounds, rng=args.seed + 2
+    )
+    if args.multi_objective:
+        workload = HostWorkloadModel.paper_default(topology, seed=args.seed + 3)
+        objective = CompositeObjective.reliability_and_utility(
+            WorkloadUtilityObjective(workload)
+        )
+    else:
+        objective = None
+    search = DeploymentSearch(assessor, objective=objective, rng=args.seed + 4)
+    spec = SearchSpec(
+        structure,
+        desired_reliability=args.desired,
+        max_seconds=args.seconds,
+        forbid_shared_rack=True,
+    )
+    result = search.search(spec)
+    document = serialization.search_result_to_dict(result)
+    human = (
+        f"satisfied : {result.satisfied}\n"
+        f"plan      : {result.best_plan}\n"
+        f"estimate  : {result.best_assessment.estimate}\n"
+        f"considered: {result.plans_considered} plans "
+        f"({result.plans_skipped_symmetric} symmetric skips)\n"
+        f"elapsed   : {result.elapsed_seconds:.1f} s"
+    )
+    _emit(args, document, human)
+    return 0 if result.satisfied or args.desired >= 1.0 else 3
+
+
+def cmd_risk(args) -> int:
+    topology, inventory = _build_context(args)
+    hosts = _parse_hosts(args.hosts)
+    structure = ApplicationStructure.k_of_n(args.k, len(hosts))
+    plan = DeploymentPlan.single_component(hosts, structure.components[0].name)
+    analyzer = RiskAnalyzer(topology, inventory)
+    entries = analyzer.report(plan, structure)
+    document = serialization.risk_report_to_dict(entries)
+    lines = [
+        f"{'component':<28} {'type':<20} {'p':>8} {'lost':>5} {'down':>5}"
+    ]
+    for entry in entries[: args.top]:
+        lines.append(
+            f"{entry.component_id:<28} {entry.component_type:<20} "
+            f"{entry.failure_probability:>8.4f} {entry.instances_lost:>5} "
+            f"{'YES' if entry.application_down else '':>5}"
+        )
+    _emit(args, document, "\n".join(lines))
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    topology, inventory = _build_context(args)
+    workload = HostWorkloadModel.paper_default(topology, seed=args.seed + 3)
+    assessor = ReliabilityAssessor(
+        topology, inventory, rounds=args.rounds, rng=args.seed + 2
+    )
+    plans = {
+        "common-practice": common_practice_plan(topology, workload, args.n),
+        "enhanced-common-practice": enhanced_common_practice_plan(
+            topology, workload, inventory, args.n
+        ),
+    }
+    document: dict = {"format": "baseline-report", "version": 1, "plans": {}}
+    lines = []
+    for name, plan in plans.items():
+        estimate = assessor.assess_k_of_n(plan.hosts(), args.k).estimate
+        document["plans"][name] = {
+            "plan": serialization.plan_to_dict(plan),
+            "estimate": serialization.estimate_to_dict(estimate),
+            "power_diversity": power_diversity(inventory, plan),
+        }
+        lines.append(f"{name}: {plan}")
+        lines.append(
+            f"  {estimate} | power diversity "
+            f"{power_diversity(inventory, plan)}"
+        )
+    _emit(args, document, "\n".join(lines))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="reCloud reproduction: reliable application deployment",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, rounds_default=10_000):
+        p.add_argument(
+            "--scale",
+            choices=sorted(PAPER_SCALES),
+            default="tiny",
+            help="preset data-center scale (Table 2)",
+        )
+        p.add_argument("--seed", type=int, default=1, help="deterministic seed")
+        p.add_argument(
+            "--rounds",
+            type=int,
+            default=rounds_default,
+            help="sampling rounds per assessment",
+        )
+        p.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+
+    p = sub.add_parser("topology", help="print a data center summary")
+    common(p)
+    p.set_defaults(handler=cmd_topology)
+
+    p = sub.add_parser("assess", help="assess a concrete plan")
+    common(p)
+    p.add_argument("--hosts", required=True, help="comma-separated host ids")
+    p.add_argument("--k", type=int, required=True, help="instances that must be alive")
+    p.set_defaults(handler=cmd_assess)
+
+    p = sub.add_parser("search", help="search for a reliable plan")
+    common(p)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--n", type=int, required=True, help="instances to deploy")
+    p.add_argument("--seconds", type=float, default=10.0, help="T_max budget")
+    p.add_argument(
+        "--desired", type=float, default=1.0, help="desired reliability R_desired"
+    )
+    p.add_argument(
+        "--multi-objective",
+        action="store_true",
+        help="optimise reliability + workload utility (Eq. 7)",
+    )
+    p.set_defaults(handler=cmd_search)
+
+    p = sub.add_parser("risk", help="single-failure risk report for a plan")
+    common(p)
+    p.add_argument("--hosts", required=True, help="comma-separated host ids")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--top", type=int, default=20, help="entries to print")
+    p.set_defaults(handler=cmd_risk)
+
+    p = sub.add_parser("baseline", help="common-practice baselines")
+    common(p)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--n", type=int, required=True)
+    p.set_defaults(handler=cmd_baseline)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""reCloud's core: assessment, search, objectives, symmetry, plans."""
+
+from repro.core.anneal import (
+    LinearTemperatureSchedule,
+    acceptance_probability,
+    classic_delta,
+    paper_delta,
+)
+from repro.core.assessment import DEFAULT_ROUNDS, ReliabilityAssessor
+from repro.core.evaluation import StructureEvaluator
+from repro.core.objectives import (
+    BandwidthUtilityObjective,
+    ClassicReliabilityObjective,
+    CompositeObjective,
+    Objective,
+    ReliabilityObjective,
+    WeightedObjective,
+    WorkloadUtilityObjective,
+)
+from repro.core.plan import DeploymentPlan, enumerate_k_of_n_plans
+from repro.core.result import AssessmentResult, SearchRecord, SearchResult
+from repro.core.risk import RiskAnalyzer, RiskEntry
+from repro.core.search import DeploymentSearch, SearchSpec
+from repro.core.transforms import SignatureCache, SymmetryChecker
+
+__all__ = [
+    "AssessmentResult",
+    "BandwidthUtilityObjective",
+    "ClassicReliabilityObjective",
+    "CompositeObjective",
+    "DEFAULT_ROUNDS",
+    "DeploymentPlan",
+    "DeploymentSearch",
+    "LinearTemperatureSchedule",
+    "Objective",
+    "ReliabilityAssessor",
+    "ReliabilityObjective",
+    "RiskAnalyzer",
+    "RiskEntry",
+    "SearchRecord",
+    "SearchResult",
+    "SearchSpec",
+    "SignatureCache",
+    "StructureEvaluator",
+    "SymmetryChecker",
+    "WeightedObjective",
+    "WorkloadUtilityObjective",
+    "acceptance_probability",
+    "classic_delta",
+    "enumerate_k_of_n_plans",
+    "paper_delta",
+]

@@ -1,0 +1,95 @@
+"""Simulated-annealing primitives tuned for reliability search (§3.3.2).
+
+Two things distinguish reCloud's annealing from the classic recipe:
+
+* **Δ amplifies order-of-magnitude reliability differences** (Eq. 5).
+  The classic absolute difference treats R=0.999 vs R=0.99 as Δ=0.009,
+  although the former is ten times more reliable; reCloud instead uses
+  the log-ratio of failure odds, ``Δ = log10((1-R_neighbor)/(1-R_current))``,
+  so that example yields Δ = 1 (one order of magnitude).
+* **The temperature is the remaining fraction of the search budget**
+  (Eq. 6): ``t = (T_max - T_elapsed) / T_max`` falls linearly from 1 to 0,
+  making early iterations exploratory and late iterations greedy.
+
+Acceptance of a worse neighbour follows Eq. 4: ``P = exp(-Δ / t)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+#: Floor on failure odds (1 - R) when computing the log-ratio. An estimate
+#: from n rounds cannot resolve odds below ~1/n anyway; the floor merely
+#: keeps Δ finite when an assessment reports R = 1.0.
+ODDS_FLOOR = 1e-9
+
+
+def failure_odds(reliability: float, floor: float = ODDS_FLOOR) -> float:
+    """``1 - R`` clamped away from zero."""
+    if not 0.0 <= reliability <= 1.0:
+        raise ConfigurationError(f"reliability must be in [0, 1], got {reliability}")
+    return max(1.0 - reliability, floor)
+
+
+def paper_delta(
+    current_reliability: float,
+    neighbor_reliability: float,
+    floor: float = ODDS_FLOOR,
+) -> float:
+    """Eq. 5: Δ = log10 of the failure-odds ratio neighbour/current.
+
+    Positive when the neighbour is *less* reliable than the current plan
+    (the only case Eq. 4 consults), negative when it is more reliable.
+    """
+    return math.log10(
+        failure_odds(neighbor_reliability, floor)
+        / failure_odds(current_reliability, floor)
+    )
+
+
+def classic_delta(current_reliability: float, neighbor_reliability: float) -> float:
+    """The classic absolute-difference Δ the paper argues against.
+
+    Kept for the ablation benchmark comparing the two settings.
+    """
+    return current_reliability - neighbor_reliability
+
+
+def acceptance_probability(delta: float, temperature: float) -> float:
+    """Eq. 4: probability of accepting a worse neighbour.
+
+    Improvements (``delta <= 0``) are always accepted. At zero temperature
+    the search is greedy: only improvements pass.
+    """
+    if delta <= 0.0:
+        return 1.0
+    if temperature <= 0.0:
+        return 0.0
+    return math.exp(-delta / temperature)
+
+
+def accept_neighbor(
+    delta: float, temperature: float, rng: np.random.Generator
+) -> bool:
+    """Draw the accept/reject decision for a candidate neighbour."""
+    probability = acceptance_probability(delta, temperature)
+    if probability >= 1.0:
+        return True
+    return bool(rng.random() < probability)
+
+
+class LinearTemperatureSchedule:
+    """Eq. 6: t = (T_max - T_elapsed) / T_max, clamped to [0, 1]."""
+
+    def __init__(self, max_seconds: float):
+        if max_seconds <= 0:
+            raise ConfigurationError(f"T_max must be positive, got {max_seconds}")
+        self.max_seconds = float(max_seconds)
+
+    def temperature(self, elapsed_seconds: float) -> float:
+        remaining = 1.0 - elapsed_seconds / self.max_seconds
+        return min(1.0, max(0.0, remaining))

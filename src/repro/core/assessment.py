@@ -1,0 +1,221 @@
+"""Quantitative reliability assessment of a deployment plan (§3.2).
+
+Pipeline, per assessment:
+
+1. Determine the *relevant closure*: the network elements the routing
+   engine may read for the plan's hosts, plus every fault-tree dependency
+   (power, cooling, software, ...) those elements reference.
+2. Generate failure states for the closure across ``rounds`` rounds with
+   the configured sampler (extended dagger sampling by default; §3.2.2).
+   Components fail independently, so sampling only the closure draws from
+   the same joint distribution over everything step 3-4 read. Setting
+   ``sample_full_infrastructure=True`` instead samples every component of
+   the data center, the literal Table-1 semantics (and what Fig. 7 times).
+3. Reason over each element's fault tree to get its *effective* per-round
+   failure state, and filter failed elements (§3.2.3).
+4. Route and check: evaluate the application structure's connectivity
+   requirements per round (§3.2.1, §3.2.4).
+5. Reduce the per-round result list to a reliability score with variance
+   and a rigorous 95 % confidence interval (Eqs. 1-3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.app.structure import ApplicationStructure
+from repro.core.evaluation import StructureEvaluator
+from repro.core.plan import DeploymentPlan
+from repro.core.result import AssessmentResult
+from repro.faults.dependencies import DependencyModel
+from repro.routing.base import ReachabilityEngine, RoundStates, engine_for
+from repro.sampling.base import Sampler
+from repro.sampling.dagger import ExtendedDaggerSampler
+from repro.sampling.statistics import estimate_from_results
+from repro.topology.base import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+from repro.util.timing import Stopwatch
+
+#: The paper's default assessment effort (§4.1).
+DEFAULT_ROUNDS = 10_000
+
+
+class _ZeroFill(dict):
+    """Dense-state mapping that treats absent components as never failed."""
+
+    def __init__(self, rounds: int):
+        super().__init__()
+        self._zeros = np.zeros(rounds, dtype=bool)
+        self._zeros.flags.writeable = False
+
+    def __missing__(self, key: str) -> np.ndarray:
+        return self._zeros
+
+
+class ReliabilityAssessor:
+    """Assesses deployment plans on one topology + dependency model.
+
+    Construct once per (topology, dependency model) and reuse across many
+    plans — the annealing search does exactly that.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        dependency_model: DependencyModel | None = None,
+        sampler: Sampler | None = None,
+        rounds: int = DEFAULT_ROUNDS,
+        engine: ReachabilityEngine | None = None,
+        rng: int | np.random.Generator | None = None,
+        sample_full_infrastructure: bool = False,
+    ):
+        if rounds <= 0:
+            raise ConfigurationError(f"rounds must be positive, got {rounds}")
+        self.topology = topology
+        self.dependency_model = dependency_model or DependencyModel.empty(topology)
+        if self.dependency_model.topology is not topology:
+            raise ConfigurationError(
+                "dependency model was built for a different topology"
+            )
+        self.sampler = sampler or ExtendedDaggerSampler()
+        self.rounds = rounds
+        self.engine = engine or engine_for(topology)
+        self.rng = make_rng(rng)
+        self.sample_full_infrastructure = sample_full_infrastructure
+        self._evaluator = StructureEvaluator(self.engine)
+        self._all_probabilities = self.dependency_model.failure_probabilities()
+
+    # ------------------------------------------------------------------
+
+    def refresh_probabilities(self) -> None:
+        """Re-read failure probabilities from the topology and model.
+
+        Call after ``override_probabilities`` (bathtub-curve updates or
+        near-real-time condition changes, §2.1/§3.2.2).
+        """
+        self._all_probabilities = self.dependency_model.failure_probabilities()
+
+    def closure_for(self, plan: DeploymentPlan) -> tuple[set[str], set[str]]:
+        """(subjects, sampled component ids) for a plan's assessment.
+
+        Subjects are the hosts/switches whose fault trees get evaluated;
+        the sampled set adds links and every dependency those trees read.
+        """
+        elements = self.engine.relevant_elements(plan.hosts())
+        subjects = {cid for cid in elements if cid in self.topology.graph}
+        links = elements - subjects
+        sampled = set(self.dependency_model.basic_events_for(subjects))
+        sampled.update(links)
+        return subjects, sampled
+
+    def assess(
+        self,
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        rounds: int | None = None,
+    ) -> AssessmentResult:
+        """Assess one plan against one application structure."""
+        watch = Stopwatch()
+        rounds = rounds or self.rounds
+        plan.validate_against(self.topology, structure)
+
+        subjects, sampled = self.closure_for(plan)
+        if self.sample_full_infrastructure:
+            probabilities = dict(self._all_probabilities)
+        else:
+            probabilities = {cid: self._all_probabilities[cid] for cid in sampled}
+
+        batch = self.sampler.sample(probabilities, rounds, self.rng)
+
+        # Fault-tree reasoning: effective per-round failure of each subject.
+        dense = _ZeroFill(rounds)
+        for cid, failed_rounds in batch.failed_rounds.items():
+            if cid in sampled:
+                states = np.zeros(rounds, dtype=bool)
+                states[failed_rounds] = True
+                dense[cid] = states
+
+        failed: dict[str, np.ndarray] = {}
+        for subject in subjects:
+            tree = self.dependency_model.tree_for(subject)
+            if all(event not in dense for event in tree.basic_events()):
+                continue  # nothing this subject depends on ever failed
+            effective = tree.evaluate(dense)
+            if effective.any():
+                failed[subject] = effective
+        for link_cid in sampled - subjects:
+            if link_cid in dense and link_cid not in self.dependency_model.trees:
+                if link_cid in self.topology.components:
+                    failed[link_cid] = dense[link_cid]
+
+        round_states = RoundStates(rounds=rounds, failed=failed)
+        per_round = self._evaluator.evaluate(round_states, plan, structure)
+        estimate = estimate_from_results(per_round)
+        return AssessmentResult(
+            plan=plan,
+            estimate=estimate,
+            per_round=per_round,
+            sampled_components=len(probabilities),
+            elapsed_seconds=watch.elapsed(),
+        )
+
+    def assess_k_of_n(
+        self, hosts, k: int, rounds: int | None = None
+    ) -> AssessmentResult:
+        """Convenience wrapper for the simple K-of-N scenario (§2.2)."""
+        hosts = list(hosts)
+        structure = ApplicationStructure.k_of_n(k, len(hosts))
+        plan = DeploymentPlan.single_component(hosts, structure.components[0].name)
+        return self.assess(plan, structure, rounds=rounds)
+
+    def assess_to_ci(
+        self,
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        target_ci_width: float,
+        pilot_rounds: int = 2_000,
+        max_rounds: int = 2_000_000,
+    ) -> AssessmentResult:
+        """Assess until the 95 % CI width reaches ``target_ci_width``.
+
+        Some developers want tighter error bounds than the default round
+        count provides (§4.2.4). This runs a pilot assessment, inverts
+        Eq. 3 to size the remaining work, and keeps extending in doubling
+        batches (independent sampling rounds concatenate freely) until the
+        target is met or ``max_rounds`` have been spent.
+        """
+        if target_ci_width <= 0:
+            raise ConfigurationError(
+                f"target CI width must be positive, got {target_ci_width}"
+            )
+        watch = Stopwatch()
+        from repro.sampling.statistics import (
+            estimate_from_results as _estimate,
+            rounds_for_target_ci,
+        )
+
+        result = self.assess(plan, structure, rounds=min(pilot_rounds, max_rounds))
+        chunks = [result.per_round]
+        total = result.estimate.rounds
+        sampled = result.sampled_components
+        while (
+            result.estimate.confidence_interval_width > target_ci_width
+            and total < max_rounds
+        ):
+            variance_per_round = result.estimate.variance * total
+            needed = rounds_for_target_ci(target_ci_width, variance_per_round)
+            # Never shrink, never exceed the cap, and grow by at least 50%
+            # per step so a slightly-off pilot variance cannot stall us.
+            batch = min(max(needed - total, total // 2, 1), max_rounds - total)
+            chunks.append(self.assess(plan, structure, rounds=batch).per_round)
+            total += batch
+            merged = np.concatenate(chunks)
+            result = AssessmentResult(
+                plan=plan,
+                estimate=_estimate(merged),
+                per_round=merged,
+                sampled_components=sampled,
+                elapsed_seconds=watch.elapsed(),
+            )
+        return result

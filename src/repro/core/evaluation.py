@@ -1,0 +1,188 @@
+"""Per-round evaluation of an application structure over a deployment plan.
+
+Implements the extended route-and-check of §3.2.4: instead of only asking
+whether K of N instances are border-reachable, it checks that the
+connectivity demanded by the application's internal structure is preserved
+in each round.
+
+An instance is **active** in a round when its host is alive and, for every
+requirement of its component, it can reach at least one active instance of
+the required source (or a border switch for EXTERNAL). A round is
+**reliable** when every requirement ``(Ci, Cj, K)`` sees at least ``K``
+active instances of ``Ci``.
+
+Mutual requirements (the fully-meshed microservice cores of §4.2.3) make
+"active" self-referential; the evaluator computes the *greatest* fixed
+point — start from every alive instance being active and prune until
+stable — which exists because pruning is monotone over a finite lattice.
+For acyclic structures (K-of-N, layered chains) the loop converges in as
+many sweeps as the structure is deep.
+
+Everything here is vectorised across rounds: activity is a boolean matrix
+(instances x rounds) per component, and one fixed-point sweep is a handful
+of numpy reductions regardless of the round count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.app.structure import EXTERNAL, ApplicationStructure
+from repro.core.plan import DeploymentPlan
+from repro.routing.base import ReachabilityEngine, RoundStates, materialize
+from repro.util.errors import ReproError
+
+
+class StructureEvaluator:
+    """Evaluates per-round reliability of (plan, structure) pairs."""
+
+    def __init__(self, engine: ReachabilityEngine):
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        states: RoundStates,
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+    ) -> np.ndarray:
+        """Boolean vector over rounds: True where the plan is reliable."""
+        active = self.active_instances(states, plan, structure)
+        reliable = np.ones(states.rounds, dtype=bool)
+        for requirement in structure.requirements:
+            counts = active[requirement.component].sum(axis=0)
+            np.logical_and(reliable, counts >= requirement.min_reachable, out=reliable)
+        return reliable
+
+    def active_instances(
+        self,
+        states: RoundStates,
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+    ) -> dict[str, np.ndarray]:
+        """Per-component activity matrices (instances x rounds).
+
+        An entry is True when that instance is *active* in that round —
+        alive and satisfying all of its component's reachability
+        requirements (the greatest fixed point described above). This is
+        the instance-level view behind :meth:`evaluate`, also used by the
+        risk analyzer to attribute impact to individual dependencies.
+        """
+        hosts_by_component = {
+            spec.name: plan.hosts_for(spec.name) for spec in structure.components
+        }
+        external_by_host = self._external_reachability(
+            states, structure, hosts_by_component
+        )
+        pair_reachable = self._pairwise_reachability(
+            states, structure, hosts_by_component
+        )
+        return self._fixed_point(
+            states,
+            structure,
+            hosts_by_component,
+            external_by_host,
+            pair_reachable,
+        )
+
+    # ------------------------------------------------------------------
+    # Reachability inputs
+    # ------------------------------------------------------------------
+
+    def _external_reachability(
+        self, states, structure, hosts_by_component
+    ) -> dict[str, np.ndarray]:
+        hosts_needing_external: list[str] = []
+        for requirement in structure.requirements:
+            if requirement.source == EXTERNAL:
+                hosts_needing_external.extend(hosts_by_component[requirement.component])
+        if not hosts_needing_external:
+            return {}
+        return self.engine.external_reachable(states, hosts_needing_external)
+
+    def _pairwise_reachability(
+        self, states, structure, hosts_by_component
+    ) -> dict[frozenset, np.ndarray]:
+        wanted: set[tuple[str, str]] = set()
+        for requirement in structure.requirements:
+            if requirement.source == EXTERNAL:
+                continue
+            for a in hosts_by_component[requirement.component]:
+                for b in hosts_by_component[requirement.source]:
+                    if a != b:
+                        # Reachability is symmetric; canonicalise the pair.
+                        wanted.add((a, b) if a < b else (b, a))
+        if not wanted:
+            return {}
+        raw = self.engine.pairwise_reachable(states, sorted(wanted))
+        return {frozenset(pair): vector for pair, vector in raw.items()}
+
+    # ------------------------------------------------------------------
+    # Greatest fixed point of instance activity
+    # ------------------------------------------------------------------
+
+    def _fixed_point(
+        self,
+        states: RoundStates,
+        structure: ApplicationStructure,
+        hosts_by_component: dict[str, tuple[str, ...]],
+        external_by_host: dict[str, np.ndarray],
+        pair_reachable: dict[frozenset, np.ndarray],
+    ) -> dict[str, np.ndarray]:
+        rounds = states.rounds
+
+        # Start optimistic: every alive instance is active.
+        active: dict[str, np.ndarray] = {}
+        for component, hosts in hosts_by_component.items():
+            matrix = np.empty((len(hosts), rounds), dtype=bool)
+            for row, host in enumerate(hosts):
+                matrix[row] = materialize(states.alive_mask(host), rounds)
+            active[component] = matrix
+
+        requirements_by_component: dict[str, list] = {
+            spec.name: structure.requirements_for(spec.name)
+            for spec in structure.components
+        }
+
+        # Each sweep can only clear bits, so the loop terminates; the cap
+        # is a defensive bound far above any structure's convergence depth.
+        max_sweeps = 4 * (structure.total_instances + len(structure.requirements)) + 8
+        for _ in range(max_sweeps):
+            changed = False
+            for component, hosts in hosts_by_component.items():
+                matrix = active[component]
+                for requirement in requirements_by_component[component]:
+                    if requirement.source == EXTERNAL:
+                        for row, host in enumerate(hosts):
+                            updated = matrix[row] & external_by_host[host]
+                            if not np.array_equal(updated, matrix[row]):
+                                matrix[row] = updated
+                                changed = True
+                        continue
+                    source_hosts = hosts_by_component[requirement.source]
+                    source_active = active[requirement.source]
+                    for row, host in enumerate(hosts):
+                        # Reachable from >= 1 *active* source instance.
+                        can_reach = np.zeros(rounds, dtype=bool)
+                        for src_row, src_host in enumerate(source_hosts):
+                            if src_host == host:
+                                # Colocated instances trivially reach each
+                                # other while the shared host is alive.
+                                link = source_active[src_row]
+                            else:
+                                link = (
+                                    pair_reachable[frozenset((host, src_host))]
+                                    & source_active[src_row]
+                                )
+                            np.logical_or(can_reach, link, out=can_reach)
+                        updated = matrix[row] & can_reach
+                        if not np.array_equal(updated, matrix[row]):
+                            matrix[row] = updated
+                            changed = True
+            if not changed:
+                return active
+        raise ReproError(
+            "structure evaluation did not converge; this indicates a bug in "
+            "the fixed-point sweep"
+        )

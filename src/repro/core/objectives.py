@@ -1,0 +1,224 @@
+"""Search objectives: reliability alone or combined with utility (§3.3.3).
+
+The search maximises a *holistic measure* ``M = a * reliability +
+b * utility`` (Eq. 7). Each objective contributes two things:
+
+* ``measure(plan, assessment)`` — its score in [0, 1], higher is better;
+* ``delta(...)`` — its contribution to the annealing Δ of Eq. 4 when a
+  neighbour is worse. Reliability uses the paper's log-odds Δ (Eq. 5);
+  utility objectives use plain differences, and a composite objective sums
+  its members' weighted deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.anneal import classic_delta, paper_delta
+from repro.core.plan import DeploymentPlan
+from repro.core.result import AssessmentResult
+from repro.util.errors import ConfigurationError
+from repro.workload.model import HostWorkloadModel
+
+
+class Objective:
+    """One search criterion with a measure and an annealing delta."""
+
+    name = "objective"
+
+    def measure(self, plan: DeploymentPlan, assessment: AssessmentResult) -> float:
+        """Score of a plan in [0, 1]; higher is better."""
+        raise NotImplementedError
+
+    def delta(
+        self,
+        current_plan: DeploymentPlan,
+        current_assessment: AssessmentResult,
+        neighbor_plan: DeploymentPlan,
+        neighbor_assessment: AssessmentResult,
+    ) -> float:
+        """Annealing Δ; positive when the neighbour is worse."""
+        raise NotImplementedError
+
+    def prefers(
+        self,
+        candidate_plan: DeploymentPlan,
+        candidate_assessment: AssessmentResult,
+        incumbent_plan: DeploymentPlan,
+        incumbent_assessment: AssessmentResult,
+    ) -> bool:
+        """Whether the candidate strictly beats the incumbent.
+
+        Defined through :meth:`delta` so that "which plan is better" uses
+        the same scale as the acceptance rule. This matters for composite
+        objectives: their Δ amplifies order-of-magnitude reliability
+        differences (Eq. 5), so a plan that is 5x more reliable is
+        preferred even when its linear holistic measure is a whisker
+        lower on the utility term.
+        """
+        return (
+            self.delta(
+                incumbent_plan,
+                incumbent_assessment,
+                candidate_plan,
+                candidate_assessment,
+            )
+            < 0.0
+        )
+
+
+class ReliabilityObjective(Objective):
+    """Pure reliability with the paper's log-odds Δ (Eq. 5)."""
+
+    name = "reliability"
+
+    def measure(self, plan, assessment):
+        return assessment.estimate.score
+
+    def delta(self, current_plan, current_assessment, neighbor_plan, neighbor_assessment):
+        return paper_delta(
+            current_assessment.estimate.score, neighbor_assessment.estimate.score
+        )
+
+
+class ClassicReliabilityObjective(Objective):
+    """Reliability with the classic absolute-difference Δ.
+
+    The configuration the paper argues fits badly (§3.3.2); exists for the
+    Δ-setting ablation benchmark.
+    """
+
+    name = "reliability-classic-delta"
+
+    def measure(self, plan, assessment):
+        return assessment.estimate.score
+
+    def delta(self, current_plan, current_assessment, neighbor_plan, neighbor_assessment):
+        return classic_delta(
+            current_assessment.estimate.score, neighbor_assessment.estimate.score
+        )
+
+
+class WorkloadUtilityObjective(Objective):
+    """Prefers lightly-loaded hosts: utility = 1 - average workload.
+
+    One of the two utility examples the paper names (resource utilisation
+    of the plan's hosts, §3.3.3/§4.2.2).
+    """
+
+    name = "workload-utility"
+
+    def __init__(self, workload_model: HostWorkloadModel):
+        self.workload_model = workload_model
+
+    def measure(self, plan, assessment):
+        return 1.0 - self.workload_model.average(plan.hosts())
+
+    def delta(self, current_plan, current_assessment, neighbor_plan, neighbor_assessment):
+        return self.measure(current_plan, current_assessment) - self.measure(
+            neighbor_plan, neighbor_assessment
+        )
+
+
+class BandwidthUtilityObjective(Objective):
+    """Prefers plans whose communicating components sit close together.
+
+    The paper's other utility example is the bandwidth usage across the
+    plan's hosts (§3.3.3). We model the bandwidth cost of one unit of
+    traffic between two hosts by how far up the tree it must travel:
+    same host 0, same rack 1, same pod 2 (if the topology exposes pods),
+    otherwise 3 (through the core). Utility is 1 minus the normalised mean
+    distance over the application's communication edges; an application
+    with no internal communication scores a neutral 1.0.
+    """
+
+    name = "bandwidth-utility"
+
+    def __init__(self, topology, structure):
+        self.topology = topology
+        self.structure = structure
+        self._edges = structure.communication_edges()
+
+    def _distance(self, host_a: str, host_b: str) -> int:
+        if host_a == host_b:
+            return 0
+        topo = self.topology
+        if topo.rack_of(host_a) == topo.rack_of(host_b):
+            return 1
+        pod_of = getattr(topo, "pod_of", None)
+        if pod_of is not None:
+            pod_a, pod_b = pod_of(host_a), pod_of(host_b)
+            if pod_a is not None and pod_a == pod_b:
+                return 2
+        return 3
+
+    def measure(self, plan, assessment):
+        if not self._edges:
+            return 1.0
+        total = 0.0
+        count = 0
+        for source, target in self._edges:
+            for a in plan.hosts_for(source):
+                for b in plan.hosts_for(target):
+                    total += self._distance(a, b)
+                    count += 1
+        return 1.0 - (total / count) / 3.0
+
+    def delta(self, current_plan, current_assessment, neighbor_plan, neighbor_assessment):
+        return self.measure(current_plan, current_assessment) - self.measure(
+            neighbor_plan, neighbor_assessment
+        )
+
+
+@dataclass(frozen=True)
+class WeightedObjective:
+    """An objective with its weight in the holistic measure (Eq. 7)."""
+
+    objective: Objective
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(f"objective weight must be positive, got {self.weight}")
+
+
+class CompositeObjective(Objective):
+    """The holistic measure M = sum of weighted member scores (Eq. 7)."""
+
+    name = "composite"
+
+    def __init__(self, members: Sequence[WeightedObjective]):
+        if not members:
+            raise ConfigurationError("composite objective needs at least one member")
+        self.members = tuple(members)
+
+    @classmethod
+    def reliability_and_utility(
+        cls,
+        utility: Objective,
+        reliability_weight: float = 0.5,
+        utility_weight: float = 0.5,
+    ) -> "CompositeObjective":
+        """The paper's evaluation setting: equal weights by default."""
+        return cls(
+            [
+                WeightedObjective(ReliabilityObjective(), reliability_weight),
+                WeightedObjective(utility, utility_weight),
+            ]
+        )
+
+    def measure(self, plan, assessment):
+        return sum(
+            member.weight * member.objective.measure(plan, assessment)
+            for member in self.members
+        )
+
+    def delta(self, current_plan, current_assessment, neighbor_plan, neighbor_assessment):
+        return sum(
+            member.weight
+            * member.objective.delta(
+                current_plan, current_assessment, neighbor_plan, neighbor_assessment
+            )
+            for member in self.members
+        )

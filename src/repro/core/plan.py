@@ -1,0 +1,228 @@
+"""Deployment plans: which hosts each application instance lands on.
+
+A deployment plan maps every instance of every application component to a
+host of the data center (§2.2). Instances are placed on pairwise-distinct
+hosts — the paper considers plans "without any instances on the same host"
+(§3.3) — and the annealing search's neighbour move swaps exactly one host
+for a fresh one (§3.3.1, Step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.app.structure import ApplicationStructure, InstanceRef
+from repro.topology.base import Topology, validate_hosts_exist
+from repro.util.errors import ConfigurationError, UnsatisfiableRequirements
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """An immutable assignment of component instances to hosts.
+
+    ``placements`` holds, per component (in structure order), the tuple of
+    host ids for that component's instances; index ``i`` hosts instance
+    ``i``.
+    """
+
+    placements: tuple[tuple[str, tuple[str, ...]], ...]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_mapping(
+        cls, component_hosts: Mapping[str, Sequence[str]]
+    ) -> "DeploymentPlan":
+        """Build a plan from {component -> ordered host list}."""
+        placements = tuple(
+            (component, tuple(hosts)) for component, hosts in component_hosts.items()
+        )
+        plan = cls(placements)
+        plan._validate_distinct()
+        return plan
+
+    @classmethod
+    def single_component(
+        cls, hosts: Sequence[str], component: str = "app"
+    ) -> "DeploymentPlan":
+        """Plan for the simple K-of-N scenario: one component on N hosts."""
+        return cls.from_mapping({component: list(hosts)})
+
+    @classmethod
+    def random(
+        cls,
+        topology: Topology,
+        structure: ApplicationStructure,
+        rng: int | np.random.Generator | None = None,
+        forbid_shared_rack: bool = False,
+    ) -> "DeploymentPlan":
+        """A uniformly random initial plan (§3.3.1, Step 1).
+
+        With ``forbid_shared_rack`` the optional "no hosts from the same
+        rack" heuristic is applied, sampling at most one host per rack.
+        """
+        generator = make_rng(rng)
+        needed = structure.total_instances
+        if forbid_shared_rack:
+            racks = topology.racks()
+            if len(racks) < needed:
+                raise UnsatisfiableRequirements(
+                    f"need {needed} distinct racks but only {len(racks)} exist"
+                )
+            chosen_racks = generator.choice(len(racks), size=needed, replace=False)
+            pool = []
+            for rack_index in chosen_racks:
+                rack_hosts = topology.hosts_in_rack(racks[int(rack_index)])
+                pool.append(rack_hosts[int(generator.integers(len(rack_hosts)))])
+        else:
+            if len(topology.hosts) < needed:
+                raise UnsatisfiableRequirements(
+                    f"need {needed} distinct hosts but only "
+                    f"{len(topology.hosts)} exist"
+                )
+            indices = generator.choice(len(topology.hosts), size=needed, replace=False)
+            pool = [topology.hosts[int(i)] for i in indices]
+
+        placements = []
+        cursor = 0
+        for spec in structure.components:
+            placements.append((spec.name, tuple(pool[cursor : cursor + spec.instances])))
+            cursor += spec.instances
+        return cls(tuple(placements))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate_distinct(self) -> None:
+        hosts = self.hosts()
+        if len(set(hosts)) != len(hosts):
+            raise ConfigurationError(
+                "deployment plans place each instance on a distinct host"
+            )
+
+    def validate_against(
+        self, topology: Topology, structure: ApplicationStructure
+    ) -> None:
+        """Check the plan fits the structure and names real hosts."""
+        by_component = dict(self.placements)
+        expected = {spec.name: spec.instances for spec in structure.components}
+        if set(by_component) != set(expected):
+            raise ConfigurationError(
+                f"plan components {sorted(by_component)} do not match structure "
+                f"components {sorted(expected)}"
+            )
+        for component, hosts in by_component.items():
+            if len(hosts) != expected[component]:
+                raise ConfigurationError(
+                    f"component {component!r} needs {expected[component]} hosts, "
+                    f"plan provides {len(hosts)}"
+                )
+        validate_hosts_exist(topology, self.hosts())
+        self._validate_distinct()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def hosts(self) -> list[str]:
+        """All hosts used by the plan, in instance order."""
+        return [host for _, hosts in self.placements for host in hosts]
+
+    def hosts_for(self, component: str) -> tuple[str, ...]:
+        """The ordered hosts of one component's instances."""
+        for name, hosts in self.placements:
+            if name == component:
+                return hosts
+        raise ConfigurationError(f"plan has no component {component!r}")
+
+    def host_of(self, instance: InstanceRef) -> str:
+        """The host of one specific instance."""
+        return self.hosts_for(instance.component)[instance.index]
+
+    def instance_count(self) -> int:
+        return sum(len(hosts) for _, hosts in self.placements)
+
+    def host_set(self) -> frozenset[str]:
+        return frozenset(self.hosts())
+
+    # ------------------------------------------------------------------
+    # Neighbour moves (§3.3.1, Step 3)
+    # ------------------------------------------------------------------
+
+    def replace_host(self, old_host: str, new_host: str) -> "DeploymentPlan":
+        """A new plan with ``old_host`` swapped for ``new_host``."""
+        if new_host in self.host_set():
+            raise ConfigurationError(f"{new_host!r} is already used by the plan")
+        replaced = False
+        placements = []
+        for component, hosts in self.placements:
+            if old_host in hosts:
+                hosts = tuple(new_host if h == old_host else h for h in hosts)
+                replaced = True
+            placements.append((component, hosts))
+        if not replaced:
+            raise ConfigurationError(f"{old_host!r} is not part of the plan")
+        return DeploymentPlan(tuple(placements))
+
+    def random_neighbor(
+        self,
+        topology: Topology,
+        rng: int | np.random.Generator | None = None,
+        max_attempts: int = 1_000,
+    ) -> "DeploymentPlan":
+        """Swap one random host for a random unused host.
+
+        This is the neighbour-generation move of the annealing search: a
+        single placement changes, everything else stays.
+        """
+        generator = make_rng(rng)
+        current = self.hosts()
+        used = set(current)
+        if len(topology.hosts) <= len(used):
+            raise UnsatisfiableRequirements("no spare host available for a swap")
+        old_host = current[int(generator.integers(len(current)))]
+        for _ in range(max_attempts):
+            candidate = topology.hosts[int(generator.integers(len(topology.hosts)))]
+            if candidate not in used:
+                return self.replace_host(old_host, candidate)
+        raise UnsatisfiableRequirements(
+            f"could not find an unused host in {max_attempts} draws"
+        )
+
+    def canonical_key(self) -> tuple:
+        """Hashable identity ignoring instance order within a component.
+
+        Two plans that place the same host multisets per component are the
+        same deployment; instance indices are interchangeable.
+        """
+        return tuple(
+            (component, tuple(sorted(hosts))) for component, hosts in self.placements
+        )
+
+    def __str__(self) -> str:
+        parts = [
+            f"{component}: [{', '.join(hosts)}]" for component, hosts in self.placements
+        ]
+        return "; ".join(parts)
+
+
+def enumerate_k_of_n_plans(
+    hosts: Iterable[str], n: int, component: str = "app"
+) -> Iterable[DeploymentPlan]:
+    """Yield every N-host plan over ``hosts`` (naive search baseline).
+
+    The paper's naive alternative to annealing — "generate all possible
+    deployment plans, assess them, and select the best" — is exponential;
+    this generator exists for tests and for demonstrating exactly that.
+    """
+    from itertools import combinations
+
+    for combo in combinations(list(hosts), n):
+        yield DeploymentPlan.single_component(combo, component)

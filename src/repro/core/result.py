@@ -1,0 +1,78 @@
+"""Result records returned by assessment and search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.plan import DeploymentPlan
+from repro.sampling.statistics import ReliabilityEstimate
+
+
+@dataclass(frozen=True)
+class AssessmentResult:
+    """Outcome of assessing one deployment plan (§3.2).
+
+    Attributes:
+        plan: The assessed plan.
+        estimate: Reliability score with variance and 95 % CI (Eqs. 1-3).
+        per_round: The paper's result list L as a boolean vector (True =
+            plan was reliable in that round).
+        sampled_components: How many components had failure states
+            generated (the relevant closure, incl. dependencies).
+        elapsed_seconds: Wall-clock time of the assessment.
+    """
+
+    plan: DeploymentPlan
+    estimate: ReliabilityEstimate
+    per_round: np.ndarray = field(repr=False)
+    sampled_components: int
+    elapsed_seconds: float
+
+    @property
+    def score(self) -> float:
+        """Shorthand for the estimated reliability score R."""
+        return self.estimate.score
+
+
+@dataclass(frozen=True)
+class SearchRecord:
+    """One step of the annealing search (for traces and plots)."""
+
+    iteration: int
+    elapsed_seconds: float
+    temperature: float
+    candidate_score: float
+    current_score: float
+    best_score: float
+    accepted: bool
+    skipped_symmetric: bool = False
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a reliable-deployment search (§3.3).
+
+    ``satisfied`` mirrors the provider protocol: True when a plan reaching
+    the desired score was found within ``T_max``; otherwise the best plan
+    found is still reported.
+    """
+
+    best_plan: DeploymentPlan
+    best_assessment: AssessmentResult
+    satisfied: bool
+    elapsed_seconds: float
+    iterations: int
+    plans_assessed: int
+    plans_skipped_symmetric: int
+    trace: tuple[SearchRecord, ...] = field(default=(), repr=False)
+
+    @property
+    def best_score(self) -> float:
+        return self.best_assessment.score
+
+    @property
+    def plans_considered(self) -> int:
+        """Generated plans, including those discarded via symmetry (§4.2.2)."""
+        return self.plans_assessed + self.plans_skipped_symmetric

@@ -1,0 +1,313 @@
+"""Reliable-deployment search: the provider-side 6-step loop (§3.3.1).
+
+Given the developer's requirements — an application structure, the desired
+reliability ``R_desired`` and the search budget ``T_max`` — the provider:
+
+1. generates a random initial plan (optionally "no two hosts in one rack");
+2. assesses its reliability (§3.2);
+3. evolves a neighbour by swapping one host, and discards it without
+   assessment when it is symmetric to the current plan (network
+   transformations) or violates resource constraints;
+4. assesses the neighbour;
+5. accepts it if better, or with probability ``exp(-Δ/t)`` if worse,
+   using the log-odds Δ (Eq. 5) and the linear budget temperature (Eq. 6);
+6. repeats until a plan satisfies the requirements (success) or ``T_max``
+   elapses (the requirements cannot currently be fulfilled — the best
+   plan found is still reported).
+
+Multi-objective search (§3.3.3) plugs in through the objective: pass a
+:class:`~repro.core.objectives.CompositeObjective` and the loop optimises
+the holistic measure instead of reliability alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.app.structure import ApplicationStructure
+from repro.core.anneal import LinearTemperatureSchedule, accept_neighbor
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.objectives import Objective, ReliabilityObjective
+from repro.core.plan import DeploymentPlan
+from repro.core.result import AssessmentResult, SearchRecord, SearchResult
+from repro.core.transforms import SymmetryChecker
+from repro.sampling.dagger import CommonRandomDaggerSampler
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+from repro.util.timing import Deadline
+
+#: Accepts a candidate plan; False drops it before assessment (§3.3.3's
+#: "quickly discard any generated deployment plans that do not satisfy
+#: resource constraints").
+ResourceFilter = Callable[[DeploymentPlan], bool]
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """The developer's requirements handed to the provider (§2.2).
+
+    Attributes:
+        structure: What to deploy (components, N_Ci, K_{Ci,Cj}).
+        desired_reliability: ``R_desired``; the search stops successfully
+            once a plan reaches it. The paper's evaluation sets 1.0 so the
+            search always runs the full budget.
+        max_seconds: ``T_max``, the search budget.
+        forbid_shared_rack: Apply the "no hosts from the same rack"
+            heuristic to the initial plan.
+        desired_measure: Optional additional bar on the holistic measure
+            for multi-objective searches.
+        max_iterations: Optional hard cap on loop iterations (useful for
+            deterministic tests; production searches are time-bounded).
+    """
+
+    structure: ApplicationStructure
+    desired_reliability: float = 1.0
+    max_seconds: float = 30.0
+    forbid_shared_rack: bool = False
+    desired_measure: float | None = None
+    max_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.desired_reliability <= 1.0:
+            raise ConfigurationError(
+                f"desired reliability must be in [0, 1], got {self.desired_reliability}"
+            )
+        if self.max_seconds <= 0:
+            raise ConfigurationError(f"T_max must be positive, got {self.max_seconds}")
+
+
+class DeploymentSearch:
+    """Simulated-annealing search over deployment plans."""
+
+    def __init__(
+        self,
+        assessor: ReliabilityAssessor,
+        objective: Objective | None = None,
+        symmetry: SymmetryChecker | None = None,
+        use_symmetry: bool = True,
+        resource_filter: ResourceFilter | None = None,
+        rng: int | np.random.Generator | None = None,
+        keep_trace: bool = False,
+        common_random_numbers: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.assessor = assessor
+        self.objective = objective or ReliabilityObjective()
+        if use_symmetry:
+            self.symmetry = symmetry or SymmetryChecker(
+                assessor.topology, assessor.dependency_model
+            )
+        else:
+            self.symmetry = None
+        self.resource_filter = resource_filter
+        self.rng = make_rng(rng)
+        self.keep_trace = keep_trace
+        self.common_random_numbers = common_random_numbers
+        self._clock = clock
+
+    def _search_assessor(self) -> ReliabilityAssessor:
+        """The assessor used inside one search run.
+
+        With common random numbers enabled (the default), assessments share
+        per-component random streams, so comparing the current plan with a
+        neighbour is a low-variance paired comparison — without it, the
+        per-swap reliability gain is often smaller than the sampling noise
+        and the annealing walk stalls. The winning plan is re-assessed
+        independently before being reported (see :meth:`search`).
+        """
+        if not self.common_random_numbers:
+            return self.assessor
+        master_seed = int(self.rng.integers(0, 2**63))
+        return ReliabilityAssessor(
+            self.assessor.topology,
+            self.assessor.dependency_model,
+            sampler=CommonRandomDaggerSampler(master_seed),
+            rounds=self.assessor.rounds,
+            engine=self.assessor.engine,
+            rng=self.rng,
+            sample_full_infrastructure=self.assessor.sample_full_infrastructure,
+        )
+
+    # ------------------------------------------------------------------
+
+    def search(
+        self, spec: SearchSpec, initial_plan: DeploymentPlan | None = None
+    ) -> SearchResult:
+        """Run the 6-step loop and return the outcome."""
+        deadline = Deadline(spec.max_seconds, clock=self._clock)
+        schedule = LinearTemperatureSchedule(spec.max_seconds)
+        trace: list[SearchRecord] = []
+        assessor = self._search_assessor()
+
+        # Steps 1-2: initial plan and its assessment.
+        current_plan = initial_plan or DeploymentPlan.random(
+            assessor.topology,
+            spec.structure,
+            rng=self.rng,
+            forbid_shared_rack=spec.forbid_shared_rack,
+        )
+        current = assessor.assess(current_plan, spec.structure)
+        current_measure = self.objective.measure(current_plan, current)
+        plans_assessed = 1
+        skipped_symmetric = 0
+        skipped_resources = 0
+        iterations = 0
+
+        # Best-so-far tracking uses *independent* assessments: with many
+        # noisy scores, "max of the sampled scores" systematically picks
+        # winners whose luck does not replicate (winner's curse), so a
+        # candidate only becomes the new best after a fresh assessment,
+        # drawn independently of the one that nominated it, confirms it.
+        best_plan = current_plan
+        best = self.assessor.assess(current_plan, spec.structure)
+        best_measure = self.objective.measure(best_plan, best)
+        plans_assessed += 1
+        if self._satisfied(spec, current, current_measure):
+            verified = self._verify_satisfaction(spec, current_plan, current)
+            if verified is not None:
+                return self._result(
+                    spec, best_plan, verified, True, deadline, iterations,
+                    plans_assessed, skipped_symmetric, trace,
+                )
+
+        # Steps 3-6: evolve neighbours until satisfied or out of budget.
+        while not deadline.expired():
+            if spec.max_iterations is not None and iterations >= spec.max_iterations:
+                break
+            iterations += 1
+
+            neighbor_plan = current_plan.random_neighbor(
+                assessor.topology, rng=self.rng
+            )
+            if self.resource_filter is not None and not self.resource_filter(
+                neighbor_plan
+            ):
+                skipped_resources += 1
+                continue
+            if self.symmetry is not None and self.symmetry.equivalent(
+                neighbor_plan, current_plan
+            ):
+                # Symmetric to the current plan: same reliability, skip the
+                # assessment and evolve again (Step 3).
+                skipped_symmetric += 1
+                if self.keep_trace:
+                    trace.append(
+                        SearchRecord(
+                            iteration=iterations,
+                            elapsed_seconds=deadline.elapsed(),
+                            temperature=schedule.temperature(deadline.elapsed()),
+                            candidate_score=current.score,
+                            current_score=current.score,
+                            best_score=best.score,
+                            accepted=False,
+                            skipped_symmetric=True,
+                        )
+                    )
+                continue
+
+            neighbor = assessor.assess(neighbor_plan, spec.structure)
+            neighbor_measure = self.objective.measure(neighbor_plan, neighbor)
+            plans_assessed += 1
+
+            if self.objective.prefers(neighbor_plan, neighbor, best_plan, best):
+                # Cheap screen passed; confirm with independent sampling
+                # before dethroning the incumbent best.
+                confirmation = self.assessor.assess(neighbor_plan, spec.structure)
+                plans_assessed += 1
+                if self.objective.prefers(
+                    neighbor_plan, confirmation, best_plan, best
+                ):
+                    best_plan, best = neighbor_plan, confirmation
+                    best_measure = self.objective.measure(best_plan, best)
+
+            # Step 5: accept improvements, or worse plans probabilistically.
+            delta = self.objective.delta(
+                current_plan, current, neighbor_plan, neighbor
+            )
+            temperature = schedule.temperature(deadline.elapsed())
+            accepted = accept_neighbor(delta, temperature, self.rng)
+            if self.keep_trace:
+                trace.append(
+                    SearchRecord(
+                        iteration=iterations,
+                        elapsed_seconds=deadline.elapsed(),
+                        temperature=temperature,
+                        candidate_score=neighbor.score,
+                        current_score=current.score,
+                        best_score=best.score,
+                        accepted=accepted,
+                    )
+                )
+            if accepted:
+                current_plan, current, current_measure = (
+                    neighbor_plan,
+                    neighbor,
+                    neighbor_measure,
+                )
+
+            # Step 6: requirements met -> report the plan.
+            if self._satisfied(spec, neighbor, neighbor_measure):
+                verified = self._verify_satisfaction(spec, neighbor_plan, neighbor)
+                if verified is not None:
+                    return self._result(
+                        spec, neighbor_plan, verified, True, deadline, iterations,
+                        plans_assessed, skipped_symmetric, trace,
+                    )
+
+        # Budget exhausted: requirements not fulfilled; report the best
+        # found (its assessment is already an independent confirmation).
+        return self._result(
+            spec, best_plan, best, False, deadline, iterations,
+            plans_assessed, skipped_symmetric, trace,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _verify_satisfaction(
+        self, spec: SearchSpec, plan: DeploymentPlan, assessment: AssessmentResult
+    ) -> AssessmentResult | None:
+        """Confirm a satisfying plan with independent randomness.
+
+        Under common random numbers, a score that crossed ``R_desired``
+        may owe the crossing to the shared seed; an independent assessment
+        must agree before the search declares success. Returns the
+        independent assessment, or ``None`` if satisfaction did not hold
+        up (the caller keeps searching). Without CRN the original
+        assessment stands.
+        """
+        if not self.common_random_numbers:
+            return assessment
+        independent = self.assessor.assess(plan, spec.structure)
+        measure = self.objective.measure(plan, independent)
+        if self._satisfied(spec, independent, measure):
+            return independent
+        return None
+
+    def _satisfied(
+        self, spec: SearchSpec, assessment: AssessmentResult, measure: float
+    ) -> bool:
+        if assessment.score < spec.desired_reliability:
+            return False
+        if spec.desired_measure is not None and measure < spec.desired_measure:
+            return False
+        return True
+
+    @staticmethod
+    def _result(
+        spec, plan, assessment, satisfied, deadline, iterations,
+        plans_assessed, skipped_symmetric, trace,
+    ) -> SearchResult:
+        return SearchResult(
+            best_plan=plan,
+            best_assessment=assessment,
+            satisfied=satisfied,
+            elapsed_seconds=deadline.elapsed(),
+            iterations=iterations,
+            plans_assessed=plans_assessed,
+            plans_skipped_symmetric=skipped_symmetric,
+            trace=tuple(trace),
+        )

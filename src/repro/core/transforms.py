@@ -1,0 +1,157 @@
+"""Network transformations: symmetry-based plan equivalence (§3.3.1, [60]).
+
+Data centers are built symmetric, and the annealing search exploits that:
+when a neighbour plan is *equivalent* to the current plan — there is an
+automorphism of the labelled infrastructure mapping one onto the other —
+its reliability is identical and re-assessing it is wasted work.
+
+Following the network-transformations idea of Plotkin et al. [60], a plan
+is reduced to a small canonical *surgery graph* that captures everything
+reliability can depend on:
+
+* one node per instance, labelled with its component name;
+* one node per distinct infrastructure "group" the instances touch — the
+  host, its rack (edge switch), its pod, and every shared dependency in
+  the host's fault tree — labelled with the group's symmetry class (from
+  ``Topology.symmetry_class_of``) and its failure-probability class;
+* membership edges between instances and their groups.
+
+Two plans whose surgery graphs are isomorphic place their instances in
+symmetric positions with identically-shared dependencies, so the entire
+route-and-check distribution coincides. Isomorphism is decided via the
+Weisfeiler-Lehman graph hash (exact on these small coloured membership
+graphs in practice, and used as a conservative signature).
+
+Probability classes quantise failure probabilities (§3.3.1: components of
+the same type with *similar* probabilities are treated as one type;
+components with very different probabilities become logically different
+types). The quantisation step is configurable.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.plan import DeploymentPlan
+from repro.faults.dependencies import DependencyModel
+from repro.topology.base import Topology
+from repro.util.errors import ConfigurationError
+
+
+class SymmetryChecker:
+    """Computes canonical signatures of deployment plans."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        dependency_model: DependencyModel | None = None,
+        probability_decimals: int = 2,
+    ):
+        if probability_decimals < 0:
+            raise ConfigurationError(
+                f"probability_decimals must be >= 0, got {probability_decimals}"
+            )
+        self.topology = topology
+        self.dependency_model = dependency_model or DependencyModel.empty(topology)
+        self.probability_decimals = probability_decimals
+
+    # ------------------------------------------------------------------
+
+    def probability_class(self, component_id: str) -> str:
+        """Quantised failure-probability label of any component."""
+        probability = self.dependency_model.component(component_id).failure_probability
+        return f"{round(probability, self.probability_decimals):.{self.probability_decimals}f}"
+
+    def _group_label(self, component_id: str) -> str:
+        """Symmetry class + probability class of one infrastructure group."""
+        if component_id in self.topology:
+            symmetry = self.topology.symmetry_class_of(component_id)
+        else:
+            dependency = self.dependency_model.component(component_id)
+            symmetry = dependency.component_type.value
+        return f"{symmetry}|p{self.probability_class(component_id)}"
+
+    def surgery_graph(self, plan: DeploymentPlan) -> nx.Graph:
+        """The canonical membership graph described in the module docstring."""
+        graph = nx.Graph()
+        topo = self.topology
+        for component, hosts in plan.placements:
+            for index, host in enumerate(hosts):
+                instance_node = ("instance", component, index)
+                graph.add_node(instance_node, label=f"instance|{component}")
+                groups = [host, topo.edge_switch_of(host)]
+                pod_of = getattr(topo, "pod_of", None)
+                if pod_of is not None and pod_of(host) is not None:
+                    groups.append(f"pod:{pod_of(host)}")
+                for event in self.dependency_model.tree_for(host).basic_events():
+                    if event != host:
+                        groups.append(event)
+                for group in groups:
+                    group_node = ("group", group)
+                    if group.startswith("pod:"):
+                        label = "pod"
+                    else:
+                        label = self._group_label(group)
+                    graph.add_node(group_node, label=label)
+                    graph.add_edge(instance_node, group_node)
+        return graph
+
+    def signature(self, plan: DeploymentPlan) -> str:
+        """A string that is equal for symmetric plans.
+
+        Weisfeiler-Lehman hash of the surgery graph; plans with different
+        signatures are definitely inequivalent, plans with equal signatures
+        are equivalent up to WL's (practically negligible on coloured
+        membership graphs) collision rate.
+        """
+        graph = self.surgery_graph(plan)
+        return nx.weisfeiler_lehman_graph_hash(graph, node_attr="label", iterations=3)
+
+    def equivalent(self, plan_a: DeploymentPlan, plan_b: DeploymentPlan) -> bool:
+        """Whether two plans are symmetric (same reliability by symmetry).
+
+        Signature equality is confirmed with an exact isomorphism check —
+        cheap on these small graphs — so a WL collision cannot cause a
+        genuinely different plan to be skipped.
+        """
+        if plan_a.canonical_key() == plan_b.canonical_key():
+            return True
+        if self.signature(plan_a) != self.signature(plan_b):
+            return False
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            self.surgery_graph(plan_a),
+            self.surgery_graph(plan_b),
+            node_match=lambda a, b: a["label"] == b["label"],
+        )
+        return matcher.is_isomorphic()
+
+
+class SignatureCache:
+    """Score cache keyed by plan signature.
+
+    Beyond skipping neighbours symmetric to the *current* plan (the
+    paper's Step 3), the search can reuse the assessed score of any
+    previously-seen symmetric plan instead of re-assessing it.
+    """
+
+    def __init__(self, checker: SymmetryChecker):
+        self.checker = checker
+        self._scores: dict[str, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, plan: DeploymentPlan) -> float | None:
+        """Cached score for a symmetric plan, if any."""
+        signature = self.checker.signature(plan)
+        score = self._scores.get(signature)
+        if score is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return score
+
+    def record(self, plan: DeploymentPlan, score: float) -> None:
+        self._scores[self.checker.signature(plan)] = score
+
+    def __len__(self) -> int:
+        return len(self._scores)

@@ -1,0 +1,85 @@
+"""Fault model: components, probabilities, fault trees, dependency inventories."""
+
+from repro.faults.component import Component, ComponentType, link_id
+from repro.faults.cvss import (
+    SyntheticVulnerabilityDatabase,
+    Vulnerability,
+    software_failure_probability,
+)
+from repro.faults.dependencies import DependencyModel
+from repro.faults.discovery import (
+    DiscoveredDependency,
+    Flow,
+    NetworkDependencyMiner,
+    attach_discovered_dependencies,
+    generate_flow_log,
+)
+from repro.faults.faulttree import (
+    BasicEvent,
+    FaultTree,
+    Gate,
+    GateKind,
+    and_gate,
+    basic,
+    exact_failure_probability,
+    k_of_n_gate,
+    or_gate,
+    trivial_tree,
+)
+from repro.faults.inventory import (
+    attach_host_software,
+    attach_power_supplies,
+    attach_rack_cooling,
+    attach_redundant_power,
+    build_paper_inventory,
+    build_rich_inventory,
+)
+from repro.faults.probability import (
+    AhpProbabilityPolicy,
+    BathtubCurve,
+    DefaultProbabilityPolicy,
+    NormalProbabilityModel,
+    PaperProbabilityPolicy,
+    ProbabilityPolicy,
+    annual_downtime_hours,
+    failure_probability_from_downtime,
+)
+
+__all__ = [
+    "AhpProbabilityPolicy",
+    "BasicEvent",
+    "BathtubCurve",
+    "Component",
+    "ComponentType",
+    "DefaultProbabilityPolicy",
+    "DependencyModel",
+    "DiscoveredDependency",
+    "Flow",
+    "NetworkDependencyMiner",
+    "FaultTree",
+    "Gate",
+    "GateKind",
+    "NormalProbabilityModel",
+    "PaperProbabilityPolicy",
+    "ProbabilityPolicy",
+    "SyntheticVulnerabilityDatabase",
+    "Vulnerability",
+    "and_gate",
+    "annual_downtime_hours",
+    "attach_discovered_dependencies",
+    "attach_host_software",
+    "attach_power_supplies",
+    "attach_rack_cooling",
+    "attach_redundant_power",
+    "basic",
+    "build_paper_inventory",
+    "build_rich_inventory",
+    "exact_failure_probability",
+    "failure_probability_from_downtime",
+    "generate_flow_log",
+    "k_of_n_gate",
+    "link_id",
+    "or_gate",
+    "software_failure_probability",
+    "trivial_tree",
+]

@@ -1,0 +1,224 @@
+"""Network-dependency discovery from traffic, NSDMiner-style (§2.1).
+
+The paper acquires network dependencies with tools like NSDMiner [54, 56,
+59], which passively watch traffic and infer that service A *depends on*
+service B when flows to B consistently appear nested inside A's activity.
+Those traffic feeds are proprietary, so this module provides the closest
+synthetic equivalent end to end:
+
+* a tiny flow-log model (:class:`Flow`) and a workload generator that
+  emits flows for a ground-truth service-dependency graph, mixed with
+  configurable noise traffic;
+* :class:`NetworkDependencyMiner`, which re-discovers the dependency
+  graph from the flow log alone using NSDMiner's nested-flow counting
+  heuristic (a dependency is reported when the fraction of A's activity
+  windows containing a flow to B exceeds a support threshold);
+* a bridge that turns discovered dependencies into fault-tree branches on
+  the hosting elements, so discovery output plugs straight into the
+  reliability assessment like any other dependency information.
+
+This closes the loop the paper sketches: monitor -> infer dependencies ->
+feed reCloud.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping, TYPE_CHECKING
+
+import numpy as np
+
+from repro.faults.component import Component, ComponentType
+from repro.faults.faulttree import basic
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.dependencies import DependencyModel
+
+
+@dataclass(frozen=True, slots=True)
+class Flow:
+    """One observed network flow between two services."""
+
+    timestamp: float
+    source_service: str
+    destination_service: str
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ConfigurationError(f"negative timestamp {self.timestamp}")
+        if self.source_service == self.destination_service:
+            raise ConfigurationError("a service does not flow to itself")
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveredDependency:
+    """An inferred "source depends on target" edge with its support."""
+
+    source_service: str
+    target_service: str
+    support: float  # fraction of the source's activity windows
+
+
+def generate_flow_log(
+    dependencies: Mapping[str, Iterable[str]],
+    activity_windows: int = 200,
+    window_length: float = 1.0,
+    noise_flows_per_window: float = 0.5,
+    skip_probability: float = 0.05,
+    seed: int | np.random.Generator | None = None,
+) -> list[Flow]:
+    """Synthesize a flow log for a ground-truth dependency graph.
+
+    ``dependencies`` maps each service to the services it calls. Per
+    activity window, each service emits one flow to each of its
+    dependencies (each independently skipped with ``skip_probability``,
+    modelling caching), plus Poisson noise flows between random service
+    pairs (modelling unrelated chatter the miner must not mistake for
+    dependencies).
+    """
+    if activity_windows < 1:
+        raise ConfigurationError("need at least one activity window")
+    if not 0 <= skip_probability < 1:
+        raise ConfigurationError(
+            f"skip probability must be in [0, 1), got {skip_probability}"
+        )
+    rng = make_rng(seed)
+    services = sorted(
+        set(dependencies) | {d for deps in dependencies.values() for d in deps}
+    )
+    if len(services) < 2:
+        raise ConfigurationError("need at least two services")
+
+    flows: list[Flow] = []
+    for window in range(activity_windows):
+        base_time = window * window_length
+        for service, targets in dependencies.items():
+            for target in targets:
+                if rng.random() < skip_probability:
+                    continue
+                flows.append(
+                    Flow(
+                        timestamp=base_time + float(rng.random()) * window_length,
+                        source_service=service,
+                        destination_service=target,
+                    )
+                )
+        for _ in range(int(rng.poisson(noise_flows_per_window))):
+            a, b = rng.choice(len(services), size=2, replace=False)
+            flows.append(
+                Flow(
+                    timestamp=base_time + float(rng.random()) * window_length,
+                    source_service=services[int(a)],
+                    destination_service=services[int(b)],
+                )
+            )
+    flows.sort(key=lambda f: f.timestamp)
+    return flows
+
+
+class NetworkDependencyMiner:
+    """Infers service dependencies from a flow log (NSDMiner heuristic).
+
+    Time is cut into fixed windows. A service is *active* in a window
+    when it appears as a flow source; ``A -> B`` is reported when the
+    fraction of A's active windows that also contain an ``A -> B`` flow
+    reaches ``support_threshold``. Noise pairs co-occur in few windows
+    and fall below the threshold; true dependencies appear in nearly
+    every active window (they are only missing when skipped).
+    """
+
+    def __init__(
+        self,
+        window_length: float = 1.0,
+        support_threshold: float = 0.6,
+        min_active_windows: int = 5,
+    ):
+        if window_length <= 0:
+            raise ConfigurationError("window length must be positive")
+        if not 0 < support_threshold <= 1:
+            raise ConfigurationError(
+                f"support threshold must be in (0, 1], got {support_threshold}"
+            )
+        if min_active_windows < 1:
+            raise ConfigurationError("min_active_windows must be >= 1")
+        self.window_length = window_length
+        self.support_threshold = support_threshold
+        self.min_active_windows = min_active_windows
+
+    def discover(self, flows: Iterable[Flow]) -> list[DiscoveredDependency]:
+        """Mine the dependency edges present in a flow log."""
+        active_windows: dict[str, set[int]] = defaultdict(set)
+        pair_windows: dict[tuple[str, str], set[int]] = defaultdict(set)
+        for flow in flows:
+            window = int(flow.timestamp / self.window_length)
+            active_windows[flow.source_service].add(window)
+            pair_windows[(flow.source_service, flow.destination_service)].add(window)
+
+        discovered = []
+        for (source, target), windows in sorted(pair_windows.items()):
+            source_activity = active_windows[source]
+            if len(source_activity) < self.min_active_windows:
+                continue
+            support = len(windows & source_activity) / len(source_activity)
+            if support >= self.support_threshold:
+                discovered.append(
+                    DiscoveredDependency(
+                        source_service=source,
+                        target_service=target,
+                        support=support,
+                    )
+                )
+        return discovered
+
+    def discover_graph(self, flows: Iterable[Flow]) -> dict[str, list[str]]:
+        """The discovered edges as an adjacency mapping."""
+        graph: dict[str, list[str]] = defaultdict(list)
+        for dependency in self.discover(flows):
+            graph[dependency.source_service].append(dependency.target_service)
+        return dict(graph)
+
+
+def attach_discovered_dependencies(
+    model: "DependencyModel",
+    service_hosts: Mapping[str, str],
+    discovered: Iterable[DiscoveredDependency],
+    service_failure_probability: float = 0.005,
+) -> list[str]:
+    """Feed mined dependencies into the reliability model (§3.2.3).
+
+    Each *target* service becomes a dependency component (its failure
+    takes down whichever hosts run services depending on it), and each
+    discovered edge attaches a fault-tree branch to the source service's
+    host. ``service_hosts`` maps service names to the hosts running them.
+    Returns the ids of the created service components.
+    """
+    if not 0 < service_failure_probability < 1:
+        raise ConfigurationError(
+            "service failure probability must be in (0, 1), got "
+            f"{service_failure_probability}"
+        )
+    created: list[str] = []
+    seen: set[str] = set()
+    for dependency in discovered:
+        source_host = service_hosts.get(dependency.source_service)
+        if source_host is None:
+            raise ConfigurationError(
+                f"no host known for service {dependency.source_service!r}"
+            )
+        service_id = f"service/{dependency.target_service}"
+        if service_id not in seen:
+            model.add_dependency_component(
+                Component(
+                    component_id=service_id,
+                    component_type=ComponentType.LIBRARY,
+                    failure_probability=service_failure_probability,
+                    attributes={"service": dependency.target_service},
+                )
+            )
+            seen.add(service_id)
+            created.append(service_id)
+        model.attach_branch(source_host, basic(service_id))
+    return created

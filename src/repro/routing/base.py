@@ -1,0 +1,170 @@
+"""Route-and-check interfaces (§3.2.1, Fig. 2).
+
+Given per-round failure states of every network element (after fault-tree
+reasoning), a reachability engine answers, per round and vectorised over
+all rounds at once:
+
+* *external reachability* — is host ``h`` reachable from **any** alive
+  border switch? (the K-of-N aliveness criterion), and
+* *pairwise reachability* — can host ``a`` reach host ``b``? (needed for
+  complex application structures, §3.2.4).
+
+Reachability follows the deployment architecture's routing protocol; for
+a fat-tree that means up-down (valley-free) paths. Swapping the data-center
+architecture only swaps the engine, exactly as §3.2.1 prescribes.
+
+States are passed as a :class:`RoundStates` wrapper over boolean failure
+vectors. Elements absent from the mapping never fail, which keeps the
+common case (links with failure probability 0) free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.topology.base import Topology
+from repro.util.errors import ConfigurationError
+
+
+@dataclass
+class RoundStates:
+    """Effective per-round failure states of network elements and links.
+
+    ``failed`` maps element/link component ids to boolean vectors of length
+    ``rounds`` (True = failed in that round). Ids missing from the mapping
+    are treated as always alive. For hosts and switches these are the
+    *effective* states produced by fault-tree reasoning (§3.2.3), not the
+    raw sampled states of the element's own hardware.
+    """
+
+    rounds: int
+    failed: Mapping[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ConfigurationError(f"rounds must be positive, got {self.rounds}")
+
+    def alive_mask(self, component_id: str) -> np.ndarray | None:
+        """Per-round alive vector, or ``None`` when always alive."""
+        failed = self.failed.get(component_id)
+        if failed is None:
+            return None
+        return ~np.asarray(failed, dtype=bool)
+
+    def is_always_alive(self, component_id: str) -> bool:
+        """True when the element has no failure rounds at all."""
+        failed = self.failed.get(component_id)
+        return failed is None or not bool(np.any(failed))
+
+    def failed_in_round(self, component_id: str, round_index: int) -> bool:
+        """Scalar state query for one element in one round."""
+        failed = self.failed.get(component_id)
+        if failed is None:
+            return False
+        return bool(failed[round_index])
+
+    def rounds_with_failures(self, component_ids: Iterable[str]) -> np.ndarray:
+        """Indices of rounds where at least one listed element is failed.
+
+        Rounds outside this set need no routing at all — everything is
+        alive — which is the main fast path of per-round engines.
+        """
+        any_failed = np.zeros(self.rounds, dtype=bool)
+        for cid in component_ids:
+            failed = self.failed.get(cid)
+            if failed is not None:
+                np.logical_or(any_failed, failed, out=any_failed)
+        return np.nonzero(any_failed)[0]
+
+
+def all_alive(states: RoundStates, component_ids: Iterable[str]) -> np.ndarray | None:
+    """AND of the alive vectors of several elements (None = always alive)."""
+    result: np.ndarray | None = None
+    for cid in component_ids:
+        mask = states.alive_mask(cid)
+        if mask is None:
+            continue
+        if result is None:
+            result = mask.copy()
+        else:
+            np.logical_and(result, mask, out=result)
+    return result
+
+
+def any_path(paths: Sequence[np.ndarray | None], rounds: int) -> np.ndarray | None:
+    """OR of per-path alive vectors.
+
+    ``None`` entries mean "that path is always available", so the result is
+    also ``None`` (always reachable). An empty sequence means no path
+    exists: an all-False vector.
+    """
+    if any(path is None for path in paths):
+        return None
+    if not paths:
+        return np.zeros(rounds, dtype=bool)
+    result = paths[0].copy()
+    for path in paths[1:]:
+        np.logical_or(result, path, out=result)
+    return result
+
+
+def materialize(mask: np.ndarray | None, rounds: int, alive: bool = True) -> np.ndarray:
+    """Expand a possibly-None alive mask into a concrete boolean vector."""
+    if mask is None:
+        return np.full(rounds, alive, dtype=bool)
+    return mask
+
+
+class ReachabilityEngine:
+    """Architecture-specific route-and-check."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    def external_reachable(
+        self, states: RoundStates, hosts: Sequence[str]
+    ) -> dict[str, np.ndarray]:
+        """Per host: boolean vector, True in rounds where the host is alive
+        and reachable from at least one alive border switch."""
+        raise NotImplementedError
+
+    def pairwise_reachable(
+        self, states: RoundStates, pairs: Sequence[tuple[str, str]]
+    ) -> dict[tuple[str, str], np.ndarray]:
+        """Per host pair: boolean vector, True in rounds where both hosts
+        are alive and a routed path exists between them."""
+        raise NotImplementedError
+
+    def relevant_elements(self, hosts: Sequence[str]) -> set[str]:
+        """Every element/link id this engine may read for these hosts.
+
+        This is the network part of an assessment's sampling closure:
+        components outside it cannot influence any reachability answer for
+        the given hosts, so they need no failure states at all (components
+        fail independently, hence restricting sampling to the closure draws
+        from the identical joint distribution over what is read).
+        """
+        raise NotImplementedError
+
+
+def engine_for(topology: Topology) -> ReachabilityEngine:
+    """Pick the best engine for a topology.
+
+    Fat-trees and leaf-spines get their vectorised up-down engines; any
+    other architecture falls back to the generic per-round engine.
+    """
+    # Imported here to avoid a routing <-> topology import cycle at load time.
+    from repro.routing.fattree_fast import FatTreeReachabilityEngine
+    from repro.routing.generic import GenericReachabilityEngine
+    from repro.routing.leafspine_fast import LeafSpineReachabilityEngine
+    from repro.topology.fattree import FatTreeTopology
+    from repro.topology.leafspine import LeafSpineTopology
+
+    if isinstance(topology, FatTreeTopology):
+        return FatTreeReachabilityEngine(topology)
+    if isinstance(topology, LeafSpineTopology):
+        return LeafSpineReachabilityEngine(topology)
+    return GenericReachabilityEngine(topology)

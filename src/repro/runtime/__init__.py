@@ -1,0 +1,5 @@
+"""Parallel execution engine for multi-round assessments."""
+
+from repro.runtime.mapreduce import ParallelAssessor
+
+__all__ = ["ParallelAssessor"]

@@ -1,0 +1,197 @@
+"""Parallel route-and-check via a MapReduce-style master/worker split.
+
+§3.2.1: "A master node distributes portions of rounds to worker nodes.
+Each worker node performs the route-and-check for the assigned rounds. The
+master node then gathers the results from each worker node to compute the
+overall reliability score."
+
+Here the worker nodes are processes on one machine (the closest local
+equivalent of the paper's distributed execution engine). Each worker
+receives a (seed, rounds) portion, runs the full sample + fault-tree +
+route-and-check pipeline for its rounds, and ships back its per-round
+result list; the master concatenates the lists and computes the estimate —
+statistically identical to a single sequential run over the union of
+rounds, because portions use independent random streams.
+
+The paper's Fig. 12 lesson reproduces naturally: for small round counts
+the serialization/transmission and per-worker context setup dominate the
+cheap route-and-check, so parallel execution only pays off when very high
+assessment accuracy (many rounds) is required.
+
+Implementation note: the process backend uses a fork-based
+``multiprocessing.Pool``, whose workers fork *eagerly* at construction;
+the (possibly huge) topology is inherited copy-on-write and never pickled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+
+import numpy as np
+
+from repro.app.structure import ApplicationStructure
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.core.result import AssessmentResult
+from repro.faults.dependencies import DependencyModel
+from repro.sampling.base import Sampler
+from repro.sampling.statistics import estimate_from_results
+from repro.topology.base import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+from repro.util.timing import Stopwatch
+
+#: State inherited by forked workers. Written immediately before the pool
+#: forks and cleared right after, so concurrent instances cannot clash.
+_FORK_STATE: dict = {}
+
+
+def _init_forked_worker() -> None:
+    """Pin the forked snapshot of the parent state inside the worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = dict(_FORK_STATE)
+
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_portion(args: tuple) -> np.ndarray:
+    """Run the route-and-check pipeline for one portion of rounds.
+
+    The assessor is the per-worker "context" of §3.2.1 and is set up once
+    per worker process, then reused across portions; only the stream seed
+    and the round count change per task.
+    """
+    seed, rounds, plan, structure = args
+    assessor = _WORKER_STATE.get("assessor")
+    if assessor is None:
+        assessor = ReliabilityAssessor(
+            _WORKER_STATE["topology"],
+            _WORKER_STATE["model"],
+            sampler=_WORKER_STATE["sampler"],
+            rounds=rounds,
+            rng=seed,
+        )
+        _WORKER_STATE["assessor"] = assessor
+    assessor.rng = make_rng(seed)
+    return assessor.assess(plan, structure, rounds=rounds).per_round
+
+
+class ParallelAssessor:
+    """Assesses plans by fanning rounds out to worker processes.
+
+    Statistically equivalent to :class:`ReliabilityAssessor` with the same
+    total round count. ``backend`` selects ``"process"`` (default; uses
+    fork so the topology is shared copy-on-write) or ``"inline"`` (no
+    parallelism — the master does everything; the 0-worker baseline and
+    the fallback on platforms without fork).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        dependency_model: DependencyModel | None = None,
+        sampler: Sampler | None = None,
+        rounds: int = 10_000,
+        workers: int = 2,
+        rng: int | np.random.Generator | None = None,
+        backend: str = "process",
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"need at least one worker, got {workers}")
+        if backend not in ("process", "inline"):
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        self.topology = topology
+        self.dependency_model = dependency_model or DependencyModel.empty(topology)
+        self.sampler = sampler
+        self.rounds = rounds
+        self.workers = workers
+        self.backend = backend
+        self.rng = make_rng(rng)
+        self._pool: multiprocessing.pool.Pool | None = None
+        if backend == "process":
+            self._start_pool()
+
+    # ------------------------------------------------------------------
+
+    def _start_pool(self) -> None:
+        # multiprocessing.Pool forks all workers eagerly in the
+        # constructor, so the state snapshot below is taken synchronously
+        # and can be cleared as soon as the constructor returns.
+        _FORK_STATE.update(
+            topology=self.topology,
+            model=self.dependency_model,
+            sampler=self.sampler,
+        )
+        try:
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(
+                processes=self.workers, initializer=_init_forked_worker
+            )
+        finally:
+            _FORK_STATE.clear()
+
+    def close(self) -> None:
+        """Shut the worker pool down."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelAssessor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _portions(self, rounds: int) -> list[int]:
+        """Split ``rounds`` into one near-equal portion per worker."""
+        base = rounds // self.workers
+        remainder = rounds % self.workers
+        portions = [base + (1 if i < remainder else 0) for i in range(self.workers)]
+        return [p for p in portions if p > 0]
+
+    def assess(
+        self,
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        rounds: int | None = None,
+    ) -> AssessmentResult:
+        """Distribute, gather, reduce (the MapReduce of §3.2.1)."""
+        watch = Stopwatch()
+        total_rounds = rounds or self.rounds
+        portions = self._portions(total_rounds)
+        seeds = [int(s) for s in self.rng.integers(0, 2**63, size=len(portions))]
+        tasks = [
+            (seed, portion, plan, structure)
+            for seed, portion in zip(seeds, portions)
+        ]
+
+        if self._pool is None:
+            results = [self._inline_portion(task) for task in tasks]
+        else:
+            results = self._pool.map(_worker_portion, tasks)
+
+        per_round = np.concatenate(results)
+        estimate = estimate_from_results(per_round)
+        return AssessmentResult(
+            plan=plan,
+            estimate=estimate,
+            per_round=per_round,
+            sampled_components=-1,  # workers sample independently
+            elapsed_seconds=watch.elapsed(),
+        )
+
+    def _inline_portion(self, args: tuple) -> np.ndarray:
+        seed, rounds, plan, structure = args
+        assessor = ReliabilityAssessor(
+            self.topology,
+            self.dependency_model,
+            sampler=self.sampler,
+            rounds=rounds,
+            rng=seed,
+        )
+        return assessor.assess(plan, structure).per_round

@@ -1,0 +1,30 @@
+"""Failure-state samplers (Monte-Carlo, dagger) and reliability statistics."""
+
+from repro.sampling.base import SampleBatch, Sampler
+from repro.sampling.dagger import (
+    DaggerSampler,
+    ExtendedDaggerSampler,
+    dagger_cycle_length,
+    dagger_draw_count,
+)
+from repro.sampling.montecarlo import MonteCarloSampler
+from repro.sampling.statistics import (
+    ReliabilityEstimate,
+    estimate_from_results,
+    merge_estimates,
+    rounds_for_target_ci,
+)
+
+__all__ = [
+    "DaggerSampler",
+    "ExtendedDaggerSampler",
+    "MonteCarloSampler",
+    "ReliabilityEstimate",
+    "SampleBatch",
+    "Sampler",
+    "dagger_cycle_length",
+    "dagger_draw_count",
+    "estimate_from_results",
+    "merge_estimates",
+    "rounds_for_target_ci",
+]

@@ -1,0 +1,115 @@
+"""Sampler interface and the failure-state batch representation.
+
+A sampler turns per-component failure probabilities into failure states
+across many rounds — the table of §3.2.1 (Table 1 in the paper), with one
+row per component and one column per round. Because components are highly
+reliable, that table is extremely sparse, so batches store, per component,
+the *sorted indices of failed rounds* rather than a dense boolean matrix.
+Dense views are materialised on demand for the (small) closure of
+components a particular route-and-check actually reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+#: dtype used for failed-round indices.
+ROUND_DTYPE = np.int64
+
+_EMPTY_ROUNDS = np.empty(0, dtype=ROUND_DTYPE)
+
+
+@dataclass
+class SampleBatch:
+    """Failure states of a component set across ``rounds`` sampling rounds.
+
+    ``failed_rounds`` maps each component id to a sorted array of the round
+    indices in which that component is failed. Components absent from the
+    mapping never failed (equivalently: an empty array).
+    """
+
+    rounds: int
+    failed_rounds: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ConfigurationError(f"rounds must be positive, got {self.rounds}")
+
+    def rounds_failed(self, component_id: str) -> np.ndarray:
+        """Sorted failed-round indices for one component (possibly empty)."""
+        return self.failed_rounds.get(component_id, _EMPTY_ROUNDS)
+
+    def dense(self, component_id: str) -> np.ndarray:
+        """Boolean per-round failure vector for one component."""
+        states = np.zeros(self.rounds, dtype=bool)
+        failed = self.rounds_failed(component_id)
+        if failed.size:
+            states[failed] = True
+        return states
+
+    def dense_states(self, component_ids: Iterable[str]) -> dict[str, np.ndarray]:
+        """Dense per-round vectors for a set of components.
+
+        This is what fault-tree evaluation consumes; call it only for the
+        relevant closure of an assessment, not the whole data center.
+        """
+        return {cid: self.dense(cid) for cid in component_ids}
+
+    def failure_fraction(self, component_id: str) -> float:
+        """Empirical fraction of rounds in which the component failed."""
+        return self.rounds_failed(component_id).size / self.rounds
+
+    def failed_components_in_round(self, round_index: int) -> frozenset[str]:
+        """All components failed in one round (scalar/debug path)."""
+        if not 0 <= round_index < self.rounds:
+            raise ConfigurationError(
+                f"round {round_index} out of range [0, {self.rounds})"
+            )
+        return frozenset(
+            cid
+            for cid, failed in self.failed_rounds.items()
+            if failed.size and np.searchsorted(failed, round_index) < failed.size
+            and failed[np.searchsorted(failed, round_index)] == round_index
+        )
+
+    def total_failure_events(self) -> int:
+        """Total number of (component, round) failure events in the batch."""
+        return int(sum(failed.size for failed in self.failed_rounds.values()))
+
+
+class Sampler:
+    """Generates failure states for components across sampling rounds."""
+
+    #: Human-readable name used in benchmark output.
+    name = "abstract"
+
+    def sample(
+        self,
+        probabilities: Mapping[str, float],
+        rounds: int,
+        rng: np.random.Generator,
+    ) -> SampleBatch:
+        """Produce a :class:`SampleBatch` for the given components.
+
+        Args:
+            probabilities: Failure probability per component id. Components
+                with probability 0 are perfectly reliable and never appear
+                in the result.
+            rounds: Number of sampling rounds (columns of Table 1).
+            rng: Source of randomness.
+        """
+        raise NotImplementedError
+
+
+def validate_probabilities(probabilities: Mapping[str, float]) -> None:
+    """Reject probabilities outside [0, 1)."""
+    for cid, p in probabilities.items():
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(
+                f"failure probability of {cid!r} must be in [0, 1), got {p}"
+            )

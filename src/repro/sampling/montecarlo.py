@@ -1,0 +1,54 @@
+"""Monte-Carlo failure-state sampling — the strawman design (§3.2.1).
+
+This is the sampler the state-of-the-art INDaaS system uses: every
+component's state in every round is decided by its own uniform draw
+(``r < p`` means failed), so generating states costs C x X random numbers
+for C components and X rounds. That cost is exactly why the paper replaces
+it with dagger sampling; we keep it both as the INDaaS baseline and as the
+statistical reference the dagger sampler is validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.sampling.base import ROUND_DTYPE, SampleBatch, Sampler, validate_probabilities
+
+#: Target number of uniform draws materialised per chunk. Keeps peak memory
+#: flat (~128 MiB of float64) regardless of the round count.
+_CHUNK_BUDGET = 1 << 24
+
+
+class MonteCarloSampler(Sampler):
+    """Independent per-round uniform sampling for every component."""
+
+    name = "monte-carlo"
+
+    def sample(
+        self,
+        probabilities: Mapping[str, float],
+        rounds: int,
+        rng: np.random.Generator,
+    ) -> SampleBatch:
+        validate_probabilities(probabilities)
+        batch = SampleBatch(rounds=rounds)
+
+        component_ids = [cid for cid, p in probabilities.items() if p > 0.0]
+        if not component_ids:
+            return batch
+        p_values = np.array([probabilities[cid] for cid in component_ids])
+
+        # Process components in chunks so the uniform-draw matrix stays
+        # within the memory budget even for 1e5-round batches.
+        chunk_rows = max(1, _CHUNK_BUDGET // max(rounds, 1))
+        for start in range(0, len(component_ids), chunk_rows):
+            stop = min(start + chunk_rows, len(component_ids))
+            draws = rng.random((stop - start, rounds))
+            failed_matrix = draws < p_values[start:stop, np.newaxis]
+            for offset, cid in enumerate(component_ids[start:stop]):
+                failed = np.nonzero(failed_matrix[offset])[0].astype(ROUND_DTYPE)
+                if failed.size:
+                    batch.failed_rounds[cid] = failed
+        return batch

@@ -1,0 +1,131 @@
+"""Reliability-score statistics: Eqs. 1-3 of the paper (§3.2.2).
+
+An assessment over ``n`` rounds yields a result list ``L = {d_1..d_n}``
+with ``d_i = 1`` when the deployment was reliable in round ``i``. The
+reliability score is the mean of ``L`` (Eq. 1); its variance is
+conservatively estimated as ``Var[L] / n`` (Eq. 2, valid for dagger
+sampling thanks to its variance-reduction effect); and by the central limit
+theorem the 95 % confidence interval width is ``4 * sqrt(V)`` (Eq. 3 —
+two standard errors on each side, the 68-95-99.7 rule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ReliabilityEstimate:
+    """A reliability score with its rigorous error bound.
+
+    Attributes:
+        score: Estimated reliability R (Eq. 1).
+        variance: Conservative variance V of the estimate (Eq. 2).
+        confidence_interval_width: 95 % CI width (Eq. 3); the ground-truth
+            reliability lies within ``score +/- width / 2`` with ~95 %
+            probability.
+        rounds: Number of sampling rounds n behind the estimate.
+        reliable_rounds: Number of rounds in which the plan was reliable.
+    """
+
+    score: float
+    variance: float
+    confidence_interval_width: float
+    rounds: int
+    reliable_rounds: int
+
+    @property
+    def failure_odds(self) -> float:
+        """The plan's failure probability 1 - R.
+
+        "One order of magnitude more reliable" in the paper means one order
+        of magnitude lower failure odds (see Eq. 5's log-ratio).
+        """
+        return 1.0 - self.score
+
+    @property
+    def ci_lower(self) -> float:
+        """Lower end of the 95 % confidence interval, clamped to [0, 1]."""
+        return max(0.0, self.score - self.confidence_interval_width / 2.0)
+
+    @property
+    def ci_upper(self) -> float:
+        """Upper end of the 95 % confidence interval, clamped to [0, 1]."""
+        return min(1.0, self.score + self.confidence_interval_width / 2.0)
+
+    def contains(self, true_reliability: float) -> bool:
+        """Whether a reliability value lies within the 95 % interval."""
+        return self.ci_lower <= true_reliability <= self.ci_upper
+
+    def __str__(self) -> str:
+        return (
+            f"R={self.score:.6f} (95% CI width {self.confidence_interval_width:.2e}, "
+            f"{self.reliable_rounds}/{self.rounds} rounds reliable)"
+        )
+
+
+def estimate_from_results(result_list: np.ndarray) -> ReliabilityEstimate:
+    """Build a :class:`ReliabilityEstimate` from a per-round result list.
+
+    ``result_list`` is the paper's ``L``: one entry per round, truthy when
+    the deployment plan was reliable in that round.
+    """
+    results = np.asarray(result_list, dtype=float)
+    if results.ndim != 1 or results.size == 0:
+        raise ConfigurationError("result list must be a non-empty 1-D sequence")
+    n = results.size
+    score = float(results.mean())
+    variance = float(results.var()) / n  # Eq. 2: V = Var[L] / n
+    ci_width = 4.0 * math.sqrt(variance)  # Eq. 3
+    return ReliabilityEstimate(
+        score=score,
+        variance=variance,
+        confidence_interval_width=ci_width,
+        rounds=n,
+        reliable_rounds=int(results.sum()),
+    )
+
+
+def merge_estimates(estimates: list[ReliabilityEstimate]) -> ReliabilityEstimate:
+    """Combine estimates from disjoint round sets (parallel execution).
+
+    This is the reduce step of §3.2.1's MapReduce formulation: worker nodes
+    assess disjoint chunks of rounds and the master combines their counts.
+    The merged variance is recomputed from the pooled Bernoulli counts,
+    which equals ``Var[L]/n`` over the concatenated result list.
+    """
+    if not estimates:
+        raise ConfigurationError("cannot merge zero estimates")
+    total_rounds = sum(e.rounds for e in estimates)
+    reliable = sum(e.reliable_rounds for e in estimates)
+    score = reliable / total_rounds
+    variance = score * (1.0 - score) / total_rounds
+    return ReliabilityEstimate(
+        score=score,
+        variance=variance,
+        confidence_interval_width=4.0 * math.sqrt(variance),
+        rounds=total_rounds,
+        reliable_rounds=reliable,
+    )
+
+
+def rounds_for_target_ci(
+    target_ci_width: float, pilot_variance_per_round: float
+) -> int:
+    """Rounds needed so the 95 % CI width reaches ``target_ci_width``.
+
+    ``pilot_variance_per_round`` is ``Var[L]`` from a pilot run. Inverting
+    Eq. 3: ``n = 16 * Var[L] / width^2``.
+    """
+    if target_ci_width <= 0:
+        raise ConfigurationError(f"target width must be positive, got {target_ci_width}")
+    if pilot_variance_per_round < 0:
+        raise ConfigurationError("variance must be non-negative")
+    if pilot_variance_per_round == 0:
+        return 1
+    return max(1, math.ceil(16.0 * pilot_variance_per_round / target_ci_width**2))

@@ -1,0 +1,228 @@
+"""JSON serialization of plans, estimates and reports.
+
+A provider running reCloud as a service needs to persist and exchange
+its artifacts: the plan handed to the scheduler, the reliability estimate
+shown to the developer (service-quality auditing and compliance is one of
+the paper's stated reasons for *quantitative* scores), and risk reports.
+This module provides stable, versioned JSON encodings with full
+round-trip support for the value types and validation on load.
+
+Numpy payloads (the per-round result lists) are deliberately excluded:
+they are reproducible from the recorded seeds and would dominate the
+artifact size.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.app.structure import (
+    ApplicationStructure,
+    ComponentSpec,
+    ReachabilityRequirement,
+)
+from repro.core.plan import DeploymentPlan
+from repro.core.result import AssessmentResult, SearchResult
+from repro.core.risk import RiskEntry
+from repro.sampling.statistics import ReliabilityEstimate
+from repro.util.errors import ConfigurationError
+
+#: Format version stamped into every artifact.
+FORMAT_VERSION = 1
+
+
+def _artifact(kind: str, payload: dict) -> dict:
+    return {"format": kind, "version": FORMAT_VERSION, **payload}
+
+
+def _check(document: dict, kind: str) -> None:
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"expected a JSON object for {kind}")
+    if document.get("format") != kind:
+        raise ConfigurationError(
+            f"expected format {kind!r}, got {document.get('format')!r}"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported {kind} version {document.get('version')!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Deployment plans
+# ----------------------------------------------------------------------
+
+
+def plan_to_dict(plan: DeploymentPlan) -> dict:
+    """Encode a plan as a JSON-ready dict."""
+    return _artifact(
+        "deployment-plan",
+        {
+            "placements": [
+                {"component": component, "hosts": list(hosts)}
+                for component, hosts in plan.placements
+            ]
+        },
+    )
+
+
+def plan_from_dict(document: dict) -> DeploymentPlan:
+    """Decode a plan, re-validating distinctness."""
+    _check(document, "deployment-plan")
+    try:
+        mapping = {
+            entry["component"]: entry["hosts"]
+            for entry in document["placements"]
+        }
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed deployment-plan document: {exc}") from exc
+    return DeploymentPlan.from_mapping(mapping)
+
+
+# ----------------------------------------------------------------------
+# Application structures
+# ----------------------------------------------------------------------
+
+
+def structure_to_dict(structure: ApplicationStructure) -> dict:
+    return _artifact(
+        "application-structure",
+        {
+            "name": structure.name,
+            "components": [
+                {"name": spec.name, "instances": spec.instances}
+                for spec in structure.components
+            ],
+            "requirements": [
+                {
+                    "component": req.component,
+                    "source": req.source,
+                    "min_reachable": req.min_reachable,
+                }
+                for req in structure.requirements
+            ],
+        },
+    )
+
+
+def structure_from_dict(document: dict) -> ApplicationStructure:
+    _check(document, "application-structure")
+    try:
+        components = [
+            ComponentSpec(entry["name"], entry["instances"])
+            for entry in document["components"]
+        ]
+        requirements = [
+            ReachabilityRequirement(
+                entry["component"], entry["source"], entry["min_reachable"]
+            )
+            for entry in document["requirements"]
+        ]
+        name = document["name"]
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(
+            f"malformed application-structure document: {exc}"
+        ) from exc
+    return ApplicationStructure(components, requirements, name=name)
+
+
+# ----------------------------------------------------------------------
+# Estimates and results
+# ----------------------------------------------------------------------
+
+
+def estimate_to_dict(estimate: ReliabilityEstimate) -> dict:
+    return _artifact(
+        "reliability-estimate",
+        {
+            "score": estimate.score,
+            "variance": estimate.variance,
+            "confidence_interval_width": estimate.confidence_interval_width,
+            "rounds": estimate.rounds,
+            "reliable_rounds": estimate.reliable_rounds,
+        },
+    )
+
+
+def estimate_from_dict(document: dict) -> ReliabilityEstimate:
+    _check(document, "reliability-estimate")
+    try:
+        return ReliabilityEstimate(
+            score=float(document["score"]),
+            variance=float(document["variance"]),
+            confidence_interval_width=float(document["confidence_interval_width"]),
+            rounds=int(document["rounds"]),
+            reliable_rounds=int(document["reliable_rounds"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"malformed reliability-estimate document: {exc}"
+        ) from exc
+
+
+def assessment_to_dict(result: AssessmentResult) -> dict:
+    """Encode an assessment (without the raw per-round list)."""
+    return _artifact(
+        "assessment-result",
+        {
+            "plan": plan_to_dict(result.plan),
+            "estimate": estimate_to_dict(result.estimate),
+            "sampled_components": result.sampled_components,
+            "elapsed_seconds": result.elapsed_seconds,
+        },
+    )
+
+
+def search_result_to_dict(result: SearchResult) -> dict:
+    """Encode a search outcome (the provider's report to the developer)."""
+    return _artifact(
+        "search-result",
+        {
+            "satisfied": result.satisfied,
+            "elapsed_seconds": result.elapsed_seconds,
+            "iterations": result.iterations,
+            "plans_assessed": result.plans_assessed,
+            "plans_skipped_symmetric": result.plans_skipped_symmetric,
+            "best_plan": plan_to_dict(result.best_plan),
+            "best_estimate": estimate_to_dict(result.best_assessment.estimate),
+        },
+    )
+
+
+def risk_report_to_dict(entries: list[RiskEntry]) -> dict:
+    return _artifact(
+        "risk-report",
+        {
+            "entries": [
+                {
+                    "component_id": e.component_id,
+                    "component_type": e.component_type,
+                    "failure_probability": e.failure_probability,
+                    "instances_lost": e.instances_lost,
+                    "components_degraded": list(e.components_degraded),
+                    "application_down": e.application_down,
+                    "expected_loss": e.expected_loss,
+                }
+                for e in entries
+            ]
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+
+
+def dump(document: dict, path) -> None:
+    """Write any artifact dict as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load(path) -> Any:
+    """Read a JSON artifact from disk."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,23 @@
+"""Data-center topologies: the abstraction plus concrete architectures."""
+
+from repro.topology.base import Topology, TopologySummary, validate_hosts_exist
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.leafspine import LeafSpineTopology
+from repro.topology.presets import (
+    PAPER_SCALES,
+    SCALE_ORDER,
+    ScaleSpec,
+    paper_topology,
+)
+
+__all__ = [
+    "FatTreeTopology",
+    "LeafSpineTopology",
+    "PAPER_SCALES",
+    "SCALE_ORDER",
+    "ScaleSpec",
+    "Topology",
+    "TopologySummary",
+    "paper_topology",
+    "validate_hosts_exist",
+]

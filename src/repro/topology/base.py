@@ -1,0 +1,278 @@
+"""Data-center topology abstraction.
+
+A :class:`Topology` is a graph of network components — hosts, switches and
+the links between them — plus the set of *border switches* that peer with
+external entities (§3.1). Every network element is a two-state
+:class:`~repro.faults.component.Component`, so samplers and the
+route-and-check engine can treat a topology uniformly regardless of its
+architecture. Architecture-specific subclasses (fat-tree, leaf-spine)
+populate the graph and may expose extra structure for fast routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import networkx as nx
+import numpy as np
+
+from repro.faults.component import Component, ComponentType, link_id
+from repro.faults.probability import PaperProbabilityPolicy, ProbabilityPolicy
+from repro.util.errors import TopologyError
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True, slots=True)
+class TopologySummary:
+    """Component counts of a topology, as reported in the paper's Table 2."""
+
+    name: str
+    ports_per_switch: int
+    core_switches: int
+    aggregation_switches: int
+    edge_switches: int
+    border_switches: int
+    hosts: int
+    links: int
+
+    @property
+    def total_switches(self) -> int:
+        return (
+            self.core_switches
+            + self.aggregation_switches
+            + self.edge_switches
+            + self.border_switches
+        )
+
+    @property
+    def total_components(self) -> int:
+        """Hosts + switches + links (network components only)."""
+        return self.hosts + self.total_switches + self.links
+
+
+class Topology:
+    """A data-center network: typed components connected by links.
+
+    Nodes of the underlying :mod:`networkx` graph are component ids of
+    hosts and switches; each edge carries the id of its link component.
+    Subclasses call the ``_add_*`` builders during construction and then
+    :meth:`_freeze`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        probability_policy: ProbabilityPolicy | None = None,
+        seed: int | np.random.Generator | None = None,
+    ):
+        self.name = name
+        self._policy = probability_policy or PaperProbabilityPolicy()
+        self._rng = make_rng(seed)
+        self.graph = nx.Graph()
+        self.components: dict[str, Component] = {}
+        self.hosts: list[str] = []
+        self.border_switches: list[str] = []
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Construction API (used by subclasses)
+    # ------------------------------------------------------------------
+
+    def _assert_mutable(self) -> None:
+        if self._frozen:
+            raise TopologyError(f"topology {self.name!r} is frozen")
+
+    def _add_component(
+        self, component_id: str, component_type: ComponentType, **attributes
+    ) -> Component:
+        self._assert_mutable()
+        if component_id in self.components:
+            raise TopologyError(f"duplicate component id {component_id!r}")
+        probability = self._policy.probability_for(component_type, self._rng)
+        component = Component(
+            component_id=component_id,
+            component_type=component_type,
+            failure_probability=probability,
+            attributes=attributes,
+        )
+        self.components[component_id] = component
+        return component
+
+    def _add_host(self, component_id: str, **attributes) -> Component:
+        component = self._add_component(component_id, ComponentType.HOST, **attributes)
+        self.graph.add_node(component_id)
+        self.hosts.append(component_id)
+        return component
+
+    def _add_switch(
+        self, component_id: str, component_type: ComponentType, **attributes
+    ) -> Component:
+        if not component_type.is_switch:
+            raise TopologyError(f"{component_type} is not a switch type")
+        component = self._add_component(component_id, component_type, **attributes)
+        self.graph.add_node(component_id)
+        if component_type is ComponentType.BORDER_SWITCH:
+            self.border_switches.append(component_id)
+        return component
+
+    def _add_link(self, endpoint_a: str, endpoint_b: str, **attributes) -> Component:
+        self._assert_mutable()
+        for endpoint in (endpoint_a, endpoint_b):
+            if endpoint not in self.graph:
+                raise TopologyError(f"link endpoint {endpoint!r} does not exist")
+        if self.graph.has_edge(endpoint_a, endpoint_b):
+            raise TopologyError(f"duplicate link {endpoint_a!r} -- {endpoint_b!r}")
+        cid = link_id(endpoint_a, endpoint_b)
+        component = self._add_component(cid, ComponentType.LINK, **attributes)
+        self.graph.add_edge(endpoint_a, endpoint_b, component_id=cid)
+        return component
+
+    def _freeze(self) -> None:
+        """Validate and seal the topology after construction."""
+        if not self.hosts:
+            raise TopologyError(f"topology {self.name!r} has no hosts")
+        if not self.border_switches:
+            raise TopologyError(
+                f"topology {self.name!r} has no border switches for external "
+                "connectivity"
+            )
+        self._frozen = True
+
+    # ------------------------------------------------------------------
+    # Query API
+    # ------------------------------------------------------------------
+
+    def component(self, component_id: str) -> Component:
+        """The component with ``component_id``; raises on unknown ids."""
+        try:
+            return self.components[component_id]
+        except KeyError:
+            raise TopologyError(f"unknown component {component_id!r}") from None
+
+    def components_of_type(self, component_type: ComponentType) -> list[Component]:
+        """All components of one type, in insertion order."""
+        return [
+            c for c in self.components.values() if c.component_type is component_type
+        ]
+
+    @property
+    def switches(self) -> list[str]:
+        """Ids of every switch (all tiers, including border switches)."""
+        return [
+            c.component_id for c in self.components.values() if c.component_type.is_switch
+        ]
+
+    def link_between(self, endpoint_a: str, endpoint_b: str) -> Component:
+        """The link component connecting two adjacent elements."""
+        data = self.graph.get_edge_data(endpoint_a, endpoint_b)
+        if data is None:
+            raise TopologyError(f"no link between {endpoint_a!r} and {endpoint_b!r}")
+        return self.components[data["component_id"]]
+
+    def neighbors(self, component_id: str) -> list[str]:
+        """Adjacent hosts/switches of a network element."""
+        if component_id not in self.graph:
+            raise TopologyError(f"unknown network element {component_id!r}")
+        return list(self.graph.neighbors(component_id))
+
+    def edge_switch_of(self, host_id: str) -> str:
+        """The (single) switch a host attaches to."""
+        neighbors = self.neighbors(host_id)
+        if len(neighbors) != 1:
+            raise TopologyError(
+                f"host {host_id!r} attaches to {len(neighbors)} switches; "
+                "expected exactly one"
+            )
+        return neighbors[0]
+
+    def rack_of(self, host_id: str) -> str:
+        """The rack a host lives in.
+
+        By default a rack is identified with the host's edge/ToR switch,
+        which matches how the paper's common-practice baseline spreads
+        instances across racks (§4.2.2).
+        """
+        return self.edge_switch_of(host_id)
+
+    def hosts_in_rack(self, rack_id: str) -> list[str]:
+        """All hosts attached to the given rack's edge switch."""
+        if rack_id not in self.graph:
+            raise TopologyError(f"unknown rack {rack_id!r}")
+        return [
+            n
+            for n in self.graph.neighbors(rack_id)
+            if self.components[n].component_type is ComponentType.HOST
+        ]
+
+    def racks(self) -> list[str]:
+        """Every rack id (edge switches that have at least one host)."""
+        seen: dict[str, None] = {}
+        for host in self.hosts:
+            seen.setdefault(self.rack_of(host), None)
+        return list(seen)
+
+    def failure_probabilities(self) -> dict[str, float]:
+        """Map of component id -> failure probability for every component."""
+        return {
+            cid: component.failure_probability
+            for cid, component in self.components.items()
+        }
+
+    def override_probabilities(self, overrides: Mapping[str, float]) -> None:
+        """Replace failure probabilities for selected components.
+
+        Supports the paper's bathtub-curve updates and what-if studies.
+        Allowed on frozen topologies because it changes no structure.
+        """
+        for cid, probability in overrides.items():
+            self.components[cid] = self.component(cid).with_probability(probability)
+
+    def summarize(self) -> TopologySummary:
+        """Component counts in the shape of the paper's Table 2."""
+        by_type = {ctype: 0 for ctype in ComponentType}
+        for component in self.components.values():
+            by_type[component.component_type] += 1
+        return TopologySummary(
+            name=self.name,
+            ports_per_switch=getattr(self, "ports_per_switch", 0),
+            core_switches=by_type[ComponentType.CORE_SWITCH],
+            aggregation_switches=by_type[ComponentType.AGGREGATION_SWITCH],
+            edge_switches=by_type[ComponentType.EDGE_SWITCH],
+            border_switches=by_type[ComponentType.BORDER_SWITCH],
+            hosts=by_type[ComponentType.HOST],
+            links=by_type[ComponentType.LINK],
+        )
+
+    # ------------------------------------------------------------------
+    # Symmetry support (network transformations, §3.3.1 Step 3)
+    # ------------------------------------------------------------------
+
+    def symmetry_class_of(self, component_id: str) -> str:
+        """A label such that automorphic elements share a label.
+
+        The base implementation distinguishes only component types;
+        architecture subclasses refine it (e.g. per switch tier and pod
+        role). Failure-probability classes are layered on separately by the
+        transformations module, because §3.3.1 treats same-type components
+        with very different probabilities as logically different types.
+        """
+        return self.component(component_id).component_type.value
+
+    def __contains__(self, component_id: str) -> bool:
+        return component_id in self.components
+
+    def __repr__(self) -> str:
+        s = self.summarize()
+        return (
+            f"<{type(self).__name__} {self.name!r}: {s.hosts} hosts, "
+            f"{s.total_switches} switches, {s.links} links>"
+        )
+
+
+def validate_hosts_exist(topology: Topology, host_ids: Iterable[str]) -> None:
+    """Raise :class:`TopologyError` unless every id names a host."""
+    for host_id in host_ids:
+        component = topology.component(host_id)
+        if component.component_type is not ComponentType.HOST:
+            raise TopologyError(f"{host_id!r} is a {component.component_type.value}, not a host")

@@ -1,0 +1,72 @@
+"""The paper's four evaluation topologies (Table 2, §4.1).
+
+Four fat-trees represent data centers from tiny to large scale:
+
+============= ===== ====== ====== ====== ======== =======
+scale           k   cores   aggs  edges  borders   hosts
+============= ===== ====== ====== ====== ======== =======
+tiny            8     16     28     28      4        112
+small          16     64    120    120      8        960
+medium         24    144    276    276     12      3,312
+large          48    576  1,128  1,128     24     27,072
+============= ===== ====== ====== ====== ======== =======
+
+Each data center additionally gets 5 power supplies assigned round-robin to
+every switch and to the host group under every edge switch (see
+:mod:`repro.faults.inventory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.probability import ProbabilityPolicy
+from repro.topology.fattree import FatTreeTopology
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleSpec:
+    """Expected parameters and counts for one paper scale (Table 2)."""
+
+    name: str
+    k: int
+    core_switches: int
+    aggregation_switches: int
+    edge_switches: int
+    border_switches: int
+    hosts: int
+    power_supplies: int = 5
+
+
+#: Table 2 of the paper, exactly.
+PAPER_SCALES: dict[str, ScaleSpec] = {
+    "tiny": ScaleSpec("tiny", 8, 16, 28, 28, 4, 112),
+    "small": ScaleSpec("small", 16, 64, 120, 120, 8, 960),
+    "medium": ScaleSpec("medium", 24, 144, 276, 276, 12, 3_312),
+    "large": ScaleSpec("large", 48, 576, 1_128, 1_128, 24, 27_072),
+}
+
+SCALE_ORDER = ("tiny", "small", "medium", "large")
+
+
+def paper_topology(
+    scale: str,
+    probability_policy: ProbabilityPolicy | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> FatTreeTopology:
+    """Build one of the paper's four fat-tree data centers by scale name."""
+    try:
+        spec = PAPER_SCALES[scale]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; expected one of {sorted(PAPER_SCALES)}"
+        ) from None
+    return FatTreeTopology(
+        k=spec.k,
+        name=f"{spec.name}-dc",
+        probability_policy=probability_policy,
+        seed=seed,
+    )

@@ -1,0 +1,24 @@
+"""Shared utilities: error types, deterministic RNG management, timing."""
+
+from repro.util.errors import (
+    ConfigurationError,
+    ReproError,
+    SearchBudgetExceeded,
+    TopologyError,
+    UnsatisfiableRequirements,
+)
+from repro.util.rng import derive_rng, make_rng, spawn_rngs
+from repro.util.timing import Deadline, Stopwatch
+
+__all__ = [
+    "ConfigurationError",
+    "Deadline",
+    "ReproError",
+    "SearchBudgetExceeded",
+    "Stopwatch",
+    "TopologyError",
+    "UnsatisfiableRequirements",
+    "derive_rng",
+    "make_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the library signals with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or a query referenced an unknown element."""
+
+
+class UnsatisfiableRequirements(ReproError):
+    """The developer's reliability requirements cannot possibly be met.
+
+    Raised eagerly when requirements are contradictory (for example a
+    deployment of N instances onto fewer than N distinct hosts), as opposed
+    to a search that merely timed out (see :class:`SearchBudgetExceeded`).
+    """
+
+
+class SearchBudgetExceeded(ReproError):
+    """The search spent its time budget without meeting the requirements.
+
+    Mirrors the paper's protocol: when no plan reaching ``R_desired`` is
+    found within ``T_max``, the provider informs the developer that the
+    requirements cannot currently be fulfilled. The best plan found so far
+    is attached so callers can still inspect or use it.
+    """
+
+    def __init__(self, message: str, best_plan=None, best_score=None):
+        super().__init__(message)
+        self.best_plan = best_plan
+        self.best_score = best_score

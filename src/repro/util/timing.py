@@ -1,0 +1,59 @@
+"""Wall-clock helpers used by the annealing search and the benchmarks.
+
+The search loop needs two things: elapsed time since the search started (to
+drive the temperature schedule of Eq. 6 in the paper) and a deadline check
+(the developer-specified ``T_max``). Both are provided here, with an
+injectable clock so tests can drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+
+class Stopwatch:
+    """Measures elapsed wall-clock time from construction (or reset)."""
+
+    def __init__(self, clock: Clock = time.monotonic):
+        self._clock = clock
+        self._start = clock()
+
+    def reset(self) -> None:
+        """Restart the stopwatch at zero."""
+        self._start = self._clock()
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since construction or the last reset."""
+        return self._clock() - self._start
+
+
+class Deadline:
+    """A fixed time budget, e.g. the paper's maximum search time ``T_max``."""
+
+    def __init__(self, budget_seconds: float, clock: Clock = time.monotonic):
+        if budget_seconds <= 0:
+            raise ValueError(f"budget must be positive, got {budget_seconds}")
+        self.budget_seconds = float(budget_seconds)
+        self._watch = Stopwatch(clock)
+
+    def elapsed(self) -> float:
+        """Seconds spent so far."""
+        return self._watch.elapsed()
+
+    def remaining(self) -> float:
+        """Seconds left in the budget; never negative."""
+        return max(0.0, self.budget_seconds - self._watch.elapsed())
+
+    def expired(self) -> bool:
+        """True once the budget is exhausted."""
+        return self._watch.elapsed() >= self.budget_seconds
+
+    def fraction_remaining(self) -> float:
+        """The paper's annealing temperature t = (T_max - T_elapsed) / T_max.
+
+        Clamped to [0, 1]; reaches 0 exactly when the deadline expires.
+        """
+        return max(0.0, 1.0 - self._watch.elapsed() / self.budget_seconds)

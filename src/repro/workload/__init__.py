@@ -1,0 +1,6 @@
+"""Host workload models and capacity constraints."""
+
+from repro.workload.capacity import CapacityModel
+from repro.workload.model import HostWorkloadModel
+
+__all__ = ["CapacityModel", "HostWorkloadModel"]

@@ -1,0 +1,86 @@
+"""Host capacity constraints for the deployment search (§3.3.3).
+
+The paper notes that during the search reCloud "can also quickly discard
+any generated deployment plans that do not satisfy resource constraints".
+This module provides the standard such constraint: each host has a number
+of instance slots (total minus already-occupied), and a plan is feasible
+only if every chosen host has a free slot — plus a helper that adapts the
+model into the :class:`~repro.core.search.DeploymentSearch`
+``resource_filter`` callable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.plan import DeploymentPlan
+from repro.topology.base import Topology
+from repro.util.errors import ConfigurationError
+
+
+class CapacityModel:
+    """Instance slots per host, with occupancy tracking."""
+
+    def __init__(self, slots: dict[str, int]):
+        for host, count in slots.items():
+            if count < 0:
+                raise ConfigurationError(
+                    f"slot count of {host!r} must be >= 0, got {count}"
+                )
+        self._free = dict(slots)
+
+    @classmethod
+    def uniform(cls, topology: Topology, slots_per_host: int = 1) -> "CapacityModel":
+        """Every host with the same slot count."""
+        if slots_per_host < 0:
+            raise ConfigurationError(
+                f"slots_per_host must be >= 0, got {slots_per_host}"
+            )
+        return cls({host: slots_per_host for host in topology.hosts})
+
+    # ------------------------------------------------------------------
+
+    def free_slots(self, host: str) -> int:
+        try:
+            return self._free[host]
+        except KeyError:
+            raise ConfigurationError(f"no capacity recorded for host {host!r}") from None
+
+    def fits(self, plan: DeploymentPlan) -> bool:
+        """Whether every instance of the plan finds a free slot.
+
+        Plans place instances on distinct hosts, so one free slot per
+        chosen host suffices.
+        """
+        return all(self.free_slots(host) >= 1 for host in plan.hosts())
+
+    def occupy(self, plan: DeploymentPlan) -> None:
+        """Consume one slot per plan host (the plan was deployed).
+
+        All-or-nothing: raises without changing state if any host lacks a
+        free slot.
+        """
+        if not self.fits(plan):
+            raise ConfigurationError("plan does not fit the remaining capacity")
+        for host in plan.hosts():
+            self._free[host] -= 1
+
+    def release(self, plan: DeploymentPlan) -> None:
+        """Return the slots of a previously-deployed plan."""
+        for host in plan.hosts():
+            self._free[host] += 1
+
+    def occupy_hosts(self, hosts: Iterable[str], slots: int = 1) -> None:
+        """Mark external load (instances placed outside reCloud)."""
+        for host in hosts:
+            if self.free_slots(host) < slots:
+                raise ConfigurationError(f"host {host!r} lacks {slots} free slots")
+            self._free[host] -= slots
+
+    def feasible_host_count(self) -> int:
+        """How many hosts still have at least one free slot."""
+        return sum(1 for free in self._free.values() if free >= 1)
+
+    def as_resource_filter(self):
+        """Adapter for ``DeploymentSearch(resource_filter=...)``."""
+        return self.fits

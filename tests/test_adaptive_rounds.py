@@ -1,0 +1,75 @@
+"""Tests for CI-targeted adaptive assessment (ReliabilityAssessor.assess_to_ci)."""
+
+import pytest
+
+from repro.app.structure import ApplicationStructure
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def plan(fattree4):
+    return DeploymentPlan.random(fattree4, ApplicationStructure.k_of_n(2, 3), rng=4)
+
+
+@pytest.fixture
+def structure():
+    return ApplicationStructure.k_of_n(2, 3)
+
+
+class TestAssessToCi:
+    def test_reaches_target(self, fattree4, inventory, plan, structure):
+        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        result = assessor.assess_to_ci(
+            plan, structure, target_ci_width=5e-3, pilot_rounds=1_000
+        )
+        assert result.estimate.confidence_interval_width <= 5e-3
+        assert result.estimate.rounds >= 1_000
+        assert result.per_round.shape[0] == result.estimate.rounds
+
+    def test_loose_target_stops_at_pilot(self, fattree4, inventory, plan, structure):
+        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        result = assessor.assess_to_ci(
+            plan, structure, target_ci_width=0.5, pilot_rounds=1_000
+        )
+        assert result.estimate.rounds == 1_000
+
+    def test_tighter_target_needs_more_rounds(
+        self, fattree4, inventory, plan, structure
+    ):
+        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        loose = assessor.assess_to_ci(
+            plan, structure, target_ci_width=2e-2, pilot_rounds=1_000
+        )
+        tight = assessor.assess_to_ci(
+            plan, structure, target_ci_width=4e-3, pilot_rounds=1_000
+        )
+        assert tight.estimate.rounds > loose.estimate.rounds
+
+    def test_max_rounds_cap_respected(self, fattree4, inventory, plan, structure):
+        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        result = assessor.assess_to_ci(
+            plan,
+            structure,
+            target_ci_width=1e-6,  # unreachable
+            pilot_rounds=1_000,
+            max_rounds=5_000,
+        )
+        assert result.estimate.rounds <= 5_000
+
+    def test_score_consistent_with_plain_assessment(
+        self, fattree4, inventory, plan, structure
+    ):
+        adaptive = ReliabilityAssessor(fattree4, inventory, rng=5).assess_to_ci(
+            plan, structure, target_ci_width=4e-3
+        )
+        plain = ReliabilityAssessor(fattree4, inventory, rounds=40_000, rng=6).assess(
+            plan, structure
+        )
+        assert adaptive.score == pytest.approx(plain.score, abs=0.01)
+
+    def test_rejects_bad_target(self, fattree4, inventory, plan, structure):
+        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        with pytest.raises(ConfigurationError):
+            assessor.assess_to_ci(plan, structure, target_ci_width=0.0)

@@ -1,0 +1,126 @@
+"""Tests for the annealing primitives (repro.core.anneal): Eqs. 4-6."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anneal import (
+    LinearTemperatureSchedule,
+    accept_neighbor,
+    acceptance_probability,
+    classic_delta,
+    failure_odds,
+    paper_delta,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestPaperDelta:
+    def test_paper_example(self):
+        """§3.3.2: R_current=0.999, R_neighbor=0.99 -> one order of magnitude."""
+        delta = paper_delta(0.999, 0.99)
+        assert delta == pytest.approx(1.0)
+        assert delta > classic_delta(0.999, 0.99) == pytest.approx(0.009)
+
+    def test_sign_convention(self):
+        assert paper_delta(0.99, 0.999) < 0  # neighbour better -> negative
+        assert paper_delta(0.999, 0.99) > 0  # neighbour worse -> positive
+        assert paper_delta(0.99, 0.99) == 0.0
+
+    def test_floor_keeps_delta_finite(self):
+        assert math.isfinite(paper_delta(1.0, 0.9))
+        assert math.isfinite(paper_delta(0.9, 1.0))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            paper_delta(1.1, 0.5)
+
+    @given(
+        rc=st.floats(min_value=0.0, max_value=1.0),
+        rn=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_antisymmetry(self, rc, rn):
+        assert paper_delta(rc, rn) == pytest.approx(-paper_delta(rn, rc))
+
+
+class TestFailureOdds:
+    def test_basic(self):
+        assert failure_odds(0.99) == pytest.approx(0.01)
+
+    def test_floor(self):
+        assert failure_odds(1.0) > 0
+
+
+class TestAcceptanceProbability:
+    def test_improvement_always_accepted(self):
+        assert acceptance_probability(-1.0, 0.5) == 1.0
+        assert acceptance_probability(0.0, 0.5) == 1.0
+
+    def test_eq4_for_worsening(self):
+        assert acceptance_probability(1.0, 0.5) == pytest.approx(math.exp(-2.0))
+
+    def test_zero_temperature_is_greedy(self):
+        assert acceptance_probability(0.5, 0.0) == 0.0
+        assert acceptance_probability(-0.5, 0.0) == 1.0
+
+    def test_hotter_accepts_more(self):
+        cold = acceptance_probability(1.0, 0.1)
+        hot = acceptance_probability(1.0, 0.9)
+        assert hot > cold
+
+    def test_bigger_delta_accepts_less(self):
+        small = acceptance_probability(0.1, 0.5)
+        big = acceptance_probability(2.0, 0.5)
+        assert small > big
+
+    @given(
+        delta=st.floats(min_value=0.0001, max_value=10.0),
+        temperature=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_probability_in_unit_interval(self, delta, temperature):
+        p = acceptance_probability(delta, temperature)
+        assert 0.0 <= p <= 1.0
+
+
+class TestAcceptNeighbor:
+    def test_improvement_accepted_without_draw(self):
+        rng = np.random.default_rng(0)
+        assert accept_neighbor(-1.0, 0.0, rng)
+
+    def test_empirical_acceptance_rate(self):
+        rng = np.random.default_rng(1)
+        delta, temperature = 1.0, 0.5
+        expected = math.exp(-delta / temperature)
+        accepted = sum(accept_neighbor(delta, temperature, rng) for _ in range(20_000))
+        assert accepted / 20_000 == pytest.approx(expected, abs=0.01)
+
+    def test_zero_temperature_never_accepts_worse(self):
+        rng = np.random.default_rng(2)
+        assert not any(accept_neighbor(0.1, 0.0, rng) for _ in range(100))
+
+
+class TestLinearTemperatureSchedule:
+    def test_eq6_values(self):
+        schedule = LinearTemperatureSchedule(30.0)
+        assert schedule.temperature(0.0) == 1.0
+        assert schedule.temperature(15.0) == pytest.approx(0.5)
+        assert schedule.temperature(30.0) == 0.0
+
+    def test_clamped_beyond_budget(self):
+        schedule = LinearTemperatureSchedule(10.0)
+        assert schedule.temperature(50.0) == 0.0
+        assert schedule.temperature(-5.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        schedule = LinearTemperatureSchedule(7.0)
+        temps = [schedule.temperature(t) for t in np.linspace(0, 7, 20)]
+        assert temps == sorted(temps, reverse=True)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ConfigurationError):
+            LinearTemperatureSchedule(0.0)

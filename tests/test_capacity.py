@@ -1,0 +1,101 @@
+"""Tests for host capacity constraints (repro.workload.capacity)."""
+
+import pytest
+
+from repro.app.structure import ApplicationStructure
+from repro.core.plan import DeploymentPlan
+from repro.workload.capacity import CapacityModel
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_uniform(self, fattree4):
+        model = CapacityModel.uniform(fattree4, 2)
+        assert model.free_slots(fattree4.hosts[0]) == 2
+
+    def test_rejects_negative_slots(self, fattree4):
+        with pytest.raises(ConfigurationError):
+            CapacityModel({"h": -1})
+        with pytest.raises(ConfigurationError):
+            CapacityModel.uniform(fattree4, -1)
+
+    def test_unknown_host(self):
+        model = CapacityModel({"h": 1})
+        with pytest.raises(ConfigurationError):
+            model.free_slots("ghost")
+
+
+class TestFitsAndOccupy:
+    def test_fits_with_free_slots(self, fattree4):
+        model = CapacityModel.uniform(fattree4, 1)
+        plan = DeploymentPlan.single_component(fattree4.hosts[:3], "app")
+        assert model.fits(plan)
+
+    def test_full_host_rejects(self, fattree4):
+        model = CapacityModel.uniform(fattree4, 1)
+        plan = DeploymentPlan.single_component(fattree4.hosts[:3], "app")
+        model.occupy(plan)
+        assert not model.fits(plan)
+        overlapping = DeploymentPlan.single_component(fattree4.hosts[2:5], "app")
+        assert not model.fits(overlapping)
+        disjoint = DeploymentPlan.single_component(fattree4.hosts[3:6], "app")
+        assert model.fits(disjoint)
+
+    def test_occupy_all_or_nothing(self, fattree4):
+        model = CapacityModel.uniform(fattree4, 1)
+        first = DeploymentPlan.single_component(fattree4.hosts[:2], "app")
+        model.occupy(first)
+        overlapping = DeploymentPlan.single_component(fattree4.hosts[1:4], "app")
+        with pytest.raises(ConfigurationError):
+            model.occupy(overlapping)
+        # The failed occupy must not have consumed anything.
+        assert model.free_slots(fattree4.hosts[2]) == 1
+        assert model.free_slots(fattree4.hosts[3]) == 1
+
+    def test_release_restores(self, fattree4):
+        model = CapacityModel.uniform(fattree4, 1)
+        plan = DeploymentPlan.single_component(fattree4.hosts[:2], "app")
+        model.occupy(plan)
+        model.release(plan)
+        assert model.fits(plan)
+
+    def test_occupy_hosts_external_load(self, fattree4):
+        model = CapacityModel.uniform(fattree4, 2)
+        model.occupy_hosts(fattree4.hosts[:1], slots=2)
+        assert model.free_slots(fattree4.hosts[0]) == 0
+        with pytest.raises(ConfigurationError):
+            model.occupy_hosts(fattree4.hosts[:1], slots=1)
+
+    def test_feasible_host_count(self, fattree4):
+        model = CapacityModel.uniform(fattree4, 1)
+        assert model.feasible_host_count() == len(fattree4.hosts)
+        model.occupy(DeploymentPlan.single_component(fattree4.hosts[:3], "app"))
+        assert model.feasible_host_count() == len(fattree4.hosts) - 3
+
+
+class TestSearchIntegration:
+    def test_resource_filter_keeps_plans_within_capacity(self, fattree4, inventory):
+        from repro.core.assessment import ReliabilityAssessor
+        from repro.core.search import DeploymentSearch, SearchSpec
+
+        model = CapacityModel.uniform(fattree4, 1)
+        # Pre-occupy half of the fleet with foreign load.
+        occupied = fattree4.hosts[::2]
+        model.occupy_hosts(occupied)
+
+        assessor = ReliabilityAssessor(fattree4, inventory, rounds=1_000, rng=5)
+        search = DeploymentSearch(
+            assessor, resource_filter=model.as_resource_filter(), rng=6
+        )
+        free_hosts = [h for h in fattree4.hosts if h not in set(occupied)]
+        initial = DeploymentPlan.single_component(free_hosts[:3], "app")
+        result = search.search(
+            SearchSpec(
+                ApplicationStructure.k_of_n(2, 3),
+                max_seconds=20.0,
+                max_iterations=60,
+            ),
+            initial_plan=initial,
+        )
+        assert model.fits(result.best_plan)
+        assert not (set(result.best_plan.hosts()) & set(occupied))

@@ -1,0 +1,148 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topology", "--scale", "galactic"])
+
+
+class TestTopologyCommand:
+    def test_human_output(self, capsys):
+        code, out, _err = run_cli(capsys, "topology", "--scale", "tiny")
+        assert code == 0
+        assert "hosts: 112" in out
+        assert "border_switches: 4" in out
+
+    def test_json_output(self, capsys):
+        code, out, _err = run_cli(capsys, "topology", "--scale", "tiny", "--json")
+        assert code == 0
+        document = json.loads(out)
+        assert document["hosts"] == 112
+        assert document["power_supplies"] == 5
+
+
+class TestAssessCommand:
+    HOSTS = "host/0/0/0,host/1/0/0,host/2/0/0"
+
+    def test_human_output(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "assess", "--scale", "tiny", "--hosts", self.HOSTS, "--k", "2",
+            "--rounds", "2000",
+        )
+        assert code == 0
+        assert "estimate" in out
+        assert "R=" in out
+
+    def test_json_output(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "assess", "--scale", "tiny", "--hosts", self.HOSTS, "--k", "2",
+            "--rounds", "2000", "--json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["format"] == "assessment-result"
+        assert 0.5 < document["estimate"]["score"] <= 1.0
+
+    def test_unknown_host_is_reported(self, capsys):
+        code, _out, err = run_cli(
+            capsys,
+            "assess", "--scale", "tiny", "--hosts", "ghost,host/0/0/0",
+            "--k", "1", "--rounds", "500",
+        )
+        assert code == 2
+        assert "error" in err
+
+
+class TestSearchCommand:
+    def test_search_runs(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "search", "--scale", "tiny", "--k", "2", "--n", "3",
+            "--seconds", "2", "--rounds", "2000", "--desired", "0.5",
+        )
+        assert code == 0
+        assert "satisfied : True" in out
+
+    def test_search_json(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "search", "--scale", "tiny", "--k", "2", "--n", "3",
+            "--seconds", "2", "--rounds", "2000", "--json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["format"] == "search-result"
+        assert document["best_plan"]["format"] == "deployment-plan"
+
+    def test_unsatisfied_exit_code(self, capsys):
+        code, _out, _err = run_cli(
+            capsys,
+            "search", "--scale", "tiny", "--k", "2", "--n", "3",
+            "--seconds", "1", "--rounds", "1000", "--desired", "0.9999",
+        )
+        assert code == 3
+
+
+class TestRiskCommand:
+    def test_risk_report(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "risk", "--scale", "tiny",
+            "--hosts", "host/0/0/0,host/0/0/1,host/1/0/0", "--k", "2",
+        )
+        assert code == 0
+        assert "edge/0/0" in out  # shared rack switch shows up
+
+    def test_risk_json(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "risk", "--scale", "tiny",
+            "--hosts", "host/0/0/0,host/1/0/0", "--k", "1", "--json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["format"] == "risk-report"
+        assert document["entries"]
+
+
+class TestBaselineCommand:
+    def test_baseline_output(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "baseline", "--scale", "tiny", "--k", "4", "--n", "5",
+            "--rounds", "2000",
+        )
+        assert code == 0
+        assert "common-practice" in out
+        assert "enhanced-common-practice" in out
+
+    def test_baseline_json(self, capsys):
+        code, out, _err = run_cli(
+            capsys,
+            "baseline", "--scale", "tiny", "--k", "4", "--n", "5",
+            "--rounds", "2000", "--json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert set(document["plans"]) == {
+            "common-practice", "enhanced-common-practice",
+        }

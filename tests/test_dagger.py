@@ -1,0 +1,224 @@
+"""Unit + property tests for dagger sampling (repro.sampling.dagger)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.dagger import (
+    CommonRandomDaggerSampler,
+    DaggerSampler,
+    ExtendedDaggerSampler,
+    dagger_cycle_length,
+    dagger_draw_count,
+)
+from repro.sampling.montecarlo import MonteCarloSampler
+
+
+class TestCycleLength:
+    def test_paper_example(self):
+        # p = 0.3 -> s = 3 subintervals (Fig. 3).
+        assert dagger_cycle_length(0.3) == 3
+
+    def test_exact_reciprocal(self):
+        assert dagger_cycle_length(0.25) == 4
+
+    def test_small_probability(self):
+        assert dagger_cycle_length(0.01) == 100
+
+    def test_large_probability(self):
+        assert dagger_cycle_length(0.9) == 1
+
+    def test_rejects_zero_and_one(self):
+        with pytest.raises(ValueError):
+            dagger_cycle_length(0.0)
+        with pytest.raises(ValueError):
+            dagger_cycle_length(1.0)
+
+
+class TestDrawCount:
+    def test_single_component(self):
+        # p = 0.01, s = 100, 1000 rounds -> 10 cycles -> 10 draws.
+        assert dagger_draw_count({"c": 0.01}, 1_000) == 10
+
+    def test_heterogeneous_extended(self):
+        # Longest cycle: s=100 (p=0.01). Block = 100 rounds.
+        # p=0.5 (s=2) needs ceil(100/2)=50 draws per block.
+        assert dagger_draw_count({"a": 0.01, "b": 0.5}, 100) == 1 + 50
+
+    def test_far_fewer_than_monte_carlo(self):
+        probabilities = {f"c{i}": 0.01 for i in range(50)}
+        rounds = 10_000
+        dagger = dagger_draw_count(probabilities, rounds)
+        monte_carlo = len(probabilities) * rounds
+        assert dagger * 50 < monte_carlo
+
+    def test_zero_probability_needs_no_draws(self):
+        assert dagger_draw_count({"c": 0.0}, 1_000) == 0
+
+    def test_zero_rounds(self):
+        assert dagger_draw_count({"c": 0.1}, 0) == 0
+
+
+class TestFig3Examples:
+    """The worked examples of the paper's Fig. 3, reproduced exactly."""
+
+    def _states_for(self, r: float) -> list[bool]:
+        """Failure states over one cycle for p=0.3 given the draw ``r``."""
+        p, s = 0.3, 3
+        offset = math.floor(r / p)
+        return [offset == i for i in range(s)]
+
+    def test_r_in_second_subinterval(self):
+        # Fig. 3a: r=0.4 -> {'alive', 'failed', 'alive'}.
+        assert self._states_for(0.4) == [False, True, False]
+
+    def test_r_in_remainder(self):
+        # Fig. 3b: r=0.95 -> all alive.
+        assert self._states_for(0.95) == [False, False, False]
+
+    def test_r_in_first_subinterval(self):
+        assert self._states_for(0.0) == [True, False, False]
+
+    def test_r_at_boundary(self):
+        assert self._states_for(0.6) == [False, False, True]
+
+
+@pytest.mark.parametrize("sampler_cls", [DaggerSampler, ExtendedDaggerSampler])
+class TestDaggerSamplers:
+    def test_at_most_one_failure_per_own_cycle(self, sampler_cls, rng):
+        """Dagger fails a component in <= 1 round per (own) dagger cycle."""
+        p = 0.2
+        s = dagger_cycle_length(p)
+        batch = sampler_cls().sample({"c": p}, 10_000, rng)
+        failed = batch.rounds_failed("c")
+        cycles = failed // s
+        assert len(np.unique(cycles)) == len(cycles)
+
+    def test_failed_rounds_sorted_unique(self, sampler_cls, rng):
+        batch = sampler_cls().sample({"c": 0.3}, 5_000, rng)
+        failed = batch.rounds_failed("c")
+        assert np.all(np.diff(failed) > 0)
+
+    def test_failed_rounds_in_range(self, sampler_cls, rng):
+        batch = sampler_cls().sample({"c": 0.3}, 777, rng)
+        failed = batch.rounds_failed("c")
+        assert failed.min() >= 0
+        assert failed.max() < 777
+
+    def test_marginal_rate_matches_p(self, sampler_cls, rng):
+        """Unbiasedness: expected fraction of failed rounds is p (§3.2.2)."""
+        p, rounds = 0.01, 200_000
+        batch = sampler_cls().sample({"c": p}, rounds, rng)
+        rate = batch.failure_fraction("c")
+        sigma = math.sqrt(p * (1 - p) / rounds)
+        assert abs(rate - p) < 5 * sigma
+
+    def test_zero_probability_component_never_fails(self, sampler_cls, rng):
+        batch = sampler_cls().sample({"c": 0.0, "d": 0.5}, 1_000, rng)
+        assert batch.rounds_failed("c").size == 0
+
+    def test_empty_probabilities(self, sampler_cls, rng):
+        batch = sampler_cls().sample({}, 100, rng)
+        assert batch.total_failure_events() == 0
+
+    def test_many_components(self, sampler_cls, rng):
+        probabilities = {f"c{i}": 0.05 for i in range(40)}
+        batch = sampler_cls().sample(probabilities, 2_000, rng)
+        rates = [batch.failure_fraction(f"c{i}") for i in range(40)]
+        assert np.mean(rates) == pytest.approx(0.05, abs=0.01)
+
+    @given(p=st.floats(min_value=0.001, max_value=0.9), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_property_marginal_rate(self, sampler_cls, p, seed):
+        rounds = 30_000
+        rng = np.random.default_rng(seed)
+        batch = sampler_cls().sample({"c": p}, rounds, rng)
+        rate = batch.failure_fraction("c")
+        sigma = math.sqrt(p * (1 - p) / rounds)
+        # Dagger variance is *at most* the Bernoulli variance.
+        assert abs(rate - p) < 6 * sigma + 1e-9
+
+
+class TestExtendedDaggerSpecifics:
+    def test_heterogeneous_components_all_sampled(self, rng):
+        probabilities = {"fast": 0.3, "slow": 0.001, "mid": 0.05}
+        batch = ExtendedDaggerSampler().sample(probabilities, 50_000, rng)
+        for cid, p in probabilities.items():
+            rate = batch.failure_fraction(cid)
+            sigma = math.sqrt(p * (1 - p) / 50_000)
+            assert abs(rate - p) < 6 * sigma
+
+    def test_truncation_keeps_marginal_rate(self, rng):
+        """Cycle reset at the longest cycle must not bias shorter cycles.
+
+        With p1=0.4 (s=2) and p2=0.001 (s=1000), p1's cycles are truncated
+        at every 1000-round boundary; its rate must remain 0.4.
+        """
+        rounds = 100_000
+        batch = ExtendedDaggerSampler().sample({"a": 0.4, "b": 0.001}, rounds, rng)
+        assert batch.failure_fraction("a") == pytest.approx(0.4, abs=0.01)
+
+
+class TestVarianceReduction:
+    def test_dagger_variance_not_worse_than_monte_carlo(self):
+        """Dagger's per-window failure-count variance is below Bernoulli's.
+
+        This is the variance-reduction effect the paper leans on (§3.2.2):
+        within a cycle the states are negatively correlated.
+        """
+        p, rounds, trials = 0.1, 1_000, 200
+        s = dagger_cycle_length(p)
+
+        def window_counts(sampler, seed):
+            batch = sampler.sample({"c": p}, rounds, np.random.default_rng(seed))
+            return batch.rounds_failed("c").size
+
+        dagger_counts = [window_counts(ExtendedDaggerSampler(), i) for i in range(trials)]
+        mc_counts = [window_counts(MonteCarloSampler(), i) for i in range(trials)]
+        # Dagger: variance only from the remainder section; MC: full binomial.
+        assert np.var(dagger_counts) < np.var(mc_counts)
+
+
+class TestCommonRandomDagger:
+    def test_same_master_seed_same_states(self, rng):
+        s1 = CommonRandomDaggerSampler(master_seed=99)
+        s2 = CommonRandomDaggerSampler(master_seed=99)
+        b1 = s1.sample({"a": 0.1, "b": 0.05}, 5_000, rng)
+        b2 = s2.sample({"a": 0.1, "b": 0.05}, 5_000, np.random.default_rng(7))
+        for cid in ("a", "b"):
+            assert np.array_equal(b1.rounds_failed(cid), b2.rounds_failed(cid))
+
+    def test_shared_components_coupled_across_closures(self, rng):
+        """A component's states must not depend on the rest of the set."""
+        sampler = CommonRandomDaggerSampler(master_seed=5)
+        small = sampler.sample({"shared": 0.1}, 2_000, rng)
+        large = sampler.sample(
+            {"shared": 0.1, "extra1": 0.2, "extra2": 0.01}, 2_000, rng
+        )
+        assert np.array_equal(
+            small.rounds_failed("shared"), large.rounds_failed("shared")
+        )
+
+    def test_reseed_changes_states(self, rng):
+        sampler = CommonRandomDaggerSampler(master_seed=1)
+        before = sampler.sample({"a": 0.2}, 5_000, rng)
+        sampler.reseed(2)
+        after = sampler.sample({"a": 0.2}, 5_000, rng)
+        assert not np.array_equal(before.rounds_failed("a"), after.rounds_failed("a"))
+
+    def test_marginal_rate_unbiased_over_seeds(self):
+        p, rounds = 0.05, 2_000
+        rates = []
+        for seed in range(200):
+            sampler = CommonRandomDaggerSampler(master_seed=seed)
+            batch = sampler.sample({"c": p}, rounds, np.random.default_rng(0))
+            rates.append(batch.failure_fraction("c"))
+        assert np.mean(rates) == pytest.approx(p, abs=0.005)
+
+    def test_distinct_components_distinct_streams(self, rng):
+        sampler = CommonRandomDaggerSampler(master_seed=3)
+        batch = sampler.sample({"a": 0.3, "b": 0.3}, 10_000, rng)
+        assert not np.array_equal(batch.rounds_failed("a"), batch.rounds_failed("b"))

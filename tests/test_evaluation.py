@@ -1,0 +1,234 @@
+"""Tests for structure evaluation (repro.core.evaluation).
+
+The evaluator is checked against hand-computed semantics on controlled
+failure patterns: K-of-N counting, the Fig. 6 two-tier walk-through, chain
+propagation, and the greatest-fixed-point behaviour on meshed cores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.app.generators import microservice_mesh, multilayer, two_tier
+from repro.app.structure import ApplicationStructure
+from repro.core.evaluation import StructureEvaluator
+from repro.core.plan import DeploymentPlan
+from repro.routing.base import RoundStates
+from repro.routing.fattree_fast import FatTreeReachabilityEngine
+
+
+@pytest.fixture
+def engine(fattree4):
+    return FatTreeReachabilityEngine(fattree4)
+
+
+def _states(rounds=1, **failed_components):
+    failed = {}
+    for cid, rounds_failed in failed_components.items():
+        cid = cid.replace("__", "/")
+        vector = np.zeros(rounds, dtype=bool)
+        vector[list(rounds_failed)] = True
+        failed[cid] = vector
+    return RoundStates(rounds, failed)
+
+
+class TestKofN:
+    def test_all_alive_reliable(self, fattree4, engine):
+        s = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.single_component(fattree4.hosts[:3], "app")
+        reliable = StructureEvaluator(engine).evaluate(RoundStates(4, {}), plan, s)
+        assert reliable.all()
+
+    def test_counts_against_k(self, fattree4, engine):
+        s = ApplicationStructure.k_of_n(2, 3)
+        hosts = ["host/0/0/0", "host/1/0/0", "host/2/0/0"]
+        plan = DeploymentPlan.single_component(hosts, "app")
+        # Round 0: one host down (2 alive -> reliable).
+        # Round 1: two hosts down (1 alive -> unreliable).
+        states = _states(2, host__0__0__0={0, 1}, host__1__0__0={1})
+        reliable = StructureEvaluator(engine).evaluate(states, plan, s)
+        assert list(reliable) == [True, False]
+
+    def test_edge_switch_failure_kills_rack(self, fattree4, engine):
+        s = ApplicationStructure.k_of_n(2, 2)
+        plan = DeploymentPlan.single_component(["host/0/0/0", "host/0/0/1"], "app")
+        states = _states(1, edge__0__0={0})
+        reliable = StructureEvaluator(engine).evaluate(states, plan, s)
+        assert not reliable[0]
+
+    def test_k_equals_n_needs_everyone(self, fattree4, engine):
+        s = ApplicationStructure.k_of_n(3, 3)
+        hosts = ["host/0/0/0", "host/1/0/0", "host/2/0/0"]
+        plan = DeploymentPlan.single_component(hosts, "app")
+        states = _states(1, host__2__0__0={0})
+        assert not StructureEvaluator(engine).evaluate(states, plan, s)[0]
+
+    def test_one_of_n_is_resilient(self, fattree4, engine):
+        s = ApplicationStructure.k_of_n(1, 3)
+        hosts = ["host/0/0/0", "host/1/0/0", "host/2/0/0"]
+        plan = DeploymentPlan.single_component(hosts, "app")
+        states = _states(1, host__0__0__0={0}, host__1__0__0={0})
+        assert StructureEvaluator(engine).evaluate(states, plan, s)[0]
+
+
+class TestTwoTierFig6:
+    """The Fig. 6 walk-through: FE externally reachable, DB from alive FE."""
+
+    @pytest.fixture
+    def setup(self, fattree4, engine):
+        structure = two_tier()  # 2 FE, 2 DB, K=1 each
+        plan = DeploymentPlan.from_mapping(
+            {
+                "frontend": ["host/0/0/0", "host/1/0/0"],
+                "database": ["host/0/1/0", "host/2/0/0"],
+            }
+        )
+        return structure, plan, StructureEvaluator(engine)
+
+    def test_healthy_round_reliable(self, setup):
+        structure, plan, evaluator = setup
+        assert evaluator.evaluate(RoundStates(1, {}), plan, structure)[0]
+
+    def test_one_fe_one_db_suffices(self, setup):
+        structure, plan, evaluator = setup
+        states = _states(1, host__1__0__0={0}, host__2__0__0={0})
+        assert evaluator.evaluate(states, plan, structure)[0]
+
+    def test_all_fes_down_unreliable(self, setup):
+        structure, plan, evaluator = setup
+        states = _states(1, host__0__0__0={0}, host__1__0__0={0})
+        assert not evaluator.evaluate(states, plan, structure)[0]
+
+    def test_all_dbs_down_unreliable(self, setup):
+        structure, plan, evaluator = setup
+        states = _states(1, host__0__1__0={0}, host__2__0__0={0})
+        assert not evaluator.evaluate(states, plan, structure)[0]
+
+    def test_db_must_be_reachable_from_alive_fe(self, fattree4, engine):
+        """A DB reachable only via a *dead* FE's position does not count.
+
+        Kill FE2 and isolate pod 0 from the core (so FE1 in pod 0 is not
+        externally reachable). DB in pod 0 can still physically reach FE1,
+        but FE1 is not an *active* frontend, so the app is down.
+        """
+        structure = two_tier()
+        plan = DeploymentPlan.from_mapping(
+            {
+                "frontend": ["host/0/0/0", "host/1/0/0"],
+                "database": ["host/0/1/0", "host/0/1/1"],
+            }
+        )
+        # FE2 dead; pod 0 cut from core by failing both its agg switches.
+        states = _states(1, host__1__0__0={0}, agg__0__0={0}, agg__0__1={0})
+        assert not StructureEvaluator(engine).evaluate(states, plan, structure)[0]
+        # Same infra failures but FE2 alive: FE2 serves, but DBs (pod 0)
+        # cannot be reached from FE2 (pod 0 is cut) -> still down.
+        states = _states(1, agg__0__0={0}, agg__0__1={0})
+        assert not StructureEvaluator(engine).evaluate(states, plan, structure)[0]
+
+
+class TestMultilayerChains:
+    def test_failure_propagates_down_chain(self, fattree4, engine):
+        structure = multilayer(3, instances_per_layer=1, k_per_layer=1)
+        plan = DeploymentPlan.from_mapping(
+            {
+                "layer0": ["host/0/0/0"],
+                "layer1": ["host/1/0/0"],
+                "layer2": ["host/2/0/0"],
+            }
+        )
+        evaluator = StructureEvaluator(engine)
+        # Top-layer host dead: every layer is effectively down.
+        states = _states(1, host__0__0__0={0})
+        assert not evaluator.evaluate(states, plan, structure)[0]
+        # Middle-layer host dead: chain broken.
+        states = _states(1, host__1__0__0={0})
+        assert not evaluator.evaluate(states, plan, structure)[0]
+        # Bottom-layer host dead: chain broken at the end.
+        states = _states(1, host__2__0__0={0})
+        assert not evaluator.evaluate(states, plan, structure)[0]
+        # Nothing dead: fine.
+        assert evaluator.evaluate(RoundStates(1, {}), plan, structure)[0]
+
+
+class TestMeshFixedPoint:
+    def test_mutual_requirements_converge(self, fattree4, engine):
+        structure = microservice_mesh(
+            2, 0, instances_per_component=2, k_per_component=1
+        )
+        plan = DeploymentPlan.from_mapping(
+            {
+                "core0": ["host/0/0/0", "host/1/0/0"],
+                "core1": ["host/0/1/0", "host/2/0/0"],
+            }
+        )
+        evaluator = StructureEvaluator(engine)
+        assert evaluator.evaluate(RoundStates(1, {}), plan, structure)[0]
+        # Kill one instance of each core: still 1-of-2 everywhere.
+        states = _states(1, host__1__0__0={0}, host__2__0__0={0})
+        assert evaluator.evaluate(states, plan, structure)[0]
+        # Kill both instances of core1: core0 loses its partner too.
+        states = _states(1, host__0__1__0={0}, host__2__0__0={0})
+        assert not evaluator.evaluate(states, plan, structure)[0]
+
+    def test_cascade_through_mesh(self, fattree4, engine):
+        """Greatest fixed point: mutually-dependent cores die together.
+
+        Both cores' instances are alive, but core0's requirement on core1
+        fails because core1 is externally unreachable... external anchors
+        only apply to core0 here, so cut core1's hosts from everything.
+        """
+        structure = microservice_mesh(
+            2, 0, instances_per_component=1, k_per_component=1
+        )
+        plan = DeploymentPlan.from_mapping(
+            {"core0": ["host/0/0/0"], "core1": ["host/1/0/0"]}
+        )
+        # Cut pod 1 (core1's pod) entirely from the fabric.
+        states = _states(1, agg__1__0={0}, agg__1__1={0})
+        assert not StructureEvaluator(engine).evaluate(states, plan, structure)[0]
+
+
+class TestVectorisation:
+    def test_multi_round_mixed_outcomes(self, fattree4, engine):
+        structure = two_tier()
+        plan = DeploymentPlan.from_mapping(
+            {
+                "frontend": ["host/0/0/0", "host/1/0/0"],
+                "database": ["host/0/1/0", "host/2/0/0"],
+            }
+        )
+        states = _states(
+            4,
+            host__0__0__0={1, 2},
+            host__1__0__0={2},
+            host__2__0__0={3},
+        )
+        reliable = StructureEvaluator(engine).evaluate(states, plan, structure)
+        # r0 healthy; r1 one FE down; r2 both FEs down; r3 one DB down.
+        assert list(reliable) == [True, True, False, True]
+
+    def test_agrees_with_per_round_scalar(self, lossy_fattree4, rng):
+        """Vectorised evaluation equals evaluating each round separately."""
+        from repro.sampling.montecarlo import MonteCarloSampler
+
+        engine = FatTreeReachabilityEngine(lossy_fattree4)
+        structure = two_tier()
+        plan = DeploymentPlan.from_mapping(
+            {
+                "frontend": ["host/0/0/0", "host/1/0/0"],
+                "database": ["host/0/1/0", "host/2/1/1"],
+            }
+        )
+        batch = MonteCarloSampler().sample(
+            lossy_fattree4.failure_probabilities(), 200, rng
+        )
+        failed = {cid: batch.dense(cid) for cid in batch.failed_rounds}
+        states = RoundStates(200, failed)
+        evaluator = StructureEvaluator(engine)
+        vector = evaluator.evaluate(states, plan, structure)
+        for i in range(200):
+            single_failed = {
+                cid: np.array([v[i]]) for cid, v in failed.items() if v[i]
+            }
+            single = evaluator.evaluate(RoundStates(1, single_failed), plan, structure)
+            assert vector[i] == single[0], i

@@ -1,0 +1,202 @@
+"""Unit tests for failure-probability models (repro.faults.probability)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.component import ComponentType
+from repro.faults.probability import (
+    HOURS_PER_YEAR,
+    PROBABILITY_DECIMALS,
+    AhpProbabilityPolicy,
+    BathtubCurve,
+    DefaultProbabilityPolicy,
+    NormalProbabilityModel,
+    PaperProbabilityPolicy,
+    annual_downtime_hours,
+    failure_probability_from_downtime,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestDowntimeConversion:
+    def test_basic_estimator(self):
+        # p = downtime / window length (§2.1)
+        assert failure_probability_from_downtime(87.6, 8760) == pytest.approx(0.01)
+
+    def test_zero_downtime(self):
+        assert failure_probability_from_downtime(0.0) == 0.0
+
+    def test_rejects_negative_downtime(self):
+        with pytest.raises(ConfigurationError):
+            failure_probability_from_downtime(-1.0)
+
+    def test_rejects_downtime_exceeding_window(self):
+        with pytest.raises(ConfigurationError):
+            failure_probability_from_downtime(10.0, 5.0)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ConfigurationError):
+            failure_probability_from_downtime(1.0, 0.0)
+
+    def test_annual_downtime_matches_paper_examples(self):
+        # §4.2.2: 99.62 % ~ 33.3 h/yr, 99.97 % ~ 2.6 h/yr.
+        assert annual_downtime_hours(0.9962) == pytest.approx(33.3, abs=0.3)
+        assert annual_downtime_hours(0.9997) == pytest.approx(2.6, abs=0.1)
+
+    def test_annual_downtime_bounds(self):
+        assert annual_downtime_hours(1.0) == 0.0
+        assert annual_downtime_hours(0.0) == HOURS_PER_YEAR
+
+    def test_annual_downtime_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            annual_downtime_hours(1.1)
+
+
+class TestNormalProbabilityModel:
+    def test_draws_are_rounded(self, rng):
+        model = NormalProbabilityModel(mean=0.01, stddev=0.001)
+        draws = model.sample(rng, size=500)
+        assert np.allclose(draws, np.round(draws, PROBABILITY_DECIMALS))
+
+    def test_draws_clipped_to_range(self, rng):
+        model = NormalProbabilityModel(mean=0.01, stddev=0.05, minimum=0.005, maximum=0.02)
+        draws = model.sample(rng, size=2_000)
+        assert draws.min() >= 0.005
+        assert draws.max() <= 0.02
+
+    def test_draws_never_zero(self, rng):
+        # Dagger cycle lengths must stay finite.
+        model = NormalProbabilityModel(mean=0.0001, stddev=0.001, minimum=1e-4)
+        draws = model.sample(rng, size=2_000)
+        assert draws.min() > 0.0
+
+    def test_scalar_draw(self, rng):
+        model = NormalProbabilityModel(mean=0.01, stddev=0.001)
+        value = model.sample(rng)
+        assert isinstance(value, float)
+        assert 0 < value < 1
+
+    def test_mean_is_respected(self, rng):
+        model = NormalProbabilityModel(mean=0.01, stddev=0.001)
+        draws = model.sample(rng, size=20_000)
+        assert draws.mean() == pytest.approx(0.01, abs=5e-4)
+
+    def test_rejects_negative_stddev(self):
+        with pytest.raises(ConfigurationError):
+            NormalProbabilityModel(mean=0.01, stddev=-0.1)
+
+    def test_rejects_bad_clip_range(self):
+        with pytest.raises(ConfigurationError):
+            NormalProbabilityModel(mean=0.01, stddev=0.001, minimum=0.5, maximum=0.1)
+
+
+class TestPaperProbabilityPolicy:
+    def test_switches_use_switch_model(self, rng):
+        policy = PaperProbabilityPolicy()
+        draws = [
+            policy.probability_for(ComponentType.CORE_SWITCH, rng) for _ in range(500)
+        ]
+        assert np.mean(draws) == pytest.approx(0.008, abs=1e-3)
+
+    def test_hosts_use_default_model(self, rng):
+        policy = PaperProbabilityPolicy()
+        draws = [policy.probability_for(ComponentType.HOST, rng) for _ in range(500)]
+        assert np.mean(draws) == pytest.approx(0.01, abs=1e-3)
+
+    def test_links_default_to_perfectly_reliable(self, rng):
+        policy = PaperProbabilityPolicy()
+        assert policy.probability_for(ComponentType.LINK, rng) == 0.0
+
+    def test_link_probability_override(self, rng):
+        policy = PaperProbabilityPolicy(link_probability=0.05)
+        assert policy.probability_for(ComponentType.LINK, rng) == 0.05
+
+
+class TestDefaultProbabilityPolicy:
+    def test_same_value_for_all_non_links(self, rng):
+        policy = DefaultProbabilityPolicy(default_probability=0.02)
+        for ctype in (ComponentType.HOST, ComponentType.CORE_SWITCH, ComponentType.POWER_SUPPLY):
+            assert policy.probability_for(ctype, rng) == 0.02
+
+    def test_rejects_out_of_range_default(self):
+        with pytest.raises(ConfigurationError):
+            DefaultProbabilityPolicy(default_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            DefaultProbabilityPolicy(default_probability=1.0)
+
+
+class TestAhpProbabilityPolicy:
+    def test_from_pairwise_matrix_weights(self, rng):
+        types = [ComponentType.HOST, ComponentType.CORE_SWITCH]
+        # Hosts judged 3x more failure-prone than switches.
+        policy = AhpProbabilityPolicy.from_pairwise_matrix(
+            types, [[1, 3], [1 / 3, 1]], base_probability=0.01
+        )
+        host_p = policy.probability_for(ComponentType.HOST, rng)
+        switch_p = policy.probability_for(ComponentType.CORE_SWITCH, rng)
+        assert host_p == pytest.approx(3 * switch_p, rel=1e-6)
+
+    def test_mean_weight_maps_to_base(self, rng):
+        types = [ComponentType.HOST, ComponentType.CORE_SWITCH]
+        policy = AhpProbabilityPolicy.from_pairwise_matrix(
+            types, [[1, 1], [1, 1]], base_probability=0.01
+        )
+        assert policy.probability_for(ComponentType.HOST, rng) == pytest.approx(0.01)
+
+    def test_unknown_type_uses_base(self, rng):
+        policy = AhpProbabilityPolicy(
+            type_weights={ComponentType.HOST: 1.0}, base_probability=0.03
+        )
+        assert policy.probability_for(ComponentType.COOLING, rng) == 0.03
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ConfigurationError):
+            AhpProbabilityPolicy(type_weights={})
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ConfigurationError):
+            AhpProbabilityPolicy(type_weights={ComponentType.HOST: 0.0})
+
+    def test_rejects_mismatched_matrix(self):
+        with pytest.raises(ConfigurationError):
+            AhpProbabilityPolicy.from_pairwise_matrix(
+                [ComponentType.HOST], [[1, 2], [0.5, 1]]
+            )
+
+    def test_rejects_non_positive_comparisons(self):
+        with pytest.raises(ConfigurationError):
+            AhpProbabilityPolicy.from_pairwise_matrix(
+                [ComponentType.HOST, ComponentType.LINK], [[1, -2], [-0.5, 1]]
+            )
+
+
+class TestBathtubCurve:
+    def test_infant_mortality_elevated(self):
+        curve = BathtubCurve(plateau_probability=0.01)
+        assert curve.probability_at(0.0) > curve.probability_at(0.5)
+
+    def test_wearout_elevated(self):
+        curve = BathtubCurve(plateau_probability=0.01)
+        assert curve.probability_at(1.0) > curve.probability_at(0.5)
+
+    def test_plateau_close_to_base(self):
+        curve = BathtubCurve(plateau_probability=0.01)
+        mid = curve.probability_at(0.5)
+        assert 0.01 <= mid < 0.013
+
+    def test_age_clamped(self):
+        curve = BathtubCurve(plateau_probability=0.01)
+        assert curve.probability_at(-5.0) == curve.probability_at(0.0)
+        assert curve.probability_at(99.0) == curve.probability_at(curve.lifetime)
+
+    def test_probability_never_reaches_one(self):
+        curve = BathtubCurve(plateau_probability=0.5, wearout_factor=100.0)
+        assert curve.probability_at(1.0) < 1.0
+
+    def test_rejects_bad_plateau(self):
+        with pytest.raises(ConfigurationError):
+            BathtubCurve(plateau_probability=0.0)
+
+    def test_rejects_bad_lifetime(self):
+        with pytest.raises(ConfigurationError):
+            BathtubCurve(plateau_probability=0.01, lifetime=-1.0)

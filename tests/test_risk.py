@@ -1,0 +1,161 @@
+"""Tests for the single-failure risk analyzer (repro.core.risk)."""
+
+import pytest
+
+from repro.app.generators import two_tier
+from repro.app.structure import ApplicationStructure
+from repro.core.plan import DeploymentPlan
+from repro.core.risk import RiskAnalyzer
+
+
+@pytest.fixture
+def analyzer(fattree4, inventory):
+    return RiskAnalyzer(fattree4, inventory)
+
+
+def _entry(report, component_id):
+    matches = [e for e in report if e.component_id == component_id]
+    assert matches, f"{component_id} not in report"
+    return matches[0]
+
+
+class TestWhatIf:
+    def test_no_failures_everything_active(self, analyzer, fattree4):
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/1/0/0", "host/2/0/0"], "app"
+        )
+        survives, counts = analyzer.what_if(plan, structure, [])
+        assert survives
+        assert counts == {"app": 3}
+
+    def test_single_host_failure(self, analyzer):
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/1/0/0", "host/2/0/0"], "app"
+        )
+        survives, counts = analyzer.what_if(plan, structure, ["host/0/0/0"])
+        assert survives
+        assert counts == {"app": 2}
+
+    def test_edge_switch_failure_counts_rack(self, analyzer):
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/0/0/1", "host/1/0/0"], "app"
+        )
+        survives, counts = analyzer.what_if(plan, structure, ["edge/0/0"])
+        assert not survives
+        assert counts == {"app": 1}
+
+    def test_power_supply_failure_is_correlated(self, analyzer, inventory):
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/1/0/0", "host/2/0/0"], "app"
+        )
+        # The supply feeding host/0/0/0's rack group.
+        supply = next(
+            iter(inventory.tree_for("host/0/0/0").basic_events() - {"host/0/0/0"})
+        )
+        _survives, counts = analyzer.what_if(plan, structure, [supply])
+        assert counts["app"] < 3  # at least the dependent instance is gone
+
+
+class TestReport:
+    def test_hosts_lose_exactly_one_instance(self, analyzer):
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/1/0/0", "host/2/0/0"], "app"
+        )
+        report = analyzer.report(plan, structure)
+        for host in plan.hosts():
+            entry = _entry(report, host)
+            assert entry.instances_lost == 1
+            assert not entry.application_down
+            assert entry.components_degraded == ("app",)
+
+    def test_spof_detection_k_equals_n(self, analyzer):
+        structure = ApplicationStructure.k_of_n(3, 3)
+        plan = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/1/0/0", "host/2/0/0"], "app"
+        )
+        spofs = analyzer.single_points_of_failure(plan, structure)
+        # With K = N, every host (and its edge switch, etc.) is a SPOF.
+        spof_ids = {e.component_id for e in spofs}
+        assert set(plan.hosts()) <= spof_ids
+
+    def test_shared_rack_blast_radius(self, analyzer, fattree4):
+        structure = ApplicationStructure.k_of_n(1, 3)
+        colocated = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/0/0/1", "host/1/0/0"], "app"
+        )
+        spread = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/1/0/0", "host/2/0/0"], "app"
+        )
+        assert analyzer.max_instances_lost_to_one_failure(colocated, structure) >= 2
+        # Spread across pods: single network failure loses at most 1
+        # instance... unless a shared power supply covers two racks.
+        report = analyzer.report(spread, structure)
+        network_entries = [
+            e for e in report if not e.component_id.startswith("power/")
+        ]
+        assert max(e.instances_lost for e in network_entries) == 1
+
+    def test_dependency_only_report(self, analyzer):
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/1/0/0", "host/2/0/0"], "app"
+        )
+        report = analyzer.report(plan, structure, include_network_elements=False)
+        assert report  # power supplies affect the instances
+        assert all(e.component_id.startswith("power/") for e in report)
+
+    def test_ranking_spofs_first(self, analyzer):
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/0/0/1", "host/1/0/0"], "app"
+        )
+        report = analyzer.report(plan, structure)
+        downs = [e.application_down for e in report]
+        # All application-down entries come before all others.
+        assert downs == sorted(downs, reverse=True)
+
+    def test_expected_loss(self, analyzer):
+        structure = ApplicationStructure.k_of_n(1, 2)
+        plan = DeploymentPlan.single_component(["host/0/0/0", "host/1/0/0"], "app")
+        entry = _entry(analyzer.report(plan, structure), "host/0/0/0")
+        assert entry.expected_loss == pytest.approx(
+            entry.failure_probability * entry.instances_lost
+        )
+
+    def test_two_tier_structure_awareness(self, analyzer):
+        structure = two_tier()
+        plan = DeploymentPlan.from_mapping(
+            {
+                "frontend": ["host/0/0/0", "host/1/0/0"],
+                "database": ["host/0/1/0", "host/2/0/0"],
+            }
+        )
+        report = analyzer.report(plan, structure)
+        fe_host = _entry(report, "host/0/0/0")
+        assert fe_host.components_degraded == ("frontend",)
+        db_host = _entry(report, "host/0/1/0")
+        assert db_host.components_degraded == ("database",)
+
+
+class TestReliablePlansHaveSmallBlastRadius:
+    def test_search_reduces_blast_radius(self, fattree8):
+        """A searched plan should have no single failure killing 2+
+        instances more often than a same-rack plan does."""
+        from repro.faults.inventory import build_paper_inventory
+
+        inventory = build_paper_inventory(fattree8, seed=2)
+        analyzer = RiskAnalyzer(fattree8, inventory)
+        structure = ApplicationStructure.k_of_n(4, 5)
+        colocated = DeploymentPlan.single_component(
+            fattree8.hosts_in_rack("edge/0/0")[:4] + ["host/1/0/0"], "app"
+        )
+        spread_hosts = [f"host/{p}/0/0" for p in range(5)]
+        spread = DeploymentPlan.single_component(spread_hosts, "app")
+        assert analyzer.max_instances_lost_to_one_failure(
+            spread, structure
+        ) <= analyzer.max_instances_lost_to_one_failure(colocated, structure)

@@ -1,0 +1,367 @@
+"""Route-and-check tests: RoundStates, generic engine, fast engines.
+
+The fat-tree fast engine is validated against a brute-force enumeration of
+valid up-down paths; the generic engine against networkx connectivity; and
+the fast engines are checked to be *subsets* of graph connectivity (a
+routed path is in particular a physical path).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.faults.component import link_id
+from repro.faults.probability import DefaultProbabilityPolicy
+from repro.routing.base import (
+    RoundStates,
+    all_alive,
+    any_path,
+    engine_for,
+    materialize,
+)
+from repro.routing.fattree_fast import FatTreeReachabilityEngine
+from repro.routing.generic import GenericReachabilityEngine
+from repro.routing.leafspine_fast import LeafSpineReachabilityEngine
+from repro.sampling.montecarlo import MonteCarloSampler
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.leafspine import LeafSpineTopology
+from repro.util.errors import ConfigurationError, TopologyError
+
+ROUNDS = 400
+
+
+def _states_for(topology, seed=2, rounds=ROUNDS):
+    batch = MonteCarloSampler().sample(
+        topology.failure_probabilities(), rounds, np.random.default_rng(seed)
+    )
+    failed = {cid: batch.dense(cid) for cid in batch.failed_rounds}
+    return RoundStates(rounds, failed)
+
+
+def _alive(states, cid, i):
+    return not states.failed_in_round(cid, i)
+
+
+# ----------------------------------------------------------------------
+# Brute-force up-down references
+# ----------------------------------------------------------------------
+
+
+def fattree_ext_reference(t, states, host, i):
+    e = t.edge_switch_of(host)
+    if not (
+        _alive(states, host, i)
+        and _alive(states, link_id(host, e), i)
+        and _alive(states, e, i)
+    ):
+        return False
+    pod = t.edge_pod[e]
+    for g in range(t.radix):
+        agg = t.agg_ids[(pod, g)]
+        if not (_alive(states, agg, i) and _alive(states, link_id(e, agg), i)):
+            continue
+        border = t.border_ids[g]
+        if not _alive(states, border, i):
+            continue
+        for j in range(t.radix):
+            core = t.core_ids[(g, j)]
+            if (
+                _alive(states, core, i)
+                and _alive(states, link_id(agg, core), i)
+                and _alive(states, link_id(border, core), i)
+            ):
+                return True
+    return False
+
+
+def fattree_pair_reference(t, states, h1, h2, i):
+    if h1 == h2:
+        return _alive(states, h1, i)
+    e1, e2 = t.edge_switch_of(h1), t.edge_switch_of(h2)
+    for cid in (h1, h2, link_id(h1, e1), link_id(h2, e2), e1, e2):
+        if not _alive(states, cid, i):
+            return False
+    if e1 == e2:
+        return True
+    p1, p2 = t.edge_pod[e1], t.edge_pod[e2]
+    if p1 == p2:
+        return any(
+            _alive(states, t.agg_ids[(p1, g)], i)
+            and _alive(states, link_id(e1, t.agg_ids[(p1, g)]), i)
+            and _alive(states, link_id(e2, t.agg_ids[(p1, g)]), i)
+            for g in range(t.radix)
+        )
+    for g in range(t.radix):
+        a1, a2 = t.agg_ids[(p1, g)], t.agg_ids[(p2, g)]
+        if not (
+            _alive(states, a1, i)
+            and _alive(states, a2, i)
+            and _alive(states, link_id(e1, a1), i)
+            and _alive(states, link_id(e2, a2), i)
+        ):
+            continue
+        for j in range(t.radix):
+            core = t.core_ids[(g, j)]
+            if (
+                _alive(states, core, i)
+                and _alive(states, link_id(a1, core), i)
+                and _alive(states, link_id(a2, core), i)
+            ):
+                return True
+    return False
+
+
+@pytest.fixture
+def lossy_states(lossy_fattree4):
+    return _states_for(lossy_fattree4)
+
+
+class TestRoundStates:
+    def test_alive_mask_none_for_unknown(self):
+        states = RoundStates(10, {})
+        assert states.alive_mask("x") is None
+        assert states.is_always_alive("x")
+
+    def test_alive_mask_inverts_failed(self):
+        failed = np.array([True, False, True])
+        states = RoundStates(3, {"c": failed})
+        assert np.array_equal(states.alive_mask("c"), ~failed)
+
+    def test_failed_in_round(self):
+        states = RoundStates(3, {"c": np.array([True, False, True])})
+        assert states.failed_in_round("c", 0)
+        assert not states.failed_in_round("c", 1)
+        assert not states.failed_in_round("ghost", 2)
+
+    def test_rounds_with_failures(self):
+        states = RoundStates(
+            4,
+            {
+                "a": np.array([True, False, False, False]),
+                "b": np.array([False, False, True, False]),
+            },
+        )
+        assert list(states.rounds_with_failures(["a", "b"])) == [0, 2]
+        assert list(states.rounds_with_failures(["a"])) == [0]
+        assert list(states.rounds_with_failures(["ghost"])) == []
+
+    def test_rejects_non_positive_rounds(self):
+        with pytest.raises(ConfigurationError):
+            RoundStates(0, {})
+
+
+class TestCombinators:
+    def test_all_alive_none_when_all_reliable(self):
+        states = RoundStates(5, {})
+        assert all_alive(states, ["a", "b"]) is None
+
+    def test_all_alive_ands_masks(self):
+        states = RoundStates(
+            3,
+            {
+                "a": np.array([True, False, False]),
+                "b": np.array([False, True, False]),
+            },
+        )
+        mask = all_alive(states, ["a", "b", "ghost"])
+        assert list(mask) == [False, False, True]
+
+    def test_any_path_none_dominates(self):
+        assert any_path([np.zeros(3, bool), None], 3) is None
+
+    def test_any_path_empty_is_unreachable(self):
+        assert not any_path([], 3).any()
+
+    def test_any_path_ors(self):
+        a = np.array([True, False, False])
+        b = np.array([False, True, False])
+        assert list(any_path([a, b], 3)) == [True, True, False]
+
+    def test_materialize(self):
+        assert materialize(None, 2).all()
+        mask = np.array([True, False])
+        assert np.array_equal(materialize(mask, 2), mask)
+
+
+class TestFatTreeEngineVsBruteForce:
+    def test_external_matches_reference(self, lossy_fattree4, lossy_states):
+        engine = FatTreeReachabilityEngine(lossy_fattree4)
+        hosts = lossy_fattree4.hosts
+        result = engine.external_reachable(lossy_states, hosts)
+        for host in hosts:
+            for i in range(ROUNDS):
+                assert result[host][i] == fattree_ext_reference(
+                    lossy_fattree4, lossy_states, host, i
+                ), (host, i)
+
+    def test_pairwise_matches_reference(self, lossy_fattree4, lossy_states):
+        engine = FatTreeReachabilityEngine(lossy_fattree4)
+        hosts = lossy_fattree4.hosts
+        pairs = [
+            (hosts[0], hosts[1]),  # same edge
+            (hosts[0], hosts[2]),  # same pod, different edge
+            (hosts[0], hosts[5]),  # different pod
+            (hosts[3], hosts[11]),  # different pod
+            (hosts[7], hosts[7]),  # self
+        ]
+        result = engine.pairwise_reachable(lossy_states, pairs)
+        for pair in pairs:
+            for i in range(ROUNDS):
+                assert result[pair][i] == fattree_pair_reference(
+                    lossy_fattree4, lossy_states, *pair, i
+                ), (pair, i)
+
+    def test_updown_is_subset_of_connectivity(self, lossy_fattree4, lossy_states):
+        fast = FatTreeReachabilityEngine(lossy_fattree4)
+        generic = GenericReachabilityEngine(lossy_fattree4)
+        hosts = lossy_fattree4.hosts[:6]
+        rf = fast.external_reachable(lossy_states, hosts)
+        rg = generic.external_reachable(RoundStates(ROUNDS, lossy_states.failed), hosts)
+        for host in hosts:
+            assert not np.any(rf[host] & ~rg[host])
+
+    def test_no_failures_everything_reachable(self, fattree4):
+        engine = FatTreeReachabilityEngine(fattree4)
+        states = RoundStates(10, {})
+        result = engine.external_reachable(states, fattree4.hosts)
+        for host in fattree4.hosts:
+            assert result[host].all()
+
+    def test_rejects_non_fattree(self, leafspine):
+        with pytest.raises(TopologyError):
+            FatTreeReachabilityEngine(leafspine)
+
+    def test_relevant_elements_closure_sound(self, lossy_fattree4):
+        """Failures outside the closure must not change any answer."""
+        engine = FatTreeReachabilityEngine(lossy_fattree4)
+        hosts = [lossy_fattree4.hosts[0], lossy_fattree4.hosts[6]]
+        closure = engine.relevant_elements(hosts)
+        states = _states_for(lossy_fattree4, seed=5)
+        full = engine.external_reachable(states, hosts)
+        restricted_failed = {
+            cid: failed for cid, failed in states.failed.items() if cid in closure
+        }
+        restricted = engine.external_reachable(
+            RoundStates(ROUNDS, restricted_failed), hosts
+        )
+        for host in hosts:
+            assert np.array_equal(full[host], restricted[host])
+
+
+class TestGenericEngine:
+    def test_matches_networkx_connectivity(self, lossy_fattree4, lossy_states):
+        engine = GenericReachabilityEngine(lossy_fattree4)
+        hosts = lossy_fattree4.hosts[:5]
+        result = engine.external_reachable(lossy_states, hosts)
+        for i in range(0, ROUNDS, 7):  # spot-check a sample of rounds
+            graph = nx.Graph()
+            for node in lossy_fattree4.graph.nodes:
+                if not lossy_states.failed_in_round(node, i):
+                    graph.add_node(node)
+            for a, b, data in lossy_fattree4.graph.edges(data=True):
+                if (
+                    a in graph
+                    and b in graph
+                    and not lossy_states.failed_in_round(data["component_id"], i)
+                ):
+                    graph.add_edge(a, b)
+            alive_borders = [
+                b for b in lossy_fattree4.border_switches if b in graph
+            ]
+            for host in hosts:
+                expected = host in graph and any(
+                    nx.has_path(graph, host, b) for b in alive_borders
+                )
+                assert result[host][i] == expected, (host, i)
+
+    def test_pairwise_symmetric(self, lossy_fattree4, lossy_states):
+        engine = GenericReachabilityEngine(lossy_fattree4)
+        h = lossy_fattree4.hosts
+        fwd = engine.pairwise_reachable(lossy_states, [(h[0], h[5])])
+        states2 = RoundStates(ROUNDS, lossy_states.failed)
+        rev = engine.pairwise_reachable(states2, [(h[5], h[0])])
+        assert np.array_equal(fwd[(h[0], h[5])], rev[(h[5], h[0])])
+
+    def test_reachable_hosts_in_round(self, fattree4):
+        engine = GenericReachabilityEngine(fattree4)
+        # Fail one edge switch: exactly its hosts become unreachable.
+        failed = {"edge/0/0": np.array([True])}
+        states = RoundStates(1, failed)
+        reachable = engine.reachable_hosts_in_round(states, 0)
+        assert reachable == set(fattree4.hosts) - {"host/0/0/0", "host/0/0/1"}
+
+
+class TestLeafSpineEngine:
+    def test_matches_generic_connectivity(self, leafspine):
+        """On a leaf-spine, up-down host<->external equals connectivity
+        whenever border switches attach to all spines."""
+        policy_states = _states_for(
+            LeafSpineTopology(
+                spines=3,
+                leaves=4,
+                hosts_per_leaf=2,
+                probability_policy=DefaultProbabilityPolicy(0.2, link_probability=0.1),
+                seed=3,
+            ),
+            seed=4,
+        )
+        topo = LeafSpineTopology(
+            spines=3,
+            leaves=4,
+            hosts_per_leaf=2,
+            probability_policy=DefaultProbabilityPolicy(0.2, link_probability=0.1),
+            seed=3,
+        )
+        fast = LeafSpineReachabilityEngine(topo)
+        generic = GenericReachabilityEngine(topo)
+        hosts = topo.hosts
+        rf = fast.external_reachable(policy_states, hosts)
+        rg = generic.external_reachable(
+            RoundStates(policy_states.rounds, policy_states.failed), hosts
+        )
+        for host in hosts:
+            # Up-down is a subset of connectivity...
+            assert not np.any(rf[host] & ~rg[host])
+            # ...and disagreements need a valley path (rare): bound them.
+            disagreement = np.mean(rf[host] != rg[host])
+            assert disagreement < 0.05
+
+    def test_no_failures_everything_reachable(self, leafspine):
+        engine = LeafSpineReachabilityEngine(leafspine)
+        states = RoundStates(5, {})
+        result = engine.external_reachable(states, leafspine.hosts)
+        for host in leafspine.hosts:
+            assert result[host].all()
+
+    def test_same_leaf_pair_needs_only_leaf(self, leafspine):
+        engine = LeafSpineReachabilityEngine(leafspine)
+        # Fail every spine: same-leaf hosts still talk, cross-leaf do not.
+        failed = {s: np.array([True]) for s in leafspine.spine_ids}
+        states = RoundStates(1, failed)
+        same = engine.pairwise_reachable(states, [("host/0/0", "host/0/1")])
+        cross = engine.pairwise_reachable(states, [("host/0/0", "host/1/0")])
+        assert same[("host/0/0", "host/0/1")][0]
+        assert not cross[("host/0/0", "host/1/0")][0]
+
+    def test_rejects_non_leafspine(self, fattree4):
+        with pytest.raises(TopologyError):
+            LeafSpineReachabilityEngine(fattree4)
+
+
+class TestEngineFactory:
+    def test_fattree_gets_fast_engine(self, fattree4):
+        assert isinstance(engine_for(fattree4), FatTreeReachabilityEngine)
+
+    def test_leafspine_gets_fast_engine(self, leafspine):
+        assert isinstance(engine_for(leafspine), LeafSpineReachabilityEngine)
+
+    def test_unknown_topology_gets_generic(self):
+        from repro.faults.component import ComponentType
+        from repro.topology.base import Topology
+
+        topo = Topology("custom", probability_policy=DefaultProbabilityPolicy(0.1))
+        topo._add_host("h0")
+        topo._add_switch("s0", ComponentType.BORDER_SWITCH)
+        topo._add_link("h0", "s0")
+        topo._freeze()
+        assert isinstance(engine_for(topo), GenericReachabilityEngine)

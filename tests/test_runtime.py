@@ -1,0 +1,106 @@
+"""Tests for the parallel MapReduce-style assessor (repro.runtime)."""
+
+import numpy as np
+import pytest
+
+from repro.app.structure import ApplicationStructure
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.runtime.mapreduce import ParallelAssessor
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def structure():
+    return ApplicationStructure.k_of_n(2, 3)
+
+
+@pytest.fixture
+def plan(fattree4, structure):
+    return DeploymentPlan.random(fattree4, structure, rng=4)
+
+
+class TestPortions:
+    def test_even_split(self, fattree4, inventory):
+        with ParallelAssessor(fattree4, inventory, workers=4, backend="inline") as pa:
+            assert pa._portions(100) == [25, 25, 25, 25]
+
+    def test_remainder_distributed(self, fattree4, inventory):
+        with ParallelAssessor(fattree4, inventory, workers=3, backend="inline") as pa:
+            assert pa._portions(10) == [4, 3, 3]
+
+    def test_more_workers_than_rounds(self, fattree4, inventory):
+        with ParallelAssessor(fattree4, inventory, workers=4, backend="inline") as pa:
+            assert pa._portions(2) == [1, 1]
+
+    def test_rejects_zero_workers(self, fattree4, inventory):
+        with pytest.raises(ConfigurationError):
+            ParallelAssessor(fattree4, inventory, workers=0)
+
+    def test_rejects_unknown_backend(self, fattree4, inventory):
+        with pytest.raises(ConfigurationError):
+            ParallelAssessor(fattree4, inventory, backend="gpu")
+
+
+class TestInlineBackend:
+    def test_total_rounds_preserved(self, fattree4, inventory, plan, structure):
+        with ParallelAssessor(
+            fattree4, inventory, rounds=1_000, workers=3, rng=1, backend="inline"
+        ) as pa:
+            result = pa.assess(plan, structure)
+        assert result.estimate.rounds == 1_000
+        assert result.per_round.shape == (1_000,)
+
+    def test_statistically_matches_sequential(self, fattree4, inventory, plan, structure):
+        sequential = ReliabilityAssessor(
+            fattree4, inventory, rounds=30_000, rng=7
+        ).assess(plan, structure)
+        with ParallelAssessor(
+            fattree4, inventory, rounds=30_000, workers=3, rng=8, backend="inline"
+        ) as pa:
+            parallel = pa.assess(plan, structure)
+        # Two independent 30k-round estimates: sigma of difference ~ 0.002.
+        assert parallel.score == pytest.approx(sequential.score, abs=0.012)
+
+    def test_rounds_override(self, fattree4, inventory, plan, structure):
+        with ParallelAssessor(
+            fattree4, inventory, rounds=1_000, workers=2, rng=1, backend="inline"
+        ) as pa:
+            result = pa.assess(plan, structure, rounds=600)
+        assert result.estimate.rounds == 600
+
+
+class TestProcessBackend:
+    def test_process_pool_roundtrip(self, fattree4, inventory, plan, structure):
+        with ParallelAssessor(
+            fattree4, inventory, rounds=4_000, workers=2, rng=3, backend="process"
+        ) as pa:
+            result = pa.assess(plan, structure)
+        assert result.estimate.rounds == 4_000
+        assert 0.5 < result.score <= 1.0
+
+    def test_process_matches_inline_statistically(
+        self, fattree4, inventory, plan, structure
+    ):
+        with ParallelAssessor(
+            fattree4, inventory, rounds=20_000, workers=2, rng=3, backend="process"
+        ) as pa:
+            proc = pa.assess(plan, structure)
+        with ParallelAssessor(
+            fattree4, inventory, rounds=20_000, workers=2, rng=3, backend="inline"
+        ) as pa:
+            inline = pa.assess(plan, structure)
+        assert proc.score == pytest.approx(inline.score, abs=0.015)
+
+    def test_pool_reusable_across_assessments(self, fattree4, inventory, plan, structure):
+        with ParallelAssessor(
+            fattree4, inventory, rounds=2_000, workers=2, rng=3, backend="process"
+        ) as pa:
+            first = pa.assess(plan, structure)
+            second = pa.assess(plan, structure)
+        assert first.estimate.rounds == second.estimate.rounds == 2_000
+
+    def test_close_idempotent(self, fattree4, inventory):
+        pa = ParallelAssessor(fattree4, inventory, workers=2, backend="process")
+        pa.close()
+        pa.close()

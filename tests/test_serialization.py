@@ -1,0 +1,137 @@
+"""Tests for JSON serialization (repro.serialization)."""
+
+import json
+
+import pytest
+
+from repro import serialization
+from repro.app.generators import two_tier
+from repro.app.structure import ApplicationStructure
+from repro.core.plan import DeploymentPlan
+from repro.core.risk import RiskAnalyzer
+from repro.core.search import DeploymentSearch, SearchSpec
+from repro.sampling.statistics import estimate_from_results
+from repro.util.errors import ConfigurationError
+
+
+class TestPlanRoundTrip:
+    def test_round_trip(self):
+        plan = DeploymentPlan.from_mapping({"fe": ["a", "b"], "db": ["c"]})
+        document = serialization.plan_to_dict(plan)
+        restored = serialization.plan_from_dict(document)
+        assert restored == plan
+
+    def test_document_is_json_safe(self):
+        plan = DeploymentPlan.single_component(["x", "y"])
+        text = json.dumps(serialization.plan_to_dict(plan))
+        assert "x" in text
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ConfigurationError):
+            serialization.plan_from_dict({"format": "banana", "version": 1})
+
+    def test_rejects_wrong_version(self):
+        document = serialization.plan_to_dict(
+            DeploymentPlan.single_component(["a"])
+        )
+        document["version"] = 999
+        with pytest.raises(ConfigurationError):
+            serialization.plan_from_dict(document)
+
+    def test_rejects_malformed_placements(self):
+        with pytest.raises(ConfigurationError):
+            serialization.plan_from_dict(
+                {"format": "deployment-plan", "version": 1, "placements": [{}]}
+            )
+
+    def test_duplicate_hosts_still_rejected_on_load(self):
+        document = {
+            "format": "deployment-plan",
+            "version": 1,
+            "placements": [{"component": "app", "hosts": ["a", "a"]}],
+        }
+        with pytest.raises(ConfigurationError):
+            serialization.plan_from_dict(document)
+
+
+class TestStructureRoundTrip:
+    def test_round_trip_two_tier(self):
+        structure = two_tier()
+        document = serialization.structure_to_dict(structure)
+        restored = serialization.structure_from_dict(document)
+        assert restored.name == structure.name
+        assert restored.components == structure.components
+        assert restored.requirements == structure.requirements
+
+    def test_round_trip_k_of_n(self):
+        structure = ApplicationStructure.k_of_n(4, 5)
+        restored = serialization.structure_from_dict(
+            serialization.structure_to_dict(structure)
+        )
+        assert restored.is_simple_k_of_n
+        assert restored.total_instances == 5
+
+    def test_invalid_structure_rejected_on_load(self):
+        document = serialization.structure_to_dict(two_tier())
+        document["requirements"][0]["min_reachable"] = 99
+        with pytest.raises(ConfigurationError):
+            serialization.structure_from_dict(document)
+
+
+class TestEstimateRoundTrip:
+    def test_round_trip(self):
+        estimate = estimate_from_results([1, 0, 1, 1])
+        restored = serialization.estimate_from_dict(
+            serialization.estimate_to_dict(estimate)
+        )
+        assert restored == estimate
+
+    def test_rejects_missing_field(self):
+        document = serialization.estimate_to_dict(estimate_from_results([1, 0]))
+        del document["variance"]
+        with pytest.raises(ConfigurationError):
+            serialization.estimate_from_dict(document)
+
+
+class TestCompositeDocuments:
+    def test_assessment_document(self, assessor, fattree4):
+        result = assessor.assess_k_of_n(fattree4.hosts[:3], 2)
+        document = serialization.assessment_to_dict(result)
+        assert document["format"] == "assessment-result"
+        assert document["estimate"]["score"] == result.score
+        # Fully JSON-serialisable.
+        json.dumps(document)
+
+    def test_search_result_document(self, assessor):
+        search = DeploymentSearch(assessor, rng=5)
+        spec = SearchSpec(
+            ApplicationStructure.k_of_n(2, 3),
+            desired_reliability=0.0,
+            max_seconds=10.0,
+        )
+        result = search.search(spec)
+        document = serialization.search_result_to_dict(result)
+        assert document["satisfied"] is True
+        restored_plan = serialization.plan_from_dict(document["best_plan"])
+        assert restored_plan == result.best_plan
+        json.dumps(document)
+
+    def test_risk_report_document(self, fattree4, inventory):
+        analyzer = RiskAnalyzer(fattree4, inventory)
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.single_component(
+            ["host/0/0/0", "host/1/0/0", "host/2/0/0"], "app"
+        )
+        entries = analyzer.report(plan, structure)
+        document = serialization.risk_report_to_dict(entries)
+        assert len(document["entries"]) == len(entries)
+        json.dumps(document)
+
+
+class TestFileHelpers:
+    def test_dump_and_load(self, tmp_path):
+        plan = DeploymentPlan.single_component(["a", "b"])
+        path = tmp_path / "plan.json"
+        serialization.dump(serialization.plan_to_dict(plan), path)
+        document = serialization.load(path)
+        assert serialization.plan_from_dict(document) == plan

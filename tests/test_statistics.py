@@ -1,0 +1,151 @@
+"""Unit + property tests for reliability statistics (Eqs. 1-3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.statistics import (
+    ReliabilityEstimate,
+    estimate_from_results,
+    merge_estimates,
+    rounds_for_target_ci,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestEstimateFromResults:
+    def test_score_is_mean(self):
+        estimate = estimate_from_results([1, 1, 0, 1])
+        assert estimate.score == pytest.approx(0.75)
+        assert estimate.reliable_rounds == 3
+        assert estimate.rounds == 4
+
+    def test_all_reliable(self):
+        estimate = estimate_from_results(np.ones(100))
+        assert estimate.score == 1.0
+        assert estimate.variance == 0.0
+        assert estimate.confidence_interval_width == 0.0
+
+    def test_all_unreliable(self):
+        estimate = estimate_from_results(np.zeros(100))
+        assert estimate.score == 0.0
+        assert estimate.failure_odds == 1.0
+
+    def test_eq2_variance(self):
+        results = np.array([1, 0, 1, 1, 0, 1, 1, 1], dtype=float)
+        estimate = estimate_from_results(results)
+        assert estimate.variance == pytest.approx(results.var() / len(results))
+
+    def test_eq3_ci_width(self):
+        results = np.array([1, 0] * 50, dtype=float)
+        estimate = estimate_from_results(results)
+        assert estimate.confidence_interval_width == pytest.approx(
+            4 * math.sqrt(estimate.variance)
+        )
+
+    def test_ci_bounds_clamped(self):
+        estimate = estimate_from_results([1] * 9 + [0])
+        assert 0.0 <= estimate.ci_lower <= estimate.ci_upper <= 1.0
+
+    def test_contains(self):
+        estimate = estimate_from_results([1, 0] * 500)
+        assert estimate.contains(0.5)
+        assert not estimate.contains(0.9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            estimate_from_results([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            estimate_from_results(np.ones((3, 3)))
+
+    def test_boolean_input_accepted(self):
+        estimate = estimate_from_results(np.array([True, False, True]))
+        assert estimate.score == pytest.approx(2 / 3)
+
+    def test_str_is_informative(self):
+        text = str(estimate_from_results([1, 1, 0, 1]))
+        assert "R=0.75" in text
+        assert "3/4" in text
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_property_score_bounds_and_eq_consistency(self, results):
+        estimate = estimate_from_results(results)
+        assert 0.0 <= estimate.score <= 1.0
+        assert estimate.reliable_rounds == sum(results)
+        # Eq. 2/3 consistency.
+        assert estimate.confidence_interval_width == pytest.approx(
+            4 * math.sqrt(estimate.variance)
+        )
+        # Variance shrinks as 1/n for fixed composition.
+        doubled = estimate_from_results(list(results) * 2)
+        assert doubled.variance == pytest.approx(estimate.variance / 2)
+
+
+class TestCoverage:
+    def test_ci_covers_truth_approximately_95_percent(self):
+        """Empirical check of Eq. 3 on Bernoulli data."""
+        truth = 0.97
+        covered = 0
+        trials = 400
+        rng = np.random.default_rng(31)
+        for _ in range(trials):
+            results = rng.random(2_000) < truth
+            if estimate_from_results(results).contains(truth):
+                covered += 1
+        # Binomial(400, 0.95) -> stddev ~ 4.3; accept a generous band.
+        assert covered / trials > 0.88
+
+
+class TestMergeEstimates:
+    def test_merge_equals_pooled(self):
+        rng = np.random.default_rng(7)
+        chunks = [rng.random(500) < 0.9 for _ in range(4)]
+        merged = merge_estimates([estimate_from_results(c) for c in chunks])
+        pooled = estimate_from_results(np.concatenate(chunks))
+        assert merged.score == pytest.approx(pooled.score)
+        assert merged.rounds == pooled.rounds
+        assert merged.variance == pytest.approx(pooled.variance)
+
+    def test_merge_single(self):
+        estimate = estimate_from_results([1, 0, 1, 1])
+        merged = merge_estimates([estimate])
+        assert merged.score == estimate.score
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            merge_estimates([])
+
+
+class TestRoundsForTargetCi:
+    def test_inverts_eq3(self):
+        variance_per_round = 0.25  # worst case Bernoulli
+        n = rounds_for_target_ci(0.01, variance_per_round)
+        # CI width at n rounds should be at most the target.
+        assert 4 * math.sqrt(variance_per_round / n) <= 0.01 + 1e-12
+
+    def test_tighter_target_needs_more_rounds(self):
+        assert rounds_for_target_ci(0.001, 0.1) > rounds_for_target_ci(0.01, 0.1)
+
+    def test_zero_variance(self):
+        assert rounds_for_target_ci(0.01, 0.0) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            rounds_for_target_ci(0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            rounds_for_target_ci(0.01, -1.0)
+
+
+class TestReliabilityEstimateProperties:
+    def test_failure_odds(self):
+        estimate = ReliabilityEstimate(
+            score=0.99, variance=0.0, confidence_interval_width=0.0,
+            rounds=10, reliable_rounds=9,
+        )
+        assert estimate.failure_odds == pytest.approx(0.01)

@@ -1,0 +1,148 @@
+"""Tests for network-transformation symmetry signatures (repro.core.transforms)."""
+
+import pytest
+
+from repro.core.plan import DeploymentPlan
+from repro.core.transforms import SignatureCache, SymmetryChecker
+from repro.faults.inventory import build_paper_inventory
+from repro.topology.fattree import FatTreeTopology
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def uniform_fattree():
+    """Fat-tree with uniform per-type probabilities so symmetry is exact."""
+    from repro.faults.probability import DefaultProbabilityPolicy
+
+    return FatTreeTopology(
+        4, probability_policy=DefaultProbabilityPolicy(0.01), seed=3
+    )
+
+
+@pytest.fixture
+def checker(uniform_fattree):
+    return SymmetryChecker(uniform_fattree)
+
+
+def plan_of(*hosts):
+    return DeploymentPlan.single_component(list(hosts), "app")
+
+
+class TestSignatures:
+    def test_identical_plans_equal_signature(self, checker):
+        a = plan_of("host/0/0/0", "host/1/0/0")
+        b = plan_of("host/0/0/0", "host/1/0/0")
+        assert checker.signature(a) == checker.signature(b)
+
+    def test_pod_permutation_is_symmetric(self, checker):
+        """Without shared dependencies, relabeling pods is an automorphism."""
+        a = plan_of("host/0/0/0", "host/1/0/0")
+        b = plan_of("host/1/0/0", "host/2/0/0")
+        assert checker.signature(a) == checker.signature(b)
+        assert checker.equivalent(a, b)
+
+    def test_host_position_within_rack_symmetric(self, checker):
+        a = plan_of("host/0/0/0")
+        b = plan_of("host/0/0/1")
+        assert checker.equivalent(a, b)
+
+    def test_colocation_pattern_breaks_symmetry(self, checker):
+        same_rack = plan_of("host/0/0/0", "host/0/0/1")
+        same_pod = plan_of("host/0/0/0", "host/0/1/0")
+        cross_pod = plan_of("host/0/0/0", "host/1/0/0")
+        signatures = {
+            checker.signature(same_rack),
+            checker.signature(same_pod),
+            checker.signature(cross_pod),
+        }
+        assert len(signatures) == 3
+        assert not checker.equivalent(same_rack, cross_pod)
+
+    def test_instance_order_irrelevant(self, checker):
+        a = plan_of("host/0/0/0", "host/1/0/0")
+        b = plan_of("host/1/0/0", "host/0/0/0")
+        assert checker.signature(a) == checker.signature(b)
+
+    def test_component_assignment_matters(self, checker):
+        a = DeploymentPlan.from_mapping(
+            {"fe": ["host/0/0/0", "host/0/0/1"], "db": ["host/1/0/0"]}
+        )
+        b = DeploymentPlan.from_mapping(
+            {"fe": ["host/0/0/0", "host/1/0/0"], "db": ["host/0/0/1"]}
+        )
+        assert checker.signature(a) != checker.signature(b)
+
+
+class TestProbabilityClasses:
+    def test_different_probability_breaks_symmetry(self, uniform_fattree):
+        """§3.3.1: same-type components with very different probabilities
+        are logically different types."""
+        uniform_fattree.override_probabilities({"host/0/0/0": 0.2})
+        checker = SymmetryChecker(uniform_fattree)
+        a = plan_of("host/0/0/0")
+        b = plan_of("host/1/0/0")
+        assert checker.signature(a) != checker.signature(b)
+        assert not checker.equivalent(a, b)
+
+    def test_similar_probabilities_quantised_together(self, uniform_fattree):
+        uniform_fattree.override_probabilities(
+            {"host/0/0/0": 0.0101, "host/1/0/0": 0.0099}
+        )
+        checker = SymmetryChecker(uniform_fattree, probability_decimals=2)
+        assert checker.equivalent(plan_of("host/0/0/0"), plan_of("host/1/0/0"))
+
+    def test_quantisation_granularity_configurable(self, uniform_fattree):
+        uniform_fattree.override_probabilities(
+            {"host/0/0/0": 0.0101, "host/1/0/0": 0.0099}
+        )
+        fine = SymmetryChecker(uniform_fattree, probability_decimals=4)
+        assert not fine.equivalent(plan_of("host/0/0/0"), plan_of("host/1/0/0"))
+
+    def test_rejects_negative_decimals(self, uniform_fattree):
+        with pytest.raises(ConfigurationError):
+            SymmetryChecker(uniform_fattree, probability_decimals=-1)
+
+
+class TestSharedDependencies:
+    def test_power_sharing_pattern_in_signature(self, uniform_fattree):
+        """Plans with different power-supply sharing must differ."""
+        model = build_paper_inventory(uniform_fattree, seed=5)
+        checker = SymmetryChecker(uniform_fattree, model)
+        hosts = uniform_fattree.hosts
+
+        def rack_supply(host):
+            events = model.tree_for(host).basic_events() - {host}
+            return next(iter(events))
+
+        # Find two cross-pod pairs: one sharing a rack supply, one not.
+        shared_pair = diverse_pair = None
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1 :]:
+                if uniform_fattree.pod_of(a) == uniform_fattree.pod_of(b):
+                    continue
+                if rack_supply(a) == rack_supply(b) and shared_pair is None:
+                    shared_pair = (a, b)
+                if rack_supply(a) != rack_supply(b) and diverse_pair is None:
+                    diverse_pair = (a, b)
+        assert shared_pair and diverse_pair
+        assert not checker.equivalent(plan_of(*shared_pair), plan_of(*diverse_pair))
+
+
+class TestSignatureCache:
+    def test_records_and_hits(self, checker):
+        cache = SignatureCache(checker)
+        plan = plan_of("host/0/0/0", "host/1/0/0")
+        assert cache.lookup(plan) is None
+        cache.record(plan, 0.99)
+        assert cache.lookup(plan) == 0.99
+        # A symmetric plan hits the same entry.
+        symmetric = plan_of("host/1/0/0", "host/2/0/0")
+        assert cache.lookup(symmetric) == 0.99
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert len(cache) == 1
+
+    def test_different_pattern_misses(self, checker):
+        cache = SignatureCache(checker)
+        cache.record(plan_of("host/0/0/0", "host/1/0/0"), 0.9)
+        assert cache.lookup(plan_of("host/0/0/0", "host/0/0/1")) is None

@@ -1,0 +1,116 @@
+"""Tests for shared utilities (repro.util)."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ReproError, SearchBudgetExceeded
+from repro.util.rng import (
+    choice_without_replacement,
+    derive_rng,
+    make_rng,
+    shuffled,
+    spawn_rngs,
+)
+from repro.util.timing import Deadline, Stopwatch
+
+
+class TestRng:
+    def test_make_rng_from_int(self):
+        a, b = make_rng(5), make_rng(5)
+        assert a.random() == b.random()
+
+    def test_make_rng_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_none(self):
+        assert make_rng(None) is not None
+
+    def test_derive_rng_same_key_same_stream(self):
+        a = derive_rng(make_rng(1), "sampler", 3)
+        b = derive_rng(make_rng(1), "sampler", 3)
+        assert a.random() == b.random()
+
+    def test_derive_rng_different_keys_differ(self):
+        parent = make_rng(1)
+        a = derive_rng(parent, "x")
+        b = derive_rng(parent, "y")
+        assert a.random() != b.random()
+
+    def test_spawn_rngs_count(self):
+        children = spawn_rngs(make_rng(2), 5)
+        assert len(children) == 5
+        values = {c.random() for c in children}
+        assert len(values) == 5
+
+    def test_spawn_rngs_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(1), -1)
+
+    def test_choice_without_replacement(self):
+        chosen = choice_without_replacement(make_rng(3), list(range(10)), 4)
+        assert len(chosen) == 4
+        assert len(set(chosen)) == 4
+
+    def test_choice_too_many(self):
+        with pytest.raises(ValueError):
+            choice_without_replacement(make_rng(3), [1, 2], 3)
+
+    def test_shuffled_is_permutation(self):
+        items = list(range(20))
+        result = shuffled(make_rng(4), items)
+        assert sorted(result) == items
+        assert items == list(range(20))  # original untouched
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestStopwatch:
+    def test_elapsed(self):
+        clock = FakeClock()
+        watch = Stopwatch(clock)
+        clock.now += 2.5
+        assert watch.elapsed() == pytest.approx(2.5)
+
+    def test_reset(self):
+        clock = FakeClock()
+        watch = Stopwatch(clock)
+        clock.now += 5
+        watch.reset()
+        clock.now += 1
+        assert watch.elapsed() == pytest.approx(1.0)
+
+
+class TestDeadline:
+    def test_lifecycle(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(10.0)
+        assert deadline.fraction_remaining() == pytest.approx(1.0)
+        clock.now += 5
+        assert deadline.fraction_remaining() == pytest.approx(0.5)
+        clock.now += 6
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        assert deadline.fraction_remaining() == 0.0
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(SearchBudgetExceeded, ReproError)
+
+    def test_budget_exceeded_carries_best(self):
+        error = SearchBudgetExceeded("timeout", best_plan="p", best_score=0.9)
+        assert error.best_plan == "p"
+        assert error.best_score == 0.9
