@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 
 from repro import serialization
@@ -34,6 +35,7 @@ from repro.core.risk import RiskAnalyzer
 from repro.core.search import DeploymentSearch, SearchSpec
 from repro.faults.inventory import build_paper_inventory
 from repro.faults.probability import annual_downtime_hours
+from repro.runtime.mapreduce import ParallelAssessor, RetryPolicy
 from repro.topology.presets import PAPER_SCALES, paper_topology
 from repro.util.errors import ReproError
 from repro.workload.model import HostWorkloadModel
@@ -83,10 +85,27 @@ def cmd_topology(args) -> int:
 def cmd_assess(args) -> int:
     topology, inventory = _build_context(args)
     hosts = _parse_hosts(args.hosts)
-    assessor = ReliabilityAssessor(
-        topology, inventory, rounds=args.rounds, rng=args.seed + 2
-    )
-    result = assessor.assess_k_of_n(hosts, args.k)
+    structure = ApplicationStructure.k_of_n(args.k, len(hosts))
+    plan = DeploymentPlan.single_component(hosts, structure.components[0].name)
+    if args.workers > 0:
+        retry_policy = RetryPolicy(
+            timeout_seconds=args.portion_timeout, max_retries=args.retries
+        )
+        with ParallelAssessor(
+            topology,
+            inventory,
+            rounds=args.rounds,
+            workers=args.workers,
+            rng=args.seed + 2,
+            retry_policy=retry_policy,
+            partial_ok=args.partial_ok,
+        ) as assessor:
+            result = assessor.assess(plan, structure)
+    else:
+        assessor = ReliabilityAssessor(
+            topology, inventory, rounds=args.rounds, rng=args.seed + 2
+        )
+        result = assessor.assess(plan, structure)
     document = serialization.assessment_to_dict(result)
     human = (
         f"plan      : {result.plan}\n"
@@ -95,13 +114,33 @@ def cmd_assess(args) -> int:
         f"sampled   : {result.sampled_components} components\n"
         f"elapsed   : {result.elapsed_seconds * 1e3:.1f} ms"
     )
+    if result.runtime is not None:
+        runtime = result.runtime
+        human += (
+            f"\nworkers   : {runtime.workers} ({runtime.backend} backend, "
+            f"{runtime.portions} portions)"
+        )
+        if runtime.retries or runtime.failures:
+            human += (
+                f"\nrecovery  : {runtime.retries} retries, "
+                f"{runtime.pool_restarts} pool restarts, "
+                f"{runtime.recovered_inline} recovered inline"
+            )
+        if result.degraded:
+            human += (
+                f"\nDEGRADED  : {runtime.dropped_portions} portions "
+                f"({runtime.dropped_rounds} rounds) lost; error bounds widened"
+            )
     _emit(args, document, human)
     return 0
 
 
 def cmd_search(args) -> int:
+    if not args.resume and (args.k is None or args.n is None):
+        print("error: --k and --n are required unless --resume is given",
+              file=sys.stderr)
+        return 2
     topology, inventory = _build_context(args)
-    structure = ApplicationStructure.k_of_n(args.k, args.n)
     assessor = ReliabilityAssessor(
         topology, inventory, rounds=args.rounds, rng=args.seed + 2
     )
@@ -112,14 +151,37 @@ def cmd_search(args) -> int:
         )
     else:
         objective = None
-    search = DeploymentSearch(assessor, objective=objective, rng=args.seed + 4)
-    spec = SearchSpec(
-        structure,
-        desired_reliability=args.desired,
-        max_seconds=args.seconds,
-        forbid_shared_rack=True,
+
+    # Graceful preemption: when checkpointing, SIGTERM/SIGINT request a
+    # final checkpoint and an orderly stop instead of killing mid-anneal.
+    stop_requested = {"flag": False}
+    checkpoint_path = args.checkpoint or args.resume
+    if checkpoint_path:
+        def _request_stop(signum, frame):
+            stop_requested["flag"] = True
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+
+    search = DeploymentSearch(
+        assessor,
+        objective=objective,
+        rng=args.seed + 4,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=args.checkpoint_every,
+        should_stop=(lambda: stop_requested["flag"]) if checkpoint_path else None,
     )
-    result = search.search(spec)
+    if args.resume:
+        result = search.resume(args.resume, max_seconds=args.seconds)
+    else:
+        structure = ApplicationStructure.k_of_n(args.k, args.n)
+        spec = SearchSpec(
+            structure,
+            desired_reliability=args.desired,
+            max_seconds=args.seconds if args.seconds is not None else 10.0,
+            forbid_shared_rack=True,
+        )
+        result = search.search(spec)
     document = serialization.search_result_to_dict(result)
     human = (
         f"satisfied : {result.satisfied}\n"
@@ -129,7 +191,13 @@ def cmd_search(args) -> int:
         f"({result.plans_skipped_symmetric} symmetric skips)\n"
         f"elapsed   : {result.elapsed_seconds:.1f} s"
     )
+    if checkpoint_path:
+        human += f"\ncheckpoint: {checkpoint_path}"
+        if stop_requested["flag"]:
+            human += " (preempted; resume with --resume)"
     _emit(args, document, human)
+    if stop_requested["flag"]:
+        return 4
     return 0 if result.satisfied or args.desired >= 1.0 else 3
 
 
@@ -222,13 +290,43 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--hosts", required=True, help="comma-separated host ids")
     p.add_argument("--k", type=int, required=True, help="instances that must be alive")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="parallel worker processes (0 = sequential in-process)",
+    )
+    p.add_argument(
+        "--portion-timeout",
+        type=float,
+        default=None,
+        help="per-portion timeout in seconds before a worker is presumed hung",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry attempts per failed portion before degrading",
+    )
+    p.add_argument(
+        "--partial-ok",
+        action="store_true",
+        help="accept partial results with widened error bounds instead of "
+        "recovering failed portions inline",
+    )
     p.set_defaults(handler=cmd_assess)
 
     p = sub.add_parser("search", help="search for a reliable plan")
     common(p)
-    p.add_argument("--k", type=int, required=True)
-    p.add_argument("--n", type=int, required=True, help="instances to deploy")
-    p.add_argument("--seconds", type=float, default=10.0, help="T_max budget")
+    p.add_argument("--k", type=int, help="instances that must be alive")
+    p.add_argument("--n", type=int, help="instances to deploy")
+    p.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="T_max budget (default 10; on --resume, default keeps the "
+        "checkpoint's budget)",
+    )
     p.add_argument(
         "--desired", type=float, default=1.0, help="desired reliability R_desired"
     )
@@ -236,6 +334,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--multi-objective",
         action="store_true",
         help="optimise reliability + workload utility (Eq. 7)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="periodically write a resumable search checkpoint here",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="checkpoint every N search iterations",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume an interrupted search from this checkpoint "
+        "(--k/--n come from the checkpoint)",
     )
     p.set_defaults(handler=cmd_search)
 

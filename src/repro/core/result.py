@@ -11,6 +11,66 @@ from repro.sampling.statistics import ReliabilityEstimate
 
 
 @dataclass(frozen=True)
+class PortionFailure:
+    """One failed attempt at one portion inside the parallel runtime.
+
+    Attributes:
+        portion: Index of the portion within the assessment.
+        attempt: Zero-based attempt number that failed.
+        kind: ``"crash"`` (worker process died), ``"timeout"`` (portion
+            exceeded its per-portion deadline) or ``"error"`` (the worker
+            raised an exception).
+        message: Human-readable description of the failure.
+    """
+
+    portion: int
+    attempt: int
+    kind: str
+    message: str
+
+
+@dataclass(frozen=True)
+class RuntimeMetadata:
+    """Execution metadata aggregated by the parallel runtime (§3.2.1).
+
+    Replaces the old ``sampled_components=-1`` sentinel: the master now
+    reports how the work was actually distributed and what went wrong.
+
+    Attributes:
+        backend: ``"process"`` or ``"inline"``.
+        workers: Worker processes the assessor was configured with.
+        portion_seeds: The per-portion stream seeds that produced the
+            estimate (the seeds actually used, including retry reseeds).
+        retries: Total retry attempts across all portions.
+        pool_restarts: Times the worker pool was torn down and restarted.
+        recovered_inline: Portions recovered by the master running them
+            inline after worker retries were exhausted.
+        dropped_portions: Portions dropped in ``partial_ok`` mode.
+        dropped_rounds: Sampling rounds lost with the dropped portions.
+        failures: Per-attempt failure records (crash/timeout/error).
+    """
+
+    backend: str
+    workers: int
+    portion_seeds: tuple[int, ...]
+    retries: int = 0
+    pool_restarts: int = 0
+    recovered_inline: int = 0
+    dropped_portions: int = 0
+    dropped_rounds: int = 0
+    failures: tuple[PortionFailure, ...] = ()
+
+    @property
+    def portions(self) -> int:
+        return len(self.portion_seeds)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any requested rounds are missing from the estimate."""
+        return self.dropped_portions > 0
+
+
+@dataclass(frozen=True)
 class AssessmentResult:
     """Outcome of assessing one deployment plan (§3.2).
 
@@ -22,6 +82,10 @@ class AssessmentResult:
         sampled_components: How many components had failure states
             generated (the relevant closure, incl. dependencies).
         elapsed_seconds: Wall-clock time of the assessment.
+        runtime: Parallel-execution metadata when the assessment was run
+            by the :class:`~repro.runtime.mapreduce.ParallelAssessor`
+            (portion seeds, retry/degradation counters); ``None`` for a
+            plain sequential assessment.
     """
 
     plan: DeploymentPlan
@@ -29,11 +93,18 @@ class AssessmentResult:
     per_round: np.ndarray = field(repr=False)
     sampled_components: int
     elapsed_seconds: float
+    runtime: RuntimeMetadata | None = None
 
     @property
     def score(self) -> float:
         """Shorthand for the estimated reliability score R."""
         return self.estimate.score
+
+    @property
+    def degraded(self) -> bool:
+        """True when the estimate is built from fewer rounds than asked
+        for because portions were dropped under ``partial_ok``."""
+        return self.runtime is not None and self.runtime.degraded
 
 
 @dataclass(frozen=True)

@@ -18,12 +18,26 @@ reliability ``R_desired`` and the search budget ``T_max`` — the provider:
 Multi-objective search (§3.3.3) plugs in through the objective: pass a
 :class:`~repro.core.objectives.CompositeObjective` and the loop optimises
 the holistic measure instead of reliability alone.
+
+Long provider-side searches (the paper's ``T_max`` budgets, Figs. 9/12)
+must survive the provider's own failures, so the loop is *resumable*:
+pass ``checkpoint_path`` and the complete annealing state — current/best
+plans and assessments, counters, consumed budget, RNG states, the
+common-random-numbers master seed and the acceptance trace — is
+serialized every ``checkpoint_every`` iterations (atomically, so a crash
+mid-write cannot corrupt it). :meth:`DeploymentSearch.resume` continues a
+checkpointed search and, for a given seed and clock, reproduces the exact
+trajectory the uninterrupted run would have taken: the loop reads the
+clock exactly once per iteration and checkpointing itself never touches
+the clock, so interrupted and uninterrupted runs see identical elapsed
+times, temperatures and acceptance draws.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -80,8 +94,43 @@ class SearchSpec:
             raise ConfigurationError(f"T_max must be positive, got {self.max_seconds}")
 
 
+@dataclass
+class SearchState:
+    """The complete annealing state between two iterations.
+
+    Everything :meth:`DeploymentSearch.resume` needs to continue a search
+    exactly where it stopped. Captured at the top of an iteration (after
+    the previous iteration's mutations, before any new randomness is
+    drawn) and serialized via ``repro.serialization``.
+    """
+
+    spec: SearchSpec
+    current_plan: DeploymentPlan
+    current: AssessmentResult
+    current_measure: float
+    best_plan: DeploymentPlan
+    best: AssessmentResult
+    best_measure: float
+    iterations: int = 0
+    plans_assessed: int = 0
+    skipped_symmetric: int = 0
+    skipped_resources: int = 0
+    elapsed_seconds: float = 0.0
+    search_rng_state: dict | None = None
+    assessor_rng_state: dict | None = None
+    crn_master_seed: int | None = None
+    trace: list[SearchRecord] = field(default_factory=list)
+
+
 class DeploymentSearch:
-    """Simulated-annealing search over deployment plans."""
+    """Simulated-annealing search over deployment plans.
+
+    ``checkpoint_path`` enables crash tolerance: the annealing state is
+    written there every ``checkpoint_every`` iterations and whenever the
+    loop stops (budget expiry, iteration cap, or ``should_stop`` — wire
+    the latter to a SIGTERM flag for graceful preemption). A checkpoint
+    is resumed with :meth:`resume`.
+    """
 
     def __init__(
         self,
@@ -94,7 +143,14 @@ class DeploymentSearch:
         keep_trace: bool = False,
         common_random_numbers: bool = True,
         clock: Callable[[], float] = time.monotonic,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 10,
+        should_stop: Callable[[], bool] | None = None,
     ):
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.assessor = assessor
         self.objective = objective or ReliabilityObjective()
         if use_symmetry:
@@ -108,8 +164,11 @@ class DeploymentSearch:
         self.keep_trace = keep_trace
         self.common_random_numbers = common_random_numbers
         self._clock = clock
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.should_stop = should_stop
 
-    def _search_assessor(self) -> ReliabilityAssessor:
+    def _search_assessor(self, master_seed: int | None) -> ReliabilityAssessor:
         """The assessor used inside one search run.
 
         With common random numbers enabled (the default), assessments share
@@ -118,10 +177,12 @@ class DeploymentSearch:
         per-swap reliability gain is often smaller than the sampling noise
         and the annealing walk stalls. The winning plan is re-assessed
         independently before being reported (see :meth:`search`).
+
+        ``master_seed`` is drawn by :meth:`search` (and recorded in
+        checkpoints so :meth:`resume` rebuilds the identical streams).
         """
-        if not self.common_random_numbers:
+        if master_seed is None:
             return self.assessor
-        master_seed = int(self.rng.integers(0, 2**63))
         return ReliabilityAssessor(
             self.assessor.topology,
             self.assessor.dependency_model,
@@ -140,8 +201,10 @@ class DeploymentSearch:
         """Run the 6-step loop and return the outcome."""
         deadline = Deadline(spec.max_seconds, clock=self._clock)
         schedule = LinearTemperatureSchedule(spec.max_seconds)
-        trace: list[SearchRecord] = []
-        assessor = self._search_assessor()
+        crn_master_seed = (
+            int(self.rng.integers(0, 2**63)) if self.common_random_numbers else None
+        )
+        assessor = self._search_assessor(crn_master_seed)
 
         # Steps 1-2: initial plan and its assessment.
         current_plan = initial_plan or DeploymentPlan.random(
@@ -152,57 +215,160 @@ class DeploymentSearch:
         )
         current = assessor.assess(current_plan, spec.structure)
         current_measure = self.objective.measure(current_plan, current)
-        plans_assessed = 1
-        skipped_symmetric = 0
-        skipped_resources = 0
-        iterations = 0
 
         # Best-so-far tracking uses *independent* assessments: with many
         # noisy scores, "max of the sampled scores" systematically picks
         # winners whose luck does not replicate (winner's curse), so a
         # candidate only becomes the new best after a fresh assessment,
         # drawn independently of the one that nominated it, confirms it.
-        best_plan = current_plan
         best = self.assessor.assess(current_plan, spec.structure)
-        best_measure = self.objective.measure(best_plan, best)
-        plans_assessed += 1
+        state = SearchState(
+            spec=spec,
+            current_plan=current_plan,
+            current=current,
+            current_measure=current_measure,
+            best_plan=current_plan,
+            best=best,
+            best_measure=self.objective.measure(current_plan, best),
+            plans_assessed=2,
+            crn_master_seed=crn_master_seed,
+        )
         if self._satisfied(spec, current, current_measure):
             verified = self._verify_satisfaction(spec, current_plan, current)
             if verified is not None:
-                return self._result(
-                    spec, best_plan, verified, True, deadline, iterations,
-                    plans_assessed, skipped_symmetric, trace,
-                )
+                return self._result(state, verified, True, deadline)
 
-        # Steps 3-6: evolve neighbours until satisfied or out of budget.
-        while not deadline.expired():
-            if spec.max_iterations is not None and iterations >= spec.max_iterations:
+        return self._run(spec, state, assessor, deadline, schedule)
+
+    def resume(
+        self,
+        source,
+        max_seconds: float | None = None,
+        max_iterations: int | None = None,
+    ) -> SearchResult:
+        """Continue a checkpointed search exactly where it stopped.
+
+        ``source`` is a checkpoint file path, a decoded checkpoint dict,
+        or a :class:`SearchState`. The search and assessor RNGs are
+        restored from the checkpoint, so with the same seed and clock the
+        resumed run retraces the trajectory the uninterrupted run would
+        have taken. ``max_seconds``/``max_iterations`` optionally extend
+        the budget of the resumed run (e.g. to continue a search that
+        stopped on budget expiry).
+
+        The :class:`DeploymentSearch` this is called on must be built
+        against the same topology, dependency model, objective and round
+        count as the original — the checkpoint records the annealing
+        state, not the substrate.
+        """
+        from repro import serialization
+
+        if isinstance(source, SearchState):
+            state = source
+        elif isinstance(source, dict):
+            state = serialization.search_state_from_dict(source)
+        else:
+            state = serialization.search_state_from_dict(serialization.load(source))
+        if state.search_rng_state is None or state.assessor_rng_state is None:
+            raise ConfigurationError("checkpoint is missing RNG state")
+
+        spec = state.spec
+        overrides = {}
+        if max_seconds is not None:
+            overrides["max_seconds"] = max_seconds
+        if max_iterations is not None:
+            overrides["max_iterations"] = max_iterations
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+            state.spec = spec
+
+        self.rng.bit_generator.state = state.search_rng_state
+        self.assessor.rng.bit_generator.state = state.assessor_rng_state
+        assessor = self._search_assessor(state.crn_master_seed)
+        deadline = Deadline(
+            spec.max_seconds,
+            clock=self._clock,
+            elapsed_offset=state.elapsed_seconds,
+        )
+        schedule = LinearTemperatureSchedule(spec.max_seconds)
+        return self._run(
+            spec, state, assessor, deadline, schedule,
+            first_elapsed=state.elapsed_seconds,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run(
+        self,
+        spec: SearchSpec,
+        state: SearchState,
+        assessor: ReliabilityAssessor,
+        deadline: Deadline,
+        schedule: LinearTemperatureSchedule,
+        first_elapsed: float | None = None,
+    ) -> SearchResult:
+        """Steps 3-6: evolve neighbours until satisfied or out of budget.
+
+        The clock is read exactly once per loop iteration (at the top);
+        that one reading drives the expiry check, the temperature, trace
+        records and checkpoints. Checkpoint writes never read the clock.
+        Both properties are what make a resumed run's trajectory
+        bit-identical to an uninterrupted one under a deterministic
+        test clock.
+        """
+        while True:
+            if first_elapsed is not None:
+                # The elapsed reading the interrupted run took at this
+                # very loop top, replayed so the resumed trajectory sees
+                # the same temperature (the Deadline constructor already
+                # consumed the clock tick the original reading did).
+                elapsed, first_elapsed = first_elapsed, None
+            else:
+                elapsed = deadline.elapsed()
+            state.elapsed_seconds = elapsed
+
+            if (
+                self.checkpoint_path is not None
+                and state.iterations > 0
+                and state.iterations % self.checkpoint_every == 0
+            ):
+                self._write_checkpoint(state)
+            if self.should_stop is not None and self.should_stop():
+                if self.checkpoint_path is not None:
+                    self._write_checkpoint(state)
                 break
-            iterations += 1
+            if elapsed >= deadline.budget_seconds:
+                break
+            if (
+                spec.max_iterations is not None
+                and state.iterations >= spec.max_iterations
+            ):
+                break
+            state.iterations += 1
 
-            neighbor_plan = current_plan.random_neighbor(
+            neighbor_plan = state.current_plan.random_neighbor(
                 assessor.topology, rng=self.rng
             )
             if self.resource_filter is not None and not self.resource_filter(
                 neighbor_plan
             ):
-                skipped_resources += 1
+                state.skipped_resources += 1
                 continue
             if self.symmetry is not None and self.symmetry.equivalent(
-                neighbor_plan, current_plan
+                neighbor_plan, state.current_plan
             ):
                 # Symmetric to the current plan: same reliability, skip the
                 # assessment and evolve again (Step 3).
-                skipped_symmetric += 1
+                state.skipped_symmetric += 1
                 if self.keep_trace:
-                    trace.append(
+                    state.trace.append(
                         SearchRecord(
-                            iteration=iterations,
-                            elapsed_seconds=deadline.elapsed(),
-                            temperature=schedule.temperature(deadline.elapsed()),
-                            candidate_score=current.score,
-                            current_score=current.score,
-                            best_score=best.score,
+                            iteration=state.iterations,
+                            elapsed_seconds=elapsed,
+                            temperature=schedule.temperature(elapsed),
+                            candidate_score=state.current.score,
+                            current_score=state.current.score,
+                            best_score=state.best.score,
                             accepted=False,
                             skipped_symmetric=True,
                         )
@@ -211,61 +377,72 @@ class DeploymentSearch:
 
             neighbor = assessor.assess(neighbor_plan, spec.structure)
             neighbor_measure = self.objective.measure(neighbor_plan, neighbor)
-            plans_assessed += 1
+            state.plans_assessed += 1
 
-            if self.objective.prefers(neighbor_plan, neighbor, best_plan, best):
+            if self.objective.prefers(
+                neighbor_plan, neighbor, state.best_plan, state.best
+            ):
                 # Cheap screen passed; confirm with independent sampling
                 # before dethroning the incumbent best.
                 confirmation = self.assessor.assess(neighbor_plan, spec.structure)
-                plans_assessed += 1
+                state.plans_assessed += 1
                 if self.objective.prefers(
-                    neighbor_plan, confirmation, best_plan, best
+                    neighbor_plan, confirmation, state.best_plan, state.best
                 ):
-                    best_plan, best = neighbor_plan, confirmation
-                    best_measure = self.objective.measure(best_plan, best)
+                    state.best_plan, state.best = neighbor_plan, confirmation
+                    state.best_measure = self.objective.measure(
+                        state.best_plan, state.best
+                    )
 
             # Step 5: accept improvements, or worse plans probabilistically.
             delta = self.objective.delta(
-                current_plan, current, neighbor_plan, neighbor
+                state.current_plan, state.current, neighbor_plan, neighbor
             )
-            temperature = schedule.temperature(deadline.elapsed())
+            temperature = schedule.temperature(elapsed)
             accepted = accept_neighbor(delta, temperature, self.rng)
             if self.keep_trace:
-                trace.append(
+                state.trace.append(
                     SearchRecord(
-                        iteration=iterations,
-                        elapsed_seconds=deadline.elapsed(),
+                        iteration=state.iterations,
+                        elapsed_seconds=elapsed,
                         temperature=temperature,
                         candidate_score=neighbor.score,
-                        current_score=current.score,
-                        best_score=best.score,
+                        current_score=state.current.score,
+                        best_score=state.best.score,
                         accepted=accepted,
                     )
                 )
             if accepted:
-                current_plan, current, current_measure = (
-                    neighbor_plan,
-                    neighbor,
-                    neighbor_measure,
-                )
+                state.current_plan = neighbor_plan
+                state.current = neighbor
+                state.current_measure = neighbor_measure
 
             # Step 6: requirements met -> report the plan.
             if self._satisfied(spec, neighbor, neighbor_measure):
                 verified = self._verify_satisfaction(spec, neighbor_plan, neighbor)
                 if verified is not None:
-                    return self._result(
-                        spec, neighbor_plan, verified, True, deadline, iterations,
-                        plans_assessed, skipped_symmetric, trace,
-                    )
+                    state.best_plan, state.best = neighbor_plan, verified
+                    return self._result(state, verified, True, deadline)
 
-        # Budget exhausted: requirements not fulfilled; report the best
-        # found (its assessment is already an independent confirmation).
-        return self._result(
-            spec, best_plan, best, False, deadline, iterations,
-            plans_assessed, skipped_symmetric, trace,
-        )
+        # Budget exhausted (or stop requested): requirements not
+        # fulfilled; report the best found (its assessment is already an
+        # independent confirmation). The final checkpoint lets a caller
+        # resume with a bigger budget.
+        if self.checkpoint_path is not None:
+            self._write_checkpoint(state)
+        return self._result(state, state.best, False, deadline)
 
     # ------------------------------------------------------------------
+
+    def _write_checkpoint(self, state: SearchState) -> None:
+        """Serialize the loop state atomically. Reads no clocks."""
+        from repro import serialization
+
+        state.search_rng_state = self.rng.bit_generator.state
+        state.assessor_rng_state = self.assessor.rng.bit_generator.state
+        serialization.dump(
+            serialization.search_state_to_dict(state), self.checkpoint_path
+        )
 
     def _verify_satisfaction(
         self, spec: SearchSpec, plan: DeploymentPlan, assessment: AssessmentResult
@@ -298,16 +475,18 @@ class DeploymentSearch:
 
     @staticmethod
     def _result(
-        spec, plan, assessment, satisfied, deadline, iterations,
-        plans_assessed, skipped_symmetric, trace,
+        state: SearchState,
+        assessment: AssessmentResult,
+        satisfied: bool,
+        deadline: Deadline,
     ) -> SearchResult:
         return SearchResult(
-            best_plan=plan,
+            best_plan=state.best_plan,
             best_assessment=assessment,
             satisfied=satisfied,
             elapsed_seconds=deadline.elapsed(),
-            iterations=iterations,
-            plans_assessed=plans_assessed,
-            plans_skipped_symmetric=skipped_symmetric,
-            trace=tuple(trace),
+            iterations=state.iterations,
+            plans_assessed=state.plans_assessed,
+            plans_skipped_symmetric=state.skipped_symmetric,
+            trace=tuple(state.trace),
         )

@@ -1,5 +1,6 @@
-"""Parallel execution engine for multi-round assessments."""
+"""Supervised parallel execution engine for multi-round assessments."""
 
-from repro.runtime.mapreduce import ParallelAssessor
+from repro.runtime.chaos import ChaosAction, ChaosPolicy
+from repro.runtime.mapreduce import ParallelAssessor, RetryPolicy
 
-__all__ = ["ParallelAssessor"]
+__all__ = ["ChaosAction", "ChaosPolicy", "ParallelAssessor", "RetryPolicy"]

@@ -1,0 +1,153 @@
+"""Deterministic fault injection for the parallel runtime.
+
+A reliability engine should be tested the way it tests others: by making
+its own substrate fail. :class:`ChaosPolicy` decides — deterministically,
+from ``(portion index, attempt number)`` — whether a worker handling a
+portion should crash (die without a word, like an OOM-killed process),
+hang (stop responding, like a livelocked worker), raise an error, or
+merely return late. Tests and ``benchmarks/bench_runtime_faults.py`` use
+it to measure how the supervised :class:`~repro.runtime.mapreduce.
+ParallelAssessor` recovers.
+
+Injection happens *inside worker processes only*: the master's inline
+fallback path is never sabotaged, mirroring the real failure domain (the
+master is the reliable coordinator; workers are the commodity substrate).
+
+Determinism matters twice over. It makes failures reproducible (a test
+seed always kills the same portions), and it lets ``max_attempts`` model
+*transient* faults: a portion is only sabotaged while ``attempt <
+max_attempts``, so a retried portion eventually goes through — the
+crash-loop/recovery behaviour real clusters exhibit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+#: Failure kinds a policy can inject.
+KINDS = ("crash", "hang", "error", "delay")
+
+#: How long a "hung" worker sleeps. Long enough that only supervision
+#: (portion timeout + pool restart) can rescue the assessment; the pool's
+#: terminate() kills the sleeper when the supervisor restarts it.
+HANG_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One injected fault: what to do to the worker, and for how long."""
+
+    kind: str
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """Decides which (portion, attempt) executions are sabotaged.
+
+    Two addressing modes, combinable:
+
+    * **Explicit**: ``crash``/``hang``/``error`` name portion indices,
+      ``delay`` maps portion indices to extra seconds of latency.
+    * **Random-rate**: ``rate`` injects a failure into that fraction of
+      (portion, attempt) executions, choosing uniformly among ``kinds``;
+      the draw is a pure function of ``(seed, portion, attempt)``.
+
+    Attributes:
+        crash: Portions whose worker calls ``os._exit`` mid-portion.
+        hang: Portions whose worker sleeps ~forever (must be reaped by a
+            portion timeout + pool restart).
+        error: Portions whose worker raises ``RuntimeError``.
+        delay: Portion → seconds of added latency (a *late* worker: the
+            result is correct but may miss a tight portion timeout).
+        rate: Probability of injecting into any given (portion, attempt).
+        kinds: Failure kinds the random mode draws from.
+        seed: Seed for the random mode's deterministic draws.
+        max_attempts: Inject only while ``attempt < max_attempts``; with
+            the default 1, every fault is transient and the first retry
+            of a portion succeeds.
+    """
+
+    crash: frozenset = frozenset()
+    hang: frozenset = frozenset()
+    error: frozenset = frozenset()
+    delay: Mapping[int, float] = field(default_factory=dict)
+    rate: float = 0.0
+    kinds: tuple[str, ...] = ("crash", "error")
+    seed: int = 0
+    max_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crash", frozenset(self.crash))
+        object.__setattr__(self, "hang", frozenset(self.hang))
+        object.__setattr__(self, "error", frozenset(self.error))
+        object.__setattr__(self, "delay", dict(self.delay))
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {self.rate}")
+        for kind in self.kinds:
+            if kind not in KINDS:
+                raise ConfigurationError(
+                    f"unknown chaos kind {kind!r}; expected one of {KINDS}"
+                )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def action_for(self, portion: int, attempt: int) -> ChaosAction | None:
+        """The fault to inject into this execution, or ``None``."""
+        if attempt >= self.max_attempts:
+            return None
+        if portion in self.crash:
+            return ChaosAction("crash")
+        if portion in self.hang:
+            return ChaosAction("hang", HANG_SECONDS)
+        if portion in self.error:
+            return ChaosAction("error")
+        if portion in self.delay:
+            return ChaosAction("delay", float(self.delay[portion]))
+        if self.rate > 0.0:
+            stream = np.random.default_rng(
+                np.random.SeedSequence([self.seed, portion, attempt])
+            )
+            if stream.random() < self.rate:
+                kind = self.kinds[int(stream.integers(0, len(self.kinds)))]
+                seconds = HANG_SECONDS if kind == "hang" else 0.25
+                return ChaosAction(kind, seconds)
+        return None
+
+    def targeted_portions(self, portions: int) -> set[int]:
+        """Portion indices that would be sabotaged on their first attempt
+        (useful for asserting an injection-rate floor in tests)."""
+        return {
+            index
+            for index in range(portions)
+            if self.action_for(index, 0) is not None
+        }
+
+    def execute(self, portion: int, attempt: int) -> None:
+        """Apply the injected fault, if any. Runs inside the worker."""
+        action = self.action_for(portion, attempt)
+        if action is None:
+            return
+        if action.kind == "crash":
+            # A real crash: no exception, no cleanup, no exit handlers —
+            # the process is simply gone, as after a SIGKILL.
+            os._exit(70)
+        if action.kind == "hang":
+            time.sleep(action.seconds)
+            return
+        if action.kind == "error":
+            raise RuntimeError(
+                f"chaos: injected worker error (portion {portion}, attempt {attempt})"
+            )
+        time.sleep(action.seconds)  # "delay": late but otherwise healthy

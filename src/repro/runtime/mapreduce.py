@@ -1,4 +1,4 @@
-"""Parallel route-and-check via a MapReduce-style master/worker split.
+"""Parallel route-and-check via a supervised MapReduce-style master/worker split.
 
 §3.2.1: "A master node distributes portions of rounds to worker nodes.
 Each worker node performs the route-and-check for the assigned rounds. The
@@ -13,57 +13,111 @@ result list; the master concatenates the lists and computes the estimate —
 statistically identical to a single sequential run over the union of
 rounds, because portions use independent random streams.
 
+The master is also a *supervisor*. A system that assesses reliability
+should itself survive component failure, so portions are dispatched
+asynchronously under a :class:`RetryPolicy`:
+
+* a portion that exceeds its per-portion timeout is marked hung and the
+  worker pool is restarted (terminating the stuck worker);
+* a worker process that dies is detected by watching worker pids, the
+  pool is restarted, and the lost portions are retried;
+* retried portions are *reseeded deterministically* from their base seed
+  and attempt number, so the estimate stays reproducible given the same
+  failure pattern and every attempt is an independent, unbiased stream;
+* when retries are exhausted the master degrades gracefully: by default
+  it recovers the portion by running it inline (the 0-worker fallback
+  backend), or — under ``partial_ok`` — returns an estimate built from
+  the portions that did complete, flagged ``degraded`` with honestly
+  widened error bounds.
+
 The paper's Fig. 12 lesson reproduces naturally: for small round counts
 the serialization/transmission and per-worker context setup dominate the
 cheap route-and-check, so parallel execution only pays off when very high
 assessment accuracy (many rounds) is required.
 
 Implementation note: the process backend uses a fork-based
-``multiprocessing.Pool``, whose workers fork *eagerly* at construction;
-the (possibly huge) topology is inherited copy-on-write and never pickled.
+``multiprocessing.Pool``, whose workers inherit the (possibly huge)
+topology copy-on-write — it is never pickled. The inherited state lives
+in a registry keyed per assessor for the pool's lifetime, so workers the
+pool respawns after a crash re-initialize correctly, and concurrent
+assessors cannot clash. On platforms without the fork start method the
+assessor degrades to the inline backend with a warning instead of
+crashing.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 import multiprocessing
 import multiprocessing.pool
+import time
+import warnings
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.app.structure import ApplicationStructure
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
-from repro.core.result import AssessmentResult
+from repro.core.result import AssessmentResult, PortionFailure, RuntimeMetadata
 from repro.faults.dependencies import DependencyModel
+from repro.runtime.chaos import ChaosPolicy
 from repro.sampling.base import Sampler
 from repro.sampling.statistics import estimate_from_results
 from repro.topology.base import Topology
-from repro.util.errors import ConfigurationError
+from repro.util.errors import (
+    ConfigurationError,
+    DegradedResult,
+    PortionTimeout,
+    WorkerFailure,
+)
 from repro.util.rng import make_rng
 from repro.util.timing import Stopwatch
 
-#: State inherited by forked workers. Written immediately before the pool
-#: forks and cleared right after, so concurrent instances cannot clash.
-_FORK_STATE: dict = {}
-
-
-def _init_forked_worker() -> None:
-    """Pin the forked snapshot of the parent state inside the worker."""
-    global _WORKER_STATE
-    _WORKER_STATE = dict(_FORK_STATE)
-
+#: Per-assessor state inherited by forked workers, keyed by a registry id.
+#: An entry lives exactly as long as its assessor's pool, so workers the
+#: pool respawns later (after a crash) still find their state at fork time.
+_FORK_REGISTRY: dict[int, dict] = {}
+_REGISTRY_IDS = itertools.count(1)
 
 _WORKER_STATE: dict = {}
 
 
-def _worker_portion(args: tuple) -> np.ndarray:
+def _init_forked_worker(registry_key: int) -> None:
+    """Pin the forked snapshot of the parent state inside the worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = dict(_FORK_REGISTRY[registry_key])
+
+
+def _seed_for_attempt(base_seed: int, attempt: int) -> int:
+    """Deterministic stream seed for one attempt at one portion.
+
+    Attempt 0 uses the base seed itself (so a failure-free run is
+    bit-identical to the unsupervised runtime); retries derive a fresh,
+    independent stream from (base seed, attempt) so a deterministic
+    worker fault tied to the stream cannot recur forever and the retried
+    estimate is still reproducible.
+    """
+    if attempt == 0:
+        return int(base_seed)
+    derived = np.random.SeedSequence([int(base_seed), int(attempt)])
+    return int(derived.generate_state(1, dtype=np.uint64)[0] & (2**63 - 1))
+
+
+def _worker_portion(args: tuple) -> tuple[np.ndarray, int]:
     """Run the route-and-check pipeline for one portion of rounds.
 
     The assessor is the per-worker "context" of §3.2.1 and is set up once
     per worker process, then reused across portions; only the stream seed
-    and the round count change per task.
+    and the round count change per task. Returns the per-round result
+    list and the sampled-closure size so the master can aggregate real
+    metadata instead of a sentinel.
     """
-    seed, rounds, plan, structure = args
+    portion_index, attempt, seed, rounds, plan, structure = args
+    chaos: ChaosPolicy | None = _WORKER_STATE.get("chaos")
+    if chaos is not None:
+        chaos.execute(portion_index, attempt)
     assessor = _WORKER_STATE.get("assessor")
     if assessor is None:
         assessor = ReliabilityAssessor(
@@ -75,17 +129,105 @@ def _worker_portion(args: tuple) -> np.ndarray:
         )
         _WORKER_STATE["assessor"] = assessor
     assessor.rng = make_rng(seed)
-    return assessor.assess(plan, structure, rounds=rounds).per_round
+    result = assessor.assess(plan, structure, rounds=rounds)
+    return result.per_round, result.sampled_components
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the master supervises portions (timeouts, retries, backoff).
+
+    Attributes:
+        timeout_seconds: Per-portion deadline; a portion that has not
+            reported by then is treated as hung and the pool restarted.
+            ``None`` disables the timeout (crashes are still detected by
+            pid-watching, but a genuinely hung worker then hangs the
+            assessment — set a timeout for production use).
+        max_retries: Retry attempts per portion after its first failure.
+        backoff_seconds: Base delay before re-dispatching failed portions.
+        backoff_multiplier: Exponential growth factor per retry attempt.
+        max_backoff_seconds: Cap on the backoff delay.
+        jitter_fraction: Uniform ±fraction of jitter applied to each
+            backoff sleep (decorrelates retry stampedes; drawn from a
+            private stream so estimates stay reproducible).
+        poll_interval_seconds: How often the master polls pending
+            portions and checks worker liveness while waiting.
+    """
+
+    timeout_seconds: float | None = None
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 2.0
+    jitter_fraction: float = 0.25
+    poll_interval_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive or None, got {self.timeout_seconds}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigurationError(
+                f"jitter fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+        if self.poll_interval_seconds <= 0:
+            raise ConfigurationError(
+                f"poll interval must be positive, got {self.poll_interval_seconds}"
+            )
+
+    def backoff_for(self, attempt: int, jitter_rng: np.random.Generator) -> float:
+        """Sleep before re-dispatching a portion on its Nth retry (1-based)."""
+        delay = self.backoff_seconds * self.backoff_multiplier ** max(0, attempt - 1)
+        delay = min(delay, self.max_backoff_seconds)
+        if self.jitter_fraction > 0.0 and delay > 0.0:
+            spread = self.jitter_fraction * delay
+            delay += float(jitter_rng.uniform(-spread, spread))
+        return max(0.0, delay)
+
+
+@dataclass
+class _Portion:
+    """Supervision state for one portion of rounds."""
+
+    index: int
+    rounds: int
+    base_seed: int
+    attempt: int = 0
+
+    def seed(self) -> int:
+        return _seed_for_attempt(self.base_seed, self.attempt)
+
+
+class _PassAborted(Exception):
+    """Internal: a worker death invalidated the rest of a dispatch pass."""
 
 
 class ParallelAssessor:
-    """Assesses plans by fanning rounds out to worker processes.
+    """Assesses plans by fanning rounds out to supervised worker processes.
 
     Statistically equivalent to :class:`ReliabilityAssessor` with the same
     total round count. ``backend`` selects ``"process"`` (default; uses
     fork so the topology is shared copy-on-write) or ``"inline"`` (no
     parallelism — the master does everything; the 0-worker baseline and
     the fallback on platforms without fork).
+
+    Fault tolerance is governed by ``retry_policy`` (see
+    :class:`RetryPolicy`). ``partial_ok=True`` switches the degradation
+    mode from "recover exhausted portions inline" to "return a degraded
+    partial estimate with widened error bounds". ``chaos`` injects
+    deterministic worker faults for tests and benchmarks (never applied
+    on the inline path).
     """
 
     def __init__(
@@ -97,47 +239,106 @@ class ParallelAssessor:
         workers: int = 2,
         rng: int | np.random.Generator | None = None,
         backend: str = "process",
+        retry_policy: RetryPolicy | None = None,
+        partial_ok: bool = False,
+        chaos: ChaosPolicy | None = None,
     ):
         if workers < 1:
             raise ConfigurationError(f"need at least one worker, got {workers}")
         if backend not in ("process", "inline"):
             raise ConfigurationError(f"unknown backend {backend!r}")
+        if rounds <= 0:
+            raise ConfigurationError(f"rounds must be positive, got {rounds}")
+        if backend == "process" and not self._fork_available():
+            warnings.warn(
+                "the 'fork' start method is unavailable on this platform; "
+                "falling back to backend='inline' (no parallelism)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            backend = "inline"
         self.topology = topology
         self.dependency_model = dependency_model or DependencyModel.empty(topology)
         self.sampler = sampler
         self.rounds = rounds
         self.workers = workers
         self.backend = backend
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.partial_ok = partial_ok
+        self.chaos = chaos
         self.rng = make_rng(rng)
+        self._jitter_rng = np.random.default_rng()
         self._pool: multiprocessing.pool.Pool | None = None
+        self._pool_suspect = False  # a hang/crash was seen: drain may block
+        self._registry_key = next(_REGISTRY_IDS)
+        self._pool_restarts = 0
         if backend == "process":
             self._start_pool()
 
     # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
 
     def _start_pool(self) -> None:
-        # multiprocessing.Pool forks all workers eagerly in the
-        # constructor, so the state snapshot below is taken synchronously
-        # and can be cleared as soon as the constructor returns.
-        _FORK_STATE.update(
+        # The registry entry must outlive this call: multiprocessing.Pool
+        # respawns dead workers on demand, and those late forks run the
+        # initializer again — it has to find the state.
+        _FORK_REGISTRY[self._registry_key] = dict(
             topology=self.topology,
             model=self.dependency_model,
             sampler=self.sampler,
+            chaos=self.chaos,
         )
-        try:
-            context = multiprocessing.get_context("fork")
-            self._pool = context.Pool(
-                processes=self.workers, initializer=_init_forked_worker
-            )
-        finally:
-            _FORK_STATE.clear()
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(
+            processes=self.workers,
+            initializer=_init_forked_worker,
+            initargs=(self._registry_key,),
+        )
+        self._pool_suspect = False
+
+    def _restart_pool(self) -> None:
+        """Tear down a suspect pool (hung/crashed workers) and refork."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        self._pool_restarts += 1
+        self._start_pool()
 
     def close(self) -> None:
-        """Shut the worker pool down."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+        """Shut the worker pool down.
+
+        Drains gracefully (``close()`` + ``join()``) when the pool is
+        healthy; escalates to ``terminate()`` when a hang or crash was
+        observed, so a stuck worker cannot block shutdown. Idempotent.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if self._pool_suspect:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        _FORK_REGISTRY.pop(self._registry_key, None)
+
+    def __del__(self):  # pragma: no cover - exercised indirectly
+        # Abandoned assessors must not leak worker processes. Terminate
+        # rather than drain: __del__ may run at interpreter shutdown where
+        # a graceful join could block indefinitely.
+        try:
+            pool = getattr(self, "_pool", None)
             self._pool = None
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            _FORK_REGISTRY.pop(getattr(self, "_registry_key", None), None)
+        except Exception:
+            pass
 
     def __enter__(self) -> "ParallelAssessor":
         return self
@@ -145,14 +346,27 @@ class ParallelAssessor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _live_worker_pids(self) -> frozenset[int]:
+        pool = self._pool
+        processes = getattr(pool, "_pool", None) or ()
+        return frozenset(p.pid for p in processes if p.is_alive())
+
+    # ------------------------------------------------------------------
+    # Portioning
     # ------------------------------------------------------------------
 
     def _portions(self, rounds: int) -> list[int]:
         """Split ``rounds`` into one near-equal portion per worker."""
+        if rounds <= 0:
+            raise ConfigurationError(f"rounds must be positive, got {rounds}")
         base = rounds // self.workers
         remainder = rounds % self.workers
         portions = [base + (1 if i < remainder else 0) for i in range(self.workers)]
         return [p for p in portions if p > 0]
+
+    # ------------------------------------------------------------------
+    # Assessment
+    # ------------------------------------------------------------------
 
     def assess(
         self,
@@ -160,38 +374,281 @@ class ParallelAssessor:
         structure: ApplicationStructure,
         rounds: int | None = None,
     ) -> AssessmentResult:
-        """Distribute, gather, reduce (the MapReduce of §3.2.1)."""
+        """Distribute, supervise, gather, reduce (the MapReduce of §3.2.1)."""
         watch = Stopwatch()
-        total_rounds = rounds or self.rounds
-        portions = self._portions(total_rounds)
-        seeds = [int(s) for s in self.rng.integers(0, 2**63, size=len(portions))]
-        tasks = [
-            (seed, portion, plan, structure)
-            for seed, portion in zip(seeds, portions)
+        total_rounds = self.rounds if rounds is None else rounds
+        portion_sizes = self._portions(total_rounds)
+        base_seeds = [
+            int(s) for s in self.rng.integers(0, 2**63, size=len(portion_sizes))
+        ]
+        portions = [
+            _Portion(index=i, rounds=size, base_seed=seed)
+            for i, (size, seed) in enumerate(zip(portion_sizes, base_seeds))
         ]
 
-        if self._pool is None:
-            results = [self._inline_portion(task) for task in tasks]
-        else:
-            results = self._pool.map(_worker_portion, tasks)
+        failures: list[PortionFailure] = []
+        retries = 0
+        recovered_inline = 0
+        restarts_before = self._pool_restarts
 
-        per_round = np.concatenate(results)
+        if self._pool is None:
+            completed = {
+                p.index: self._inline_portion(p, plan, structure) for p in portions
+            }
+            exhausted: list[_Portion] = []
+        else:
+            completed, exhausted, retries = self._supervise(
+                portions, plan, structure, failures
+            )
+
+        dropped: list[_Portion] = []
+        if exhausted:
+            if self.partial_ok:
+                dropped = exhausted
+            else:
+                # Graceful degradation, mode 1: the master recovers lost
+                # portions itself on the inline backend (chaos-free and
+                # pool-independent). A failure here is a real error in
+                # the workload, not the substrate — surface it.
+                for portion in exhausted:
+                    try:
+                        completed[portion.index] = self._inline_portion(
+                            portion, plan, structure
+                        )
+                        recovered_inline += 1
+                    except Exception as exc:
+                        raise WorkerFailure(
+                            f"portion {portion.index} failed in every worker "
+                            f"attempt and in the inline fallback: {exc}",
+                            portion=portion.index,
+                            attempt=portion.attempt,
+                            failures=failures,
+                        ) from exc
+
+        if not completed:
+            raise DegradedResult(
+                f"all {len(portions)} portions were lost despite "
+                f"{retries} retries; nothing to estimate from",
+                failures=failures,
+            )
+
+        per_round = np.concatenate(
+            [completed[i][0] for i in sorted(completed)]
+        )
+        sampled_components = max(completed[i][1] for i in completed)
+        used_seeds = tuple(completed[i][2] for i in sorted(completed))
+        dropped_rounds = sum(p.rounds for p in dropped)
+
         estimate = estimate_from_results(per_round)
+        if dropped_rounds:
+            # Honest widening: the statistical CI already reflects the
+            # smaller sample, but the dropped portions are missing data,
+            # not sampled data — inflate variance by the coverage ratio
+            # so the reported interval cannot understate uncertainty.
+            coverage = total_rounds / per_round.size
+            estimate = replace(
+                estimate,
+                variance=estimate.variance * coverage,
+                confidence_interval_width=(
+                    estimate.confidence_interval_width * math.sqrt(coverage)
+                ),
+            )
+
+        runtime = RuntimeMetadata(
+            backend=self.backend if self._pool is not None else "inline",
+            workers=self.workers,
+            portion_seeds=used_seeds,
+            retries=retries,
+            pool_restarts=self._pool_restarts - restarts_before,
+            recovered_inline=recovered_inline,
+            dropped_portions=len(dropped),
+            dropped_rounds=dropped_rounds,
+            failures=tuple(failures),
+        )
         return AssessmentResult(
             plan=plan,
             estimate=estimate,
             per_round=per_round,
-            sampled_components=-1,  # workers sample independently
+            sampled_components=sampled_components,
             elapsed_seconds=watch.elapsed(),
+            runtime=runtime,
         )
 
-    def _inline_portion(self, args: tuple) -> np.ndarray:
-        seed, rounds, plan, structure = args
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+
+    def _supervise(
+        self,
+        portions: list[_Portion],
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        failures: list[PortionFailure],
+    ) -> tuple[dict[int, tuple[np.ndarray, int, int]], list[_Portion], int]:
+        """Dispatch portions until each completes or exhausts its retries.
+
+        Returns ``(completed, exhausted, retries)`` where ``completed``
+        maps portion index to ``(per_round, sampled_components, seed)``.
+        """
+        policy = self.retry_policy
+        completed: dict[int, tuple[np.ndarray, int, int]] = {}
+        exhausted: list[_Portion] = []
+        retries = 0
+        pending = list(portions)
+
+        while pending:
+            failed_pass = self._dispatch_pass(pending, plan, structure, completed, failures)
+            if not failed_pass:
+                break
+            # A hang or crash leaves the pool suspect (stuck worker still
+            # holding a slot, or respawned workers mid-flight): restart it
+            # before the retry pass so retries land on a clean substrate.
+            # A worker that merely raised leaves the pool healthy.
+            if self._pool_suspect:
+                self._restart_pool()
+            pending = []
+            for portion in failed_pass:
+                portion.attempt += 1
+                if portion.attempt <= policy.max_retries:
+                    retries += 1
+                    pending.append(portion)
+                else:
+                    exhausted.append(portion)
+            if pending:
+                min_attempt = min(p.attempt for p in pending)
+                delay = policy.backoff_for(min_attempt, self._jitter_rng)
+                if delay > 0.0:
+                    time.sleep(delay)
+        return completed, exhausted, retries
+
+    def _dispatch_pass(
+        self,
+        pending: list[_Portion],
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        completed: dict[int, tuple[np.ndarray, int, int]],
+        failures: list[PortionFailure],
+    ) -> list[_Portion]:
+        """One async dispatch of every pending portion; returns failures.
+
+        A worker death aborts the whole pass: the pool is about to be
+        restarted, which invalidates every result not yet gathered, so
+        ready results are swept up and everything else is marked crashed.
+        """
+        assert self._pool is not None
+        pass_pids = self._live_worker_pids()
+        dispatched = [
+            (
+                portion,
+                self._pool.apply_async(
+                    _worker_portion,
+                    (
+                        (
+                            portion.index,
+                            portion.attempt,
+                            portion.seed(),
+                            portion.rounds,
+                            plan,
+                            structure,
+                        ),
+                    ),
+                ),
+            )
+            for portion in pending
+        ]
+
+        failed: list[_Portion] = []
+        for position, (portion, async_result) in enumerate(dispatched):
+            try:
+                value = self._wait_portion(portion, async_result, pass_pids)
+                completed[portion.index] = (value[0], value[1], portion.seed())
+            except _PassAborted:
+                self._record_failure(
+                    failures, portion, "crash", "worker process died mid-pass"
+                )
+                failed.append(portion)
+                # Sweep later results that finished before the death was
+                # observed; the rest cannot be trusted to ever arrive.
+                for later, later_result in dispatched[position + 1 :]:
+                    if later_result.ready():
+                        try:
+                            value = later_result.get(timeout=0)
+                            completed[later.index] = (
+                                value[0],
+                                value[1],
+                                later.seed(),
+                            )
+                            continue
+                        except Exception as exc:
+                            self._record_failure(failures, later, "error", str(exc))
+                            failed.append(later)
+                            continue
+                    self._record_failure(
+                        failures, later, "crash", "result lost to a worker death"
+                    )
+                    failed.append(later)
+                break
+            except PortionTimeout as exc:
+                self._pool_suspect = True
+                self._record_failure(failures, portion, "timeout", str(exc))
+                failed.append(portion)
+            except Exception as exc:  # the worker raised
+                self._record_failure(failures, portion, "error", str(exc))
+                failed.append(portion)
+        return failed
+
+    def _wait_portion(self, portion: _Portion, async_result, pass_pids):
+        """Wait for one portion, polling for timeouts and worker deaths."""
+        policy = self.retry_policy
+        deadline = (
+            None
+            if policy.timeout_seconds is None
+            else time.monotonic() + policy.timeout_seconds
+        )
+        while True:
+            try:
+                return async_result.get(timeout=policy.poll_interval_seconds)
+            except multiprocessing.TimeoutError:
+                pass
+            if pass_pids - self._live_worker_pids():
+                self._pool_suspect = True
+                raise _PassAborted()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise PortionTimeout(
+                    f"portion {portion.index} (attempt {portion.attempt}) exceeded "
+                    f"its {policy.timeout_seconds:.3g}s timeout",
+                    portion=portion.index,
+                    attempt=portion.attempt,
+                    timeout_seconds=policy.timeout_seconds,
+                )
+
+    @staticmethod
+    def _record_failure(
+        failures: list[PortionFailure], portion: _Portion, kind: str, message: str
+    ) -> None:
+        failures.append(
+            PortionFailure(
+                portion=portion.index,
+                attempt=portion.attempt,
+                kind=kind,
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Inline execution (the 0-worker baseline and the fallback path)
+    # ------------------------------------------------------------------
+
+    def _inline_portion(
+        self, portion: _Portion, plan: DeploymentPlan, structure: ApplicationStructure
+    ) -> tuple[np.ndarray, int, int]:
+        seed = portion.seed()
         assessor = ReliabilityAssessor(
             self.topology,
             self.dependency_model,
             sampler=self.sampler,
-            rounds=rounds,
+            rounds=portion.rounds,
             rng=seed,
         )
-        return assessor.assess(plan, structure).per_round
+        result = assessor.assess(plan, structure)
+        return result.per_round, result.sampled_components, seed

@@ -17,14 +17,17 @@ from __future__ import annotations
 import json
 from typing import Any
 
+import numpy as np
+
 from repro.app.structure import (
     ApplicationStructure,
     ComponentSpec,
     ReachabilityRequirement,
 )
 from repro.core.plan import DeploymentPlan
-from repro.core.result import AssessmentResult, SearchResult
+from repro.core.result import AssessmentResult, SearchRecord, SearchResult
 from repro.core.risk import RiskEntry
+from repro.core.search import SearchSpec, SearchState
 from repro.sampling.statistics import ReliabilityEstimate
 from repro.util.errors import ConfigurationError
 
@@ -163,15 +166,55 @@ def estimate_from_dict(document: dict) -> ReliabilityEstimate:
 
 def assessment_to_dict(result: AssessmentResult) -> dict:
     """Encode an assessment (without the raw per-round list)."""
-    return _artifact(
-        "assessment-result",
-        {
-            "plan": plan_to_dict(result.plan),
-            "estimate": estimate_to_dict(result.estimate),
-            "sampled_components": result.sampled_components,
-            "elapsed_seconds": result.elapsed_seconds,
-        },
-    )
+    payload = {
+        "plan": plan_to_dict(result.plan),
+        "estimate": estimate_to_dict(result.estimate),
+        "sampled_components": result.sampled_components,
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+    if result.runtime is not None:
+        payload["runtime"] = {
+            "backend": result.runtime.backend,
+            "workers": result.runtime.workers,
+            "portion_seeds": list(result.runtime.portion_seeds),
+            "retries": result.runtime.retries,
+            "pool_restarts": result.runtime.pool_restarts,
+            "recovered_inline": result.runtime.recovered_inline,
+            "dropped_portions": result.runtime.dropped_portions,
+            "dropped_rounds": result.runtime.dropped_rounds,
+            "failures": [
+                {
+                    "portion": f.portion,
+                    "attempt": f.attempt,
+                    "kind": f.kind,
+                    "message": f.message,
+                }
+                for f in result.runtime.failures
+            ],
+        }
+    return _artifact("assessment-result", payload)
+
+
+def assessment_from_dict(document: dict) -> AssessmentResult:
+    """Decode an assessment.
+
+    The raw per-round result list is never serialized (it is reproducible
+    from the recorded seeds), so the decoded result carries an empty
+    ``per_round`` vector; the estimate, plan and metadata round-trip.
+    """
+    _check(document, "assessment-result")
+    try:
+        return AssessmentResult(
+            plan=plan_from_dict(document["plan"]),
+            estimate=estimate_from_dict(document["estimate"]),
+            per_round=np.zeros(0, dtype=bool),
+            sampled_components=int(document["sampled_components"]),
+            elapsed_seconds=float(document["elapsed_seconds"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"malformed assessment-result document: {exc}"
+        ) from exc
 
 
 def search_result_to_dict(result: SearchResult) -> dict:
@@ -188,6 +231,138 @@ def search_result_to_dict(result: SearchResult) -> dict:
             "best_estimate": estimate_to_dict(result.best_assessment.estimate),
         },
     )
+
+
+# ----------------------------------------------------------------------
+# Search checkpoints (the resumable mid-anneal state)
+# ----------------------------------------------------------------------
+
+
+def search_spec_to_dict(spec: SearchSpec) -> dict:
+    return _artifact(
+        "search-spec",
+        {
+            "structure": structure_to_dict(spec.structure),
+            "desired_reliability": spec.desired_reliability,
+            "max_seconds": spec.max_seconds,
+            "forbid_shared_rack": spec.forbid_shared_rack,
+            "desired_measure": spec.desired_measure,
+            "max_iterations": spec.max_iterations,
+        },
+    )
+
+
+def search_spec_from_dict(document: dict) -> SearchSpec:
+    _check(document, "search-spec")
+    try:
+        return SearchSpec(
+            structure=structure_from_dict(document["structure"]),
+            desired_reliability=float(document["desired_reliability"]),
+            max_seconds=float(document["max_seconds"]),
+            forbid_shared_rack=bool(document["forbid_shared_rack"]),
+            desired_measure=(
+                None
+                if document["desired_measure"] is None
+                else float(document["desired_measure"])
+            ),
+            max_iterations=(
+                None
+                if document["max_iterations"] is None
+                else int(document["max_iterations"])
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed search-spec document: {exc}") from exc
+
+
+def _search_record_to_dict(record: SearchRecord) -> dict:
+    return {
+        "iteration": record.iteration,
+        "elapsed_seconds": record.elapsed_seconds,
+        "temperature": record.temperature,
+        "candidate_score": record.candidate_score,
+        "current_score": record.current_score,
+        "best_score": record.best_score,
+        "accepted": record.accepted,
+        "skipped_symmetric": record.skipped_symmetric,
+    }
+
+
+def _search_record_from_dict(entry: dict) -> SearchRecord:
+    return SearchRecord(
+        iteration=int(entry["iteration"]),
+        elapsed_seconds=float(entry["elapsed_seconds"]),
+        temperature=float(entry["temperature"]),
+        candidate_score=float(entry["candidate_score"]),
+        current_score=float(entry["current_score"]),
+        best_score=float(entry["best_score"]),
+        accepted=bool(entry["accepted"]),
+        skipped_symmetric=bool(entry["skipped_symmetric"]),
+    )
+
+
+def search_state_to_dict(state: SearchState) -> dict:
+    """Encode a mid-search checkpoint (§3.3 made crash-tolerant).
+
+    Everything the annealing loop needs to continue *exactly* where it
+    stopped: plans, assessments (estimates only — per-round lists are
+    reproducible from the seeds), counters, the consumed budget, both RNG
+    states, the common-random-numbers master seed and the acceptance
+    trace. Numpy bit-generator states serialize as plain (big) integers.
+    """
+    return _artifact(
+        "search-checkpoint",
+        {
+            "spec": search_spec_to_dict(state.spec),
+            "iterations": state.iterations,
+            "plans_assessed": state.plans_assessed,
+            "skipped_symmetric": state.skipped_symmetric,
+            "skipped_resources": state.skipped_resources,
+            "elapsed_seconds": state.elapsed_seconds,
+            "current_plan": plan_to_dict(state.current_plan),
+            "current_assessment": assessment_to_dict(state.current),
+            "current_measure": state.current_measure,
+            "best_plan": plan_to_dict(state.best_plan),
+            "best_assessment": assessment_to_dict(state.best),
+            "best_measure": state.best_measure,
+            "search_rng_state": state.search_rng_state,
+            "assessor_rng_state": state.assessor_rng_state,
+            "crn_master_seed": state.crn_master_seed,
+            "trace": [_search_record_to_dict(r) for r in state.trace],
+        },
+    )
+
+
+def search_state_from_dict(document: dict) -> SearchState:
+    """Decode a search checkpoint back into a resumable state."""
+    _check(document, "search-checkpoint")
+    try:
+        return SearchState(
+            spec=search_spec_from_dict(document["spec"]),
+            iterations=int(document["iterations"]),
+            plans_assessed=int(document["plans_assessed"]),
+            skipped_symmetric=int(document["skipped_symmetric"]),
+            skipped_resources=int(document["skipped_resources"]),
+            elapsed_seconds=float(document["elapsed_seconds"]),
+            current_plan=plan_from_dict(document["current_plan"]),
+            current=assessment_from_dict(document["current_assessment"]),
+            current_measure=float(document["current_measure"]),
+            best_plan=plan_from_dict(document["best_plan"]),
+            best=assessment_from_dict(document["best_assessment"]),
+            best_measure=float(document["best_measure"]),
+            search_rng_state=document["search_rng_state"],
+            assessor_rng_state=document["assessor_rng_state"],
+            crn_master_seed=(
+                None
+                if document["crn_master_seed"] is None
+                else int(document["crn_master_seed"])
+            ),
+            trace=[_search_record_from_dict(r) for r in document["trace"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"malformed search-checkpoint document: {exc}"
+        ) from exc
 
 
 def risk_report_to_dict(entries: list[RiskEntry]) -> dict:
@@ -216,10 +391,20 @@ def risk_report_to_dict(entries: list[RiskEntry]) -> dict:
 
 
 def dump(document: dict, path) -> None:
-    """Write any artifact dict as pretty JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write any artifact dict as pretty JSON, atomically.
+
+    The document lands under a temporary name and is renamed into place,
+    so a crash mid-write (the very scenario checkpoints exist for) can
+    never leave a truncated artifact behind.
+    """
+    import os
+
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(tmp_path, path)
 
 
 def load(path) -> Any:

@@ -2,10 +2,13 @@
 
 from repro.util.errors import (
     ConfigurationError,
+    DegradedResult,
+    PortionTimeout,
     ReproError,
     SearchBudgetExceeded,
     TopologyError,
     UnsatisfiableRequirements,
+    WorkerFailure,
 )
 from repro.util.rng import derive_rng, make_rng, spawn_rngs
 from repro.util.timing import Deadline, Stopwatch
@@ -13,11 +16,14 @@ from repro.util.timing import Deadline, Stopwatch
 __all__ = [
     "ConfigurationError",
     "Deadline",
+    "DegradedResult",
+    "PortionTimeout",
     "ReproError",
     "SearchBudgetExceeded",
     "Stopwatch",
     "TopologyError",
     "UnsatisfiableRequirements",
+    "WorkerFailure",
     "derive_rng",
     "make_rng",
     "spawn_rngs",

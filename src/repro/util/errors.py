@@ -42,3 +42,44 @@ class SearchBudgetExceeded(ReproError):
         super().__init__(message)
         self.best_plan = best_plan
         self.best_score = best_score
+
+
+class WorkerFailure(ReproError):
+    """A worker process crashed or raised while assessing a portion.
+
+    Raised by the supervised runtime when a portion could not be completed
+    even after retries and fallback. ``portion`` is the portion index,
+    ``attempt`` the zero-based attempt that failed last, and ``kind`` one
+    of ``"crash"``, ``"error"`` or ``"timeout"``.
+    """
+
+    kind = "error"
+
+    def __init__(self, message: str, portion=None, attempt=None, failures=()):
+        super().__init__(message)
+        self.portion = portion
+        self.attempt = attempt
+        self.failures = tuple(failures)
+
+
+class PortionTimeout(WorkerFailure):
+    """A portion exceeded its per-portion timeout (a hung or late worker)."""
+
+    kind = "timeout"
+
+    def __init__(self, message: str, portion=None, attempt=None, timeout_seconds=None):
+        super().__init__(message, portion=portion, attempt=attempt)
+        self.timeout_seconds = timeout_seconds
+
+
+class DegradedResult(ReproError):
+    """Degraded execution could not produce any usable result.
+
+    Raised in ``partial_ok`` mode when *every* portion was lost, so there
+    are zero completed rounds to estimate from. The per-portion failure
+    records are attached for diagnosis.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)

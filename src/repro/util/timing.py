@@ -31,29 +31,42 @@ class Stopwatch:
 
 
 class Deadline:
-    """A fixed time budget, e.g. the paper's maximum search time ``T_max``."""
+    """A fixed time budget, e.g. the paper's maximum search time ``T_max``.
 
-    def __init__(self, budget_seconds: float, clock: Clock = time.monotonic):
+    ``elapsed_offset`` credits time already spent before this deadline was
+    constructed — a resumed search continues its budget where the
+    interrupted run left off instead of restarting the clock.
+    """
+
+    def __init__(
+        self,
+        budget_seconds: float,
+        clock: Clock = time.monotonic,
+        elapsed_offset: float = 0.0,
+    ):
         if budget_seconds <= 0:
             raise ValueError(f"budget must be positive, got {budget_seconds}")
+        if elapsed_offset < 0:
+            raise ValueError(f"elapsed offset must be non-negative, got {elapsed_offset}")
         self.budget_seconds = float(budget_seconds)
+        self.elapsed_offset = float(elapsed_offset)
         self._watch = Stopwatch(clock)
 
     def elapsed(self) -> float:
-        """Seconds spent so far."""
-        return self._watch.elapsed()
+        """Seconds spent so far (including any credited offset)."""
+        return self.elapsed_offset + self._watch.elapsed()
 
     def remaining(self) -> float:
         """Seconds left in the budget; never negative."""
-        return max(0.0, self.budget_seconds - self._watch.elapsed())
+        return max(0.0, self.budget_seconds - self.elapsed())
 
     def expired(self) -> bool:
         """True once the budget is exhausted."""
-        return self._watch.elapsed() >= self.budget_seconds
+        return self.elapsed() >= self.budget_seconds
 
     def fraction_remaining(self) -> float:
         """The paper's annealing temperature t = (T_max - T_elapsed) / T_max.
 
         Clamped to [0, 1]; reaches 0 exactly when the deadline expires.
         """
-        return max(0.0, 1.0 - self._watch.elapsed() / self.budget_seconds)
+        return max(0.0, 1.0 - self.elapsed() / self.budget_seconds)

@@ -6,7 +6,8 @@ import pytest
 from repro.app.structure import ApplicationStructure
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
-from repro.runtime.mapreduce import ParallelAssessor
+from repro.runtime import mapreduce
+from repro.runtime.mapreduce import ParallelAssessor, RetryPolicy
 from repro.util.errors import ConfigurationError
 
 
@@ -40,6 +41,19 @@ class TestPortions:
     def test_rejects_unknown_backend(self, fattree4, inventory):
         with pytest.raises(ConfigurationError):
             ParallelAssessor(fattree4, inventory, backend="gpu")
+
+    def test_rejects_zero_rounds_at_construction(self, fattree4, inventory):
+        with pytest.raises(ConfigurationError):
+            ParallelAssessor(fattree4, inventory, rounds=0, backend="inline")
+
+    def test_rejects_zero_rounds_override(self, fattree4, inventory):
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.random(fattree4, structure, rng=4)
+        with ParallelAssessor(fattree4, inventory, workers=2, backend="inline") as pa:
+            with pytest.raises(ConfigurationError):
+                pa.assess(plan, structure, rounds=0)
+            with pytest.raises(ConfigurationError):
+                pa._portions(-5)
 
 
 class TestInlineBackend:
@@ -104,3 +118,126 @@ class TestProcessBackend:
         pa = ParallelAssessor(fattree4, inventory, workers=2, backend="process")
         pa.close()
         pa.close()
+
+    def test_close_drains_gracefully(self, fattree4, inventory, plan, structure):
+        """A healthy pool is drained (close + join), not terminated: work
+        dispatched before close() still lands, and no registry entry or
+        worker process is leaked."""
+        pa = ParallelAssessor(
+            fattree4, inventory, rounds=2_000, workers=2, rng=3, backend="process"
+        )
+        key = pa._registry_key
+        result = pa.assess(plan, structure)
+        assert result.estimate.rounds == 2_000
+        pa.close()
+        assert pa._pool is None
+        assert key not in mapreduce._FORK_REGISTRY
+
+    def test_del_reaps_pool(self, fattree4, inventory):
+        pa = ParallelAssessor(fattree4, inventory, workers=2, backend="process")
+        key = pa._registry_key
+        pa.__del__()
+        assert key not in mapreduce._FORK_REGISTRY
+
+
+class TestRuntimeMetadata:
+    def test_metadata_populated(self, fattree4, inventory, plan, structure):
+        """The result carries real runtime metadata: actual worker count,
+        one real per-portion seed per portion, zeroed fault counters."""
+        with ParallelAssessor(
+            fattree4, inventory, rounds=4_000, workers=2, rng=3, backend="process"
+        ) as pa:
+            result = pa.assess(plan, structure)
+        runtime = result.runtime
+        assert runtime is not None
+        assert runtime.backend == "process"
+        assert runtime.workers == 2
+        assert runtime.portions == 2
+        assert len(runtime.portion_seeds) == 2
+        assert len(set(runtime.portion_seeds)) == 2  # independent streams
+        assert runtime.retries == 0
+        assert runtime.pool_restarts == 0
+        assert runtime.recovered_inline == 0
+        assert runtime.dropped_rounds == 0
+        assert not runtime.degraded
+        assert not result.degraded
+        # The aggregate closure size is a real count, not a sentinel.
+        assert result.sampled_components > 0
+
+    def test_inline_backend_also_reports_metadata(
+        self, fattree4, inventory, plan, structure
+    ):
+        with ParallelAssessor(
+            fattree4, inventory, rounds=1_000, workers=3, rng=1, backend="inline"
+        ) as pa:
+            result = pa.assess(plan, structure)
+        assert result.runtime.backend == "inline"
+        assert result.runtime.portions == 3
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries >= 1
+        assert policy.timeout_seconds is None
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_seconds=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter_fraction=1.5)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            backoff_seconds=0.1,
+            backoff_multiplier=2.0,
+            max_backoff_seconds=0.3,
+            jitter_fraction=0.0,
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.backoff_for(a, rng) for a in range(1, 5)]
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[1] == pytest.approx(0.2)
+        assert delays[2] == pytest.approx(0.3)  # capped
+        assert delays[3] == pytest.approx(0.3)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(backoff_seconds=0.1, jitter_fraction=0.25)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            delay = policy.backoff_for(1, rng)
+            assert 0.075 <= delay <= 0.125
+
+
+class TestForkFallback:
+    def test_falls_back_to_inline_without_fork(
+        self, fattree4, inventory, monkeypatch
+    ):
+        monkeypatch.setattr(
+            ParallelAssessor, "_fork_available", staticmethod(lambda: False)
+        )
+        with pytest.warns(RuntimeWarning, match="fork"):
+            pa = ParallelAssessor(
+                fattree4, inventory, workers=2, backend="process"
+            )
+        try:
+            assert pa.backend == "inline"
+        finally:
+            pa.close()
+
+    def test_explicit_inline_does_not_warn(self, fattree4, inventory, monkeypatch):
+        monkeypatch.setattr(
+            ParallelAssessor, "_fork_available", staticmethod(lambda: False)
+        )
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with ParallelAssessor(
+                fattree4, inventory, workers=2, backend="inline"
+            ) as pa:
+                assert pa.backend == "inline"

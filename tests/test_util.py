@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.util.errors import ReproError, SearchBudgetExceeded
+from repro.util.errors import (
+    DegradedResult,
+    PortionTimeout,
+    ReproError,
+    SearchBudgetExceeded,
+    WorkerFailure,
+)
 from repro.util.rng import (
     choice_without_replacement,
     derive_rng,
@@ -109,8 +115,36 @@ class TestDeadline:
 class TestErrors:
     def test_hierarchy(self):
         assert issubclass(SearchBudgetExceeded, ReproError)
+        assert issubclass(WorkerFailure, ReproError)
+        assert issubclass(PortionTimeout, WorkerFailure)
+        assert issubclass(DegradedResult, ReproError)
 
     def test_budget_exceeded_carries_best(self):
         error = SearchBudgetExceeded("timeout", best_plan="p", best_score=0.9)
         assert error.best_plan == "p"
         assert error.best_score == 0.9
+
+    def test_budget_exceeded_defaults(self):
+        error = SearchBudgetExceeded("timeout")
+        assert error.best_plan is None
+        assert error.best_score is None
+
+    def test_worker_failure_carries_context(self):
+        error = WorkerFailure("boom", portion=2, attempt=1, failures=["x"])
+        assert error.portion == 2
+        assert error.attempt == 1
+        assert error.failures == ("x",)
+        assert error.kind == "error"
+
+    def test_portion_timeout_carries_budget(self):
+        error = PortionTimeout("slow", portion=0, attempt=2, timeout_seconds=1.5)
+        assert error.timeout_seconds == 1.5
+        assert error.kind == "timeout"
+
+    def test_degraded_result_carries_failures(self):
+        error = DegradedResult("all portions lost", failures=["a", "b"])
+        assert error.failures == ("a", "b")
+
+    def test_timeout_caught_as_worker_failure(self):
+        with pytest.raises(WorkerFailure):
+            raise PortionTimeout("slow")
