@@ -1,0 +1,195 @@
+"""Incremental vs from-scratch assessment on the search hot path.
+
+The annealing search re-assesses a neighbour plan differing by one VM
+move per iteration. This bench replays the same randomized move sequence
+through the from-scratch CRN assessor and the incremental engine,
+verifies the per-round result lists are *bit-identical* at every step,
+and reports the wall-clock speedup plus the cache hit rates that explain
+it. Target: >= 3x on the Table-2 presets at the paper's default 10^4
+rounds.
+
+Usage::
+
+    python benchmarks/bench_incremental.py            # full comparison
+    python benchmarks/bench_incremental.py --smoke    # CI smoke: tiny
+        preset, few moves; asserts equality + cache hit rate > 0 (never
+        wall-clock, so it cannot flake on loaded runners)
+
+Also runnable under pytest (``pytest benchmarks/bench_incremental.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+if __name__ == "__main__":  # standalone: make src/ importable without install
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(_ROOT / "src"))
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+
+from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.incremental import IncrementalAssessor
+from repro.core.plan import DeploymentPlan
+from repro.faults.inventory import build_paper_inventory
+from repro.sampling.dagger import CommonRandomDaggerSampler
+from repro.topology.presets import paper_topology
+
+MASTER_SEED = 20170412  # CoNEXT '17 submission-ish; any fixed value works
+WALK_SEED = 11
+
+
+def _substrate(scale: str):
+    topology = paper_topology(scale, seed=1)
+    inventory = build_paper_inventory(topology, seed=2)
+    return topology, inventory
+
+
+def _move_sequence(topology, structure, moves: int) -> list[DeploymentPlan]:
+    """A deterministic single-VM-move random walk, like the search takes."""
+    rng = np.random.default_rng(WALK_SEED)
+    plan = DeploymentPlan.random(topology, structure, rng=rng)
+    plans = [plan]
+    for _ in range(moves):
+        plan = plan.random_neighbor(topology, rng=rng)
+        plans.append(plan)
+    return plans
+
+
+def _assess_walk(assessor, plans, structure) -> tuple[float, list[np.ndarray]]:
+    start = time.perf_counter()
+    results = [assessor.assess(plan, structure).per_round for plan in plans]
+    return time.perf_counter() - start, results
+
+
+def run_comparison(
+    scale: str, rounds: int, moves: int, k: int = 2, n: int = 3
+) -> dict:
+    """Replay one move sequence through both engines; verify + time."""
+    topology, inventory = _substrate(scale)
+    structure = ApplicationStructure.k_of_n(k, n)
+    plans = _move_sequence(topology, structure, moves)
+
+    scratch = ReliabilityAssessor.from_config(
+        topology,
+        inventory,
+        AssessmentConfig(
+            rounds=rounds, sampler=CommonRandomDaggerSampler(MASTER_SEED)
+        ),
+    )
+    incremental = IncrementalAssessor.from_config(
+        topology,
+        inventory,
+        AssessmentConfig(
+            mode="incremental",
+            rounds=rounds,
+            master_seed=MASTER_SEED,
+            profile=True,
+        ),
+    )
+
+    scratch_seconds, scratch_results = _assess_walk(scratch, plans, structure)
+    incremental_seconds, incremental_results = _assess_walk(
+        incremental, plans, structure
+    )
+
+    mismatches = sum(
+        not np.array_equal(a, b)
+        for a, b in zip(scratch_results, incremental_results)
+    )
+    metrics = incremental.metrics
+    return {
+        "scale": scale,
+        "rounds": rounds,
+        "moves": moves,
+        "scratch_seconds": scratch_seconds,
+        "incremental_seconds": incremental_seconds,
+        "speedup": scratch_seconds / max(incremental_seconds, 1e-12),
+        "mismatches": mismatches,
+        "component_hit_rate": metrics.hit_rate("sample/component"),
+        "subject_hit_rate": metrics.hit_rate("faulttree/subject"),
+        "plan_cache_hits": metrics.counter("plan_cache/hit"),
+        "metrics": metrics,
+    }
+
+
+def _report(row: dict) -> str:
+    return (
+        f"{row['scale']:<8} rounds={row['rounds']:<7} moves={row['moves']:<4} "
+        f"scratch={row['scratch_seconds']:.3f}s "
+        f"incremental={row['incremental_seconds']:.3f}s "
+        f"speedup={row['speedup']:.2f}x "
+        f"component-hits={row['component_hit_rate']:.1%} "
+        f"mismatches={row['mismatches']}"
+    )
+
+
+def run_smoke() -> int:
+    """CI gate: correctness and cache effectiveness, never wall-clock."""
+    row = run_comparison("tiny", rounds=500, moves=12)
+    print(_report(row))
+    assert row["mismatches"] == 0, (
+        "incremental assessment diverged from the from-scratch CRN path"
+    )
+    assert row["component_hit_rate"] > 0.0, (
+        "component-state cache never hit across a move sequence"
+    )
+    assert row["subject_hit_rate"] > 0.0, (
+        "fault-tree cache never hit across a move sequence"
+    )
+    print("smoke OK: bit-identical results, caches exercised")
+    return 0
+
+
+def run_full(scales: list[str], rounds: int, moves: int) -> int:
+    failed = False
+    lines = []
+    for scale in scales:
+        row = run_comparison(scale, rounds=rounds, moves=moves)
+        line = _report(row)
+        lines.append(line)
+        print(line)
+        if row["mismatches"]:
+            print(f"  !! {row['mismatches']} mismatching assessments")
+            failed = True
+        if row["speedup"] < 3.0:
+            print(f"  !! speedup {row['speedup']:.2f}x below the 3x target")
+            failed = True
+    results_dir = pathlib.Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "bench_incremental.txt").write_text("\n".join(lines) + "\n")
+    return 1 if failed else 0
+
+
+def test_incremental_smoke():
+    """Pytest entry point mirroring the CI smoke gate."""
+    assert run_smoke() == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast correctness/cache gate for CI (no wall-clock assertion)",
+    )
+    parser.add_argument(
+        "--scales", default="tiny", help="comma-separated Table-2 scales"
+    )
+    parser.add_argument("--rounds", type=int, default=10_000)
+    parser.add_argument("--moves", type=int, default=60)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    scales = [s.strip() for s in args.scales.split(",") if s.strip()]
+    return run_full(scales, rounds=args.rounds, moves=args.moves)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

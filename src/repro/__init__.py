@@ -10,13 +10,13 @@ multi-objective (reliability + utility) trade-offs.
 Quickstart::
 
     from repro import (
-        ApplicationStructure, DeploymentSearch, ReliabilityAssessor,
-        SearchSpec, build_paper_inventory, paper_topology,
+        ApplicationStructure, AssessmentConfig, DeploymentSearch,
+        SearchSpec, build_assessor, build_paper_inventory, paper_topology,
     )
 
     topology = paper_topology("small", seed=1)
     inventory = build_paper_inventory(topology, seed=2)
-    assessor = ReliabilityAssessor(topology, inventory, rng=3)
+    assessor = build_assessor(topology, inventory, AssessmentConfig(rng=3))
     search = DeploymentSearch(assessor, rng=4)
     spec = SearchSpec(ApplicationStructure.k_of_n(4, 5), max_seconds=10.0)
     result = search.search(spec)
@@ -46,11 +46,14 @@ from repro.baselines import (
     top_plans,
 )
 from repro.core import (
+    AssessmentConfig,
     AssessmentResult,
+    Assessor,
     BandwidthUtilityObjective,
     CompositeObjective,
     DeploymentPlan,
     DeploymentSearch,
+    IncrementalAssessor,
     ReliabilityAssessor,
     ReliabilityObjective,
     RiskAnalyzer,
@@ -59,6 +62,7 @@ from repro.core import (
     SearchSpec,
     SymmetryChecker,
     WorkloadUtilityObjective,
+    build_assessor,
 )
 from repro.faults import (
     Component,
@@ -89,7 +93,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ApplicationStructure",
+    "AssessmentConfig",
     "AssessmentResult",
+    "Assessor",
     "BandwidthUtilityObjective",
     "Component",
     "ComponentSpec",
@@ -104,6 +110,7 @@ __all__ = [
     "FatTreeTopology",
     "FaultTree",
     "HostWorkloadModel",
+    "IncrementalAssessor",
     "IndaasComparator",
     "InstanceRef",
     "LeafSpineTopology",
@@ -123,6 +130,7 @@ __all__ = [
     "WorkloadUtilityObjective",
     "__version__",
     "best_of_random",
+    "build_assessor",
     "build_paper_inventory",
     "build_rich_inventory",
     "common_practice_plan",

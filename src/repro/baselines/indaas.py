@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.assessment import ReliabilityAssessor
+from repro.core.api import DEFAULT_ROUNDS, AssessmentConfig, build_assessor
 from repro.core.plan import DeploymentPlan
 from repro.faults.dependencies import DependencyModel
 from repro.sampling.montecarlo import MonteCarloSampler
@@ -46,15 +46,17 @@ class IndaasComparator:
         self,
         topology: Topology,
         dependency_model: DependencyModel | None = None,
-        rounds: int = 10_000,
+        rounds: int = DEFAULT_ROUNDS,
         rng: int | np.random.Generator | None = None,
     ):
-        self._assessor = ReliabilityAssessor(
+        self._assessor = build_assessor(
             topology,
             dependency_model,
-            sampler=MonteCarloSampler(),
-            rounds=rounds,
-            rng=rng,
+            AssessmentConfig(
+                rounds=rounds,
+                sampler=MonteCarloSampler(),
+                rng=rng,
+            ),
         )
 
     def rank_plans(

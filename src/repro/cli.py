@@ -28,16 +28,17 @@ from repro.baselines.common_practice import (
     enhanced_common_practice_plan,
     power_diversity,
 )
-from repro.core.assessment import ReliabilityAssessor
+from repro.core.api import AssessmentConfig, build_assessor
 from repro.core.objectives import CompositeObjective, WorkloadUtilityObjective
 from repro.core.plan import DeploymentPlan
 from repro.core.risk import RiskAnalyzer
 from repro.core.search import DeploymentSearch, SearchSpec
 from repro.faults.inventory import build_paper_inventory
 from repro.faults.probability import annual_downtime_hours
-from repro.runtime.mapreduce import ParallelAssessor, RetryPolicy
+from repro.runtime.mapreduce import RetryPolicy
 from repro.topology.presets import PAPER_SCALES, paper_topology
 from repro.util.errors import ReproError
+from repro.util.metrics import MetricsRegistry
 from repro.workload.model import HostWorkloadModel
 
 
@@ -45,6 +46,18 @@ def _build_context(args):
     topology = paper_topology(args.scale, seed=args.seed)
     inventory = build_paper_inventory(topology, seed=args.seed + 1)
     return topology, inventory
+
+
+def _metrics_for(args) -> MetricsRegistry | None:
+    return MetricsRegistry() if getattr(args, "profile", False) else None
+
+
+def _attach_profile(args, metrics, document: dict, human: str) -> str:
+    """Fold a profiling snapshot into both output forms when requested."""
+    if metrics is None:
+        return human
+    document["profile"] = {key: value for key, value in metrics.flat()}
+    return human + "\n" + metrics.format_table()
 
 
 def _emit(args, document: dict, human: str) -> None:
@@ -87,25 +100,29 @@ def cmd_assess(args) -> int:
     hosts = _parse_hosts(args.hosts)
     structure = ApplicationStructure.k_of_n(args.k, len(hosts))
     plan = DeploymentPlan.single_component(hosts, structure.components[0].name)
-    if args.workers > 0:
-        retry_policy = RetryPolicy(
-            timeout_seconds=args.portion_timeout, max_retries=args.retries
-        )
-        with ParallelAssessor(
-            topology,
-            inventory,
-            rounds=args.rounds,
-            workers=args.workers,
-            rng=args.seed + 2,
-            retry_policy=retry_policy,
-            partial_ok=args.partial_ok,
-        ) as assessor:
-            result = assessor.assess(plan, structure)
+    if args.mode == "auto":
+        mode = "parallel" if args.workers > 0 else "sequential"
     else:
-        assessor = ReliabilityAssessor(
-            topology, inventory, rounds=args.rounds, rng=args.seed + 2
-        )
+        mode = args.mode
+    metrics = _metrics_for(args)
+    config = AssessmentConfig(
+        rounds=args.rounds,
+        rng=args.seed + 2,
+        mode=mode,
+        workers=args.workers or 2,
+        retry_policy=RetryPolicy(
+            timeout_seconds=args.portion_timeout, max_retries=args.retries
+        ),
+        partial_ok=args.partial_ok,
+        metrics=metrics,
+    )
+    assessor = build_assessor(topology, inventory, config)
+    try:
         result = assessor.assess(plan, structure)
+    finally:
+        close = getattr(assessor, "close", None)
+        if close is not None:
+            close()
     document = serialization.assessment_to_dict(result)
     human = (
         f"plan      : {result.plan}\n"
@@ -131,6 +148,7 @@ def cmd_assess(args) -> int:
                 f"\nDEGRADED  : {runtime.dropped_portions} portions "
                 f"({runtime.dropped_rounds} rounds) lost; error bounds widened"
             )
+    human = _attach_profile(args, metrics, document, human)
     _emit(args, document, human)
     return 0
 
@@ -141,8 +159,12 @@ def cmd_search(args) -> int:
               file=sys.stderr)
         return 2
     topology, inventory = _build_context(args)
-    assessor = ReliabilityAssessor(
-        topology, inventory, rounds=args.rounds, rng=args.seed + 2
+    metrics = _metrics_for(args)
+    config = AssessmentConfig(
+        rounds=args.rounds,
+        rng=args.seed + 2,
+        mode="incremental" if args.incremental else "sequential",
+        metrics=metrics,
     )
     if args.multi_objective:
         workload = HostWorkloadModel.paper_default(topology, seed=args.seed + 3)
@@ -163,8 +185,10 @@ def cmd_search(args) -> int:
         signal.signal(signal.SIGTERM, _request_stop)
         signal.signal(signal.SIGINT, _request_stop)
 
-    search = DeploymentSearch(
-        assessor,
+    search = DeploymentSearch.from_config(
+        topology,
+        inventory,
+        config,
         objective=objective,
         rng=args.seed + 4,
         checkpoint_path=checkpoint_path,
@@ -195,6 +219,7 @@ def cmd_search(args) -> int:
         human += f"\ncheckpoint: {checkpoint_path}"
         if stop_requested["flag"]:
             human += " (preempted; resume with --resume)"
+    human = _attach_profile(args, metrics, document, human)
     _emit(args, document, human)
     if stop_requested["flag"]:
         return 4
@@ -225,8 +250,10 @@ def cmd_risk(args) -> int:
 def cmd_baseline(args) -> int:
     topology, inventory = _build_context(args)
     workload = HostWorkloadModel.paper_default(topology, seed=args.seed + 3)
-    assessor = ReliabilityAssessor(
-        topology, inventory, rounds=args.rounds, rng=args.seed + 2
+    assessor = build_assessor(
+        topology,
+        inventory,
+        AssessmentConfig(rounds=args.rounds, rng=args.seed + 2),
     )
     plans = {
         "common-practice": common_practice_plan(topology, workload, args.n),
@@ -281,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--json", action="store_true", help="emit machine-readable JSON"
         )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="collect and print stage timings and cache counters",
+        )
 
     p = sub.add_parser("topology", help="print a data center summary")
     common(p)
@@ -313,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="accept partial results with widened error bounds instead of "
         "recovering failed portions inline",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("auto", "sequential", "parallel", "incremental"),
+        default="auto",
+        help="execution mode (auto = parallel when --workers > 0)",
     )
     p.set_defaults(handler=cmd_assess)
 
@@ -354,6 +392,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="resume an interrupted search from this checkpoint "
         "(--k/--n come from the checkpoint)",
+    )
+    p.add_argument(
+        "--incremental",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the search hot path through the incremental assessment "
+        "engine (bit-identical to the from-scratch path, just faster)",
     )
     p.set_defaults(handler=cmd_search)
 

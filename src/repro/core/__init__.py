@@ -6,8 +6,14 @@ from repro.core.anneal import (
     classic_delta,
     paper_delta,
 )
+from repro.core.api import (
+    AssessmentConfig,
+    Assessor,
+    build_assessor,
+)
 from repro.core.assessment import DEFAULT_ROUNDS, ReliabilityAssessor
 from repro.core.evaluation import StructureEvaluator
+from repro.core.incremental import IncrementalAssessor
 from repro.core.objectives import (
     BandwidthUtilityObjective,
     ClassicReliabilityObjective,
@@ -24,13 +30,16 @@ from repro.core.search import DeploymentSearch, SearchSpec
 from repro.core.transforms import SignatureCache, SymmetryChecker
 
 __all__ = [
+    "AssessmentConfig",
     "AssessmentResult",
+    "Assessor",
     "BandwidthUtilityObjective",
     "ClassicReliabilityObjective",
     "CompositeObjective",
     "DEFAULT_ROUNDS",
     "DeploymentPlan",
     "DeploymentSearch",
+    "IncrementalAssessor",
     "LinearTemperatureSchedule",
     "Objective",
     "ReliabilityAssessor",
@@ -46,6 +55,7 @@ __all__ = [
     "WeightedObjective",
     "WorkloadUtilityObjective",
     "acceptance_probability",
+    "build_assessor",
     "classic_delta",
     "enumerate_k_of_n_plans",
     "paper_delta",

@@ -1,0 +1,209 @@
+"""The unified assessment API: one config, one protocol, one factory.
+
+Historically the codebase grew three divergent ways to ask for an
+assessment: the keyword sprawl of :class:`ReliabilityAssessor`, the
+constructor arguments of :class:`~repro.runtime.mapreduce.ParallelAssessor`,
+and the CLI's own flag plumbing. They drifted (different defaults,
+different names for the same knob) and every new execution mode multiplied
+the surface. This module collapses them:
+
+* :class:`AssessmentConfig` — a single declarative dataclass holding every
+  assessment knob, independent of the execution mode;
+* :class:`Assessor` — the protocol every execution mode implements
+  (``assess(plan, structure, rounds=None) -> AssessmentResult`` plus the
+  substrate attributes the search reads);
+* :func:`build_assessor` — the factory that turns a topology + dependency
+  model + config into the right assessor (sequential, parallel, or
+  incremental).
+
+The old keyword forms keep working through a thin shim that converts them
+into an :class:`AssessmentConfig` and emits a :class:`DeprecationWarning`
+(see :func:`config_from_legacy_kwargs`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.util.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.app.structure import ApplicationStructure
+    from repro.core.plan import DeploymentPlan
+    from repro.core.result import AssessmentResult
+    from repro.faults.dependencies import DependencyModel
+    from repro.routing.base import ReachabilityEngine
+    from repro.runtime.chaos import ChaosPolicy
+    from repro.runtime.mapreduce import RetryPolicy
+    from repro.sampling.base import Sampler
+    from repro.topology.base import Topology
+
+#: The paper's default assessment effort (§4.1).
+DEFAULT_ROUNDS = 10_000
+
+#: Execution modes :func:`build_assessor` can dispatch to.
+MODES = ("sequential", "parallel", "incremental")
+
+
+@dataclass(frozen=True)
+class AssessmentConfig:
+    """Every knob of an assessment, independent of the execution mode.
+
+    Attributes:
+        rounds: Sampling rounds per assessment (Table 1 columns).
+        sampler: Failure-state sampler; ``None`` picks the mode's default
+            (extended dagger sequentially/parallel, common-random dagger
+            incrementally).
+        rng: Seed or generator for the assessment randomness.
+        engine: Reachability engine override; ``None`` picks the best
+            engine for the topology.
+        sample_full_infrastructure: Sample every component of the data
+            center instead of the relevant closure (literal Table-1
+            semantics; what Fig. 7 times).
+        mode: ``"sequential"`` (in-process), ``"parallel"`` (supervised
+            worker pool) or ``"incremental"`` (cached single-move deltas
+            under common random numbers).
+        workers: Worker processes for the parallel mode.
+        backend: ``"process"`` or ``"inline"`` for the parallel mode.
+        retry_policy: Per-portion retry/timeout policy (parallel mode).
+        partial_ok: Accept degraded partial estimates instead of inline
+            recovery (parallel mode).
+        chaos: Deterministic fault injection for tests (parallel mode).
+        master_seed: Common-random-numbers master seed for the incremental
+            mode; ``None`` derives one from ``rng``.
+        reuse_symmetric: Let the incremental plan cache return the result
+            of a *symmetry-equivalent* plan (same reliability by network
+            transformation, but not bit-identical per-round states).
+        profile: Collect stage timings and cache counters; surfaced via
+            the assessor's ``metrics`` registry and, on results, via
+            ``RuntimeMetadata.profile``.
+        metrics: Externally supplied registry to record into (implies
+            nothing about ``profile``; passing one enables collection).
+    """
+
+    rounds: int = DEFAULT_ROUNDS
+    sampler: "Sampler | None" = None
+    rng: "int | np.random.Generator | None" = None
+    engine: "ReachabilityEngine | None" = None
+    sample_full_infrastructure: bool = False
+    mode: str = "sequential"
+    workers: int = 2
+    backend: str = "process"
+    retry_policy: "RetryPolicy | None" = None
+    partial_ok: bool = False
+    chaos: "ChaosPolicy | None" = None
+    master_seed: int | None = None
+    reuse_symmetric: bool = False
+    profile: bool = False
+    metrics: MetricsRegistry | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ConfigurationError(f"rounds must be positive, got {self.rounds}")
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown assessment mode {self.mode!r}; expected one of {MODES}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def registry(self) -> MetricsRegistry | None:
+        """The registry assessments should record into, or ``None``.
+
+        An explicitly supplied ``metrics`` registry always wins;
+        ``profile=True`` without one means "the assessor creates its own".
+        """
+        if self.metrics is not None:
+            return self.metrics
+        return MetricsRegistry() if self.profile else None
+
+    def with_updates(self, **changes: Any) -> "AssessmentConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@runtime_checkable
+class Assessor(Protocol):
+    """What every execution mode exposes to the search, CLI and baselines."""
+
+    topology: "Topology"
+    dependency_model: "DependencyModel"
+    rounds: int
+
+    def assess(
+        self,
+        plan: "DeploymentPlan",
+        structure: "ApplicationStructure",
+        rounds: int | None = None,
+    ) -> "AssessmentResult":
+        """Assess one plan against one application structure."""
+        ...
+
+
+#: Legacy keyword -> config field, for the deprecation shim.
+_LEGACY_FIELDS = frozenset(
+    f.name for f in fields(AssessmentConfig) if f.name not in ("mode",)
+)
+
+
+def config_from_legacy_kwargs(
+    base: AssessmentConfig | None = None,
+    *,
+    mode: str | None = None,
+    stacklevel: int = 3,
+    **legacy: Any,
+) -> AssessmentConfig:
+    """Convert pre-``AssessmentConfig`` keyword arguments into a config.
+
+    This is the deprecation shim behind the old entry points
+    (``ReliabilityAssessor(topology, model, rounds=..., rng=...)``,
+    ``ParallelAssessor(topology, model, workers=...)``): the keywords keep
+    working, but each use emits a :class:`DeprecationWarning` pointing at
+    the unified API.
+    """
+    unknown = set(legacy) - _LEGACY_FIELDS
+    if unknown:
+        raise TypeError(f"unexpected assessment keyword(s): {sorted(unknown)}")
+    warnings.warn(
+        "passing assessment keywords directly is deprecated; build an "
+        "AssessmentConfig and use build_assessor()/from_config() instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    config = base or AssessmentConfig()
+    if mode is not None:
+        legacy["mode"] = mode
+    return replace(config, **legacy)
+
+
+def build_assessor(
+    topology: "Topology",
+    dependency_model: "DependencyModel | None" = None,
+    config: AssessmentConfig | None = None,
+    **legacy: Any,
+) -> Assessor:
+    """Build the assessor a config describes.
+
+    The one entry point the search, the CLI and the baselines share.
+    Legacy keyword arguments are accepted through the deprecation shim.
+    """
+    if legacy:
+        config = config_from_legacy_kwargs(config, **legacy)
+    config = config or AssessmentConfig()
+
+    if config.mode == "parallel":
+        from repro.runtime.mapreduce import ParallelAssessor
+
+        return ParallelAssessor.from_config(topology, dependency_model, config)
+    if config.mode == "incremental":
+        from repro.core.incremental import IncrementalAssessor
+
+        return IncrementalAssessor.from_config(topology, dependency_model, config)
+    from repro.core.assessment import ReliabilityAssessor
+
+    return ReliabilityAssessor.from_config(topology, dependency_model, config)

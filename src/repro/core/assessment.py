@@ -21,9 +21,13 @@ Pipeline, per assessment:
 
 from __future__ import annotations
 
+import contextlib
+from typing import Any
+
 import numpy as np
 
 from repro.app.structure import ApplicationStructure
+from repro.core.api import DEFAULT_ROUNDS, AssessmentConfig, config_from_legacy_kwargs
 from repro.core.evaluation import StructureEvaluator
 from repro.core.plan import DeploymentPlan
 from repro.core.result import AssessmentResult
@@ -34,11 +38,18 @@ from repro.sampling.dagger import ExtendedDaggerSampler
 from repro.sampling.statistics import estimate_from_results
 from repro.topology.base import Topology
 from repro.util.errors import ConfigurationError
+from repro.util.metrics import MetricsRegistry
 from repro.util.rng import make_rng
 from repro.util.timing import Stopwatch
 
-#: The paper's default assessment effort (§4.1).
-DEFAULT_ROUNDS = 10_000
+__all__ = ["DEFAULT_ROUNDS", "ReliabilityAssessor"]
+
+
+def _stage(metrics: MetricsRegistry | None, name: str):
+    """Timer context for one pipeline stage; free when not profiling."""
+    if metrics is None:
+        return contextlib.nullcontext()
+    return metrics.timer(name)
 
 
 class _ZeroFill(dict):
@@ -64,27 +75,41 @@ class ReliabilityAssessor:
         self,
         topology: Topology,
         dependency_model: DependencyModel | None = None,
-        sampler: Sampler | None = None,
-        rounds: int = DEFAULT_ROUNDS,
-        engine: ReachabilityEngine | None = None,
-        rng: int | np.random.Generator | None = None,
-        sample_full_infrastructure: bool = False,
+        config: AssessmentConfig | None = None,
+        **legacy: Any,
     ):
-        if rounds <= 0:
-            raise ConfigurationError(f"rounds must be positive, got {rounds}")
+        if legacy:
+            if config is not None:
+                raise ConfigurationError(
+                    "pass either an AssessmentConfig or legacy keywords, not both"
+                )
+            config = config_from_legacy_kwargs(**legacy)
+        config = config or AssessmentConfig()
+        self.config = config
         self.topology = topology
         self.dependency_model = dependency_model or DependencyModel.empty(topology)
         if self.dependency_model.topology is not topology:
             raise ConfigurationError(
                 "dependency model was built for a different topology"
             )
-        self.sampler = sampler or ExtendedDaggerSampler()
-        self.rounds = rounds
-        self.engine = engine or engine_for(topology)
-        self.rng = make_rng(rng)
-        self.sample_full_infrastructure = sample_full_infrastructure
+        self.sampler = config.sampler or ExtendedDaggerSampler()
+        self.rounds = config.rounds
+        self.engine = config.engine or engine_for(topology)
+        self.rng = make_rng(config.rng)
+        self.sample_full_infrastructure = config.sample_full_infrastructure
+        self.metrics = config.registry()
         self._evaluator = StructureEvaluator(self.engine)
         self._all_probabilities = self.dependency_model.failure_probabilities()
+
+    @classmethod
+    def from_config(
+        cls,
+        topology: Topology,
+        dependency_model: DependencyModel | None = None,
+        config: AssessmentConfig | None = None,
+    ) -> "ReliabilityAssessor":
+        """The unified-API constructor (see :mod:`repro.core.api`)."""
+        return cls(topology, dependency_model, config=config)
 
     # ------------------------------------------------------------------
 
@@ -117,41 +142,50 @@ class ReliabilityAssessor:
     ) -> AssessmentResult:
         """Assess one plan against one application structure."""
         watch = Stopwatch()
+        metrics = self.metrics
         rounds = rounds or self.rounds
         plan.validate_against(self.topology, structure)
 
-        subjects, sampled = self.closure_for(plan)
-        if self.sample_full_infrastructure:
-            probabilities = dict(self._all_probabilities)
-        else:
-            probabilities = {cid: self._all_probabilities[cid] for cid in sampled}
+        with _stage(metrics, "closure"):
+            subjects, sampled = self.closure_for(plan)
+            if self.sample_full_infrastructure:
+                probabilities = dict(self._all_probabilities)
+            else:
+                probabilities = {cid: self._all_probabilities[cid] for cid in sampled}
 
-        batch = self.sampler.sample(probabilities, rounds, self.rng)
+        with _stage(metrics, "sample"):
+            batch = self.sampler.sample(probabilities, rounds, self.rng)
 
         # Fault-tree reasoning: effective per-round failure of each subject.
-        dense = _ZeroFill(rounds)
-        for cid, failed_rounds in batch.failed_rounds.items():
-            if cid in sampled:
-                states = np.zeros(rounds, dtype=bool)
-                states[failed_rounds] = True
-                dense[cid] = states
+        with _stage(metrics, "faulttree"):
+            dense = _ZeroFill(rounds)
+            for cid, failed_rounds in batch.failed_rounds.items():
+                if cid in sampled:
+                    states = np.zeros(rounds, dtype=bool)
+                    states[failed_rounds] = True
+                    dense[cid] = states
 
-        failed: dict[str, np.ndarray] = {}
-        for subject in subjects:
-            tree = self.dependency_model.tree_for(subject)
-            if all(event not in dense for event in tree.basic_events()):
-                continue  # nothing this subject depends on ever failed
-            effective = tree.evaluate(dense)
-            if effective.any():
-                failed[subject] = effective
-        for link_cid in sampled - subjects:
-            if link_cid in dense and link_cid not in self.dependency_model.trees:
-                if link_cid in self.topology.components:
-                    failed[link_cid] = dense[link_cid]
+            failed: dict[str, np.ndarray] = {}
+            for subject in subjects:
+                tree = self.dependency_model.tree_for(subject)
+                if all(event not in dense for event in tree.basic_events()):
+                    continue  # nothing this subject depends on ever failed
+                effective = tree.evaluate(dense)
+                if effective.any():
+                    failed[subject] = effective
+            for link_cid in sampled - subjects:
+                if link_cid in dense and link_cid not in self.dependency_model.trees:
+                    if link_cid in self.topology.components:
+                        failed[link_cid] = dense[link_cid]
 
-        round_states = RoundStates(rounds=rounds, failed=failed)
-        per_round = self._evaluator.evaluate(round_states, plan, structure)
-        estimate = estimate_from_results(per_round)
+        with _stage(metrics, "route_and_check"):
+            round_states = RoundStates(rounds=rounds, failed=failed)
+            per_round = self._evaluator.evaluate(round_states, plan, structure)
+        with _stage(metrics, "estimate"):
+            estimate = estimate_from_results(per_round)
+        if metrics is not None:
+            metrics.incr("assess/from_scratch")
+            metrics.incr("sample/components", len(probabilities))
         return AssessmentResult(
             plan=plan,
             estimate=estimate,

@@ -1,0 +1,444 @@
+"""Incremental assessment engine for the search hot path (§3.3).
+
+The annealing search spends essentially all of its time re-assessing
+neighbour plans that differ from the current plan by a *single VM move*,
+yet the from-scratch pipeline recomputes the relevant closure, resamples
+every component and re-walks every fault tree each iteration. Under
+common random numbers all of that work is a pure function of
+``(component, master_seed, rounds)`` — independent of which plan is being
+assessed — so it can be cached once and reused across every move:
+
+* **Component-state cache** — each component's failed-round indices come
+  from its private CRN stream (see
+  :meth:`~repro.sampling.dagger.CommonRandomDaggerSampler.component_failed_rounds`),
+  so a one-host move only samples the closure *delta*; every shared
+  component's states are reused verbatim.
+* **Closure memoization** — the relevant closure decomposes per host for
+  every shipped engine (the union of single-host closures equals the
+  joint closure; the generic engine's closure is the whole data center,
+  which makes the union trivially exact), and fault-tree basic events are
+  memoized per subject, so closure computation is an O(delta) set union.
+* **Effective-state cache** — fault-tree reasoning per subject does not
+  depend on the plan either; each subject's effective per-round failure
+  vector is computed once and shared by every plan that touches it.
+* **Route segment + per-host reachability caches** — all assessments
+  share one :class:`~repro.routing.base.RoundStates`, so the engines'
+  per-states path-segment caches persist across moves, and a caching
+  proxy memoizes finished per-host external / per-pair vectors.
+* **Plan-level result cache** — keyed by the plan's canonical key, plus
+  (opt-in) the symmetry-canonical signature from
+  :class:`~repro.core.transforms.SymmetryChecker`, so revisited or
+  symmetry-equivalent plans cost a dictionary lookup.
+
+**Correctness invariant (CRN equality).** Before the route-and-check for
+a plan runs, every element of that plan's relevant closure has been
+sampled and fault-tree-evaluated; cached entries are never mutated
+afterwards (per-component streams are deterministic). A fault-free
+incremental assessment is therefore *bit-identical* to a from-scratch
+:class:`~repro.core.assessment.ReliabilityAssessor` using a
+:class:`~repro.sampling.dagger.CommonRandomDaggerSampler` with the same
+master seed and round count — the property the test suite asserts across
+randomized move sequences.
+
+Caches grow with the set of hosts the search has touched (a few KiB per
+component at 10^4 rounds); :meth:`IncrementalAssessor.clear_caches`
+resets everything, e.g. after ``override_probabilities`` style updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig
+from repro.core.evaluation import StructureEvaluator
+from repro.core.plan import DeploymentPlan
+from repro.core.result import AssessmentResult, RuntimeMetadata
+from repro.faults.dependencies import DependencyModel
+from repro.routing.base import ReachabilityEngine, RoundStates, engine_for
+from repro.sampling.dagger import CommonRandomDaggerSampler
+from repro.sampling.statistics import estimate_from_results
+from repro.topology.base import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.metrics import MetricsRegistry
+from repro.util.rng import make_rng
+from repro.util.timing import Stopwatch
+
+
+def _structure_key(structure: ApplicationStructure) -> tuple:
+    """Hashable identity of an application structure for the plan cache."""
+    return (
+        tuple((spec.name, spec.instances) for spec in structure.components),
+        tuple(
+            (req.component, req.source, req.min_reachable)
+            for req in structure.requirements
+        ),
+    )
+
+
+class _CachingEngine(ReachabilityEngine):
+    """Memoizes finished per-host / per-pair reachability vectors.
+
+    Valid because both answers are a pure function of the shared failure
+    states and the queried host(s) alone — per-host results do not depend
+    on which other hosts share the call (all shipped engines compute them
+    host-by-host) — and the shared states for any element a query reads
+    are in place before the first query that reads them, and never change.
+    Missing entries are delegated to the inner engine in one batch so the
+    generic engine keeps its one-union-find-per-round amortization.
+    """
+
+    def __init__(self, inner: ReachabilityEngine, metrics: MetricsRegistry):
+        super().__init__(inner.topology)
+        self.inner = inner
+        self.metrics = metrics
+        self._external: dict[str, np.ndarray] = {}
+        self._pairs: dict[tuple[str, str], np.ndarray] = {}
+
+    def relevant_elements(self, hosts: Sequence[str]) -> set[str]:
+        return self.inner.relevant_elements(hosts)
+
+    def external_reachable(
+        self, states: RoundStates, hosts: Sequence[str]
+    ) -> dict[str, np.ndarray]:
+        unique = list(dict.fromkeys(hosts))
+        missing = [h for h in unique if h not in self._external]
+        self.metrics.incr("route/host/hit", len(unique) - len(missing))
+        self.metrics.incr("route/host/miss", len(missing))
+        if missing:
+            self._external.update(self.inner.external_reachable(states, missing))
+        return {h: self._external[h] for h in unique}
+
+    def pairwise_reachable(
+        self, states: RoundStates, pairs: Sequence[tuple[str, str]]
+    ) -> dict[tuple[str, str], np.ndarray]:
+        unique = list(dict.fromkeys(pairs))
+        missing = [p for p in unique if p not in self._pairs]
+        self.metrics.incr("route/pair/hit", len(unique) - len(missing))
+        self.metrics.incr("route/pair/miss", len(missing))
+        if missing:
+            self._pairs.update(self.inner.pairwise_reachable(states, missing))
+        return {p: self._pairs[p] for p in unique}
+
+    def clear(self) -> None:
+        self._external.clear()
+        self._pairs.clear()
+
+
+class IncrementalAssessor:
+    """Cached, move-incremental reliability assessment under CRN.
+
+    Implements the same :class:`~repro.core.api.Assessor` protocol as the
+    sequential and parallel assessors; construct via
+    :meth:`from_config` / :func:`~repro.core.api.build_assessor` with
+    ``mode="incremental"``. The round count and master seed are fixed for
+    the assessor's lifetime — they define the sampling universe all the
+    caches live in (use a fresh assessor, or :meth:`clear_caches` plus
+    :meth:`reseed`, to change either).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        dependency_model: DependencyModel | None = None,
+        config: AssessmentConfig | None = None,
+    ):
+        config = config or AssessmentConfig(mode="incremental")
+        self.config = config
+        self.topology = topology
+        self.dependency_model = dependency_model or DependencyModel.empty(topology)
+        if self.dependency_model.topology is not topology:
+            raise ConfigurationError(
+                "dependency model was built for a different topology"
+            )
+        self.rounds = config.rounds
+        self.rng = make_rng(config.rng)
+        if config.sampler is None:
+            master_seed = (
+                config.master_seed
+                if config.master_seed is not None
+                else int(self.rng.integers(0, 2**63))
+            )
+            self.sampler = CommonRandomDaggerSampler(master_seed)
+        elif isinstance(config.sampler, CommonRandomDaggerSampler):
+            self.sampler = config.sampler
+        else:
+            raise ConfigurationError(
+                "incremental assessment requires component-addressed common "
+                "random numbers (CommonRandomDaggerSampler); got "
+                f"{type(config.sampler).__name__}"
+            )
+        self.sample_full_infrastructure = config.sample_full_infrastructure
+        self.reuse_symmetric = config.reuse_symmetric
+        self.metrics = config.registry() or MetricsRegistry()
+        self.engine = config.engine or engine_for(topology)
+        self._caching_engine = _CachingEngine(self.engine, self.metrics)
+        self._evaluator = StructureEvaluator(self._caching_engine)
+        self._all_probabilities = self.dependency_model.failure_probabilities()
+
+        # The shared sampling universe. `_effective` only ever gains
+        # entries (and existing entries are never rewritten), so the one
+        # long-lived RoundStates — and the engine path-segment caches that
+        # hang off it — stay valid across every assessment.
+        self._zeros = np.zeros(self.rounds, dtype=bool)
+        self._zeros.flags.writeable = False
+        self._host_closure: dict[str, frozenset[str]] = {}
+        self._failed_rounds: dict[str, np.ndarray] = {}  # component samples
+        self._dense: dict[str, np.ndarray] = {}  # dense view, failing comps
+        self._effective: dict[str, np.ndarray] = {}  # post-fault-tree states
+        self._known_subjects: set[str] = set()
+        self._known_links: set[str] = set()
+        self._states = RoundStates(rounds=self.rounds, failed=self._effective)
+        self._plan_cache: dict[tuple, AssessmentResult] = {}
+        self._signature_cache: dict[tuple, AssessmentResult] = {}
+        self._symmetry = None  # built lazily when reuse_symmetric is on
+
+    @classmethod
+    def from_config(
+        cls,
+        topology: Topology,
+        dependency_model: DependencyModel | None = None,
+        config: AssessmentConfig | None = None,
+    ) -> "IncrementalAssessor":
+        """The unified-API constructor (see :mod:`repro.core.api`)."""
+        return cls(topology, dependency_model, config=config)
+
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def master_seed(self) -> int:
+        """The CRN master seed the whole cache universe is keyed by."""
+        return self.sampler.master_seed
+
+    def clear_caches(self) -> None:
+        """Drop every cache (states, closures, plans, route vectors).
+
+        Call after externally mutating failure probabilities or the
+        dependency model; the next assessment rebuilds from scratch.
+        """
+        self._host_closure.clear()
+        self._failed_rounds.clear()
+        self._dense.clear()
+        self._effective.clear()
+        self._known_subjects.clear()
+        self._known_links.clear()
+        self._plan_cache.clear()
+        self._signature_cache.clear()
+        self._caching_engine.clear()
+        # Fresh RoundStates: the engines' per-states segment caches are
+        # attached to the old object and die with it.
+        self._states = RoundStates(rounds=self.rounds, failed=self._effective)
+        self._all_probabilities = self.dependency_model.failure_probabilities()
+
+    def reseed(self, master_seed: int) -> None:
+        """Move to a new CRN master seed, invalidating every cache."""
+        self.sampler.reseed(master_seed)
+        self.clear_caches()
+
+    # ------------------------------------------------------------------
+    # Closure (memoized per host)
+    # ------------------------------------------------------------------
+
+    def closure_for(self, plan: DeploymentPlan) -> tuple[set[str], set[str]]:
+        """(subjects, sampled component ids) — same contract as the
+        from-scratch assessor, assembled from per-host memo entries."""
+        metrics = self.metrics
+        elements: set[str] = set()
+        for host in plan.hosts():
+            cached = self._host_closure.get(host)
+            if cached is None:
+                metrics.incr("closure/host/miss")
+                cached = frozenset(self.engine.relevant_elements([host]))
+                self._host_closure[host] = cached
+            else:
+                metrics.incr("closure/host/hit")
+            elements |= cached
+        graph = self.topology.graph
+        subjects = {cid for cid in elements if cid in graph}
+        sampled = set(self.dependency_model.basic_events_for(subjects))
+        sampled.update(elements - subjects)
+        return subjects, sampled
+
+    # ------------------------------------------------------------------
+    # Component sampling and fault-tree reasoning (both cached)
+    # ------------------------------------------------------------------
+
+    def _failed_for(self, cid: str) -> np.ndarray:
+        """Sampled failed-round indices for one component, cached."""
+        failed = self._failed_rounds.get(cid)
+        if failed is None:
+            self.metrics.incr("sample/component/miss")
+            failed = self.sampler.component_failed_rounds(
+                cid, self._all_probabilities[cid], self.rounds
+            )
+            self._failed_rounds[cid] = failed
+        else:
+            self.metrics.incr("sample/component/hit")
+        return failed
+
+    def _dense_for(self, cid: str) -> np.ndarray:
+        """Dense per-round failure vector (shared read-only zeros when the
+        component never fails)."""
+        failed = self._failed_rounds[cid]
+        if not failed.size:
+            return self._zeros
+        dense = self._dense.get(cid)
+        if dense is None:
+            dense = np.zeros(self.rounds, dtype=bool)
+            dense[failed] = True
+            self._dense[cid] = dense
+        return dense
+
+    def _extend_universe(self, subjects: set[str], sampled: set[str]) -> None:
+        """Fold a plan's closure into the shared sampling universe.
+
+        Samples every not-yet-seen component, evaluates the fault tree of
+        every not-yet-seen subject, and registers failing links — after
+        which ``self._states`` covers everything this plan's
+        route-and-check can read.
+        """
+        metrics = self.metrics
+        model = self.dependency_model
+        with metrics.timer("sample"):
+            for cid in sampled:
+                self._failed_for(cid)
+
+        with metrics.timer("faulttree"):
+            for subject in subjects:
+                if subject in self._known_subjects:
+                    metrics.incr("faulttree/subject/hit")
+                    continue
+                metrics.incr("faulttree/subject/miss")
+                self._known_subjects.add(subject)
+                events = model.basic_events_of(subject)
+                if all(not self._failed_rounds[e].size for e in events):
+                    continue  # nothing this subject depends on ever failed
+                dense = {e: self._dense_for(e) for e in events}
+                effective = model.tree_for(subject).evaluate(dense)
+                if effective.any():
+                    self._effective[subject] = effective
+
+            trees = model.trees
+            components = self.topology.components
+            for link_cid in sampled:
+                if link_cid in subjects or link_cid in self._known_links:
+                    continue
+                self._known_links.add(link_cid)
+                if (
+                    self._failed_rounds[link_cid].size
+                    and link_cid not in trees
+                    and link_cid in components
+                ):
+                    self._effective[link_cid] = self._dense_for(link_cid)
+
+    # ------------------------------------------------------------------
+    # Assessment
+    # ------------------------------------------------------------------
+
+    def assess(
+        self,
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        rounds: int | None = None,
+    ) -> AssessmentResult:
+        """Assess one plan, reusing every cacheable intermediate.
+
+        Bit-identical to the from-scratch CRN pipeline with the same
+        master seed; see the module docstring for the invariant.
+        """
+        if rounds is not None and rounds != self.rounds:
+            raise ConfigurationError(
+                f"incremental assessment is fixed at {self.rounds} rounds "
+                f"(its cache universe); got rounds={rounds}. Use a "
+                "sequential assessor for ad-hoc round counts."
+            )
+        watch = Stopwatch()
+        metrics = self.metrics
+        plan.validate_against(self.topology, structure)
+
+        cache_key = (plan.canonical_key(), _structure_key(structure))
+        cached = self._plan_cache.get(cache_key)
+        if cached is not None:
+            metrics.incr("plan_cache/hit")
+            return cached
+        if self.reuse_symmetric:
+            signature = self._plan_signature(plan, structure)
+            symmetric = self._signature_cache.get(signature)
+            if symmetric is not None:
+                metrics.incr("plan_cache/symmetric_hit")
+                result = dataclass_replace(symmetric, plan=plan)
+                self._plan_cache[cache_key] = result
+                return result
+        metrics.incr("plan_cache/miss")
+
+        with metrics.timer("closure"):
+            subjects, sampled = self.closure_for(plan)
+        self._extend_universe(subjects, sampled)
+
+        with metrics.timer("route_and_check"):
+            per_round = self._evaluator.evaluate(self._states, plan, structure)
+        with metrics.timer("estimate"):
+            estimate = estimate_from_results(per_round)
+
+        metrics.incr("assess/incremental")
+        if self.sample_full_infrastructure:
+            sampled_components = len(self._all_probabilities)
+        else:
+            sampled_components = len(sampled)
+        result = AssessmentResult(
+            plan=plan,
+            estimate=estimate,
+            per_round=per_round,
+            sampled_components=sampled_components,
+            elapsed_seconds=watch.elapsed(),
+            runtime=self._runtime_metadata(),
+        )
+        self._plan_cache[cache_key] = result
+        if self.reuse_symmetric:
+            self._signature_cache.setdefault(
+                self._plan_signature(plan, structure), result
+            )
+        return result
+
+    def assess_k_of_n(self, hosts, k: int) -> AssessmentResult:
+        """Convenience wrapper for the simple K-of-N scenario (§2.2)."""
+        hosts = list(hosts)
+        structure = ApplicationStructure.k_of_n(k, len(hosts))
+        plan = DeploymentPlan.single_component(hosts, structure.components[0].name)
+        return self.assess(plan, structure)
+
+    # ------------------------------------------------------------------
+
+    def _plan_signature(
+        self, plan: DeploymentPlan, structure: ApplicationStructure
+    ) -> tuple:
+        """Symmetry-canonical cache key (reuses the search's pruning logic)."""
+        if self._symmetry is None:
+            from repro.core.transforms import SymmetryChecker
+
+            self._symmetry = SymmetryChecker(self.topology, self.dependency_model)
+        return (self._symmetry.signature(plan), _structure_key(structure))
+
+    def _runtime_metadata(self) -> RuntimeMetadata | None:
+        """Attach the metrics snapshot when profiling was requested."""
+        if not (self.config.profile or self.config.metrics is not None):
+            return None
+        return RuntimeMetadata(
+            backend="incremental",
+            workers=0,
+            portion_seeds=(),
+            profile=self.metrics.flat(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<IncrementalAssessor on {self.topology.name!r}: "
+            f"{self.rounds} rounds, master_seed={self.master_seed}, "
+            f"{len(self._failed_rounds)} components cached, "
+            f"{len(self._plan_cache)} plans cached>"
+        )

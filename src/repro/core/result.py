@@ -48,6 +48,9 @@ class RuntimeMetadata:
         dropped_portions: Portions dropped in ``partial_ok`` mode.
         dropped_rounds: Sampling rounds lost with the dropped portions.
         failures: Per-attempt failure records (crash/timeout/error).
+        profile: Flattened metrics snapshot (stage timers and cache
+            counters) when the assessment ran with profiling enabled;
+            see :meth:`repro.util.metrics.MetricsRegistry.flat`.
     """
 
     backend: str
@@ -59,6 +62,7 @@ class RuntimeMetadata:
     dropped_portions: int = 0
     dropped_rounds: int = 0
     failures: tuple[PortionFailure, ...] = ()
+    profile: tuple[tuple[str, float], ...] | None = None
 
     @property
     def portions(self) -> int:
@@ -105,6 +109,23 @@ class AssessmentResult:
         """True when the estimate is built from fewer rounds than asked
         for because portions were dropped under ``partial_ok``."""
         return self.runtime is not None and self.runtime.degraded
+
+    def to_dict(self) -> dict:
+        """Stable, versioned JSON-ready encoding (schema in serialization.py).
+
+        The raw per-round list is excluded by design — it is reproducible
+        from the recorded seeds and would dominate the artifact size.
+        """
+        from repro import serialization
+
+        return serialization.assessment_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "AssessmentResult":
+        """Decode an encoded assessment (``per_round`` comes back empty)."""
+        from repro import serialization
+
+        return serialization.assessment_from_dict(document)
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.app.structure import ApplicationStructure
 from repro.core.anneal import LinearTemperatureSchedule, accept_neighbor
+from repro.core.api import AssessmentConfig, Assessor
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.objectives import Objective, ReliabilityObjective
 from repro.core.plan import DeploymentPlan
@@ -51,6 +52,7 @@ from repro.core.result import AssessmentResult, SearchRecord, SearchResult
 from repro.core.transforms import SymmetryChecker
 from repro.sampling.dagger import CommonRandomDaggerSampler
 from repro.util.errors import ConfigurationError
+from repro.util.metrics import MetricsRegistry
 from repro.util.rng import make_rng
 from repro.util.timing import Deadline
 
@@ -121,6 +123,19 @@ class SearchState:
     crn_master_seed: int | None = None
     trace: list[SearchRecord] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """Stable, versioned JSON-ready encoding (schema in serialization.py)."""
+        from repro import serialization
+
+        return serialization.search_state_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "SearchState":
+        """Decode a checkpointed annealing state."""
+        from repro import serialization
+
+        return serialization.search_state_from_dict(document)
+
 
 class DeploymentSearch:
     """Simulated-annealing search over deployment plans.
@@ -134,7 +149,7 @@ class DeploymentSearch:
 
     def __init__(
         self,
-        assessor: ReliabilityAssessor,
+        assessor: Assessor,
         objective: Objective | None = None,
         symmetry: SymmetryChecker | None = None,
         use_symmetry: bool = True,
@@ -142,6 +157,8 @@ class DeploymentSearch:
         rng: int | np.random.Generator | None = None,
         keep_trace: bool = False,
         common_random_numbers: bool = True,
+        incremental: bool = True,
+        metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
         checkpoint_path: str | None = None,
         checkpoint_every: int = 10,
@@ -163,12 +180,46 @@ class DeploymentSearch:
         self.rng = make_rng(rng)
         self.keep_trace = keep_trace
         self.common_random_numbers = common_random_numbers
+        self.incremental = incremental
+        self.metrics = metrics
         self._clock = clock
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.should_stop = should_stop
 
-    def _search_assessor(self, master_seed: int | None) -> ReliabilityAssessor:
+    @classmethod
+    def from_config(
+        cls,
+        topology,
+        dependency_model=None,
+        config: AssessmentConfig | None = None,
+        **search_kwargs,
+    ) -> "DeploymentSearch":
+        """Build a search from the unified assessment configuration.
+
+        The *outer* assessor — used for independent best-so-far
+        confirmations, which must draw fresh randomness on every call —
+        is always the sequential from-scratch path; ``config.mode``
+        instead selects the hot-path behaviour: ``"incremental"`` (also
+        the default) runs the CRN search assessor through the
+        :class:`~repro.core.incremental.IncrementalAssessor` caches,
+        ``"sequential"`` keeps the from-scratch CRN assessor.
+        """
+        config = config or AssessmentConfig(mode="incremental")
+        registry = config.registry()
+        outer = ReliabilityAssessor.from_config(
+            topology,
+            dependency_model,
+            config.with_updates(
+                mode="sequential", master_seed=None, metrics=registry
+            ),
+        )
+        search_kwargs.setdefault("incremental", config.mode != "sequential")
+        if registry is not None:
+            search_kwargs.setdefault("metrics", registry)
+        return cls(outer, **search_kwargs)
+
+    def _search_assessor(self, master_seed: int | None) -> Assessor:
         """The assessor used inside one search run.
 
         With common random numbers enabled (the default), assessments share
@@ -178,19 +229,39 @@ class DeploymentSearch:
         and the annealing walk stalls. The winning plan is re-assessed
         independently before being reported (see :meth:`search`).
 
+        With ``incremental`` enabled (the default) the CRN assessor is an
+        :class:`~repro.core.incremental.IncrementalAssessor`, which caches
+        sampled states, closures, fault-tree results and routed plans
+        across the move sequence — bit-identical to the from-scratch CRN
+        path under the same master seed, so enabling it never changes a
+        search trajectory, only its cost.
+
         ``master_seed`` is drawn by :meth:`search` (and recorded in
         checkpoints so :meth:`resume` rebuilds the identical streams).
         """
         if master_seed is None:
             return self.assessor
-        return ReliabilityAssessor(
-            self.assessor.topology,
-            self.assessor.dependency_model,
-            sampler=CommonRandomDaggerSampler(master_seed),
+        config = AssessmentConfig(
             rounds=self.assessor.rounds,
             engine=self.assessor.engine,
-            rng=self.rng,
+            master_seed=master_seed,
             sample_full_infrastructure=self.assessor.sample_full_infrastructure,
+            metrics=self.metrics,
+        )
+        if self.incremental:
+            from repro.core.incremental import IncrementalAssessor
+
+            return IncrementalAssessor.from_config(
+                self.assessor.topology,
+                self.assessor.dependency_model,
+                config.with_updates(mode="incremental"),
+            )
+        return ReliabilityAssessor.from_config(
+            self.assessor.topology,
+            self.assessor.dependency_model,
+            config.with_updates(
+                sampler=CommonRandomDaggerSampler(master_seed), rng=self.rng
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -266,9 +337,9 @@ class DeploymentSearch:
         if isinstance(source, SearchState):
             state = source
         elif isinstance(source, dict):
-            state = serialization.search_state_from_dict(source)
+            state = SearchState.from_dict(source)
         else:
-            state = serialization.search_state_from_dict(serialization.load(source))
+            state = SearchState.from_dict(serialization.load(source))
         if state.search_rng_state is None or state.assessor_rng_state is None:
             raise ConfigurationError("checkpoint is missing RNG state")
 
@@ -440,9 +511,7 @@ class DeploymentSearch:
 
         state.search_rng_state = self.rng.bit_generator.state
         state.assessor_rng_state = self.assessor.rng.bit_generator.state
-        serialization.dump(
-            serialization.search_state_to_dict(state), self.checkpoint_path
-        )
+        serialization.dump(state.to_dict(), self.checkpoint_path)
 
     def _verify_satisfaction(
         self, spec: SearchSpec, plan: DeploymentPlan, assessment: AssessmentResult

@@ -54,6 +54,13 @@ class DependencyModel:
     topology: Topology
     dependency_components: dict[str, Component] = field(default_factory=dict)
     trees: dict[str, FaultTree] = field(default_factory=dict)
+    #: Per-subject basic-event memo. Closure computation is on the search
+    #: hot path (every candidate plan reads the events of ~dozens of
+    #: subjects), so the per-subject event sets are cached and invalidated
+    #: whenever a branch is attached to the subject's tree.
+    _events_memo: dict[str, frozenset[str]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def empty(cls, topology: Topology) -> "DependencyModel":
@@ -94,6 +101,7 @@ class DependencyModel:
         else:
             root = or_gate(current.root, branch, label=f"{subject_id} fails")
         self.trees[subject_id] = FaultTree(subject_id=subject_id, root=root)
+        self._events_memo.pop(subject_id, None)
 
     # ------------------------------------------------------------------
     # Queries
@@ -132,8 +140,20 @@ class DependencyModel:
         """
         events: set[str] = set()
         for subject_id in subject_ids:
-            events.update(self.tree_for(subject_id).basic_events())
+            events.update(self.basic_events_of(subject_id))
         return frozenset(events)
+
+    def basic_events_of(self, subject_id: str) -> frozenset[str]:
+        """Memoized basic events of one subject's tree (O(delta) closures).
+
+        The memo entry is dropped when :meth:`attach_branch` modifies the
+        subject's tree, so builders can keep adding dependencies safely.
+        """
+        events = self._events_memo.get(subject_id)
+        if events is None:
+            events = self.tree_for(subject_id).basic_events()
+            self._events_memo[subject_id] = events
+        return events
 
     def shared_dependencies(self) -> frozenset[str]:
         """Components referenced by the trees of 2+ subjects.

@@ -54,16 +54,17 @@ import multiprocessing.pool
 import time
 import warnings
 from dataclasses import dataclass, replace
+from typing import Any
 
 import numpy as np
 
 from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig, config_from_legacy_kwargs
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
 from repro.core.result import AssessmentResult, PortionFailure, RuntimeMetadata
 from repro.faults.dependencies import DependencyModel
 from repro.runtime.chaos import ChaosPolicy
-from repro.sampling.base import Sampler
 from repro.sampling.statistics import estimate_from_results
 from repro.topology.base import Topology
 from repro.util.errors import (
@@ -120,12 +121,14 @@ def _worker_portion(args: tuple) -> tuple[np.ndarray, int]:
         chaos.execute(portion_index, attempt)
     assessor = _WORKER_STATE.get("assessor")
     if assessor is None:
-        assessor = ReliabilityAssessor(
+        assessor = ReliabilityAssessor.from_config(
             _WORKER_STATE["topology"],
             _WORKER_STATE["model"],
-            sampler=_WORKER_STATE["sampler"],
-            rounds=rounds,
-            rng=seed,
+            AssessmentConfig(
+                rounds=rounds,
+                sampler=_WORKER_STATE["sampler"],
+                rng=seed,
+            ),
         )
         _WORKER_STATE["assessor"] = assessor
     assessor.rng = make_rng(seed)
@@ -234,21 +237,23 @@ class ParallelAssessor:
         self,
         topology: Topology,
         dependency_model: DependencyModel | None = None,
-        sampler: Sampler | None = None,
-        rounds: int = 10_000,
-        workers: int = 2,
-        rng: int | np.random.Generator | None = None,
-        backend: str = "process",
-        retry_policy: RetryPolicy | None = None,
-        partial_ok: bool = False,
-        chaos: ChaosPolicy | None = None,
+        config: AssessmentConfig | None = None,
+        **legacy: Any,
     ):
-        if workers < 1:
-            raise ConfigurationError(f"need at least one worker, got {workers}")
-        if backend not in ("process", "inline"):
-            raise ConfigurationError(f"unknown backend {backend!r}")
-        if rounds <= 0:
-            raise ConfigurationError(f"rounds must be positive, got {rounds}")
+        if legacy:
+            if config is not None:
+                raise ConfigurationError(
+                    "pass either an AssessmentConfig or legacy keywords, not both"
+                )
+            config = config_from_legacy_kwargs(mode="parallel", **legacy)
+        config = config or AssessmentConfig(mode="parallel")
+        if config.workers < 1:
+            raise ConfigurationError(
+                f"need at least one worker, got {config.workers}"
+            )
+        if config.backend not in ("process", "inline"):
+            raise ConfigurationError(f"unknown backend {config.backend!r}")
+        backend = config.backend
         if backend == "process" and not self._fork_available():
             warnings.warn(
                 "the 'fork' start method is unavailable on this platform; "
@@ -257,16 +262,19 @@ class ParallelAssessor:
                 stacklevel=2,
             )
             backend = "inline"
+            config = config.with_updates(backend="inline")
+        self.config = config
         self.topology = topology
         self.dependency_model = dependency_model or DependencyModel.empty(topology)
-        self.sampler = sampler
-        self.rounds = rounds
-        self.workers = workers
+        self.sampler = config.sampler
+        self.rounds = config.rounds
+        self.workers = config.workers
         self.backend = backend
-        self.retry_policy = retry_policy or RetryPolicy()
-        self.partial_ok = partial_ok
-        self.chaos = chaos
-        self.rng = make_rng(rng)
+        self.retry_policy = config.retry_policy or RetryPolicy()
+        self.partial_ok = config.partial_ok
+        self.chaos = config.chaos
+        self.rng = make_rng(config.rng)
+        self.metrics = config.registry()
         self._jitter_rng = np.random.default_rng()
         self._pool: multiprocessing.pool.Pool | None = None
         self._pool_suspect = False  # a hang/crash was seen: drain may block
@@ -274,6 +282,16 @@ class ParallelAssessor:
         self._pool_restarts = 0
         if backend == "process":
             self._start_pool()
+
+    @classmethod
+    def from_config(
+        cls,
+        topology: Topology,
+        dependency_model: DependencyModel | None = None,
+        config: AssessmentConfig | None = None,
+    ) -> "ParallelAssessor":
+        """The unified-API constructor (see :mod:`repro.core.api`)."""
+        return cls(topology, dependency_model, config=config)
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -464,6 +482,7 @@ class ParallelAssessor:
             dropped_portions=len(dropped),
             dropped_rounds=dropped_rounds,
             failures=tuple(failures),
+            profile=self.metrics.flat() if self.metrics is not None else None,
         )
         return AssessmentResult(
             plan=plan,
@@ -643,12 +662,14 @@ class ParallelAssessor:
         self, portion: _Portion, plan: DeploymentPlan, structure: ApplicationStructure
     ) -> tuple[np.ndarray, int, int]:
         seed = portion.seed()
-        assessor = ReliabilityAssessor(
+        assessor = ReliabilityAssessor.from_config(
             self.topology,
             self.dependency_model,
-            sampler=self.sampler,
-            rounds=portion.rounds,
-            rng=seed,
+            AssessmentConfig(
+                rounds=portion.rounds,
+                sampler=self.sampler,
+                rng=seed,
+            ),
         )
         result = assessor.assess(plan, structure)
         return result.per_round, result.sampled_components, seed

@@ -177,6 +177,36 @@ class CommonRandomDaggerSampler(Sampler):
         """Switch every component stream to a new master seed."""
         self.master_seed = int(master_seed)
 
+    def component_failed_rounds(
+        self, component_id: str, probability: float, rounds: int
+    ) -> np.ndarray:
+        """Failed-round indices of one component under its private stream.
+
+        A pure function of ``(master_seed, component_id, probability,
+        rounds)`` — which is precisely what makes per-component failure
+        states cacheable across assessments: the incremental engine calls
+        this only for the closure *delta* of a move and reuses every
+        previously drawn component verbatim.
+        """
+        if probability <= 0.0:
+            return np.empty(0, dtype=ROUND_DTYPE)
+        stream = np.random.default_rng(
+            _component_stream_seed(self.master_seed, component_id)
+        )
+        # Per-component cycle length (original dagger) rather than the
+        # extended cross-component reset: the reset aligns cycles of
+        # *jointly drawn* components, but these streams are independent
+        # per component, and a component's states must not depend on
+        # which other components happen to be in the closure — that is
+        # exactly what makes the coupling across calls work.
+        return _sample_group(
+            stream,
+            probability,
+            1,
+            rounds,
+            block_length=dagger_cycle_length(probability),
+        )[0]
+
     def sample(
         self,
         probabilities: Mapping[str, float],
@@ -186,24 +216,7 @@ class CommonRandomDaggerSampler(Sampler):
         validate_probabilities(probabilities)
         batch = SampleBatch(rounds=rounds)
         for cid, probability in probabilities.items():
-            if probability <= 0.0:
-                continue
-            stream = np.random.default_rng(
-                _component_stream_seed(self.master_seed, cid)
-            )
-            # Per-component cycle length (original dagger) rather than the
-            # extended cross-component reset: the reset aligns cycles of
-            # *jointly drawn* components, but these streams are independent
-            # per component, and a component's states must not depend on
-            # which other components happen to be in the closure — that is
-            # exactly what makes the coupling across calls work.
-            failed = _sample_group(
-                stream,
-                probability,
-                1,
-                rounds,
-                block_length=dagger_cycle_length(probability),
-            )[0]
+            failed = self.component_failed_rounds(cid, probability, rounds)
             if failed.size:
                 batch.failed_rounds[cid] = failed
         return batch

@@ -16,9 +16,15 @@ import numpy as np
 
 from repro.sampling.base import ROUND_DTYPE, SampleBatch, Sampler, validate_probabilities
 
-#: Target number of uniform draws materialised per chunk. Keeps peak memory
-#: flat (~128 MiB of float64) regardless of the round count.
-_CHUNK_BUDGET = 1 << 24
+#: Peak transient memory allowed per chunk, in bytes (~128 MiB). Each draw
+#: materialises a float64 uniform plus a bool in the comparison matrix, so
+#: the budget is divided by 9 bytes per draw — budgeting by draw *count*
+#: (the old scheme) undercounted and let peak memory scale past the
+#: documented ceiling.
+_CHUNK_BUDGET_BYTES = 128 << 20
+
+#: float64 uniform draw + bool entry of the failed matrix.
+_BYTES_PER_DRAW = np.dtype(np.float64).itemsize + np.dtype(np.bool_).itemsize
 
 
 class MonteCarloSampler(Sampler):
@@ -40,9 +46,12 @@ class MonteCarloSampler(Sampler):
             return batch
         p_values = np.array([probabilities[cid] for cid in component_ids])
 
-        # Process components in chunks so the uniform-draw matrix stays
-        # within the memory budget even for 1e5-round batches.
-        chunk_rows = max(1, _CHUNK_BUDGET // max(rounds, 1))
+        # Process components in chunks so the uniform-draw matrix plus its
+        # boolean comparison stay within the byte budget even for
+        # 1e5-round batches. The chunk size never changes the sampled
+        # states: consecutive rng.random((a, n)) calls consume the stream
+        # exactly like one rng.random((a + b, n)) call.
+        chunk_rows = max(1, _CHUNK_BUDGET_BYTES // (max(rounds, 1) * _BYTES_PER_DRAW))
         for start in range(0, len(component_ids), chunk_rows):
             stop = min(start + chunk_rows, len(component_ids))
             draws = rng.random((stop - start, rounds))

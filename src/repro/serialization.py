@@ -25,7 +25,13 @@ from repro.app.structure import (
     ReachabilityRequirement,
 )
 from repro.core.plan import DeploymentPlan
-from repro.core.result import AssessmentResult, SearchRecord, SearchResult
+from repro.core.result import (
+    AssessmentResult,
+    PortionFailure,
+    RuntimeMetadata,
+    SearchRecord,
+    SearchResult,
+)
 from repro.core.risk import RiskEntry
 from repro.core.search import SearchSpec, SearchState
 from repro.sampling.statistics import ReliabilityEstimate
@@ -164,6 +170,59 @@ def estimate_from_dict(document: dict) -> ReliabilityEstimate:
         ) from exc
 
 
+def _runtime_to_dict(runtime: RuntimeMetadata) -> dict:
+    payload = {
+        "backend": runtime.backend,
+        "workers": runtime.workers,
+        "portion_seeds": list(runtime.portion_seeds),
+        "retries": runtime.retries,
+        "pool_restarts": runtime.pool_restarts,
+        "recovered_inline": runtime.recovered_inline,
+        "dropped_portions": runtime.dropped_portions,
+        "dropped_rounds": runtime.dropped_rounds,
+        "failures": [
+            {
+                "portion": f.portion,
+                "attempt": f.attempt,
+                "kind": f.kind,
+                "message": f.message,
+            }
+            for f in runtime.failures
+        ],
+    }
+    if runtime.profile is not None:
+        payload["profile"] = [[key, value] for key, value in runtime.profile]
+    return payload
+
+
+def _runtime_from_dict(payload: dict) -> RuntimeMetadata:
+    profile = payload.get("profile")
+    return RuntimeMetadata(
+        backend=str(payload["backend"]),
+        workers=int(payload["workers"]),
+        portion_seeds=tuple(int(s) for s in payload["portion_seeds"]),
+        retries=int(payload["retries"]),
+        pool_restarts=int(payload["pool_restarts"]),
+        recovered_inline=int(payload["recovered_inline"]),
+        dropped_portions=int(payload["dropped_portions"]),
+        dropped_rounds=int(payload["dropped_rounds"]),
+        failures=tuple(
+            PortionFailure(
+                portion=int(f["portion"]),
+                attempt=int(f["attempt"]),
+                kind=str(f["kind"]),
+                message=str(f["message"]),
+            )
+            for f in payload["failures"]
+        ),
+        profile=(
+            None
+            if profile is None
+            else tuple((str(key), float(value)) for key, value in profile)
+        ),
+    )
+
+
 def assessment_to_dict(result: AssessmentResult) -> dict:
     """Encode an assessment (without the raw per-round list)."""
     payload = {
@@ -173,25 +232,7 @@ def assessment_to_dict(result: AssessmentResult) -> dict:
         "elapsed_seconds": result.elapsed_seconds,
     }
     if result.runtime is not None:
-        payload["runtime"] = {
-            "backend": result.runtime.backend,
-            "workers": result.runtime.workers,
-            "portion_seeds": list(result.runtime.portion_seeds),
-            "retries": result.runtime.retries,
-            "pool_restarts": result.runtime.pool_restarts,
-            "recovered_inline": result.runtime.recovered_inline,
-            "dropped_portions": result.runtime.dropped_portions,
-            "dropped_rounds": result.runtime.dropped_rounds,
-            "failures": [
-                {
-                    "portion": f.portion,
-                    "attempt": f.attempt,
-                    "kind": f.kind,
-                    "message": f.message,
-                }
-                for f in result.runtime.failures
-            ],
-        }
+        payload["runtime"] = _runtime_to_dict(result.runtime)
     return _artifact("assessment-result", payload)
 
 
@@ -200,16 +241,19 @@ def assessment_from_dict(document: dict) -> AssessmentResult:
 
     The raw per-round result list is never serialized (it is reproducible
     from the recorded seeds), so the decoded result carries an empty
-    ``per_round`` vector; the estimate, plan and metadata round-trip.
+    ``per_round`` vector; the estimate, plan and runtime metadata
+    (including any profiling snapshot) round-trip.
     """
     _check(document, "assessment-result")
     try:
+        runtime = document.get("runtime")
         return AssessmentResult(
             plan=plan_from_dict(document["plan"]),
             estimate=estimate_from_dict(document["estimate"]),
             per_round=np.zeros(0, dtype=bool),
             sampled_components=int(document["sampled_components"]),
             elapsed_seconds=float(document["elapsed_seconds"]),
+            runtime=None if runtime is None else _runtime_from_dict(runtime),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(

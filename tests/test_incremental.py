@@ -1,0 +1,209 @@
+"""Tests for the incremental assessment engine (repro.core.incremental).
+
+The load-bearing property: under a shared master seed, incremental
+assessment must be *bit-identical* to the from-scratch CRN path — not
+statistically close, byte-for-byte equal — across arbitrary move
+sequences. Everything else (caching, invalidation) is an optimisation
+that must never be observable in the results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.app.generators import two_tier
+from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.incremental import IncrementalAssessor
+from repro.core.plan import DeploymentPlan
+from repro.faults.inventory import build_paper_inventory
+from repro.sampling.dagger import CommonRandomDaggerSampler
+from repro.sampling.montecarlo import MonteCarloSampler
+from repro.util.errors import ConfigurationError
+
+MASTER_SEED = 424242
+ROUNDS = 2_000
+
+
+def _pair(topology, model, rounds=ROUNDS, master_seed=MASTER_SEED):
+    """A from-scratch CRN assessor and an incremental one, same seed."""
+    scratch = ReliabilityAssessor.from_config(
+        topology,
+        model,
+        AssessmentConfig(
+            rounds=rounds, sampler=CommonRandomDaggerSampler(master_seed)
+        ),
+    )
+    incremental = IncrementalAssessor.from_config(
+        topology,
+        model,
+        AssessmentConfig(
+            mode="incremental", rounds=rounds, master_seed=master_seed
+        ),
+    )
+    return scratch, incremental
+
+
+def _walk(topology, structure, moves, seed):
+    rng = np.random.default_rng(seed)
+    plan = DeploymentPlan.random(topology, structure, rng=rng)
+    plans = [plan]
+    for _ in range(moves):
+        plan = plan.random_neighbor(topology, rng=rng)
+        plans.append(plan)
+    return plans
+
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.per_round, b.per_round)
+    assert a.estimate.score == b.estimate.score
+    assert a.sampled_components == b.sampled_components
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize("walk_seed", [0, 1, 2])
+    def test_fattree_random_walk(self, fattree4, inventory, walk_seed):
+        scratch, incremental = _pair(fattree4, inventory)
+        structure = ApplicationStructure.k_of_n(2, 3)
+        for plan in _walk(fattree4, structure, moves=10, seed=walk_seed):
+            _assert_identical(
+                scratch.assess(plan, structure),
+                incremental.assess(plan, structure),
+            )
+
+    def test_leafspine_random_walk(self, leafspine):
+        model = build_paper_inventory(leafspine, seed=3)
+        scratch, incremental = _pair(leafspine, model)
+        structure = ApplicationStructure.k_of_n(2, 3)
+        for plan in _walk(leafspine, structure, moves=10, seed=5):
+            _assert_identical(
+                scratch.assess(plan, structure),
+                incremental.assess(plan, structure),
+            )
+
+    def test_structure_with_pairwise_requirements(self, fattree4, inventory):
+        """two_tier adds FE->DB reachability, exercising the pair cache."""
+        scratch, incremental = _pair(fattree4, inventory)
+        structure = two_tier(frontends=2, databases=2)
+        for plan in _walk(fattree4, structure, moves=8, seed=9):
+            _assert_identical(
+                scratch.assess(plan, structure),
+                incremental.assess(plan, structure),
+            )
+        assert incremental.metrics.counter("route/pair/hit") > 0
+
+    def test_k_of_n_convenience(self, fattree4, inventory):
+        scratch, incremental = _pair(fattree4, inventory)
+        hosts = sorted(fattree4.hosts)[:3]
+        _assert_identical(
+            scratch.assess_k_of_n(hosts, k=2),
+            incremental.assess_k_of_n(hosts, k=2),
+        )
+
+
+class TestCacheBehaviour:
+    def test_closure_changing_move_misses_then_matches(
+        self, fattree4, inventory
+    ):
+        """Moving a VM into a previously untouched pod must sample the new
+        closure delta (cache misses for the new components) while staying
+        bit-identical to from-scratch."""
+        scratch, incremental = _pair(fattree4, inventory)
+        structure = ApplicationStructure.k_of_n(2, 3)
+        pods = sorted({h.split("/")[1] for h in fattree4.hosts})
+        assert len(pods) >= 2
+        in_pod = lambda pod: sorted(
+            h for h in fattree4.hosts if h.split("/")[1] == pod
+        )
+        component = structure.components[0].name
+        plan_a = DeploymentPlan.single_component(in_pod(pods[0])[:3], component)
+        _assert_identical(
+            scratch.assess(plan_a, structure),
+            incremental.assess(plan_a, structure),
+        )
+        misses_before = incremental.metrics.counter("sample/component/miss")
+        # Replace one placement with a host in another pod: new rack/edge
+        # and aggregation gear enters the closure.
+        hosts_b = in_pod(pods[0])[:2] + [in_pod(pods[1])[0]]
+        plan_b = DeploymentPlan.single_component(sorted(hosts_b), component)
+        _assert_identical(
+            scratch.assess(plan_b, structure),
+            incremental.assess(plan_b, structure),
+        )
+        assert (
+            incremental.metrics.counter("sample/component/miss")
+            > misses_before
+        )
+
+    def test_plan_cache_exact_hit(self, fattree4, inventory):
+        _, incremental = _pair(fattree4, inventory)
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.random(fattree4, structure, rng=6)
+        first = incremental.assess(plan, structure)
+        hits_before = incremental.metrics.counter("plan_cache/hit")
+        second = incremental.assess(plan, structure)
+        assert incremental.metrics.counter("plan_cache/hit") == hits_before + 1
+        _assert_identical(first, second)
+
+    def test_clear_caches_preserves_results(self, fattree4, inventory):
+        _, incremental = _pair(fattree4, inventory)
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.random(fattree4, structure, rng=6)
+        before = incremental.assess(plan, structure)
+        incremental.clear_caches()
+        after = incremental.assess(plan, structure)
+        _assert_identical(before, after)
+
+    def test_reseed_changes_then_restores_stream(self, fattree4, inventory):
+        _, incremental = _pair(fattree4, inventory)
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.random(fattree4, structure, rng=6)
+        original = incremental.assess(plan, structure)
+        incremental.reseed(MASTER_SEED + 1)
+        assert incremental.master_seed == MASTER_SEED + 1
+        other = incremental.assess(plan, structure)
+        assert not np.array_equal(original.per_round, other.per_round)
+        incremental.reseed(MASTER_SEED)
+        restored = incremental.assess(plan, structure)
+        _assert_identical(original, restored)
+
+
+class TestConfiguration:
+    def test_rounds_override_rejected(self, fattree4, inventory):
+        _, incremental = _pair(fattree4, inventory)
+        structure = ApplicationStructure.k_of_n(2, 3)
+        plan = DeploymentPlan.random(fattree4, structure, rng=6)
+        assert (
+            incremental.assess(plan, structure, rounds=ROUNDS) is not None
+        )  # matching override is fine
+        with pytest.raises(ConfigurationError):
+            incremental.assess(plan, structure, rounds=ROUNDS + 1)
+
+    def test_non_crn_sampler_rejected(self, fattree4, inventory):
+        with pytest.raises(ConfigurationError):
+            IncrementalAssessor.from_config(
+                fattree4,
+                inventory,
+                AssessmentConfig(
+                    mode="incremental", sampler=MonteCarloSampler()
+                ),
+            )
+
+    def test_crn_sampler_accepted_and_seed_exposed(self, fattree4, inventory):
+        incremental = IncrementalAssessor.from_config(
+            fattree4,
+            inventory,
+            AssessmentConfig(
+                mode="incremental",
+                sampler=CommonRandomDaggerSampler(99),
+                rounds=ROUNDS,
+            ),
+        )
+        assert incremental.master_seed == 99
+
+    def test_foreign_dependency_model_rejected(self, fattree4, leafspine):
+        foreign = build_paper_inventory(leafspine, seed=3)
+        with pytest.raises(ConfigurationError):
+            IncrementalAssessor(fattree4, foreign)

@@ -235,9 +235,10 @@ class TestForkFallback:
         )
         import warnings
 
+        from repro.core.api import AssessmentConfig
+
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            with ParallelAssessor(
-                fattree4, inventory, workers=2, backend="inline"
-            ) as pa:
+            config = AssessmentConfig(mode="parallel", workers=2, backend="inline")
+            with ParallelAssessor.from_config(fattree4, inventory, config) as pa:
                 assert pa.backend == "inline"
