@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for ``python -m repro serve``.
+
+Run by CI (and usable locally) to prove the service contract holds on a
+real process, not just in-process test doubles:
+
+1. start the server as a subprocess on an OS-assigned port,
+2. wait for ``/readyz`` to report serving,
+3. run a quick assessment that must come back ``status="ok"``,
+4. run an oversized assessment under a tight deadline and require an
+   anytime ``status="degraded"`` response — partial rounds, honest
+   (widened) confidence interval, ``runtime.cancelled`` set — never an
+   exception-shaped timeout,
+5. SIGTERM the server and require a clean drain (exit code 0).
+
+Machine speeds vary wildly across CI runners, so step 4 adapts: if the
+deadline expired before the first chunk finished (``cancelled``) the
+deadline is doubled; if everything finished in time (``ok``) the round
+count is quadrupled. A few iterations land in the degraded window on
+any hardware; a hard attempt cap keeps the job bounded.
+
+Exits 0 on success, 1 on failure. No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service.client import HttpServiceClient  # noqa: E402
+
+READY_TIMEOUT_SECONDS = 30.0
+DRAIN_TIMEOUT_SECONDS = 30.0
+MAX_DEGRADED_ATTEMPTS = 8
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def start_server() -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--scale", "tiny",
+            "--port", "0",
+            "--queue-capacity", "4",
+            "--scheduler-workers", "1",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    # serve() announces the bound port on stdout before accepting work.
+    line = process.stdout.readline().strip()
+    check(
+        "listening on http://" in line,
+        f"server did not announce its address (got {line!r})",
+    )
+    base_url = line.split("listening on ", 1)[1]
+    return process, base_url
+
+
+def wait_ready(client: HttpServiceClient) -> None:
+    deadline = time.monotonic() + READY_TIMEOUT_SECONDS
+    while time.monotonic() < deadline:
+        try:
+            reply = client.readyz()
+        except Exception:
+            time.sleep(0.1)
+            continue
+        if reply.get("ready"):
+            check(reply.get("state") == "serving", f"unexpected readyz: {reply}")
+            return
+        time.sleep(0.1)
+    raise SmokeFailure("server never became ready")
+
+
+def smoke_ok_assessment(client: HttpServiceClient, hosts: list[str]) -> None:
+    reply = client.assess(hosts, k=2, rounds=20_000)
+    check(reply["status"] == "ok", f"expected ok, got {reply['status']}")
+    score = reply["result"]["estimate"]["score"]
+    check(0.0 < score <= 1.0, f"score {score} out of range")
+    check(
+        reply["result"]["runtime"]["cancelled"] is False,
+        "ok response must not be marked cancelled",
+    )
+    print(f"ok assessment: score={score:.4f}")
+
+
+def smoke_degraded_assessment(client: HttpServiceClient, hosts: list[str]) -> None:
+    rounds, deadline = 2_000_000, 0.2
+    for attempt in range(1, MAX_DEGRADED_ATTEMPTS + 1):
+        reply = client.assess(
+            hosts, k=2, rounds=rounds, deadline_seconds=deadline
+        )
+        status = reply["status"]
+        print(
+            f"attempt {attempt}: rounds={rounds} deadline={deadline}s "
+            f"-> {status}"
+        )
+        if status == "degraded":
+            estimate = reply["result"]["estimate"]
+            runtime = reply["result"]["runtime"]
+            check(
+                0 < estimate["rounds"] < rounds,
+                f"degraded result must carry partial rounds, got "
+                f"{estimate['rounds']}/{rounds}",
+            )
+            check(
+                runtime["cancelled"] is True,
+                "degraded response must record the cancellation",
+            )
+            check(
+                estimate["confidence_interval_width"] > 0.0,
+                "degraded estimate must keep an honest CI width",
+            )
+            print(
+                f"anytime degraded: {estimate['rounds']}/{rounds} rounds, "
+                f"ci={estimate['confidence_interval_width']:.5f}"
+            )
+            return
+        if status == "cancelled":
+            deadline *= 2.0  # too slow: let the first chunk finish
+        elif status == "ok":
+            rounds *= 4  # too fast: make the work outlast the deadline
+        else:
+            raise SmokeFailure(f"unexpected status {status}: {reply}")
+    raise SmokeFailure("never observed an anytime-degraded response")
+
+
+def smoke_drain(process: subprocess.Popen) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        code = process.wait(timeout=DRAIN_TIMEOUT_SECONDS)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise SmokeFailure("server did not drain after SIGTERM")
+    check(code == 0, f"expected clean drain exit 0, got {code}")
+    print("clean SIGTERM drain: exit 0")
+
+
+def main() -> int:
+    process, base_url = start_server()
+    print(f"server up at {base_url} (pid {process.pid})")
+    try:
+        client = HttpServiceClient(base_url, timeout=120.0)
+        wait_ready(client)
+        health = client.healthz()
+        check(
+            health.get("health", {}).get("state") == "serving",
+            f"healthz must report serving, got {health}",
+        )
+        hosts = ["host/0/0/0", "host/1/0/0", "host/2/0/0"]
+        smoke_ok_assessment(client, hosts)
+        smoke_degraded_assessment(client, hosts)
+        smoke_drain(process)
+    except SmokeFailure as failure:
+        print(f"SMOKE FAILED: {failure}", file=sys.stderr)
+        return 1
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+        if process.stdout is not None:
+            process.stdout.close()
+    print("service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,23 @@ drive reCloud from scripts:
 ``search``     search for a reliable plan within a time budget
 ``risk``       single-failure risk report for a plan
 ``baseline``   show the common-practice / enhanced-CP plans
+``serve``      run the long-lived assessment service (HTTP)
 
 All commands operate on the paper's preset data centers (``--scale``)
 with the §4.1 inventory, seeded deterministically (``--seed``), and can
 emit machine-readable JSON (``--json``).
+
+Exit codes (stable; scripts may branch on them):
+
+===  ====================================================================
+0    success — the result is complete and requirements (if any) were met
+2    configuration/usage error (bad flags, unknown hosts, validation)
+3    search finished but the desired reliability was not reached
+4    search was preempted (SIGTERM/SIGINT); a resumable checkpoint exists
+5    result is degraded — an estimate was produced but rounds were lost
+     (``partial_ok`` drops or a deadline), so its error bounds are wider
+     than requested
+===  ====================================================================
 """
 
 from __future__ import annotations
@@ -37,9 +50,16 @@ from repro.faults.inventory import build_paper_inventory
 from repro.faults.probability import annual_downtime_hours
 from repro.runtime.mapreduce import RetryPolicy
 from repro.topology.presets import PAPER_SCALES, paper_topology
-from repro.util.errors import ReproError
+from repro.util.errors import ReproError, ValidationError
 from repro.util.metrics import MetricsRegistry
 from repro.workload.model import HostWorkloadModel
+
+#: Stable exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_CONFIG = 2
+EXIT_UNSATISFIED = 3
+EXIT_PREEMPTED = 4
+EXIT_DEGRADED = 5
 
 
 def _build_context(args):
@@ -150,14 +170,16 @@ def cmd_assess(args) -> int:
             )
     human = _attach_profile(args, metrics, document, human)
     _emit(args, document, human)
-    return 0
+    # A degraded estimate is usable but not what was asked for: exit
+    # non-zero so scripts cannot mistake it for a full-fidelity result.
+    return EXIT_DEGRADED if result.degraded else EXIT_OK
 
 
 def cmd_search(args) -> int:
     if not args.resume and (args.k is None or args.n is None):
         print("error: --k and --n are required unless --resume is given",
               file=sys.stderr)
-        return 2
+        return EXIT_CONFIG
     topology, inventory = _build_context(args)
     metrics = _metrics_for(args)
     config = AssessmentConfig(
@@ -222,8 +244,10 @@ def cmd_search(args) -> int:
     human = _attach_profile(args, metrics, document, human)
     _emit(args, document, human)
     if stop_requested["flag"]:
-        return 4
-    return 0 if result.satisfied or args.desired >= 1.0 else 3
+        return EXIT_PREEMPTED
+    if result.satisfied or args.desired >= 1.0:
+        return EXIT_OK
+    return EXIT_UNSATISFIED
 
 
 def cmd_risk(args) -> int:
@@ -277,6 +301,29 @@ def cmd_baseline(args) -> int:
         )
     _emit(args, document, "\n".join(lines))
     return 0
+
+
+def cmd_serve(args) -> int:
+    import logging
+
+    from repro.service.scheduler import ServiceConfig
+    from repro.service.server import serve
+
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    config = ServiceConfig(
+        scale=args.scale,
+        seed=args.seed,
+        rounds=args.rounds,
+        queue_capacity=args.queue_capacity,
+        scheduler_workers=args.scheduler_workers,
+        parallel_workers=args.parallel_workers,
+        default_deadline_seconds=args.default_deadline,
+        drain_timeout_seconds=args.drain_timeout,
+    )
+    return serve(config, host=args.host, port=args.port)
 
 
 # ----------------------------------------------------------------------
@@ -415,6 +462,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, required=True)
     p.set_defaults(handler=cmd_baseline)
 
+    p = sub.add_parser(
+        "serve", help="run the long-lived assessment service over HTTP"
+    )
+    common(p)
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8321, help="bind port (0 = ephemeral)")
+    p.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=8,
+        help="bounded admission queue size; further requests are shed",
+    )
+    p.add_argument(
+        "--scheduler-workers",
+        type=int,
+        default=2,
+        help="worker threads executing requests",
+    )
+    p.add_argument(
+        "--parallel-workers",
+        type=int,
+        default=0,
+        help="worker processes for the circuit-broken parallel backend "
+        "(0 = chunked sequential only)",
+    )
+    p.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline applied to requests that do not set one",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight requests before "
+        "cancelling them into anytime results",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="debug-level service logs"
+    )
+    p.set_defaults(handler=cmd_serve)
+
     return parser
 
 
@@ -423,9 +515,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except ValidationError as exc:
+        print("error: validation failed", file=sys.stderr)
+        for field, message in exc.errors:
+            print(f"  {field}: {message}", file=sys.stderr)
+        return EXIT_CONFIG
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_CONFIG
 
 
 if __name__ == "__main__":  # pragma: no cover

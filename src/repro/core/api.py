@@ -112,6 +112,56 @@ class AssessmentConfig:
 
     # ------------------------------------------------------------------
 
+    def validate(self, topology: "Topology | None" = None) -> None:
+        """Full field-level validation at the API boundary.
+
+        ``__post_init__`` guards the invariants that would crash
+        immediately (positive rounds, known mode); this collects
+        *everything* — including cross-field constraints and, when a
+        topology is supplied, the physical sanity of its failure
+        probabilities — and raises one
+        :class:`~repro.util.errors.ValidationError` listing every
+        problem.
+        """
+        from repro.util.errors import ValidationError
+
+        errors: list[tuple[str, str]] = []
+        if self.rounds < 1:
+            errors.append(("rounds", f"must be >= 1, got {self.rounds}"))
+        if self.mode not in MODES:
+            errors.append(("mode", f"unknown mode {self.mode!r}"))
+        if self.mode == "parallel":
+            if self.workers < 1:
+                errors.append(("workers", f"must be >= 1, got {self.workers}"))
+            if self.backend not in ("process", "inline"):
+                errors.append(("backend", f"unknown backend {self.backend!r}"))
+        if self.master_seed is not None and self.master_seed < 0:
+            errors.append(
+                ("master_seed", f"must be non-negative, got {self.master_seed}")
+            )
+        if topology is not None:
+            bad = [
+                (cid, p)
+                for cid, p in topology.failure_probabilities().items()
+                if not 0.0 <= p <= 1.0
+            ]
+            for cid, p in bad[:5]:
+                errors.append(
+                    (
+                        "topology.failure_probabilities",
+                        f"component {cid!r} has probability {p} outside [0, 1]",
+                    )
+                )
+            if len(bad) > 5:
+                errors.append(
+                    (
+                        "topology.failure_probabilities",
+                        f"... and {len(bad) - 5} more components outside [0, 1]",
+                    )
+                )
+        if errors:
+            raise ValidationError(errors)
+
     def registry(self) -> MetricsRegistry | None:
         """The registry assessments should record into, or ``None``.
 
@@ -195,6 +245,7 @@ def build_assessor(
     if legacy:
         config = config_from_legacy_kwargs(config, **legacy)
     config = config or AssessmentConfig()
+    config.validate(topology)
 
     if config.mode == "parallel":
         from repro.runtime.mapreduce import ParallelAssessor

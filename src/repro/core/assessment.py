@@ -139,13 +139,25 @@ class ReliabilityAssessor:
         plan: DeploymentPlan,
         structure: ApplicationStructure,
         rounds: int | None = None,
+        cancel=None,
     ) -> AssessmentResult:
-        """Assess one plan against one application structure."""
+        """Assess one plan against one application structure.
+
+        ``cancel`` is an optional
+        :class:`~repro.util.cancel.CancellationToken`: the pipeline polls
+        it between stages (and forwards it into the sampler's chunk loop)
+        and raises :class:`~repro.util.errors.OperationCancelled` when it
+        fires — a single assessment holds no partial data worth keeping,
+        so anytime behaviour lives in the layers above (the parallel
+        runtime's portions, the service's chunked execution).
+        """
         watch = Stopwatch()
         metrics = self.metrics
         rounds = rounds or self.rounds
         plan.validate_against(self.topology, structure)
 
+        if cancel is not None:
+            cancel.check()
         with _stage(metrics, "closure"):
             subjects, sampled = self.closure_for(plan)
             if self.sample_full_infrastructure:
@@ -154,8 +166,10 @@ class ReliabilityAssessor:
                 probabilities = {cid: self._all_probabilities[cid] for cid in sampled}
 
         with _stage(metrics, "sample"):
-            batch = self.sampler.sample(probabilities, rounds, self.rng)
+            batch = self.sampler.sample(probabilities, rounds, self.rng, cancel=cancel)
 
+        if cancel is not None:
+            cancel.check()
         # Fault-tree reasoning: effective per-round failure of each subject.
         with _stage(metrics, "faulttree"):
             dense = _ZeroFill(rounds)
@@ -178,6 +192,8 @@ class ReliabilityAssessor:
                     if link_cid in self.topology.components:
                         failed[link_cid] = dense[link_cid]
 
+        if cancel is not None:
+            cancel.check()
         with _stage(metrics, "route_and_check"):
             round_states = RoundStates(rounds=rounds, failed=failed)
             per_round = self._evaluator.evaluate(round_states, plan, structure)

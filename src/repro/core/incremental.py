@@ -294,21 +294,29 @@ class IncrementalAssessor:
             self._dense[cid] = dense
         return dense
 
-    def _extend_universe(self, subjects: set[str], sampled: set[str]) -> None:
+    def _extend_universe(
+        self, subjects: set[str], sampled: set[str], cancel=None
+    ) -> None:
         """Fold a plan's closure into the shared sampling universe.
 
         Samples every not-yet-seen component, evaluates the fault tree of
         every not-yet-seen subject, and registers failing links — after
         which ``self._states`` covers everything this plan's
-        route-and-check can read.
+        route-and-check can read. Cancellation between components/subjects
+        is safe: the caches only ever *gain* complete entries, so an
+        aborted extension leaves a smaller but fully valid universe.
         """
         metrics = self.metrics
         model = self.dependency_model
         with metrics.timer("sample"):
-            for cid in sampled:
+            for index, cid in enumerate(sampled):
+                if cancel is not None and index % 64 == 0:
+                    cancel.check()
                 self._failed_for(cid)
 
         with metrics.timer("faulttree"):
+            if cancel is not None:
+                cancel.check()
             for subject in subjects:
                 if subject in self._known_subjects:
                     metrics.incr("faulttree/subject/hit")
@@ -345,11 +353,16 @@ class IncrementalAssessor:
         plan: DeploymentPlan,
         structure: ApplicationStructure,
         rounds: int | None = None,
+        cancel=None,
     ) -> AssessmentResult:
         """Assess one plan, reusing every cacheable intermediate.
 
         Bit-identical to the from-scratch CRN pipeline with the same
         master seed; see the module docstring for the invariant.
+        ``cancel`` is polled between stages (and inside the universe
+        extension); a fired token raises
+        :class:`~repro.util.errors.OperationCancelled` without corrupting
+        any cache.
         """
         if rounds is not None and rounds != self.rounds:
             raise ConfigurationError(
@@ -376,10 +389,14 @@ class IncrementalAssessor:
                 return result
         metrics.incr("plan_cache/miss")
 
+        if cancel is not None:
+            cancel.check()
         with metrics.timer("closure"):
             subjects, sampled = self.closure_for(plan)
-        self._extend_universe(subjects, sampled)
+        self._extend_universe(subjects, sampled, cancel=cancel)
 
+        if cancel is not None:
+            cancel.check()
         with metrics.timer("route_and_check"):
             per_round = self._evaluator.evaluate(self._states, plan, structure)
         with metrics.timer("estimate"):

@@ -15,8 +15,12 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.app.structure import ApplicationStructure, InstanceRef
-from repro.topology.base import Topology, validate_hosts_exist
-from repro.util.errors import ConfigurationError, UnsatisfiableRequirements
+from repro.topology.base import Topology
+from repro.util.errors import (
+    ConfigurationError,
+    UnsatisfiableRequirements,
+    ValidationError,
+)
 from repro.util.rng import make_rng
 
 
@@ -108,24 +112,72 @@ class DeploymentPlan:
             )
 
     def validate_against(
-        self, topology: Topology, structure: ApplicationStructure
+        self,
+        topology: Topology,
+        structure: ApplicationStructure,
+        capacity=None,
     ) -> None:
-        """Check the plan fits the structure and names real hosts."""
+        """Check the plan fits the structure and names real hosts.
+
+        Collects *every* problem and raises one field-level
+        :class:`~repro.util.errors.ValidationError` (a
+        :class:`ConfigurationError` subclass, so existing handlers keep
+        working) instead of dying on the first. ``capacity`` optionally
+        supplies a :class:`~repro.workload.capacity.CapacityModel`; each
+        plan host must then have a free slot.
+        """
+        errors: list[tuple[str, str]] = []
         by_component = dict(self.placements)
         expected = {spec.name: spec.instances for spec in structure.components}
         if set(by_component) != set(expected):
-            raise ConfigurationError(
-                f"plan components {sorted(by_component)} do not match structure "
-                f"components {sorted(expected)}"
-            )
-        for component, hosts in by_component.items():
-            if len(hosts) != expected[component]:
-                raise ConfigurationError(
-                    f"component {component!r} needs {expected[component]} hosts, "
-                    f"plan provides {len(hosts)}"
+            errors.append(
+                (
+                    "placements",
+                    f"plan components {sorted(by_component)} do not match "
+                    f"structure components {sorted(expected)}",
                 )
-        validate_hosts_exist(topology, self.hosts())
-        self._validate_distinct()
+            )
+        else:
+            for component, hosts in by_component.items():
+                if len(hosts) != expected[component]:
+                    errors.append(
+                        (
+                            f"placements.{component}",
+                            f"needs {expected[component]} hosts, plan "
+                            f"provides {len(hosts)}",
+                        )
+                    )
+        from repro.topology.base import ComponentType
+
+        for host_id in self.hosts():
+            component = topology.components.get(host_id)
+            if component is None:
+                errors.append(("hosts", f"unknown host {host_id!r}"))
+            elif component.component_type is not ComponentType.HOST:
+                errors.append(
+                    (
+                        "hosts",
+                        f"{host_id!r} is a {component.component_type.value}, "
+                        "not a host",
+                    )
+                )
+        hosts = self.hosts()
+        if len(set(hosts)) != len(hosts):
+            errors.append(
+                ("hosts", "deployment plans place each instance on a distinct host")
+            )
+        if capacity is not None:
+            for host_id in hosts:
+                try:
+                    free = capacity.free_slots(host_id)
+                except Exception:
+                    continue  # unknown host already reported above
+                if free < 1:
+                    errors.append(
+                        ("capacity", f"host {host_id!r} has no free slot")
+                    )
+        if errors:
+            raise ValidationError(errors)
 
     # ------------------------------------------------------------------
     # Queries

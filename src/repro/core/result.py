@@ -45,9 +45,14 @@ class RuntimeMetadata:
         pool_restarts: Times the worker pool was torn down and restarted.
         recovered_inline: Portions recovered by the master running them
             inline after worker retries were exhausted.
-        dropped_portions: Portions dropped in ``partial_ok`` mode.
+        dropped_portions: Portions dropped in ``partial_ok`` mode, or cut
+            off by cancellation.
         dropped_rounds: Sampling rounds lost with the dropped portions.
-        failures: Per-attempt failure records (crash/timeout/error).
+        cancelled: The assessment was stopped early by a cancellation
+            token (deadline or client cancel); the estimate is an
+            *anytime* result built from the portions completed by then.
+        failures: Per-attempt failure records (crash/timeout/error/
+            cancelled).
         profile: Flattened metrics snapshot (stage timers and cache
             counters) when the assessment ran with profiling enabled;
             see :meth:`repro.util.metrics.MetricsRegistry.flat`.
@@ -61,6 +66,7 @@ class RuntimeMetadata:
     recovered_inline: int = 0
     dropped_portions: int = 0
     dropped_rounds: int = 0
+    cancelled: bool = False
     failures: tuple[PortionFailure, ...] = ()
     profile: tuple[tuple[str, float], ...] | None = None
 

@@ -163,6 +163,7 @@ class DeploymentSearch:
         checkpoint_path: str | None = None,
         checkpoint_every: int = 10,
         should_stop: Callable[[], bool] | None = None,
+        cancel=None,
     ):
         if checkpoint_every < 1:
             raise ConfigurationError(
@@ -186,6 +187,12 @@ class DeploymentSearch:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.should_stop = should_stop
+        #: Optional :class:`~repro.util.cancel.CancellationToken`. Checked
+        #: at the top of every annealing iteration (move granularity):
+        #: when it fires, the loop checkpoints (if configured) and
+        #: returns the best plan found so far — an anytime search result,
+        #: never an exception.
+        self.cancel = cancel
 
     @classmethod
     def from_config(
@@ -408,6 +415,13 @@ class DeploymentSearch:
                 if self.checkpoint_path is not None:
                     self._write_checkpoint(state)
                 break
+            if self.cancel is not None and self.cancel.cancelled:
+                # Deadline/client cancel: stop between moves, persist the
+                # state for a later resume, and fall through to report
+                # the best-so-far (anytime search semantics).
+                if self.checkpoint_path is not None:
+                    self._write_checkpoint(state)
+                break
             if elapsed >= deadline.budget_seconds:
                 break
             if (
@@ -511,7 +525,7 @@ class DeploymentSearch:
 
         state.search_rng_state = self.rng.bit_generator.state
         state.assessor_rng_state = self.assessor.rng.bit_generator.state
-        serialization.dump(state.to_dict(), self.checkpoint_path)
+        serialization.dump(state.to_dict(), self.checkpoint_path, checksum=True)
 
     def _verify_satisfaction(
         self, spec: SearchSpec, plan: DeploymentPlan, assessment: AssessmentResult

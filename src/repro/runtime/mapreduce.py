@@ -70,6 +70,7 @@ from repro.topology.base import Topology
 from repro.util.errors import (
     ConfigurationError,
     DegradedResult,
+    OperationCancelled,
     PortionTimeout,
     WorkerFailure,
 )
@@ -214,6 +215,10 @@ class _Portion:
 
 class _PassAborted(Exception):
     """Internal: a worker death invalidated the rest of a dispatch pass."""
+
+
+class _PassCancelled(Exception):
+    """Internal: the caller's cancellation token fired during a pass."""
 
 
 class ParallelAssessor:
@@ -391,8 +396,21 @@ class ParallelAssessor:
         plan: DeploymentPlan,
         structure: ApplicationStructure,
         rounds: int | None = None,
+        cancel=None,
     ) -> AssessmentResult:
-        """Distribute, supervise, gather, reduce (the MapReduce of §3.2.1)."""
+        """Distribute, supervise, gather, reduce (the MapReduce of §3.2.1).
+
+        ``cancel`` is an optional
+        :class:`~repro.util.cancel.CancellationToken`. When it fires
+        mid-assessment, the master stops waiting, tears down in-flight
+        work (nothing keeps burning on rounds nobody will collect) and
+        returns an **anytime result**: the estimate built from the
+        portions completed so far, flagged ``runtime.cancelled`` and
+        ``degraded``, with the confidence interval widened by the missing
+        coverage — the same honest-widening path ``partial_ok`` uses.
+        Only when *zero* portions completed does it raise
+        :class:`~repro.util.errors.OperationCancelled`.
+        """
         watch = Stopwatch()
         total_rounds = self.rounds if rounds is None else rounds
         portion_sizes = self._portions(total_rounds)
@@ -408,21 +426,22 @@ class ParallelAssessor:
         retries = 0
         recovered_inline = 0
         restarts_before = self._pool_restarts
+        cancelled: list[_Portion] = []
 
         if self._pool is None:
-            completed = {
-                p.index: self._inline_portion(p, plan, structure) for p in portions
-            }
+            completed, cancelled = self._inline_portions(
+                portions, plan, structure, failures, cancel
+            )
             exhausted: list[_Portion] = []
         else:
-            completed, exhausted, retries = self._supervise(
-                portions, plan, structure, failures
+            completed, exhausted, cancelled, retries = self._supervise(
+                portions, plan, structure, failures, cancel
             )
 
-        dropped: list[_Portion] = []
+        dropped: list[_Portion] = list(cancelled)
         if exhausted:
             if self.partial_ok:
-                dropped = exhausted
+                dropped.extend(exhausted)
             else:
                 # Graceful degradation, mode 1: the master recovers lost
                 # portions itself on the inline backend (chaos-free and
@@ -444,6 +463,12 @@ class ParallelAssessor:
                         ) from exc
 
         if not completed:
+            if cancelled:
+                raise OperationCancelled(
+                    "assessment cancelled before any portion completed; "
+                    "no anytime estimate is possible",
+                    reason=cancel.reason if cancel is not None else None,
+                )
             raise DegradedResult(
                 f"all {len(portions)} portions were lost despite "
                 f"{retries} retries; nothing to estimate from",
@@ -481,6 +506,7 @@ class ParallelAssessor:
             recovered_inline=recovered_inline,
             dropped_portions=len(dropped),
             dropped_rounds=dropped_rounds,
+            cancelled=bool(cancelled),
             failures=tuple(failures),
             profile=self.metrics.flat() if self.metrics is not None else None,
         )
@@ -503,20 +529,44 @@ class ParallelAssessor:
         plan: DeploymentPlan,
         structure: ApplicationStructure,
         failures: list[PortionFailure],
-    ) -> tuple[dict[int, tuple[np.ndarray, int, int]], list[_Portion], int]:
+        cancel=None,
+    ) -> tuple[
+        dict[int, tuple[np.ndarray, int, int]], list[_Portion], list[_Portion], int
+    ]:
         """Dispatch portions until each completes or exhausts its retries.
 
-        Returns ``(completed, exhausted, retries)`` where ``completed``
-        maps portion index to ``(per_round, sampled_components, seed)``.
+        Returns ``(completed, exhausted, cancelled, retries)`` where
+        ``completed`` maps portion index to ``(per_round,
+        sampled_components, seed)``. A fired cancellation token ends
+        supervision immediately: portions not yet gathered land in
+        ``cancelled`` (never retried), and the pool is restarted so no
+        orphaned worker keeps computing rounds nobody will collect.
         """
         policy = self.retry_policy
         completed: dict[int, tuple[np.ndarray, int, int]] = {}
         exhausted: list[_Portion] = []
+        cancelled: list[_Portion] = []
         retries = 0
         pending = list(portions)
 
         while pending:
-            failed_pass = self._dispatch_pass(pending, plan, structure, completed, failures)
+            if cancel is not None and cancel.cancelled:
+                cancelled.extend(pending)
+                for portion in pending:
+                    self._record_failure(
+                        failures, portion, "cancelled", "cancelled before dispatch"
+                    )
+                break
+            failed_pass, cancelled_pass = self._dispatch_pass(
+                pending, plan, structure, completed, failures, cancel
+            )
+            if cancelled_pass:
+                cancelled.extend(cancelled_pass)
+                # In-flight tasks were abandoned mid-pass; tear the pool
+                # down so their workers stop burning CPU on dead rounds.
+                self._pool_suspect = True
+                self._restart_pool()
+                break
             if not failed_pass:
                 break
             # A hang or crash leaves the pool suspect (stuck worker still
@@ -538,7 +588,7 @@ class ParallelAssessor:
                 delay = policy.backoff_for(min_attempt, self._jitter_rng)
                 if delay > 0.0:
                     time.sleep(delay)
-        return completed, exhausted, retries
+        return completed, exhausted, cancelled, retries
 
     def _dispatch_pass(
         self,
@@ -547,12 +597,17 @@ class ParallelAssessor:
         structure: ApplicationStructure,
         completed: dict[int, tuple[np.ndarray, int, int]],
         failures: list[PortionFailure],
-    ) -> list[_Portion]:
-        """One async dispatch of every pending portion; returns failures.
+        cancel=None,
+    ) -> tuple[list[_Portion], list[_Portion]]:
+        """One async dispatch of every pending portion.
 
-        A worker death aborts the whole pass: the pool is about to be
-        restarted, which invalidates every result not yet gathered, so
-        ready results are swept up and everything else is marked crashed.
+        Returns ``(failed, cancelled)``. A worker death aborts the whole
+        pass: the pool is about to be restarted, which invalidates every
+        result not yet gathered, so ready results are swept up and
+        everything else is marked crashed. A fired cancellation token
+        likewise ends the pass, but the un-gathered portions are
+        *cancelled* (not retried) — whatever already finished is kept for
+        the anytime estimate.
         """
         assert self._pool is not None
         pass_pids = self._live_worker_pids()
@@ -577,10 +632,33 @@ class ParallelAssessor:
         ]
 
         failed: list[_Portion] = []
+        cancelled: list[_Portion] = []
         for position, (portion, async_result) in enumerate(dispatched):
             try:
-                value = self._wait_portion(portion, async_result, pass_pids)
+                value = self._wait_portion(portion, async_result, pass_pids, cancel)
                 completed[portion.index] = (value[0], value[1], portion.seed())
+            except _PassCancelled:
+                # Sweep results that are already in, then mark the rest
+                # cancelled; nothing gets retried after a cancel.
+                for later, later_result in dispatched[position:]:
+                    if later_result.ready():
+                        try:
+                            value = later_result.get(timeout=0)
+                            completed[later.index] = (
+                                value[0],
+                                value[1],
+                                later.seed(),
+                            )
+                            continue
+                        except Exception as exc:
+                            self._record_failure(failures, later, "error", str(exc))
+                            cancelled.append(later)
+                            continue
+                    self._record_failure(
+                        failures, later, "cancelled", "cancelled while in flight"
+                    )
+                    cancelled.append(later)
+                break
             except _PassAborted:
                 self._record_failure(
                     failures, portion, "crash", "worker process died mid-pass"
@@ -614,10 +692,10 @@ class ParallelAssessor:
             except Exception as exc:  # the worker raised
                 self._record_failure(failures, portion, "error", str(exc))
                 failed.append(portion)
-        return failed
+        return failed, cancelled
 
-    def _wait_portion(self, portion: _Portion, async_result, pass_pids):
-        """Wait for one portion, polling for timeouts and worker deaths."""
+    def _wait_portion(self, portion: _Portion, async_result, pass_pids, cancel=None):
+        """Wait for one portion, polling for timeouts, deaths and cancel."""
         policy = self.retry_policy
         deadline = (
             None
@@ -629,6 +707,8 @@ class ParallelAssessor:
                 return async_result.get(timeout=policy.poll_interval_seconds)
             except multiprocessing.TimeoutError:
                 pass
+            if cancel is not None and cancel.cancelled:
+                raise _PassCancelled()
             if pass_pids - self._live_worker_pids():
                 self._pool_suspect = True
                 raise _PassAborted()
@@ -658,8 +738,53 @@ class ParallelAssessor:
     # Inline execution (the 0-worker baseline and the fallback path)
     # ------------------------------------------------------------------
 
+    def _inline_portions(
+        self,
+        portions: list[_Portion],
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        failures: list[PortionFailure],
+        cancel=None,
+    ) -> tuple[dict[int, tuple[np.ndarray, int, int]], list[_Portion]]:
+        """Run portions one-by-one on the master, honouring cancellation.
+
+        The token is checked between portions and forwarded into each
+        portion's pipeline (sampler chunk granularity), so a deadline cuts
+        the work off promptly even without a worker pool. A portion
+        interrupted mid-pipeline yields no partial data — it and every
+        later portion are returned as cancelled.
+        """
+        completed: dict[int, tuple[np.ndarray, int, int]] = {}
+        cancelled: list[_Portion] = []
+        for position, portion in enumerate(portions):
+            if cancel is not None and cancel.cancelled:
+                remaining = portions[position:]
+                for later in remaining:
+                    self._record_failure(
+                        failures, later, "cancelled", "cancelled before dispatch"
+                    )
+                cancelled.extend(remaining)
+                break
+            try:
+                completed[portion.index] = self._inline_portion(
+                    portion, plan, structure, cancel
+                )
+            except OperationCancelled:
+                remaining = portions[position:]
+                for later in remaining:
+                    self._record_failure(
+                        failures, later, "cancelled", "cancelled mid-portion"
+                    )
+                cancelled.extend(remaining)
+                break
+        return completed, cancelled
+
     def _inline_portion(
-        self, portion: _Portion, plan: DeploymentPlan, structure: ApplicationStructure
+        self,
+        portion: _Portion,
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        cancel=None,
     ) -> tuple[np.ndarray, int, int]:
         seed = portion.seed()
         assessor = ReliabilityAssessor.from_config(
@@ -671,5 +796,5 @@ class ParallelAssessor:
                 rng=seed,
             ),
         )
-        result = assessor.assess(plan, structure)
+        result = assessor.assess(plan, structure, cancel=cancel)
         return result.per_round, result.sampled_components, seed

@@ -12,11 +12,14 @@ components a particular route-and-check actually reads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
 from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.util.cancel import CancellationToken
 
 #: dtype used for failed-round indices.
 ROUND_DTYPE = np.int64
@@ -93,6 +96,7 @@ class Sampler:
         probabilities: Mapping[str, float],
         rounds: int,
         rng: np.random.Generator,
+        cancel: "CancellationToken | None" = None,
     ) -> SampleBatch:
         """Produce a :class:`SampleBatch` for the given components.
 
@@ -102,6 +106,11 @@ class Sampler:
                 in the result.
             rounds: Number of sampling rounds (columns of Table 1).
             rng: Source of randomness.
+            cancel: Optional cooperative-cancellation token. Samplers poll
+                it between vectorised chunks and raise
+                :class:`~repro.util.errors.OperationCancelled` when it
+                fires, so a deadline stops sampling within one chunk
+                rather than after the full batch.
         """
         raise NotImplementedError
 

@@ -118,6 +118,7 @@ class ExtendedDaggerSampler(Sampler):
         probabilities: Mapping[str, float],
         rounds: int,
         rng: np.random.Generator,
+        cancel=None,
     ) -> SampleBatch:
         validate_probabilities(probabilities)
         batch = SampleBatch(rounds=rounds)
@@ -131,6 +132,8 @@ class ExtendedDaggerSampler(Sampler):
 
         block_length = max(dagger_cycle_length(p) for p in by_probability)
         for probability, component_ids in by_probability.items():
+            if cancel is not None:
+                cancel.check()
             failed_lists = _sample_group(
                 rng, probability, len(component_ids), rounds, block_length
             )
@@ -212,10 +215,15 @@ class CommonRandomDaggerSampler(Sampler):
         probabilities: Mapping[str, float],
         rounds: int,
         rng: np.random.Generator,  # unused: streams are component-addressed
+        cancel=None,
     ) -> SampleBatch:
         validate_probabilities(probabilities)
         batch = SampleBatch(rounds=rounds)
-        for cid, probability in probabilities.items():
+        for index, (cid, probability) in enumerate(probabilities.items()):
+            # Per-component streams are cheap individually; poll every few
+            # components so huge closures still cancel promptly.
+            if cancel is not None and index % 64 == 0:
+                cancel.check()
             failed = self.component_failed_rounds(cid, probability, rounds)
             if failed.size:
                 batch.failed_rounds[cid] = failed
@@ -238,6 +246,7 @@ class DaggerSampler(Sampler):
         probabilities: Mapping[str, float],
         rounds: int,
         rng: np.random.Generator,
+        cancel=None,
     ) -> SampleBatch:
         validate_probabilities(probabilities)
         batch = SampleBatch(rounds=rounds)
@@ -248,6 +257,8 @@ class DaggerSampler(Sampler):
                 by_probability[p].append(cid)
 
         for probability, component_ids in by_probability.items():
+            if cancel is not None:
+                cancel.check()
             # With block_length == own cycle length, truncation never trims
             # a cycle: this is exactly the original scheme.
             failed_lists = _sample_group(

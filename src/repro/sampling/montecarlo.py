@@ -37,6 +37,7 @@ class MonteCarloSampler(Sampler):
         probabilities: Mapping[str, float],
         rounds: int,
         rng: np.random.Generator,
+        cancel=None,
     ) -> SampleBatch:
         validate_probabilities(probabilities)
         batch = SampleBatch(rounds=rounds)
@@ -53,6 +54,8 @@ class MonteCarloSampler(Sampler):
         # exactly like one rng.random((a + b, n)) call.
         chunk_rows = max(1, _CHUNK_BUDGET_BYTES // (max(rounds, 1) * _BYTES_PER_DRAW))
         for start in range(0, len(component_ids), chunk_rows):
+            if cancel is not None:
+                cancel.check()
             stop = min(start + chunk_rows, len(component_ids))
             draws = rng.random((stop - start, rounds))
             failed_matrix = draws < p_values[start:stop, np.newaxis]

@@ -180,6 +180,7 @@ def _runtime_to_dict(runtime: RuntimeMetadata) -> dict:
         "recovered_inline": runtime.recovered_inline,
         "dropped_portions": runtime.dropped_portions,
         "dropped_rounds": runtime.dropped_rounds,
+        "cancelled": runtime.cancelled,
         "failures": [
             {
                 "portion": f.portion,
@@ -206,6 +207,7 @@ def _runtime_from_dict(payload: dict) -> RuntimeMetadata:
         recovered_inline=int(payload["recovered_inline"]),
         dropped_portions=int(payload["dropped_portions"]),
         dropped_rounds=int(payload["dropped_rounds"]),
+        cancelled=bool(payload.get("cancelled", False)),
         failures=tuple(
             PortionFailure(
                 portion=int(f["portion"]),
@@ -434,24 +436,84 @@ def risk_report_to_dict(entries: list[RiskEntry]) -> dict:
 # ----------------------------------------------------------------------
 
 
-def dump(document: dict, path) -> None:
-    """Write any artifact dict as pretty JSON, atomically.
+#: Key holding the integrity checksum inside a checksummed artifact.
+CHECKSUM_KEY = "sha256"
 
-    The document lands under a temporary name and is renamed into place,
-    so a crash mid-write (the very scenario checkpoints exist for) can
-    never leave a truncated artifact behind.
+
+def _payload_checksum(document: dict) -> str:
+    """SHA-256 over the canonical encoding of everything but the checksum."""
+    import hashlib
+
+    payload = {k: v for k, v in document.items() if k != CHECKSUM_KEY}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def dump(document: dict, path, checksum: bool = False) -> None:
+    """Write any artifact dict as pretty JSON, atomically and durably.
+
+    The document lands under a unique temporary name in the target
+    directory, is fsynced, and is then renamed into place — a crash
+    mid-write (the very scenario checkpoints exist for) can never leave
+    a truncated or half-old artifact behind, and a concurrent dump to
+    the same path cannot corrupt another dump's temp file.
+
+    ``checksum=True`` embeds a SHA-256 of the canonical payload under
+    ``"sha256"``; :func:`load` verifies it, so silent corruption of a
+    checkpoint (bad disk, truncated copy, hand-edit) is detected at
+    resume time instead of producing a subtly wrong search state.
     """
     import os
+    import tempfile
 
     path = os.fspath(path)
-    tmp_path = f"{path}.tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp_path, path)
+    if checksum:
+        document = dict(document)
+        document[CHECKSUM_KEY] = _payload_checksum(document)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
-def load(path) -> Any:
-    """Read a JSON artifact from disk."""
-    with open(path, encoding="utf-8") as handle:
-        return json.load(handle)
+def load(path, verify: bool = True) -> Any:
+    """Read a JSON artifact from disk, verifying any embedded checksum.
+
+    A document carrying a ``"sha256"`` key (written via
+    ``dump(..., checksum=True)``) is re-hashed; a mismatch raises
+    :class:`ConfigurationError` — a corrupt checkpoint must fail loudly
+    at load time, not resume into a silently wrong state. Artifacts
+    without a checksum load as before. ``verify=False`` skips the check
+    (for forensics on a corrupt file).
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"artifact {path!r} is not valid JSON (corrupt or truncated): {exc}"
+        ) from exc
+    if isinstance(document, dict) and CHECKSUM_KEY in document:
+        expected = document.pop(CHECKSUM_KEY)
+        if verify:
+            actual = _payload_checksum(document)
+            if actual != expected:
+                raise ConfigurationError(
+                    f"artifact {path!r} failed checksum verification "
+                    f"(expected {expected[:12]}..., got {actual[:12]}...); "
+                    "the file is corrupt"
+                )
+    return document

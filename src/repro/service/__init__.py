@@ -1,0 +1,38 @@
+"""Resilient assessment service (admission, deadlines, breaker, anytime).
+
+The long-running front to the assessment engines: bounded admission with
+typed load shedding, per-request deadlines with cooperative cancellation,
+circuit-broken routing between the parallel and sequential backends,
+anytime (partial, honestly widened) results, health/readiness probes and
+graceful drain. Run it with ``python -m repro serve`` or embed it via
+:class:`AssessmentService` + :class:`ServiceClient`.
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.cancellation import NEVER, CancellationToken
+from repro.service.client import HttpServiceClient, ServiceClient
+from repro.service.health import HealthMonitor
+from repro.service.queue import AdmissionQueue
+from repro.service.requests import (
+    AssessRequest,
+    SearchRequest,
+    ServiceResponse,
+    Ticket,
+)
+from repro.service.scheduler import AssessmentService, ServiceConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "AssessRequest",
+    "AssessmentService",
+    "CancellationToken",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "HttpServiceClient",
+    "NEVER",
+    "SearchRequest",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceResponse",
+    "Ticket",
+]

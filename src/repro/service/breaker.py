@@ -1,0 +1,179 @@
+"""Circuit breaker guarding the parallel assessment backend.
+
+The worker pool is the service's least reliable substrate: worker
+processes can crash or hang (that is the whole point of PR 1's
+supervision), and when they do so *repeatedly* every request routed there
+pays the retry/restart tax before degrading. The breaker converts that
+repeated pain into a fast routing decision:
+
+* **closed** — calls flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the breaker
+  refuses calls (:class:`~repro.util.errors.CircuitOpen`) for
+  ``recovery_seconds``; the scheduler routes to the sequential fallback
+  without touching the sick pool.
+* **half-open** — once the recovery window passes, up to
+  ``half_open_probes`` trial calls are let through. A probe success
+  closes the circuit; a probe failure re-opens it for another full
+  window.
+
+The clock is injectable so tests drive the state machine without
+sleeping. All transitions are lock-protected — scheduler workers share
+one breaker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.util.errors import CircuitOpen
+from repro.util.metrics import MetricsRegistry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open recovery probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_seconds: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
+        name: str = "parallel",
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_seconds <= 0:
+            raise ValueError(
+                f"recovery_seconds must be positive, got {recovery_seconds}"
+            )
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.half_open_probes = half_open_probes
+        self.name = name
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, folding in recovery-window expiry."""
+        with self._lock:
+            self._refresh_locked()
+            return self._state
+
+    def _refresh_locked(self) -> None:
+        if self._state == OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.recovery_seconds:
+                self._state = HALF_OPEN
+                self._probes_in_flight = 0
+                self._probe_successes = 0
+
+    def _set_gauge_locked(self) -> None:
+        if self._metrics is not None:
+            value = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}[self._state]
+            self._metrics.set_gauge(f"breaker/{self.name}/state", value)
+
+    # ------------------------------------------------------------------
+
+    def before_call(self) -> None:
+        """Gate a call: pass in closed, probe in half-open, refuse in open."""
+        with self._lock:
+            self._refresh_locked()
+            if self._state == CLOSED:
+                return
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return
+                raise CircuitOpen(
+                    f"{self.name} circuit is half-open and its probe slots "
+                    "are taken",
+                    retry_after_seconds=self.recovery_seconds,
+                )
+            remaining = self.recovery_seconds
+            if self._opened_at is not None:
+                remaining = max(
+                    0.0, self.recovery_seconds - (self._clock() - self._opened_at)
+                )
+            raise CircuitOpen(
+                f"{self.name} circuit is open "
+                f"({self._consecutive_failures} consecutive failures); "
+                f"retry in {remaining:.1f}s",
+                retry_after_seconds=remaining,
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._refresh_locked()
+            if self._state == HALF_OPEN:
+                self._probe_successes += 1
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = CLOSED
+                    self._consecutive_failures = 0
+                    self._opened_at = None
+                    if self._metrics is not None:
+                        self._metrics.incr(f"breaker/{self.name}/closed")
+            else:
+                self._consecutive_failures = 0
+            self._set_gauge_locked()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._refresh_locked()
+            if self._state == HALF_OPEN:
+                # A failed probe re-opens for a fresh recovery window.
+                self._trip_locked()
+            else:
+                self._consecutive_failures += 1
+                if (
+                    self._state == CLOSED
+                    and self._consecutive_failures >= self.failure_threshold
+                ):
+                    self._trip_locked()
+            self._set_gauge_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._consecutive_failures = max(
+            self._consecutive_failures, self.failure_threshold
+        )
+        if self._metrics is not None:
+            self._metrics.incr(f"breaker/{self.name}/tripped")
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for health endpoints."""
+        with self._lock:
+            self._refresh_locked()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "recovery_seconds": self.recovery_seconds,
+            }

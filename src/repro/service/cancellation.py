@@ -1,0 +1,12 @@
+"""Service-facing re-export of the cancellation primitives.
+
+The token class itself lives at the bottom of the layering
+(:mod:`repro.util.cancel`) because samplers and assessors poll it without
+depending on the service package; this module is the service-flavoured
+import path for code that thinks in requests and deadlines.
+"""
+
+from repro.util.cancel import NEVER, CancellationToken
+from repro.util.errors import OperationCancelled
+
+__all__ = ["CancellationToken", "NEVER", "OperationCancelled"]

@@ -1,0 +1,148 @@
+"""Clients for the assessment service.
+
+:class:`ServiceClient` wraps an in-process
+:class:`~repro.service.scheduler.AssessmentService` — the zero-transport
+path for tests and embedded use. :class:`HttpServiceClient` speaks the
+HTTP protocol of :mod:`repro.service.server` over stdlib ``urllib`` (no
+dependencies), converting the typed error responses back into the same
+exceptions the in-process path raises, so callers handle overload and
+validation identically either way.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.service.requests import AssessRequest, SearchRequest, ServiceResponse
+from repro.service.scheduler import AssessmentService
+from repro.util.errors import AdmissionRejected, ReproError, ValidationError
+
+
+class ServiceClient:
+    """In-process client: typed requests in, :class:`ServiceResponse` out."""
+
+    def __init__(self, service: AssessmentService):
+        self.service = service
+
+    def assess(
+        self,
+        hosts,
+        k: int,
+        rounds: int | None = None,
+        deadline_seconds: float | None = None,
+        timeout: float | None = None,
+    ) -> ServiceResponse:
+        request = AssessRequest(
+            hosts=tuple(hosts),
+            k=k,
+            rounds=rounds,
+            deadline_seconds=deadline_seconds,
+        )
+        return self.service.assess(request, timeout=timeout)
+
+    def search(
+        self,
+        k: int,
+        n: int,
+        max_seconds: float = 5.0,
+        desired_reliability: float = 1.0,
+        rounds: int | None = None,
+        deadline_seconds: float | None = None,
+        timeout: float | None = None,
+    ) -> ServiceResponse:
+        request = SearchRequest(
+            k=k,
+            n=n,
+            max_seconds=max_seconds,
+            desired_reliability=desired_reliability,
+            rounds=rounds,
+            deadline_seconds=deadline_seconds,
+        )
+        return self.service.search(request, timeout=timeout)
+
+    def cancel(self, request_id: str) -> bool:
+        return self.service.cancel(request_id)
+
+
+class HttpServiceClient:
+    """Minimal stdlib HTTP client for a running ``repro serve`` process."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                document = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                document = {"error": "http", "message": str(exc)}
+            self._raise_typed(exc.code, document)
+            raise  # unreachable; _raise_typed always raises
+
+    @staticmethod
+    def _raise_typed(status: int, document: dict) -> None:
+        """Rehydrate the service's typed errors from an HTTP error body."""
+        if status == 400 and document.get("error") == "validation":
+            raise ValidationError(
+                [(e["field"], e["message"]) for e in document.get("errors", [])]
+            )
+        if status == 503 and document.get("error") == "admission":
+            raise AdmissionRejected(
+                document.get("message", "request rejected"),
+                reason=document.get("reason", "queue_full"),
+                queue_depth=document.get("queue_depth"),
+                capacity=document.get("capacity"),
+            )
+        raise ReproError(
+            f"service returned HTTP {status}: "
+            f"{document.get('message', document)}"
+        )
+
+    # ------------------------------------------------------------------
+
+    def assess(
+        self,
+        hosts,
+        k: int,
+        rounds: int | None = None,
+        deadline_seconds: float | None = None,
+    ) -> dict:
+        payload: dict = {"hosts": list(hosts), "k": k}
+        if rounds is not None:
+            payload["rounds"] = rounds
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        return self._request("POST", "/assess", payload)
+
+    def search(self, k: int, n: int, **options) -> dict:
+        payload = {"k": k, "n": n}
+        payload.update(options)
+        return self._request("POST", "/search", payload)
+
+    def cancel(self, request_id: str) -> dict:
+        return self._request("POST", f"/cancel/{request_id}")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        return self._request("GET", "/readyz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")

@@ -1,0 +1,70 @@
+"""Service lifecycle state and health/readiness reporting.
+
+Kubernetes-style split: *liveness* ("the process is not wedged") is true
+whenever the monitor answers at all, while *readiness* ("send me
+traffic") is only true in the SERVING state — a draining service is
+alive but must be taken out of rotation so its queued work can finish.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+STARTING = "starting"
+SERVING = "serving"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+_ORDER = (STARTING, SERVING, DRAINING, STOPPED)
+
+
+class HealthMonitor:
+    """Thread-safe lifecycle state machine with JSON-ready snapshots."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STARTING
+        self._started_at = clock()
+        self._transitions: list[tuple[str, float]] = [(STARTING, 0.0)]
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def transition(self, state: str) -> None:
+        """Move lifecycle forward; backwards transitions are ignored."""
+        if state not in _ORDER:
+            raise ValueError(f"unknown service state {state!r}")
+        with self._lock:
+            if _ORDER.index(state) < _ORDER.index(self._state):
+                return
+            if state != self._state:
+                self._state = state
+                self._transitions.append(
+                    (state, self._clock() - self._started_at)
+                )
+
+    @property
+    def live(self) -> bool:
+        """Liveness: anything but STOPPED answers 'alive'."""
+        with self._lock:
+            return self._state != STOPPED
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: only a SERVING service should receive traffic."""
+        with self._lock:
+            return self._state == SERVING
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "uptime_seconds": self._clock() - self._started_at,
+                "transitions": [
+                    {"state": s, "at_seconds": t} for s, t in self._transitions
+                ],
+            }

@@ -1,0 +1,119 @@
+"""Bounded admission queue: accept fast, reject fast, never queue unboundedly.
+
+Overload protection for the assessment service (§2.1's provider runs this
+continuously, so it must survive demand spikes). The queue holds at most
+``capacity`` tickets; a submit against a full queue raises the *typed*
+:class:`~repro.util.errors.AdmissionRejected` immediately — the client
+learns within microseconds that it should back off, instead of parking a
+request that would time out anyway. Draining flips the queue read-only:
+new submits are rejected with ``reason="draining"`` and the still-queued
+tickets are handed back to the caller for rejection, so a SIGTERM never
+strands work.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+
+from repro.util.errors import AdmissionRejected
+from repro.util.metrics import MetricsRegistry
+
+
+class AdmissionQueue:
+    """A thread-safe bounded FIFO of request tickets.
+
+    All mutation happens under one lock; ``pop`` blocks on a condition
+    variable so scheduler workers sleep instead of spinning. Metrics
+    (queue depth gauge, admitted/shed counters) are recorded when a
+    registry is supplied.
+    """
+
+    def __init__(self, capacity: int, metrics: MetricsRegistry | None = None):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._metrics = metrics
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._draining = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def submit(self, ticket) -> None:
+        """Admit a ticket or raise :class:`AdmissionRejected` immediately."""
+        with self._lock:
+            if self._stopped:
+                raise AdmissionRejected(
+                    "service is stopped", reason="stopped",
+                    queue_depth=len(self._items), capacity=self.capacity,
+                )
+            if self._draining:
+                raise AdmissionRejected(
+                    "service is draining and accepts no new requests",
+                    reason="draining",
+                    queue_depth=len(self._items), capacity=self.capacity,
+                )
+            if len(self._items) >= self.capacity:
+                if self._metrics is not None:
+                    self._metrics.incr("service/shed")
+                raise AdmissionRejected(
+                    f"admission queue is full ({self.capacity} queued); "
+                    "retry with backoff",
+                    reason="queue_full",
+                    queue_depth=len(self._items), capacity=self.capacity,
+                )
+            self._items.append(ticket)
+            if self._metrics is not None:
+                self._metrics.incr("service/admitted")
+                self._metrics.set_gauge("service/queue_depth", len(self._items))
+            self._not_empty.notify()
+
+    def pop(self, timeout: float | None = None):
+        """Take the oldest ticket, or ``None`` on timeout / stop."""
+        with self._lock:
+            while not self._items:
+                if self._stopped:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            ticket = self._items.popleft()
+            if self._metrics is not None:
+                self._metrics.set_gauge("service/queue_depth", len(self._items))
+            return ticket
+
+    # ------------------------------------------------------------------
+
+    def drain(self) -> list:
+        """Stop admitting; return the still-queued tickets for rejection.
+
+        In-flight requests (already popped by a worker) are unaffected —
+        the graceful-shutdown contract is "in-flight finish, queued get a
+        typed rejection".
+        """
+        with self._lock:
+            self._draining = True
+            stranded = list(self._items)
+            self._items.clear()
+            if self._metrics is not None:
+                self._metrics.set_gauge("service/queue_depth", 0)
+            self._not_empty.notify_all()
+            return stranded
+
+    def stop(self) -> None:
+        """Final shutdown: wake every blocked ``pop`` with ``None``."""
+        with self._lock:
+            self._stopped = True
+            self._draining = True
+            self._not_empty.notify_all()

@@ -1,0 +1,250 @@
+"""Request/response records crossing the assessment-service boundary.
+
+Everything a client sends is validated *here*, before it costs a queue
+slot: malformed requests get a field-level
+:class:`~repro.util.errors.ValidationError` listing every problem at
+once, and only well-formed work is ticketed. A :class:`Ticket` pairs the
+request with its cancellation token and a future the client waits on; the
+scheduler resolves the future with a :class:`ServiceResponse` — including
+on deadline, where the response carries the *anytime* result rather than
+an exception-shaped timeout.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+
+from repro.util.cancel import CancellationToken
+from repro.util.errors import ValidationError
+
+#: Response statuses. ``degraded`` means a usable anytime estimate with
+#: honestly widened bounds (deadline hit or portions dropped); it is a
+#: success shape, not an error shape.
+STATUSES = ("ok", "degraded", "cancelled", "rejected", "invalid", "error")
+
+
+@dataclass(frozen=True)
+class AssessRequest:
+    """Assess one K-of-N plan on the service's data center.
+
+    Attributes:
+        hosts: Host component ids to deploy onto.
+        k: Instances that must stay alive.
+        rounds: Sampling rounds; ``None`` uses the service default.
+        deadline_seconds: Per-request deadline. On expiry the service
+            returns the anytime estimate built from the chunks/portions
+            completed so far, flagged degraded.
+    """
+
+    hosts: tuple[str, ...]
+    k: int
+    rounds: int | None = None
+    deadline_seconds: float | None = None
+
+    def validate(self, topology) -> None:
+        """Raise :class:`ValidationError` listing every field problem."""
+        errors: list[tuple[str, str]] = []
+        if not self.hosts:
+            errors.append(("hosts", "at least one host is required"))
+        else:
+            unknown = [h for h in self.hosts if h not in topology.components]
+            for host in unknown[:5]:
+                errors.append(("hosts", f"unknown host {host!r}"))
+            if len(unknown) > 5:
+                errors.append(
+                    ("hosts", f"... and {len(unknown) - 5} more unknown hosts")
+                )
+            if len(set(self.hosts)) != len(self.hosts):
+                errors.append(("hosts", "host ids must be distinct"))
+        if self.k < 1:
+            errors.append(("k", f"k must be >= 1, got {self.k}"))
+        elif self.hosts and self.k > len(self.hosts):
+            errors.append(
+                ("k", f"k={self.k} exceeds the {len(self.hosts)} hosts given")
+            )
+        if self.rounds is not None and self.rounds < 1:
+            errors.append(("rounds", f"rounds must be >= 1, got {self.rounds}"))
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            errors.append(
+                (
+                    "deadline_seconds",
+                    f"deadline must be positive, got {self.deadline_seconds}",
+                )
+            )
+        if errors:
+            raise ValidationError(errors)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AssessRequest":
+        """Decode a JSON body; shape errors become field errors too."""
+        errors: list[tuple[str, str]] = []
+        hosts = payload.get("hosts")
+        if isinstance(hosts, str):
+            hosts = [h.strip() for h in hosts.split(",") if h.strip()]
+        if not isinstance(hosts, (list, tuple)):
+            errors.append(("hosts", "must be a list of host ids"))
+            hosts = ()
+        k = payload.get("k")
+        if not isinstance(k, int) or isinstance(k, bool):
+            errors.append(("k", "must be an integer"))
+            k = 0
+        rounds = payload.get("rounds")
+        if rounds is not None and (not isinstance(rounds, int) or isinstance(rounds, bool)):
+            errors.append(("rounds", "must be an integer or omitted"))
+            rounds = None
+        deadline = payload.get("deadline_seconds")
+        if deadline is not None and not isinstance(deadline, (int, float)):
+            errors.append(("deadline_seconds", "must be a number or omitted"))
+            deadline = None
+        if errors:
+            raise ValidationError(errors)
+        return cls(
+            hosts=tuple(str(h) for h in hosts),
+            k=k,
+            rounds=rounds,
+            deadline_seconds=float(deadline) if deadline is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """Search for a reliable K-of-N plan within a time budget.
+
+    ``max_seconds`` is the annealing budget ``T_max``;
+    ``deadline_seconds`` additionally bounds the whole request (queue
+    wait included) and cuts the search off between moves, returning the
+    best plan found so far.
+    """
+
+    k: int
+    n: int
+    max_seconds: float = 5.0
+    desired_reliability: float = 1.0
+    rounds: int | None = None
+    deadline_seconds: float | None = None
+
+    def validate(self, topology) -> None:
+        errors: list[tuple[str, str]] = []
+        if self.k < 1:
+            errors.append(("k", f"k must be >= 1, got {self.k}"))
+        if self.n < 1:
+            errors.append(("n", f"n must be >= 1, got {self.n}"))
+        if self.k >= 1 and self.n >= 1 and self.k > self.n:
+            errors.append(("k", f"k={self.k} exceeds n={self.n}"))
+        host_count = sum(
+            1 for cid in topology.components if cid.startswith("host")
+        )
+        if self.n >= 1 and self.n > host_count:
+            errors.append(
+                ("n", f"n={self.n} exceeds the {host_count} hosts available")
+            )
+        if self.max_seconds <= 0:
+            errors.append(
+                ("max_seconds", f"must be positive, got {self.max_seconds}")
+            )
+        if not 0.0 <= self.desired_reliability <= 1.0:
+            errors.append(
+                (
+                    "desired_reliability",
+                    f"must be in [0, 1], got {self.desired_reliability}",
+                )
+            )
+        if self.rounds is not None and self.rounds < 1:
+            errors.append(("rounds", f"rounds must be >= 1, got {self.rounds}"))
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            errors.append(
+                (
+                    "deadline_seconds",
+                    f"deadline must be positive, got {self.deadline_seconds}",
+                )
+            )
+        if errors:
+            raise ValidationError(errors)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchRequest":
+        errors: list[tuple[str, str]] = []
+        values: dict = {}
+        for name, required, kinds in (
+            ("k", True, int),
+            ("n", True, int),
+            ("max_seconds", False, (int, float)),
+            ("desired_reliability", False, (int, float)),
+            ("rounds", False, int),
+            ("deadline_seconds", False, (int, float)),
+        ):
+            raw = payload.get(name)
+            if raw is None:
+                if required:
+                    errors.append((name, "is required"))
+                continue
+            if not isinstance(raw, kinds) or isinstance(raw, bool):
+                errors.append((name, f"must be a {getattr(kinds, '__name__', 'number')}"))
+                continue
+            values[name] = raw
+        if errors:
+            raise ValidationError(errors)
+        return cls(
+            k=values["k"],
+            n=values["n"],
+            max_seconds=float(values.get("max_seconds", 5.0)),
+            desired_reliability=float(values.get("desired_reliability", 1.0)),
+            rounds=values.get("rounds"),
+            deadline_seconds=(
+                float(values["deadline_seconds"])
+                if "deadline_seconds" in values
+                else None
+            ),
+        )
+
+
+@dataclass
+class Ticket:
+    """One admitted request travelling through the service."""
+
+    id: str
+    kind: str  # "assess" | "search"
+    request: AssessRequest | SearchRequest
+    token: CancellationToken
+    future: concurrent.futures.Future = field(
+        default_factory=concurrent.futures.Future
+    )
+    enqueued_at: float = 0.0
+
+    def reject(self, response: "ServiceResponse") -> None:
+        """Resolve the future with a terminal (non-executed) response."""
+        if not self.future.done():
+            self.future.set_result(response)
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """What every request resolves to — errors included, typed, JSON-ready."""
+
+    request_id: str
+    status: str
+    result: dict | None = None
+    error: dict | None = None
+    elapsed_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    backend: str | None = None
+
+    def to_dict(self) -> dict:
+        document = {
+            "request_id": self.request_id,
+            "status": self.status,
+            "elapsed_seconds": self.elapsed_seconds,
+            "queue_seconds": self.queue_seconds,
+        }
+        if self.backend is not None:
+            document["backend"] = self.backend
+        if self.result is not None:
+            document["result"] = self.result
+        if self.error is not None:
+            document["error"] = self.error
+        return document
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "degraded")

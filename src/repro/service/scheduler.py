@@ -1,0 +1,653 @@
+"""The assessment service core: admit → schedule → execute → respond.
+
+One :class:`AssessmentService` owns a data center (topology + §4.1
+inventory), a bounded :class:`~repro.service.queue.AdmissionQueue`, a
+small pool of scheduler worker threads, and — optionally — a shared
+:class:`~repro.runtime.mapreduce.ParallelAssessor` guarded by a
+:class:`~repro.service.breaker.CircuitBreaker`.
+
+Request lifecycle:
+
+1. **Admit** — the request is validated (field-level
+   :class:`~repro.util.errors.ValidationError`), gets a cancellation
+   token (child of the service's root token, with the per-request
+   deadline), and enters the bounded queue or is shed with a typed
+   :class:`~repro.util.errors.AdmissionRejected`.
+2. **Schedule** — a worker thread pops the ticket, records queue wait,
+   and routes it: the parallel backend when it is configured, idle and
+   the breaker allows; otherwise the chunked sequential path.
+3. **Execute** — the cancellation token is threaded all the way down
+   (sampler chunks, portion waits, annealing moves). A deadline firing
+   mid-run does not raise: the service returns the **anytime result**
+   built from the work completed so far, with honestly widened error
+   bounds and ``status="degraded"``.
+4. **Respond** — the ticket's future resolves with a
+   :class:`~repro.service.requests.ServiceResponse`; per-request
+   structured logs and latency/queue metrics are recorded.
+
+Shutdown is graceful: ``drain()`` rejects the queued backlog with a
+typed response, lets in-flight requests finish (cancelling them into
+anytime results only if the drain timeout passes), then stops the
+workers and tears down the pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro import serialization
+from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.core.result import AssessmentResult, RuntimeMetadata
+from repro.core.search import DeploymentSearch, SearchSpec
+from repro.sampling.statistics import estimate_from_results
+from repro.service.breaker import CircuitBreaker
+from repro.service.health import DRAINING, SERVING, STOPPED, HealthMonitor
+from repro.service.queue import AdmissionQueue
+from repro.service.requests import (
+    AssessRequest,
+    SearchRequest,
+    ServiceResponse,
+    Ticket,
+)
+from repro.util.cancel import CancellationToken
+from repro.util.errors import (
+    AdmissionRejected,
+    CircuitOpen,
+    OperationCancelled,
+    ReproError,
+    ValidationError,
+)
+from repro.util.metrics import MetricsRegistry
+from repro.util.timing import Stopwatch
+
+logger = logging.getLogger("repro.service")
+
+_TICKET_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of the long-running assessment service.
+
+    Attributes:
+        scale: Preset data-center scale (Table 2) when no topology is
+            injected.
+        seed: Deterministic seed for topology, inventory and assessment
+            randomness.
+        rounds: Default sampling rounds per assess request.
+        queue_capacity: Bounded admission-queue size; submits beyond it
+            are shed with :class:`AdmissionRejected`.
+        scheduler_workers: Worker threads executing requests.
+        parallel_workers: Worker *processes* for the shared parallel
+            backend; 0 disables it (chunked sequential only).
+        chunks: Anytime granularity of the sequential path — rounds are
+            assessed in about this many chunks with a cancellation check
+            between chunks.
+        default_deadline_seconds: Deadline applied when a request does
+            not set one (``None`` = unbounded).
+        breaker_failure_threshold / breaker_recovery_seconds /
+        breaker_half_open_probes: Circuit-breaker tuning for the
+            parallel backend.
+        portion_timeout_seconds: Per-portion hang deadline inside the
+            parallel backend.
+        drain_timeout_seconds: How long ``drain()`` waits for in-flight
+            requests before cancelling them into anytime results.
+    """
+
+    scale: str = "tiny"
+    seed: int = 1
+    rounds: int = 10_000
+    queue_capacity: int = 8
+    scheduler_workers: int = 2
+    parallel_workers: int = 0
+    chunks: int = 8
+    default_deadline_seconds: float | None = None
+    breaker_failure_threshold: int = 3
+    breaker_recovery_seconds: float = 5.0
+    breaker_half_open_probes: int = 1
+    portion_timeout_seconds: float | None = 30.0
+    drain_timeout_seconds: float = 30.0
+
+
+class AssessmentService:
+    """A long-running, overload-safe front to the assessment engines."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        topology=None,
+        dependency_model=None,
+        clock=time.monotonic,
+    ):
+        self.config = config or ServiceConfig()
+        self._clock = clock
+        if topology is None:
+            from repro.faults.inventory import build_paper_inventory
+            from repro.topology.presets import paper_topology
+
+            topology = paper_topology(self.config.scale, seed=self.config.seed)
+            dependency_model = build_paper_inventory(
+                topology, seed=self.config.seed + 1
+            )
+        self.topology = topology
+        self.dependency_model = dependency_model
+        self.metrics = MetricsRegistry()
+        self.queue = AdmissionQueue(self.config.queue_capacity, self.metrics)
+        self.health = HealthMonitor(clock)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            recovery_seconds=self.config.breaker_recovery_seconds,
+            half_open_probes=self.config.breaker_half_open_probes,
+            clock=clock,
+            metrics=self.metrics,
+        )
+        self._root_token = CancellationToken(clock=clock)
+        self._tickets: dict[str, Ticket] = {}
+        self._tickets_lock = threading.Lock()
+        self._workers: list[threading.Thread] = []
+        self._started = False
+        self._parallel = None
+        self._parallel_lock = threading.Lock()
+        if self.config.parallel_workers > 0:
+            from repro.runtime.mapreduce import ParallelAssessor, RetryPolicy
+
+            self._parallel = ParallelAssessor.from_config(
+                self.topology,
+                self.dependency_model,
+                AssessmentConfig(
+                    mode="parallel",
+                    rounds=self.config.rounds,
+                    workers=self.config.parallel_workers,
+                    rng=self.config.seed + 2,
+                    partial_ok=True,
+                    retry_policy=RetryPolicy(
+                        timeout_seconds=self.config.portion_timeout_seconds
+                    ),
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "AssessmentService":
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.config.scheduler_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._workers.append(thread)
+        self.health.transition(SERVING)
+        logger.info(
+            "service serving scale=%s workers=%d queue=%d parallel=%d",
+            self.config.scale,
+            self.config.scheduler_workers,
+            self.config.queue_capacity,
+            self.config.parallel_workers,
+        )
+        return self
+
+    def drain(self, timeout_seconds: float | None = None) -> None:
+        """Graceful shutdown: queued rejected, in-flight allowed to finish.
+
+        After ``timeout_seconds`` (default from config) the still-running
+        requests are *cancelled*, which turns them into anytime results —
+        they resolve normally, just degraded.
+        """
+        timeout = (
+            self.config.drain_timeout_seconds
+            if timeout_seconds is None
+            else timeout_seconds
+        )
+        self.health.transition(DRAINING)
+        stranded = self.queue.drain()
+        for ticket in stranded:
+            ticket.reject(
+                ServiceResponse(
+                    request_id=ticket.id,
+                    status="rejected",
+                    error={
+                        "error": "admission",
+                        "reason": "draining",
+                        "message": "service is draining; request was not started",
+                    },
+                )
+            )
+            self._log_response(ticket, "rejected", 0.0, 0.0, None)
+        deadline = self._clock() + timeout
+        for ticket in self._open_tickets():
+            remaining = max(0.0, deadline - self._clock())
+            try:
+                ticket.future.result(timeout=remaining)
+            except Exception:
+                pass
+        # Whatever is still running gets cancelled into an anytime result.
+        self._root_token.cancel("service draining")
+        for ticket in self._open_tickets():
+            try:
+                ticket.future.result(timeout=5.0)
+            except Exception:
+                pass
+        self.close()
+
+    def close(self) -> None:
+        """Hard stop: cancel everything, stop workers, free the pool."""
+        self._root_token.cancel("service stopped")
+        self.queue.stop()
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+        self._workers.clear()
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+        self.health.transition(STOPPED)
+
+    def __enter__(self) -> "AssessmentService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _open_tickets(self) -> list[Ticket]:
+        with self._tickets_lock:
+            return [t for t in self._tickets.values() if not t.future.done()]
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(self, kind: str, request) -> Ticket:
+        """Validate, ticket and enqueue a request.
+
+        Raises :class:`ValidationError` for malformed requests and
+        :class:`AdmissionRejected` under overload or drain — both *before*
+        any assessment work is spent.
+        """
+        if kind not in ("assess", "search"):
+            raise ValidationError([("kind", f"unknown request kind {kind!r}")])
+        request.validate(self.topology)
+        deadline = request.deadline_seconds
+        if deadline is None:
+            deadline = self.config.default_deadline_seconds
+        token = self._root_token.child(deadline_seconds=deadline)
+        ticket = Ticket(
+            id=f"req-{next(_TICKET_IDS)}",
+            kind=kind,
+            request=request,
+            token=token,
+            enqueued_at=self._clock(),
+        )
+        with self._tickets_lock:
+            self._tickets[ticket.id] = ticket
+        try:
+            self.queue.submit(ticket)
+        except AdmissionRejected:
+            with self._tickets_lock:
+                self._tickets.pop(ticket.id, None)
+            self.metrics.incr("service/rejected")
+            raise
+        self.metrics.incr("service/requests")
+        logger.info("request %s admitted kind=%s", ticket.id, kind)
+        return ticket
+
+    def assess(
+        self, request: AssessRequest, timeout: float | None = None
+    ) -> ServiceResponse:
+        """Submit an assess request and wait for its response."""
+        return self.submit("assess", request).future.result(timeout=timeout)
+
+    def search(
+        self, request: SearchRequest, timeout: float | None = None
+    ) -> ServiceResponse:
+        """Submit a search request and wait for its response."""
+        return self.submit("search", request).future.result(timeout=timeout)
+
+    def cancel(self, request_id: str, reason: str = "cancelled by client") -> bool:
+        """Fire a request's token; returns False for unknown ids."""
+        with self._tickets_lock:
+            ticket = self._tickets.get(request_id)
+        if ticket is None:
+            return False
+        ticket.token.cancel(reason)
+        self.metrics.incr("service/cancel_requests")
+        return True
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        assessor = ReliabilityAssessor.from_config(
+            self.topology,
+            self.dependency_model,
+            AssessmentConfig(
+                rounds=self.config.rounds,
+                rng=self.config.seed + 100 + index,
+            ),
+        )
+        while True:
+            ticket = self.queue.pop(timeout=0.1)
+            if ticket is None:
+                if self._root_token.cancelled:
+                    return
+                continue
+            try:
+                self._execute(ticket, assessor, index)
+            except BaseException as exc:  # never kill a worker thread
+                logger.exception("request %s worker crash", ticket.id)
+                ticket.reject(
+                    ServiceResponse(
+                        request_id=ticket.id,
+                        status="error",
+                        error={"error": "internal", "message": str(exc)},
+                    )
+                )
+
+    def _execute(self, ticket: Ticket, assessor, worker_index: int) -> None:
+        queue_seconds = max(0.0, self._clock() - ticket.enqueued_at)
+        self.metrics.observe("service/queue_wait", queue_seconds)
+        watch = Stopwatch()
+        backend = None
+        try:
+            if ticket.token.cancelled:
+                response = ServiceResponse(
+                    request_id=ticket.id,
+                    status="cancelled",
+                    error={
+                        "error": "cancelled",
+                        "reason": ticket.token.reason,
+                        "message": "cancelled before execution started",
+                    },
+                    queue_seconds=queue_seconds,
+                )
+            elif ticket.kind == "assess":
+                response, backend = self._run_assess(
+                    ticket, assessor, queue_seconds, watch
+                )
+            else:
+                response, backend = self._run_search(
+                    ticket, queue_seconds, watch, worker_index
+                )
+        except OperationCancelled as exc:
+            response = ServiceResponse(
+                request_id=ticket.id,
+                status="cancelled",
+                error={
+                    "error": "cancelled",
+                    "reason": exc.reason,
+                    "message": str(exc),
+                },
+                elapsed_seconds=watch.elapsed(),
+                queue_seconds=queue_seconds,
+            )
+        except ReproError as exc:
+            response = ServiceResponse(
+                request_id=ticket.id,
+                status="error",
+                error={"error": type(exc).__name__, "message": str(exc)},
+                elapsed_seconds=watch.elapsed(),
+                queue_seconds=queue_seconds,
+            )
+        self.metrics.observe("service/latency", response.elapsed_seconds)
+        self.metrics.incr(f"service/status/{response.status}")
+        if not ticket.future.done():
+            ticket.future.set_result(response)
+        with self._tickets_lock:
+            self._tickets.pop(ticket.id, None)
+        self._log_response(
+            ticket, response.status, response.elapsed_seconds, queue_seconds, backend
+        )
+
+    @staticmethod
+    def _log_response(ticket, status, elapsed, queue_seconds, backend) -> None:
+        logger.info(
+            "request %s kind=%s status=%s backend=%s elapsed=%.3fs queue=%.3fs",
+            ticket.id,
+            ticket.kind,
+            status,
+            backend or "-",
+            elapsed,
+            queue_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Assess execution
+    # ------------------------------------------------------------------
+
+    def _run_assess(
+        self, ticket: Ticket, assessor, queue_seconds: float, watch: Stopwatch
+    ) -> tuple[ServiceResponse, str]:
+        request: AssessRequest = ticket.request
+        structure = ApplicationStructure.k_of_n(request.k, len(request.hosts))
+        plan = DeploymentPlan.single_component(
+            list(request.hosts), structure.components[0].name
+        )
+        rounds = request.rounds or self.config.rounds
+
+        result = None
+        backend = "chunked-sequential"
+        if self._parallel is not None and self._parallel_lock.acquire(blocking=False):
+            try:
+                self.breaker.before_call()
+            except CircuitOpen:
+                self._parallel_lock.release()
+                self.metrics.incr("service/breaker_fallbacks")
+            else:
+                try:
+                    result = self._parallel.assess(
+                        plan, structure, rounds=rounds, cancel=ticket.token
+                    )
+                except OperationCancelled:
+                    # Not a backend fault: the caller's deadline fired
+                    # before any portion finished.
+                    raise
+                except ReproError as exc:
+                    self.breaker.record_failure()
+                    logger.warning(
+                        "request %s parallel backend failed (%s); "
+                        "falling back to chunked sequential",
+                        ticket.id,
+                        exc,
+                    )
+                    result = None
+                else:
+                    if self._runtime_sick(result.runtime):
+                        self.breaker.record_failure()
+                    else:
+                        self.breaker.record_success()
+                    backend = "parallel"
+                finally:
+                    self._parallel_lock.release()
+        if result is None and backend != "parallel":
+            result = self._chunked_assess(
+                assessor, plan, structure, rounds, ticket.token
+            )
+            backend = "chunked-sequential"
+
+        status = (
+            "degraded"
+            if result.degraded or (result.runtime and result.runtime.cancelled)
+            else "ok"
+        )
+        response = ServiceResponse(
+            request_id=ticket.id,
+            status=status,
+            result=serialization.assessment_to_dict(result),
+            elapsed_seconds=watch.elapsed(),
+            queue_seconds=queue_seconds,
+            backend=backend,
+        )
+        return response, backend
+
+    @staticmethod
+    def _runtime_sick(runtime: RuntimeMetadata | None) -> bool:
+        """Did the substrate misbehave, even if the result recovered?
+
+        Cancellation is the *caller's* doing and never counts; crashes,
+        hangs, worker errors and pool restarts do — a backend that keeps
+        recovering inline is a backend about to fail for real.
+        """
+        if runtime is None:
+            return False
+        substrate_failures = [
+            f for f in runtime.failures if f.kind != "cancelled"
+        ]
+        if substrate_failures:
+            return True
+        if runtime.recovered_inline > 0:
+            return True
+        return runtime.pool_restarts > 0 and not runtime.cancelled
+
+    def _chunked_assess(
+        self,
+        assessor,
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        rounds: int,
+        token: CancellationToken,
+    ) -> AssessmentResult:
+        """Sequential anytime execution: assess in chunks, stop on cancel.
+
+        The fallback (and default) backend. Rounds are split into about
+        ``config.chunks`` independent chunks; the token is checked between
+        chunks and forwarded into each chunk's sampler loop. On cancel the
+        completed chunks become the anytime estimate with coverage-widened
+        bounds; only a cancel before *any* chunk finished raises
+        :class:`OperationCancelled`.
+        """
+        watch = Stopwatch()
+        chunk_size = max(1, rounds // max(1, self.config.chunks))
+        per_round_chunks: list[np.ndarray] = []
+        completed_rounds = 0
+        sampled_components = 0
+        cancelled = False
+        while completed_rounds < rounds:
+            if token.cancelled:
+                cancelled = True
+                break
+            batch = min(chunk_size, rounds - completed_rounds)
+            try:
+                chunk = assessor.assess(plan, structure, rounds=batch, cancel=token)
+            except OperationCancelled:
+                # Mid-chunk cancel: the interrupted chunk yields nothing,
+                # but earlier chunks may still carry the anytime result.
+                cancelled = True
+                break
+            per_round_chunks.append(chunk.per_round)
+            sampled_components = max(sampled_components, chunk.sampled_components)
+            completed_rounds += batch
+        if not per_round_chunks:
+            raise OperationCancelled(
+                "assessment cancelled before any chunk completed",
+                reason=token.reason,
+            )
+        per_round = (
+            per_round_chunks[0]
+            if len(per_round_chunks) == 1
+            else np.concatenate(per_round_chunks)
+        )
+        estimate = estimate_from_results(per_round)
+        dropped_rounds = rounds - completed_rounds
+        if dropped_rounds > 0:
+            # Same honest widening the parallel partial_ok path applies:
+            # missing rounds are missing data, not sampled data.
+            coverage = rounds / per_round.size
+            estimate = replace(
+                estimate,
+                variance=estimate.variance * coverage,
+                confidence_interval_width=(
+                    estimate.confidence_interval_width * coverage**0.5
+                ),
+            )
+        total_chunks = -(-rounds // chunk_size)
+        runtime = RuntimeMetadata(
+            backend="chunked",
+            workers=1,
+            portion_seeds=(),
+            dropped_portions=total_chunks - len(per_round_chunks),
+            dropped_rounds=dropped_rounds,
+            cancelled=cancelled,
+        )
+        return AssessmentResult(
+            plan=plan,
+            estimate=estimate,
+            per_round=per_round,
+            sampled_components=sampled_components,
+            elapsed_seconds=watch.elapsed(),
+            runtime=runtime,
+        )
+
+    # ------------------------------------------------------------------
+    # Search execution
+    # ------------------------------------------------------------------
+
+    def _run_search(
+        self, ticket: Ticket, queue_seconds: float, watch: Stopwatch, worker_index: int
+    ) -> tuple[ServiceResponse, str]:
+        request: SearchRequest = ticket.request
+        structure = ApplicationStructure.k_of_n(request.k, request.n)
+        search = DeploymentSearch.from_config(
+            self.topology,
+            self.dependency_model,
+            AssessmentConfig(
+                rounds=request.rounds or self.config.rounds,
+                rng=self.config.seed + 200 + worker_index,
+                mode="incremental",
+            ),
+            rng=self.config.seed + 300 + worker_index,
+            cancel=ticket.token,
+        )
+        spec = SearchSpec(
+            structure=structure,
+            desired_reliability=request.desired_reliability,
+            max_seconds=request.max_seconds,
+            forbid_shared_rack=True,
+        )
+        result = search.search(spec)
+        cut_short = ticket.token.cancelled
+        status = "degraded" if cut_short else "ok"
+        document = serialization.search_result_to_dict(result)
+        if cut_short:
+            document["cancelled"] = True
+            document["cancel_reason"] = ticket.token.reason
+        response = ServiceResponse(
+            request_id=ticket.id,
+            status=status,
+            result=document,
+            elapsed_seconds=watch.elapsed(),
+            queue_seconds=queue_seconds,
+            backend="search",
+        )
+        return response, "search"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-ready health + queue + breaker snapshot."""
+        return {
+            "health": self.health.snapshot(),
+            "queue": {
+                "depth": len(self.queue),
+                "capacity": self.queue.capacity,
+                "draining": self.queue.draining,
+            },
+            "breaker": self.breaker.snapshot(),
+            "inflight": len(self._open_tickets()),
+        }

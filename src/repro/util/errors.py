@@ -16,6 +16,86 @@ class ConfigurationError(ReproError):
     """An object was constructed or configured with invalid parameters."""
 
 
+class ValidationError(ConfigurationError):
+    """A request or config failed validation at an API boundary.
+
+    Collects *every* field-level problem instead of dying on the first,
+    so callers (and the service's error responses) can report the lot in
+    one round trip. ``errors`` is a tuple of ``(field, message)`` pairs;
+    subclassing :class:`ConfigurationError` keeps the existing
+    ``except ConfigurationError`` call sites working.
+    """
+
+    def __init__(self, errors):
+        self.errors = tuple(
+            (str(field), str(message)) for field, message in errors
+        )
+        if not self.errors:
+            raise ValueError("ValidationError needs at least one field error")
+        summary = "; ".join(f"{field}: {message}" for field, message in self.errors)
+        super().__init__(f"validation failed ({len(self.errors)} error(s)): {summary}")
+
+    def fields(self) -> tuple:
+        """The names of the offending fields, in report order."""
+        return tuple(field for field, _ in self.errors)
+
+    def as_dict(self) -> dict:
+        """JSON-ready encoding for service error responses."""
+        return {
+            "error": "validation",
+            "errors": [
+                {"field": field, "message": message}
+                for field, message in self.errors
+            ],
+        }
+
+
+class OperationCancelled(ReproError):
+    """Cooperative cancellation: a deadline passed or a client cancelled.
+
+    Raised by the inner loops (sampling chunks, portion waits, annealing
+    moves) when their :class:`~repro.util.cancel.CancellationToken` fires.
+    Layers holding partial data catch it and degrade to an *anytime*
+    result instead of propagating; it only escapes when there is nothing
+    at all to report.
+    """
+
+    def __init__(self, message: str = "operation cancelled", reason: str | None = None):
+        super().__init__(message)
+        self.reason = reason or message
+
+
+class AdmissionRejected(ReproError):
+    """The assessment service shed this request at admission.
+
+    The typed overload signal: the bounded queue was full (or the service
+    was draining), so the request was rejected *fast* instead of queueing
+    unboundedly. ``reason`` is ``"queue_full"``, ``"draining"`` or
+    ``"stopped"``; ``queue_depth``/``capacity`` describe the queue at
+    rejection time.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full",
+                 queue_depth: int | None = None, capacity: int | None = None):
+        super().__init__(message)
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+
+class CircuitOpen(ReproError):
+    """A circuit breaker refused the call because its circuit is open.
+
+    Raised by :meth:`~repro.service.breaker.CircuitBreaker.before_call`
+    when the protected backend is presumed down and no half-open probe is
+    due; callers are expected to route to their fallback.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float | None = None):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
 class TopologyError(ReproError):
     """A topology is malformed or a query referenced an unknown element."""
 

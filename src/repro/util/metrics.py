@@ -33,6 +33,7 @@ class MetricsRegistry:
         self._counters: dict[str, float] = {}
         self._timer_seconds: dict[str, float] = {}
         self._timer_calls: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -53,11 +54,29 @@ class MetricsRegistry:
             self._timer_seconds[name] = self._timer_seconds.get(name, 0.0) + elapsed
             self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
 
+    def observe(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration under a timer name.
+
+        For latencies the caller already has in hand (queue wait,
+        request latency) where wrapping a ``timer()`` block is awkward.
+        """
+        self._timer_seconds[name] = self._timer_seconds.get(name, 0.0) + seconds
+        self._timer_calls[name] = self._timer_calls.get(name, 0) + 1
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set an instantaneous level (queue depth, in-flight requests).
+
+        Unlike counters, gauges move both ways; the registry keeps the
+        latest value only.
+        """
+        self._gauges[name] = float(value)
+
     def reset(self) -> None:
-        """Clear every counter and timer."""
+        """Clear every counter, timer and gauge."""
         self._counters.clear()
         self._timer_seconds.clear()
         self._timer_calls.clear()
+        self._gauges.clear()
 
     # ------------------------------------------------------------------
     # Reading
@@ -66,6 +85,10 @@ class MetricsRegistry:
     def counter(self, name: str) -> float:
         """Current value of a counter (0 if never incremented)."""
         return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        """Current value of a gauge (0 if never set)."""
+        return self._gauges.get(name, 0.0)
 
     def timer_seconds(self, name: str) -> float:
         """Cumulative seconds recorded under a timer name."""
@@ -79,9 +102,10 @@ class MetricsRegistry:
         return hits / total if total else 0.0
 
     def snapshot(self) -> dict[str, dict[str, float]]:
-        """Structured view: ``{"counters": {...}, "timers": {name: seconds}}``."""
+        """Structured view: ``{"counters", "gauges", "timers"}`` sections."""
         return {
             "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
             "timers": {
                 name: {
                     "seconds": seconds,
@@ -96,6 +120,8 @@ class MetricsRegistry:
         items: list[tuple[str, float]] = []
         for name, value in sorted(self._counters.items()):
             items.append((f"counter/{name}", float(value)))
+        for name, value in sorted(self._gauges.items()):
+            items.append((f"gauge/{name}", float(value)))
         for name, seconds in sorted(self._timer_seconds.items()):
             items.append((f"timer/{name}/seconds", float(seconds)))
             items.append((f"timer/{name}/calls", float(self._timer_calls.get(name, 0))))
@@ -117,6 +143,10 @@ class MetricsRegistry:
                 value = self._counters[name]
                 rendered = f"{value:g}"
                 lines.append(f"{name:<28} {rendered:>10}")
+        if self._gauges:
+            lines.append(f"{'gauge':<28} {'value':>10}")
+            for name in sorted(self._gauges):
+                lines.append(f"{name:<28} {self._gauges[name]:>10g}")
         caches = sorted(
             {
                 name.rsplit("/", 1)[0]
@@ -139,10 +169,12 @@ def flat_to_nested(flat: Mapping[str, float] | tuple) -> dict[str, dict]:
     """Rebuild a structured snapshot from :meth:`MetricsRegistry.flat` output."""
     if not isinstance(flat, Mapping):
         flat = dict(flat)
-    nested: dict[str, dict] = {"counters": {}, "timers": {}}
+    nested: dict[str, dict] = {"counters": {}, "gauges": {}, "timers": {}}
     for key, value in flat.items():
         if key.startswith("counter/"):
             nested["counters"][key[len("counter/"):]] = value
+        elif key.startswith("gauge/"):
+            nested["gauges"][key[len("gauge/"):]] = value
         elif key.startswith("timer/"):
             rest = key[len("timer/"):]
             name, _, field = rest.rpartition("/")

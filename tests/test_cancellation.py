@@ -1,0 +1,295 @@
+"""Chaos-style cancellation tests: tokens, anytime results, no orphans.
+
+The contract under test: a fired token stops work at the next natural
+boundary (sampler chunk, dispatched portion, annealing move), layers that
+hold partial data return a well-formed *anytime* result with honestly
+widened bounds, and no worker process keeps computing rounds nobody will
+collect.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.incremental import IncrementalAssessor
+from repro.core.plan import DeploymentPlan
+from repro.core.search import DeploymentSearch, SearchSpec
+from repro.runtime.mapreduce import ParallelAssessor
+from repro.sampling.montecarlo import MonteCarloSampler
+from repro.util.cancel import NEVER, CancellationToken
+from repro.util.errors import OperationCancelled
+
+STRUCTURE = ApplicationStructure.k_of_n(2, 3)
+
+
+def _plan(topology):
+    return DeploymentPlan.single_component(
+        topology.hosts[:3], STRUCTURE.components[0].name
+    )
+
+
+class TestCancellationToken:
+    def test_fresh_token_is_live(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        assert token.reason is None
+        token.check()  # must not raise
+
+    def test_explicit_cancel_is_sticky_and_first_reason_wins(self):
+        token = CancellationToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.cancelled
+        assert token.reason == "first"
+        with pytest.raises(OperationCancelled) as excinfo:
+            token.check()
+        assert excinfo.value.reason == "first"
+
+    def test_deadline_fires_with_fake_clock(self):
+        now = {"t": 0.0}
+        token = CancellationToken(deadline_seconds=5.0, clock=lambda: now["t"])
+        assert not token.cancelled
+        assert token.remaining() == pytest.approx(5.0)
+        now["t"] = 5.1
+        assert token.cancelled
+        assert token.reason == "deadline exceeded"
+        assert token.remaining() == 0.0
+
+    def test_non_positive_deadline_fires_immediately(self):
+        assert CancellationToken(deadline_seconds=0.0).cancelled
+        assert CancellationToken(deadline_seconds=-1.0).cancelled
+
+    def test_child_fires_with_parent(self):
+        parent = CancellationToken()
+        child = parent.child()
+        assert not child.cancelled
+        parent.cancel("shutdown")
+        assert child.cancelled
+        assert "shutdown" in child.reason
+
+    def test_child_own_deadline_independent_of_parent(self):
+        now = {"t": 0.0}
+        parent = CancellationToken(clock=lambda: now["t"])
+        child = parent.child(deadline_seconds=1.0)
+        now["t"] = 2.0
+        assert child.cancelled
+        assert not parent.cancelled
+
+    def test_never_token(self):
+        assert not NEVER.cancelled
+
+
+class TestSamplerCancellation:
+    def test_montecarlo_checks_between_chunks(self, rng):
+        token = CancellationToken()
+        token.cancel("stop")
+        sampler = MonteCarloSampler()
+        with pytest.raises(OperationCancelled):
+            sampler.sample({"a": 0.5}, 100, rng, cancel=token)
+
+    def test_uncancelled_sampling_is_unchanged(self, rng):
+        sampler = MonteCarloSampler()
+        batch = sampler.sample({"a": 0.5}, 100, rng, cancel=CancellationToken())
+        assert batch.rounds == 100
+
+
+class TestSequentialCancellation:
+    def test_fired_token_raises_before_work(self, fattree4, inventory):
+        assessor = ReliabilityAssessor.from_config(
+            fattree4, inventory, AssessmentConfig(rounds=500, rng=1)
+        )
+        token = CancellationToken()
+        token.cancel("client gone")
+        with pytest.raises(OperationCancelled):
+            assessor.assess(_plan(fattree4), STRUCTURE, cancel=token)
+
+    def test_live_token_changes_nothing(self, fattree4, inventory):
+        config = AssessmentConfig(rounds=500, rng=1)
+        plain = ReliabilityAssessor.from_config(fattree4, inventory, config)
+        tokened = ReliabilityAssessor.from_config(fattree4, inventory, config)
+        a = plain.assess(_plan(fattree4), STRUCTURE)
+        b = tokened.assess(_plan(fattree4), STRUCTURE, cancel=CancellationToken())
+        assert a.estimate == b.estimate
+
+    def test_incremental_assessor_cancels(self, fattree4, inventory):
+        assessor = IncrementalAssessor.from_config(
+            fattree4, inventory, AssessmentConfig(rounds=500, master_seed=7)
+        )
+        token = CancellationToken()
+        token.cancel("stop")
+        with pytest.raises(OperationCancelled):
+            assessor.assess(_plan(fattree4), STRUCTURE, cancel=token)
+
+    def test_incremental_survives_mid_extension_cancel(self, fattree4, inventory):
+        """An aborted cache extension must leave the caches consistent."""
+        assessor = IncrementalAssessor.from_config(
+            fattree4, inventory, AssessmentConfig(rounds=500, master_seed=7)
+        )
+        token = CancellationToken()
+        token.cancel("stop")
+        with pytest.raises(OperationCancelled):
+            assessor.assess(_plan(fattree4), STRUCTURE, cancel=token)
+        # Same plan afterwards with no token: must produce a clean result.
+        result = assessor.assess(_plan(fattree4), STRUCTURE)
+        assert result.estimate.rounds == 500
+
+
+def _cancel_after_first_portion(monkeypatch, token):
+    """Fire ``token`` deterministically once the first portion completes."""
+    real = ParallelAssessor._inline_portion
+
+    def wrapper(self, portion, plan, structure, cancel=None):
+        out = real(self, portion, plan, structure, cancel)
+        token.cancel("test: first portion done")
+        return out
+
+    monkeypatch.setattr(ParallelAssessor, "_inline_portion", wrapper)
+
+
+class TestParallelCancellation:
+    def test_inline_backend_returns_anytime_partial(
+        self, fattree4, inventory, monkeypatch
+    ):
+        """Cancel between portions: completed portions become the estimate."""
+        assessor = ParallelAssessor.from_config(
+            fattree4,
+            inventory,
+            AssessmentConfig(mode="parallel", backend="inline", workers=4,
+                             rounds=400, rng=3),
+        )
+        token = CancellationToken()
+        _cancel_after_first_portion(monkeypatch, token)
+        result = assessor.assess(_plan(fattree4), STRUCTURE, cancel=token)
+        runtime = result.runtime
+        assert runtime.cancelled
+        assert result.degraded
+        assert result.estimate.rounds == 100  # portion 0 of 4
+        assert runtime.dropped_portions == 3
+        assert runtime.dropped_rounds == 300
+        assert sum(1 for f in runtime.failures if f.kind == "cancelled") == 3
+
+    def test_anytime_bounds_are_widened(self, fattree4, inventory, monkeypatch):
+        assessor = ParallelAssessor.from_config(
+            fattree4,
+            inventory,
+            AssessmentConfig(mode="parallel", backend="inline", workers=4,
+                             rounds=400, rng=3),
+        )
+        token = CancellationToken()
+        _cancel_after_first_portion(monkeypatch, token)
+        result = assessor.assess(_plan(fattree4), STRUCTURE, cancel=token)
+        coverage = 400 / result.estimate.rounds
+        raw = np.asarray(result.per_round)
+        from repro.sampling.statistics import estimate_from_results
+
+        unwidened = estimate_from_results(raw)
+        assert result.estimate.variance == pytest.approx(
+            unwidened.variance * coverage
+        )
+        assert result.estimate.confidence_interval_width == pytest.approx(
+            unwidened.confidence_interval_width * math.sqrt(coverage)
+        )
+
+    def test_pre_fired_token_raises_not_returns(self, fattree4, inventory):
+        assessor = ParallelAssessor.from_config(
+            fattree4,
+            inventory,
+            AssessmentConfig(mode="parallel", backend="inline", workers=2,
+                             rounds=200, rng=3),
+        )
+        token = CancellationToken()
+        token.cancel("gone")
+        with pytest.raises(OperationCancelled):
+            assessor.assess(_plan(fattree4), STRUCTURE, cancel=token)
+
+    def test_process_backend_cancel_leaves_no_orphan_pool(
+        self, fattree4, inventory
+    ):
+        """Mid-sampling cancel: the suspect pool is restarted, workers live."""
+        with ParallelAssessor.from_config(
+            fattree4,
+            inventory,
+            AssessmentConfig(mode="parallel", workers=2, rounds=2_000_000, rng=3),
+        ) as assessor:
+            if assessor.backend != "process":
+                pytest.skip("fork unavailable on this platform")
+            before_pids = assessor._live_worker_pids()
+            token = CancellationToken.with_deadline(0.3)
+            try:
+                result = assessor.assess(_plan(fattree4), STRUCTURE, cancel=token)
+                assert result.runtime.cancelled
+            except OperationCancelled:
+                pass  # nothing completed before the deadline: also valid
+            # The old in-flight workers were torn down with the pool
+            # restart; the fresh pool must be fully alive and usable.
+            after_pids = assessor._live_worker_pids()
+            assert len(after_pids) == 2
+            assert not (before_pids & after_pids)
+            follow_up = assessor.assess(_plan(fattree4), STRUCTURE, rounds=200)
+            assert follow_up.estimate.rounds == 200
+
+
+class TestSearchCancellation:
+    def test_mid_anneal_cancel_returns_best_so_far(self, fattree4, inventory):
+        token = CancellationToken()
+        iterations = {"n": 0}
+
+        def clock():
+            # Cancel after a few loop iterations via the clock the search
+            # reads once per iteration — deterministic, no sleeping.
+            iterations["n"] += 1
+            if iterations["n"] > 12:
+                token.cancel("deadline")
+            return iterations["n"] * 0.01
+
+        search = DeploymentSearch.from_config(
+            fattree4,
+            inventory,
+            AssessmentConfig(rounds=200, rng=5),
+            rng=42,
+            clock=clock,
+            cancel=token,
+        )
+        result = search.search(
+            SearchSpec(STRUCTURE, max_seconds=1_000.0, max_iterations=10_000)
+        )
+        assert result.iterations < 10_000
+        assert result.best_plan is not None
+        assert result.best_assessment.estimate.rounds == 200
+        assert not result.satisfied
+
+    def test_cancel_writes_final_checkpoint(self, fattree4, inventory, tmp_path):
+        ckpt = str(tmp_path / "cancelled.json")
+        token = CancellationToken()
+        iterations = {"n": 0}
+
+        def clock():
+            iterations["n"] += 1
+            if iterations["n"] > 12:
+                token.cancel("deadline")
+            return iterations["n"] * 0.01
+
+        search = DeploymentSearch.from_config(
+            fattree4,
+            inventory,
+            AssessmentConfig(rounds=200, rng=5),
+            rng=42,
+            clock=clock,
+            cancel=token,
+            checkpoint_path=ckpt,
+            checkpoint_every=1_000_000,  # only the final write fires
+        )
+        search.search(
+            SearchSpec(STRUCTURE, max_seconds=1_000.0, max_iterations=10_000)
+        )
+        from repro import serialization
+        from repro.core.search import SearchState
+
+        state = SearchState.from_dict(serialization.load(ckpt))
+        assert state.iterations > 0

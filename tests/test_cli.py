@@ -127,6 +127,55 @@ class TestRiskCommand:
         assert document["entries"]
 
 
+class TestExitCodes:
+    def test_exit_code_taxonomy_is_stable(self):
+        # Scripts key off these; renumbering them is a breaking change.
+        from repro import cli
+
+        assert cli.EXIT_OK == 0
+        assert cli.EXIT_CONFIG == 2
+        assert cli.EXIT_UNSATISFIED == 3
+        assert cli.EXIT_PREEMPTED == 4
+        assert cli.EXIT_DEGRADED == 5
+        assert len({cli.EXIT_OK, cli.EXIT_CONFIG, cli.EXIT_UNSATISFIED,
+                    cli.EXIT_PREEMPTED, cli.EXIT_DEGRADED}) == 5
+
+    def test_validation_errors_list_every_field(self, capsys):
+        code, _out, err = run_cli(
+            capsys,
+            "assess", "--scale", "tiny", "--hosts", "ghost,ghoul",
+            "--k", "1", "--rounds", "500",
+        )
+        assert code == 2
+        assert "validation failed" in err
+        assert "ghost" in err and "ghoul" in err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.queue_capacity == 8
+        assert args.scheduler_workers == 2
+        assert args.parallel_workers == 0
+        assert args.default_deadline is None
+        assert args.drain_timeout == 30.0
+        assert args.handler.__name__ == "cmd_serve"
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--queue-capacity", "2",
+                "--parallel-workers", "4", "--default-deadline", "1.5",
+            ]
+        )
+        assert args.port == 0
+        assert args.queue_capacity == 2
+        assert args.parallel_workers == 4
+        assert args.default_deadline == 1.5
+
+
 class TestBaselineCommand:
     def test_baseline_output(self, capsys):
         code, out, _err = run_cli(

@@ -1,0 +1,393 @@
+"""The resilient assessment service: admission, scheduling, anytime
+degradation, drain semantics, health probes and the HTTP front-end."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.service.client import HttpServiceClient, ServiceClient
+from repro.service.health import (
+    DRAINING,
+    SERVING,
+    STARTING,
+    STOPPED,
+    HealthMonitor,
+)
+from repro.service.queue import AdmissionQueue
+from repro.service.requests import AssessRequest, SearchRequest, Ticket
+from repro.service.scheduler import AssessmentService, ServiceConfig
+from repro.service.server import ServiceHTTPServer
+from repro.util.cancel import CancellationToken
+from repro.util.errors import AdmissionRejected, ReproError, ValidationError
+
+
+def _ticket(n: int) -> Ticket:
+    return Ticket(
+        id=f"t-{n}", kind="assess",
+        request=AssessRequest(hosts=("h",), k=1),
+        token=CancellationToken(),
+    )
+
+
+def _service(fattree4, inventory, **overrides) -> AssessmentService:
+    defaults = dict(
+        scale="tiny", rounds=2_000, queue_capacity=4, scheduler_workers=2
+    )
+    defaults.update(overrides)
+    return AssessmentService(
+        ServiceConfig(**defaults), topology=fattree4, dependency_model=inventory
+    )
+
+
+class TestAdmissionQueue:
+    def test_fifo_and_depth(self):
+        queue = AdmissionQueue(capacity=3)
+        a, b = _ticket(1), _ticket(2)
+        queue.submit(a)
+        queue.submit(b)
+        assert len(queue) == 2
+        assert queue.pop() is a
+        assert queue.pop() is b
+
+    def test_overflow_is_typed_and_immediate(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.submit(_ticket(1))
+        queue.submit(_ticket(2))
+        with pytest.raises(AdmissionRejected) as excinfo:
+            queue.submit(_ticket(3))
+        assert excinfo.value.reason == "queue_full"
+        assert excinfo.value.queue_depth == 2
+        assert excinfo.value.capacity == 2
+
+    def test_drain_returns_stranded_and_rejects_new(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.submit(_ticket(1))
+        queue.submit(_ticket(2))
+        stranded = queue.drain()
+        assert [t.id for t in stranded] == ["t-1", "t-2"]
+        assert len(queue) == 0
+        with pytest.raises(AdmissionRejected) as excinfo:
+            queue.submit(_ticket(3))
+        assert excinfo.value.reason == "draining"
+
+    def test_stopped_queue_rejects_with_stopped(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.stop()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            queue.submit(_ticket(1))
+        assert excinfo.value.reason == "stopped"
+
+    def test_pop_timeout_returns_none(self):
+        queue = AdmissionQueue(capacity=1)
+        assert queue.pop(timeout=0.01) is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+class TestHealthMonitor:
+    def test_lifecycle_is_forward_only(self):
+        health = HealthMonitor()
+        assert health.state == STARTING
+        health.transition(SERVING)
+        health.transition(DRAINING)
+        health.transition(SERVING)  # ignored: backwards
+        assert health.state == DRAINING
+        health.transition(STOPPED)
+        assert health.state == STOPPED
+
+    def test_live_and_ready_split(self):
+        health = HealthMonitor()
+        assert health.live and not health.ready
+        health.transition(SERVING)
+        assert health.live and health.ready
+        health.transition(DRAINING)
+        assert health.live and not health.ready
+        health.transition(STOPPED)
+        assert not health.live
+
+    def test_snapshot_records_transitions(self):
+        health = HealthMonitor()
+        health.transition(SERVING)
+        snapshot = health.snapshot()
+        assert snapshot["state"] == SERVING
+        assert [t["state"] for t in snapshot["transitions"]] == [
+            STARTING, SERVING,
+        ]
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            HealthMonitor().transition("confused")
+
+
+class TestServiceLifecycle:
+    def test_normal_assess_round_trip(self, fattree4, inventory):
+        with _service(fattree4, inventory) as service:
+            client = ServiceClient(service)
+            response = client.assess(fattree4.hosts[:3], k=2, timeout=60.0)
+            assert response.ok
+            assert response.status == "ok"
+            assert response.backend == "chunked-sequential"
+            assert 0.0 <= response.result["estimate"]["score"] <= 1.0
+            assert response.result["runtime"]["cancelled"] is False
+            assert response.request_id.startswith("req-")
+        assert service.health.state == STOPPED
+
+    def test_search_round_trip(self, fattree4, inventory):
+        with _service(fattree4, inventory, rounds=500) as service:
+            client = ServiceClient(service)
+            response = client.search(
+                k=2, n=3, max_seconds=0.5, timeout=60.0
+            )
+            assert response.ok
+            assert response.backend == "search"
+            assert response.result["best_plan"]
+        assert service.health.state == STOPPED
+
+    def test_invalid_request_never_costs_a_queue_slot(self, fattree4, inventory):
+        with _service(fattree4, inventory) as service:
+            with pytest.raises(ValidationError):
+                service.submit(
+                    "assess", AssessRequest(hosts=("host/nowhere",), k=1)
+                )
+            with pytest.raises(ValidationError):
+                service.submit("mine", AssessRequest(hosts=("h",), k=1))
+            assert len(service.queue) == 0
+            assert service.status()["inflight"] == 0
+
+    def test_burst_beyond_capacity_is_shed(self, fattree4, inventory):
+        # Workers not started: the queue must fill to capacity exactly and
+        # shed the rest with the typed rejection.
+        service = _service(fattree4, inventory, queue_capacity=4)
+        request = AssessRequest(hosts=tuple(fattree4.hosts[:3]), k=2)
+        admitted, shed = [], 0
+        for _ in range(10):
+            try:
+                admitted.append(service.submit("assess", request))
+            except AdmissionRejected as exc:
+                assert exc.reason == "queue_full"
+                shed += 1
+        assert len(admitted) == 4
+        assert shed == 6
+        assert service.metrics.counter("service/shed") == 6
+
+        # Drain: every queued ticket resolves with a typed rejection
+        # response instead of hanging forever.
+        service.drain(timeout_seconds=1.0)
+        for ticket in admitted:
+            response = ticket.future.result(timeout=1.0)
+            assert response.status == "rejected"
+            assert response.error["reason"] == "draining"
+        assert service.health.state == STOPPED
+
+    def test_cancel_unknown_request_returns_false(self, fattree4, inventory):
+        with _service(fattree4, inventory) as service:
+            assert service.cancel("req-does-not-exist") is False
+
+    def test_tight_deadline_yields_anytime_not_exception(
+        self, fattree4, inventory
+    ):
+        """Deadline mid-run: the client gets a *response*, never a timeout
+        exception — degraded (partial estimate) or cancelled (nothing
+        completed), depending on where the deadline lands."""
+        with _service(fattree4, inventory, chunks=16) as service:
+            client = ServiceClient(service)
+            response = client.assess(
+                fattree4.hosts[:3],
+                k=2,
+                rounds=3_000_000,
+                deadline_seconds=0.15,
+                timeout=60.0,
+            )
+            assert response.status in ("ok", "degraded", "cancelled")
+            if response.status == "degraded":
+                runtime = response.result["runtime"]
+                assert runtime["cancelled"] is True
+                assert runtime["dropped_rounds"] > 0
+            elif response.status == "cancelled":
+                assert response.error["error"] == "cancelled"
+
+    def test_drain_rejects_queued_but_finishes_inflight(
+        self, fattree4, inventory
+    ):
+        service = _service(
+            fattree4, inventory, scheduler_workers=1, queue_capacity=4,
+            rounds=200_000, chunks=4,
+        ).start()
+        request = AssessRequest(hosts=tuple(fattree4.hosts[:3]), k=2)
+        tickets = [service.submit("assess", request) for _ in range(3)]
+        service.drain(timeout_seconds=30.0)
+        responses = [t.future.result(timeout=5.0) for t in tickets]
+        statuses = sorted(r.status for r in responses)
+        # At least the tail of the queue was rejected; whatever a worker
+        # had already popped finished (possibly degraded, never dropped).
+        assert "rejected" in statuses
+        for response in responses:
+            assert response.status in ("ok", "degraded", "cancelled", "rejected")
+        assert service.health.state == STOPPED
+
+    def test_status_snapshot_shape(self, fattree4, inventory):
+        with _service(fattree4, inventory) as service:
+            status = service.status()
+            assert status["health"]["state"] == SERVING
+            assert status["queue"] == {
+                "depth": 0, "capacity": 4, "draining": False,
+            }
+            assert status["breaker"]["state"] == "closed"
+            assert status["inflight"] == 0
+
+    def test_metrics_record_requests_and_latency(self, fattree4, inventory):
+        with _service(fattree4, inventory) as service:
+            ServiceClient(service).assess(
+                fattree4.hosts[:3], k=2, timeout=60.0
+            )
+            assert service.metrics.counter("service/requests") == 1
+            assert service.metrics.counter("service/admitted") == 1
+            assert service.metrics.counter("service/status/ok") == 1
+            snapshot = service.metrics.snapshot()
+            assert snapshot["timers"]["service/latency"]["calls"] == 1
+            assert snapshot["timers"]["service/queue_wait"]["calls"] == 1
+
+
+class TestChunkedAnytime:
+    """The sequential anytime backend, driven deterministically."""
+
+    STRUCTURE = ApplicationStructure.k_of_n(2, 3)
+
+    class _CancelAfterFirstChunk:
+        """Assessor proxy: fires the token once the first chunk returns."""
+
+        def __init__(self, assessor, token):
+            self._assessor = assessor
+            self._token = token
+
+        def assess(self, plan, structure, rounds=None, cancel=None):
+            result = self._assessor.assess(
+                plan, structure, rounds=rounds, cancel=cancel
+            )
+            self._token.cancel("test: first chunk done")
+            return result
+
+    def test_partial_chunks_become_widened_estimate(self, fattree4, inventory):
+        service = _service(fattree4, inventory, chunks=8)
+        assessor = ReliabilityAssessor.from_config(
+            fattree4, inventory, AssessmentConfig(rounds=800, rng=11)
+        )
+        token = CancellationToken()
+        plan = DeploymentPlan.single_component(
+            fattree4.hosts[:3], self.STRUCTURE.components[0].name
+        )
+        result = service._chunked_assess(
+            self._CancelAfterFirstChunk(assessor, token),
+            plan,
+            self.STRUCTURE,
+            800,
+            token,
+        )
+        assert result.runtime.cancelled
+        assert result.runtime.backend == "chunked"
+        assert result.estimate.rounds == 100  # 1 of 8 chunks
+        assert result.runtime.dropped_rounds == 700
+        assert result.runtime.dropped_portions == 7
+        assert result.degraded
+
+        from repro.sampling.statistics import estimate_from_results
+
+        unwidened = estimate_from_results(np.asarray(result.per_round))
+        coverage = 800 / 100
+        assert result.estimate.variance == pytest.approx(
+            unwidened.variance * coverage
+        )
+
+    def test_pre_fired_token_raises(self, fattree4, inventory):
+        from repro.util.errors import OperationCancelled
+
+        service = _service(fattree4, inventory)
+        assessor = ReliabilityAssessor.from_config(
+            fattree4, inventory, AssessmentConfig(rounds=800, rng=11)
+        )
+        token = CancellationToken()
+        token.cancel("gone")
+        plan = DeploymentPlan.single_component(
+            fattree4.hosts[:3], self.STRUCTURE.components[0].name
+        )
+        with pytest.raises(OperationCancelled):
+            service._chunked_assess(assessor, plan, self.STRUCTURE, 800, token)
+
+    def test_uncancelled_run_is_not_degraded(self, fattree4, inventory):
+        service = _service(fattree4, inventory, chunks=8)
+        assessor = ReliabilityAssessor.from_config(
+            fattree4, inventory, AssessmentConfig(rounds=800, rng=11)
+        )
+        plan = DeploymentPlan.single_component(
+            fattree4.hosts[:3], self.STRUCTURE.components[0].name
+        )
+        result = service._chunked_assess(
+            assessor, plan, self.STRUCTURE, 800, CancellationToken()
+        )
+        assert not result.degraded
+        assert not result.runtime.cancelled
+        assert result.estimate.rounds == 800
+
+
+class TestHTTPFrontend:
+    @pytest.fixture
+    def http_service(self, fattree4, inventory):
+        service = _service(fattree4, inventory).start()
+        httpd = ServiceHTTPServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        port = httpd.server_address[1]
+        client = HttpServiceClient(f"http://127.0.0.1:{port}", timeout=60.0)
+        yield service, client
+        httpd.shutdown()
+        thread.join(timeout=5.0)
+        httpd.server_close()
+        service.close()
+
+    def test_readyz_and_healthz(self, http_service):
+        service, client = http_service
+        assert client.readyz() == {"ready": True, "state": "serving"}
+        health = client.healthz()
+        assert health["health"]["state"] == "serving"
+        assert health["breaker"]["state"] == "closed"
+
+    def test_assess_over_http(self, http_service, fattree4):
+        _, client = http_service
+        document = client.assess(fattree4.hosts[:3], k=2, rounds=1_000)
+        assert document["status"] == "ok"
+        assert document["backend"] == "chunked-sequential"
+        assert 0.0 <= document["result"]["estimate"]["score"] <= 1.0
+
+    def test_validation_error_rehydrates_client_side(self, http_service):
+        _, client = http_service
+        with pytest.raises(ValidationError) as excinfo:
+            client.assess(["host/nowhere"], k=1)
+        assert "hosts" in excinfo.value.fields()
+
+    def test_malformed_body_is_a_field_error(self, http_service):
+        _, client = http_service
+        with pytest.raises(ValidationError) as excinfo:
+            client.search(k="two", n=3)
+        assert "k" in excinfo.value.fields()
+
+    def test_cancel_unknown_request_is_404(self, http_service):
+        _, client = http_service
+        with pytest.raises(ReproError):
+            client.cancel("req-unknown")
+
+    def test_metrics_endpoint(self, http_service, fattree4):
+        _, client = http_service
+        client.assess(fattree4.hosts[:3], k=2, rounds=1_000)
+        snapshot = client.metrics()
+        assert snapshot["counters"]["service/requests"] >= 1
+        assert "service/latency" in snapshot["timers"]
