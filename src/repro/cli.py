@@ -134,6 +134,7 @@ def cmd_assess(args) -> int:
             timeout_seconds=args.portion_timeout, max_retries=args.retries
         ),
         partial_ok=args.partial_ok,
+        kernel=args.kernel,
         metrics=metrics,
     )
     assessor = build_assessor(topology, inventory, config)
@@ -186,6 +187,7 @@ def cmd_search(args) -> int:
         rounds=args.rounds,
         rng=args.seed + 2,
         mode="incremental" if args.incremental else "sequential",
+        kernel=args.kernel,
         metrics=metrics,
     )
     if args.multi_objective:
@@ -277,7 +279,7 @@ def cmd_baseline(args) -> int:
     assessor = build_assessor(
         topology,
         inventory,
-        AssessmentConfig(rounds=args.rounds, rng=args.seed + 2),
+        AssessmentConfig(rounds=args.rounds, rng=args.seed + 2, kernel=args.kernel),
     )
     plans = {
         "common-practice": common_practice_plan(topology, workload, args.n),
@@ -359,6 +361,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--profile",
             action="store_true",
             help="collect and print stage timings and cache counters",
+        )
+        p.add_argument(
+            "--kernel",
+            action="store_true",
+            help="route assessments through the compiled kernel (packed "
+            "states + flattened fault trees); bit-identical, faster",
         )
 
     p = sub.add_parser("topology", help="print a data center summary")

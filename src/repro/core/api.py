@@ -79,6 +79,12 @@ class AssessmentConfig:
         reuse_symmetric: Let the incremental plan cache return the result
             of a *symmetry-equivalent* plan (same reliability by network
             transformation, but not bit-identical per-round states).
+        kernel: Route assessments through the compiled kernel
+            (:mod:`repro.kernel`): integer component arena, bit-packed
+            round states, flattened fault-tree programs. Bit-identical to
+            the legacy interpreter for the same config and seed;
+            topologies without a packed-capable reachability engine fall
+            back to the interpreter transparently.
         profile: Collect stage timings and cache counters; surfaced via
             the assessor's ``metrics`` registry and, on results, via
             ``RuntimeMetadata.profile``.
@@ -99,6 +105,7 @@ class AssessmentConfig:
     chaos: "ChaosPolicy | None" = None
     master_seed: int | None = None
     reuse_symmetric: bool = False
+    kernel: bool = False
     profile: bool = False
     metrics: MetricsRegistry | None = field(default=None, compare=False)
 

@@ -22,7 +22,7 @@ Pipeline, per assessment:
 from __future__ import annotations
 
 import contextlib
-from typing import Any
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -32,7 +32,13 @@ from repro.core.evaluation import StructureEvaluator
 from repro.core.plan import DeploymentPlan
 from repro.core.result import AssessmentResult
 from repro.faults.dependencies import DependencyModel
-from repro.routing.base import ReachabilityEngine, RoundStates, engine_for
+from repro.kernel import AssessmentKernel, kernel_supported
+from repro.routing.base import (
+    PackedRoundStates,
+    ReachabilityEngine,
+    RoundStates,
+    engine_for,
+)
 from repro.sampling.base import Sampler
 from repro.sampling.dagger import ExtendedDaggerSampler
 from repro.sampling.statistics import estimate_from_results
@@ -100,6 +106,16 @@ class ReliabilityAssessor:
         self.metrics = config.registry()
         self._evaluator = StructureEvaluator(self.engine)
         self._all_probabilities = self.dependency_model.failure_probabilities()
+        self._validated: set[tuple[DeploymentPlan, int]] = set()
+        self._closures: dict[frozenset[str], tuple[set[str], set[str]]] = {}
+        # The compiled kernel needs a packed-capable engine; generic
+        # topologies keep the legacy interpreter (config.kernel is then a
+        # no-op, which is the documented fallback).
+        self.kernel: AssessmentKernel | None = (
+            AssessmentKernel(topology, self.dependency_model)
+            if config.kernel and kernel_supported(self.engine)
+            else None
+        )
 
     @classmethod
     def from_config(
@@ -120,18 +136,48 @@ class ReliabilityAssessor:
         near-real-time condition changes, §2.1/§3.2.2).
         """
         self._all_probabilities = self.dependency_model.failure_probabilities()
+        if self.kernel is not None:
+            # Rebuild so the arena's probability table (and anything
+            # compiled against it) cannot go stale; trees recompile
+            # lazily on the next assessment.
+            self.kernel = AssessmentKernel(self.topology, self.dependency_model)
+
+    def _validate(self, plan: DeploymentPlan, structure: ApplicationStructure) -> None:
+        """``plan.validate_against`` with a memo of already-valid pairs.
+
+        Validation is a pure check over immutable plans, so repeated
+        assessments of the same plan (estimator refinement, benchmarking,
+        the search re-visiting a plateau) skip the graph lookups.
+        """
+        key = (plan, id(structure))
+        if key in self._validated:
+            return
+        plan.validate_against(self.topology, structure)
+        if len(self._validated) >= 4096:
+            self._validated.clear()
+        self._validated.add(key)
 
     def closure_for(self, plan: DeploymentPlan) -> tuple[set[str], set[str]]:
         """(subjects, sampled component ids) for a plan's assessment.
 
         Subjects are the hosts/switches whose fault trees get evaluated;
         the sampled set adds links and every dependency those trees read.
+        The closure depends only on the plan's host set, so it is memoized
+        per host set (neighbouring plans in a search walk share it);
+        callers treat the returned sets as read-only.
         """
+        key = frozenset(plan.hosts())
+        cached = self._closures.get(key)
+        if cached is not None:
+            return cached
         elements = self.engine.relevant_elements(plan.hosts())
         subjects = {cid for cid in elements if cid in self.topology.graph}
         links = elements - subjects
         sampled = set(self.dependency_model.basic_events_for(subjects))
         sampled.update(links)
+        if len(self._closures) >= 4096:
+            self._closures.clear()
+        self._closures[key] = (subjects, sampled)
         return subjects, sampled
 
     def assess(
@@ -154,49 +200,62 @@ class ReliabilityAssessor:
         watch = Stopwatch()
         metrics = self.metrics
         rounds = rounds or self.rounds
-        plan.validate_against(self.topology, structure)
+        self._validate(plan, structure)
 
         if cancel is not None:
             cancel.check()
         with _stage(metrics, "closure"):
             subjects, sampled = self.closure_for(plan)
             if self.sample_full_infrastructure:
-                probabilities = dict(self._all_probabilities)
+                # The one long-lived dict, not a copy: samplers only read
+                # it, and passing the same object lets their per-layout
+                # caches hit on identity.
+                probabilities = self._all_probabilities
             else:
                 probabilities = {cid: self._all_probabilities[cid] for cid in sampled}
 
-        with _stage(metrics, "sample"):
-            batch = self.sampler.sample(probabilities, rounds, self.rng, cancel=cancel)
+        if self.kernel is not None:
+            per_round = self._assess_kernel(
+                plan, structure, rounds, subjects, sampled, probabilities, cancel
+            )
+        else:
+            with _stage(metrics, "sample"):
+                batch = self.sampler.sample(
+                    probabilities, rounds, self.rng, cancel=cancel
+                )
 
-        if cancel is not None:
-            cancel.check()
-        # Fault-tree reasoning: effective per-round failure of each subject.
-        with _stage(metrics, "faulttree"):
-            dense = _ZeroFill(rounds)
-            for cid, failed_rounds in batch.failed_rounds.items():
-                if cid in sampled:
-                    states = np.zeros(rounds, dtype=bool)
-                    states[failed_rounds] = True
-                    dense[cid] = states
+            if cancel is not None:
+                cancel.check()
+            # Fault-tree reasoning: effective per-round failure per subject.
+            with _stage(metrics, "faulttree"):
+                dense = _ZeroFill(rounds)
+                for cid, failed_rounds in batch.failed_rounds.items():
+                    if cid in sampled:
+                        states = np.zeros(rounds, dtype=bool)
+                        states[failed_rounds] = True
+                        dense[cid] = states
 
-            failed: dict[str, np.ndarray] = {}
-            for subject in subjects:
-                tree = self.dependency_model.tree_for(subject)
-                if all(event not in dense for event in tree.basic_events()):
-                    continue  # nothing this subject depends on ever failed
-                effective = tree.evaluate(dense)
-                if effective.any():
-                    failed[subject] = effective
-            for link_cid in sampled - subjects:
-                if link_cid in dense and link_cid not in self.dependency_model.trees:
-                    if link_cid in self.topology.components:
-                        failed[link_cid] = dense[link_cid]
+                failed: dict[str, np.ndarray] = {}
+                for subject in subjects:
+                    tree = self.dependency_model.tree_for(subject)
+                    if all(event not in dense for event in tree.basic_events()):
+                        continue  # nothing this subject depends on ever failed
+                    effective = tree.evaluate(dense)
+                    if effective.any():
+                        failed[subject] = effective
+                for link_cid in sampled - subjects:
+                    if (
+                        link_cid in dense
+                        and link_cid not in self.dependency_model.trees
+                    ):
+                        if link_cid in self.topology.components:
+                            failed[link_cid] = dense[link_cid]
 
-        if cancel is not None:
-            cancel.check()
-        with _stage(metrics, "route_and_check"):
-            round_states = RoundStates(rounds=rounds, failed=failed)
-            per_round = self._evaluator.evaluate(round_states, plan, structure)
+            if cancel is not None:
+                cancel.check()
+            with _stage(metrics, "route_and_check"):
+                round_states = RoundStates(rounds=rounds, failed=failed)
+                per_round = self._evaluator.evaluate(round_states, plan, structure)
         with _stage(metrics, "estimate"):
             estimate = estimate_from_results(per_round)
         if metrics is not None:
@@ -209,6 +268,135 @@ class ReliabilityAssessor:
             sampled_components=len(probabilities),
             elapsed_seconds=watch.elapsed(),
         )
+
+    def _assess_kernel(
+        self,
+        plan: DeploymentPlan,
+        structure: ApplicationStructure,
+        rounds: int,
+        subjects: set[str],
+        sampled: set[str],
+        probabilities: dict[str, float],
+        cancel=None,
+        values: dict[int, np.ndarray | None] | None = None,
+        batch=None,
+    ) -> np.ndarray:
+        """Sample -> compiled forest -> packed route-and-check.
+
+        Bit-identical to the legacy stages: the sampler fast paths draw
+        the same uniforms in the same order, the compiled forest applies
+        the same boolean formulas, and the packed engines AND/OR the same
+        alive masks — only the storage layout differs. ``batch`` and
+        ``values`` let :meth:`score_plans` share one sampled batch (and
+        the node-value cache over it) across many plans.
+        """
+        metrics = self.metrics
+        kernel = self.kernel
+        if batch is None:
+            with _stage(metrics, "sample"):
+                batch = kernel.sample_packed(
+                    self.sampler, probabilities, rounds, self.rng, cancel=cancel
+                )
+
+        if cancel is not None:
+            cancel.check()
+        with _stage(metrics, "faulttree"):
+            failed = kernel.effective_states(subjects, sampled, batch, values)
+
+        if cancel is not None:
+            cancel.check()
+        with _stage(metrics, "route_and_check"):
+            round_states = PackedRoundStates(rounds=rounds, failed=failed)
+            return self._evaluator.evaluate(round_states, plan, structure)
+
+    def score_plans(
+        self,
+        plans: Sequence[DeploymentPlan],
+        structure: ApplicationStructure,
+        rounds: int | None = None,
+        cancel=None,
+    ) -> list[AssessmentResult]:
+        """Score several plans against ONE shared sampled batch.
+
+        The shared batch puts every plan under common random numbers, so
+        score differences between the plans reflect only the components
+        they do not share — the paired-comparison property the annealing
+        search wants from candidate scoring. With the kernel enabled, one
+        packed batch over the union closure is sampled once and the
+        compiled forest's node-value cache is reused across all plans
+        (neighbour plans share almost all subjects); without it, each
+        plan is assessed independently — still valid scores, just without
+        the shared-batch variance reduction or the shared work.
+
+        With a :class:`~repro.sampling.dagger.CommonRandomDaggerSampler`
+        the results are bit-identical to assessing each plan separately,
+        because its per-component streams do not depend on what else is
+        in the batch.
+        """
+        rounds = rounds or self.rounds
+        if self.kernel is None or not plans:
+            return [
+                self.assess(plan, structure, rounds=rounds, cancel=cancel)
+                for plan in plans
+            ]
+
+        watch = Stopwatch()
+        metrics = self.metrics
+        kernel = self.kernel
+        closures: list[tuple[set[str], set[str]]] = []
+        union_sampled: set[str] = set()
+        with _stage(metrics, "closure"):
+            for plan in plans:
+                plan.validate_against(self.topology, structure)
+                subjects, sampled = self.closure_for(plan)
+                closures.append((subjects, sampled))
+                union_sampled |= sampled
+            if self.sample_full_infrastructure:
+                probabilities = self._all_probabilities
+            else:
+                # Deterministic arena order, independent of set iteration.
+                probabilities = {
+                    cid: self._all_probabilities[cid]
+                    for cid in kernel.arena.ids
+                    if cid in union_sampled
+                }
+
+        with _stage(metrics, "sample"):
+            batch = kernel.sample_packed(
+                self.sampler, probabilities, rounds, self.rng, cancel=cancel
+            )
+
+        values: dict[int, np.ndarray | None] = {}
+        results = []
+        for plan, (subjects, sampled) in zip(plans, closures):
+            elapsed_before = watch.elapsed()
+            per_round = self._assess_kernel(
+                plan,
+                structure,
+                rounds,
+                subjects,
+                sampled,
+                probabilities,
+                cancel=cancel,
+                values=values,
+                batch=batch,
+            )
+            with _stage(metrics, "estimate"):
+                estimate = estimate_from_results(per_round)
+            if metrics is not None:
+                metrics.incr("assess/shared_batch")
+            results.append(
+                AssessmentResult(
+                    plan=plan,
+                    estimate=estimate,
+                    per_round=per_round,
+                    sampled_components=len(sampled),
+                    elapsed_seconds=watch.elapsed() - elapsed_before,
+                )
+            )
+        if metrics is not None:
+            metrics.incr("sample/components", len(probabilities))
+        return results
 
     def assess_k_of_n(
         self, hosts, k: int, rounds: int | None = None

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.app.structure import EXTERNAL, ApplicationStructure
 from repro.core.plan import DeploymentPlan
-from repro.routing.base import ReachabilityEngine, RoundStates, materialize
+from repro.routing.base import ReachabilityEngine, RoundStates
 from repro.util.errors import ReproError
 
 
@@ -51,7 +51,13 @@ class StructureEvaluator:
         active = self.active_instances(states, plan, structure)
         reliable = np.ones(states.rounds, dtype=bool)
         for requirement in structure.requirements:
-            counts = active[requirement.component].sum(axis=0)
+            matrix = active[requirement.component]
+            if states.packed:
+                # Counting is the estimate boundary: unpack here (and only
+                # here), dropping the pad bits of the last byte.
+                counts = np.unpackbits(matrix, axis=1, count=states.rounds).sum(axis=0)
+            else:
+                counts = matrix.sum(axis=0)
             np.logical_and(reliable, counts >= requirement.min_reachable, out=reliable)
         return reliable
 
@@ -103,7 +109,13 @@ class StructureEvaluator:
 
     def _pairwise_reachability(
         self, states, structure, hosts_by_component
-    ) -> dict[frozenset, np.ndarray]:
+    ) -> dict[tuple[str, str], np.ndarray]:
+        """Reachability vectors keyed by canonical ``(min, max)`` host pair.
+
+        Reachability is symmetric, so each unordered pair is queried and
+        stored once under its sorted tuple (cheaper to build and hash
+        than the frozensets this used to key by).
+        """
         wanted: set[tuple[str, str]] = set()
         for requirement in structure.requirements:
             if requirement.source == EXTERNAL:
@@ -111,12 +123,10 @@ class StructureEvaluator:
             for a in hosts_by_component[requirement.component]:
                 for b in hosts_by_component[requirement.source]:
                     if a != b:
-                        # Reachability is symmetric; canonicalise the pair.
                         wanted.add((a, b) if a < b else (b, a))
         if not wanted:
             return {}
-        raw = self.engine.pairwise_reachable(states, sorted(wanted))
-        return {frozenset(pair): vector for pair, vector in raw.items()}
+        return self.engine.pairwise_reachable(states, sorted(wanted))
 
     # ------------------------------------------------------------------
     # Greatest fixed point of instance activity
@@ -128,17 +138,34 @@ class StructureEvaluator:
         structure: ApplicationStructure,
         hosts_by_component: dict[str, tuple[str, ...]],
         external_by_host: dict[str, np.ndarray],
-        pair_reachable: dict[frozenset, np.ndarray],
+        pair_reachable: dict[tuple[str, str], np.ndarray],
     ) -> dict[str, np.ndarray]:
-        rounds = states.rounds
+        # All matrices use the states' representation: dense boolean rows,
+        # or packed uint8 rows under the compiled kernel. The sweeps below
+        # only use bitwise AND/OR and equality, which are representation-
+        # agnostic; pad bits prune monotonically like every other bit.
+        dtype = np.uint8 if states.packed else bool
 
         # Start optimistic: every alive instance is active.
         active: dict[str, np.ndarray] = {}
         for component, hosts in hosts_by_component.items():
-            matrix = np.empty((len(hosts), rounds), dtype=bool)
+            matrix = np.empty((len(hosts), states.width), dtype=dtype)
             for row, host in enumerate(hosts):
-                matrix[row] = materialize(states.alive_mask(host), rounds)
+                matrix[row] = states.materialize(states.alive_mask(host))
             active[component] = matrix
+
+        external_matrix: dict[str, np.ndarray] = {}
+        if states.packed and external_by_host:
+            # Packed fast path: AND each component's whole activity matrix
+            # against its hosts' stacked external rows in one vectorised
+            # sweep step instead of row-at-a-time (same bits — AND is
+            # idempotent and per-row vs whole-matrix change detection
+            # reach the same fixed point).
+            for component, hosts in hosts_by_component.items():
+                if all(host in external_by_host for host in hosts):
+                    external_matrix[component] = np.stack(
+                        [external_by_host[host] for host in hosts]
+                    )
 
         requirements_by_component: dict[str, list] = {
             spec.name: structure.requirements_for(spec.name)
@@ -154,6 +181,13 @@ class StructureEvaluator:
                 matrix = active[component]
                 for requirement in requirements_by_component[component]:
                     if requirement.source == EXTERNAL:
+                        ext = external_matrix.get(component)
+                        if ext is not None:
+                            updated = matrix & ext
+                            if not np.array_equal(updated, matrix):
+                                active[component] = matrix = updated
+                                changed = True
+                            continue
                         for row, host in enumerate(hosts):
                             updated = matrix[row] & external_by_host[host]
                             if not np.array_equal(updated, matrix[row]):
@@ -164,18 +198,20 @@ class StructureEvaluator:
                     source_active = active[requirement.source]
                     for row, host in enumerate(hosts):
                         # Reachable from >= 1 *active* source instance.
-                        can_reach = np.zeros(rounds, dtype=bool)
+                        can_reach = states.zeros()
                         for src_row, src_host in enumerate(source_hosts):
                             if src_host == host:
                                 # Colocated instances trivially reach each
                                 # other while the shared host is alive.
                                 link = source_active[src_row]
                             else:
-                                link = (
-                                    pair_reachable[frozenset((host, src_host))]
-                                    & source_active[src_row]
+                                pair = (
+                                    (host, src_host)
+                                    if host < src_host
+                                    else (src_host, host)
                                 )
-                            np.logical_or(can_reach, link, out=can_reach)
+                                link = pair_reachable[pair] & source_active[src_row]
+                            np.bitwise_or(can_reach, link, out=can_reach)
                         updated = matrix[row] & can_reach
                         if not np.array_equal(updated, matrix[row]):
                             matrix[row] = updated

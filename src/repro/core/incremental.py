@@ -58,7 +58,13 @@ from repro.core.evaluation import StructureEvaluator
 from repro.core.plan import DeploymentPlan
 from repro.core.result import AssessmentResult, RuntimeMetadata
 from repro.faults.dependencies import DependencyModel
-from repro.routing.base import ReachabilityEngine, RoundStates, engine_for
+from repro.kernel import AssessmentKernel, kernel_supported
+from repro.routing.base import (
+    PackedRoundStates,
+    ReachabilityEngine,
+    RoundStates,
+    engine_for,
+)
 from repro.sampling.dagger import CommonRandomDaggerSampler
 from repro.sampling.statistics import estimate_from_results
 from repro.topology.base import Topology
@@ -191,10 +197,28 @@ class IncrementalAssessor:
         self._effective: dict[str, np.ndarray] = {}  # post-fault-tree states
         self._known_subjects: set[str] = set()
         self._known_links: set[str] = set()
-        self._states = RoundStates(rounds=self.rounds, failed=self._effective)
         self._plan_cache: dict[tuple, AssessmentResult] = {}
         self._signature_cache: dict[tuple, AssessmentResult] = {}
         self._symmetry = None  # built lazily when reuse_symmetric is on
+
+        # Compiled-kernel universe: packed per-component rows and a
+        # persistent node-value cache over the compiled forest. Valid for
+        # the assessor's lifetime because the CRN streams (and hence
+        # every node value) are pure functions of (master_seed,
+        # component, rounds), and node ids only ever grow.
+        self.kernel: AssessmentKernel | None = (
+            AssessmentKernel(topology, self.dependency_model)
+            if config.kernel and kernel_supported(self.engine)
+            else None
+        )
+        self._packed_rows: dict[str, np.ndarray | None] = {}
+        self._forest_values: dict[int, np.ndarray | None] = {}
+        self._states = self._fresh_states()
+
+    def _fresh_states(self) -> RoundStates:
+        if self.kernel is not None:
+            return PackedRoundStates(rounds=self.rounds, failed=self._effective)
+        return RoundStates(rounds=self.rounds, failed=self._effective)
 
     @classmethod
     def from_config(
@@ -230,9 +254,15 @@ class IncrementalAssessor:
         self._plan_cache.clear()
         self._signature_cache.clear()
         self._caching_engine.clear()
+        self._packed_rows.clear()
+        self._forest_values.clear()
+        if self.kernel is not None:
+            # Rebuild the arena/forest too: the probabilities (or even
+            # the dependency trees) may have changed under us.
+            self.kernel = AssessmentKernel(self.topology, self.dependency_model)
         # Fresh RoundStates: the engines' per-states segment caches are
         # attached to the old object and die with it.
-        self._states = RoundStates(rounds=self.rounds, failed=self._effective)
+        self._states = self._fresh_states()
         self._all_probabilities = self.dependency_model.failure_probabilities()
 
     def reseed(self, master_seed: int) -> None:
@@ -306,6 +336,9 @@ class IncrementalAssessor:
         is safe: the caches only ever *gain* complete entries, so an
         aborted extension leaves a smaller but fully valid universe.
         """
+        if self.kernel is not None:
+            self._extend_universe_packed(subjects, sampled, cancel=cancel)
+            return
         metrics = self.metrics
         model = self.dependency_model
         with metrics.timer("sample"):
@@ -343,6 +376,61 @@ class IncrementalAssessor:
                     and link_cid in components
                 ):
                     self._effective[link_cid] = self._dense_for(link_cid)
+
+    def _extend_universe_packed(
+        self, subjects: set[str], sampled: set[str], cancel=None
+    ) -> None:
+        """Compiled-kernel twin of :meth:`_extend_universe`.
+
+        Component states are packed rows from the same CRN streams (so
+        the universe stays bit-identical to the dense one), fault-tree
+        reasoning runs through the compiled forest with a persistent
+        node-value cache, and the shared :class:`PackedRoundStates`
+        gains packed effective rows.
+        """
+        metrics = self.metrics
+        kernel = self.kernel
+        rows = self._packed_rows
+        with metrics.timer("sample"):
+            for index, cid in enumerate(sampled):
+                if cancel is not None and index % 64 == 0:
+                    cancel.check()
+                if cid in rows:
+                    metrics.incr("sample/component/hit")
+                    continue
+                metrics.incr("sample/component/miss")
+                rows[cid] = self.sampler.component_packed_row(
+                    cid, self._all_probabilities[cid], self.rounds
+                )
+
+        with metrics.timer("faulttree"):
+            if cancel is not None:
+                cancel.check()
+            new_subjects = [s for s in subjects if s not in self._known_subjects]
+            metrics.incr("faulttree/subject/hit", len(subjects) - len(new_subjects))
+            if new_subjects:
+                metrics.incr("faulttree/subject/miss", len(new_subjects))
+                self._known_subjects.update(new_subjects)
+                kernel.compile_subjects(new_subjects)
+                arena_ids = kernel.arena.ids
+                effective = kernel.forest.evaluate(
+                    new_subjects,
+                    lambda op: rows[arena_ids[op]],
+                    self._forest_values,
+                )
+                for subject, row in effective.items():
+                    if row is not None:
+                        self._effective[subject] = row
+
+            trees = self.dependency_model.trees
+            components = self.topology.components
+            for link_cid in sampled:
+                if link_cid in subjects or link_cid in self._known_links:
+                    continue
+                self._known_links.add(link_cid)
+                row = rows[link_cid]
+                if row is not None and link_cid not in trees and link_cid in components:
+                    self._effective[link_cid] = row
 
     # ------------------------------------------------------------------
     # Assessment

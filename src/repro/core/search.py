@@ -253,6 +253,7 @@ class DeploymentSearch:
             engine=self.assessor.engine,
             master_seed=master_seed,
             sample_full_infrastructure=self.assessor.sample_full_infrastructure,
+            kernel=getattr(getattr(self.assessor, "config", None), "kernel", False),
             metrics=self.metrics,
         )
         if self.incremental:

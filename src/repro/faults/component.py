@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 
 class ComponentType(enum.Enum):
@@ -99,10 +100,13 @@ class Component:
         )
 
 
+@lru_cache(maxsize=65536)
 def link_id(endpoint_a: str, endpoint_b: str) -> str:
     """Canonical component id for the link between two endpoints.
 
-    Links are undirected, so the id is order-independent.
+    Links are undirected, so the id is order-independent. Cached: the
+    routing engines ask for the same few hundred link ids on every one
+    of the search's tens of thousands of assessments.
     """
     low, high = sorted((endpoint_a, endpoint_b))
     return f"link[{low}--{high}]"

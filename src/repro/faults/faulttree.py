@@ -121,13 +121,14 @@ class FaultTree:
         return _evaluate_node(self.root, failed_states.__getitem__)
 
     def evaluate_round(self, failed_components: AbstractSet[str]) -> bool:
-        """Scalar evaluation of a single round from a failed-component set."""
+        """Scalar evaluation of a single round from a failed-component set.
 
-        def lookup(cid: str) -> np.ndarray:
-            # 1-element vectors keep every gate on the ndarray code path.
-            return np.asarray([cid in failed_components])
-
-        return bool(_evaluate_node(self.root, lookup)[0])
+        Pure set/bool recursion — no 1-element ndarrays per leaf. The
+        exact-probability enumerator calls this once per state of up to
+        ``2**20`` states, where the per-leaf array allocations used to
+        dominate its runtime.
+        """
+        return _evaluate_node_scalar(self.root, failed_components)
 
     def depth(self) -> int:
         """Height of the tree (a lone basic event has depth 1)."""
@@ -175,6 +176,23 @@ def _evaluate_node(
     for state in child_states:
         counts += state.astype(np.int32)
     return np.asarray(counts >= node.threshold)
+
+
+def _evaluate_node_scalar(node: FaultTreeNode, failed: AbstractSet[str]) -> bool:
+    if isinstance(node, BasicEvent):
+        return node.component_id in failed
+    if node.kind is GateKind.OR:
+        return any(_evaluate_node_scalar(child, failed) for child in node.children)
+    if node.kind is GateKind.AND:
+        return all(_evaluate_node_scalar(child, failed) for child in node.children)
+    # K_OF_N: stop counting as soon as the threshold is reached.
+    fired = 0
+    for child in node.children:
+        if _evaluate_node_scalar(child, failed):
+            fired += 1
+            if fired >= node.threshold:
+                return True
+    return False
 
 
 def trivial_tree(subject_id: str) -> FaultTree:

@@ -1,0 +1,191 @@
+"""Compiled assessment kernel: integer arenas, packed states, flat programs.
+
+The per-assessment hot path — sample, fault-tree reasoning, route and
+check — historically flowed through string-keyed dicts of index arrays
+and a recursive interpreter over :class:`Gate` objects. This package
+compiles that pipeline down to integer-indexed numpy kernels:
+
+* :class:`~repro.kernel.arena.ComponentArena` interns component ids to
+  dense ``int32`` indices, built once per (topology, dependency model);
+* samplers emit a bit-packed ``(components x rounds)`` state matrix
+  (:class:`~repro.kernel.packed.PackedBatch`) instead of per-component
+  index dicts, via stream-identical ``sample_packed`` fast paths;
+* :class:`~repro.kernel.compiler.FaultTreeCompiler` flattens the whole
+  forest into one postorder instruction program with shared subtrees
+  deduplicated, evaluated by a non-recursive loop;
+* the packed states flow into routing and structure evaluation as
+  bitwise AND/OR on ``uint8`` rows
+  (:class:`~repro.routing.base.PackedRoundStates`), unpacking only at
+  the estimate boundary.
+
+Everything is bit-identical to the legacy interpreter for the same
+:class:`~repro.core.api.AssessmentConfig` and rng seed — the kernel
+changes how states are stored and combined, never which draws are made
+or which boolean formulas are applied. Enable it with
+``AssessmentConfig(kernel=True)``; topologies without a packed-capable
+reachability engine (the generic per-round engine) transparently fall
+back to the legacy interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+from repro.kernel.arena import INDEX_DTYPE, ComponentArena
+from repro.kernel.compiler import CompiledForest, FaultTreeCompiler, ForestStats
+from repro.kernel.packed import (
+    PACK_DTYPE,
+    PackedBatch,
+    pack_bool_matrix,
+    pack_indices,
+    packed_width,
+    unpack_matrix,
+    unpack_row,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.dependencies import DependencyModel
+    from repro.routing.base import ReachabilityEngine
+    from repro.sampling.base import Sampler
+    from repro.topology.base import Topology
+
+__all__ = [
+    "INDEX_DTYPE",
+    "PACK_DTYPE",
+    "AssessmentKernel",
+    "ComponentArena",
+    "CompiledForest",
+    "FaultTreeCompiler",
+    "ForestStats",
+    "PackedBatch",
+    "kernel_supported",
+    "pack_bool_matrix",
+    "pack_indices",
+    "packed_width",
+    "unpack_matrix",
+    "unpack_row",
+]
+
+
+def kernel_supported(engine: "ReachabilityEngine") -> bool:
+    """Whether the compiled kernel can drive this reachability engine.
+
+    The packed representation needs an engine whose route-and-check is
+    pure boolean algebra over alive masks (fat-tree, leaf-spine). The
+    generic per-round union-find engine reads individual rounds, so
+    generic topologies keep the legacy interpreter.
+    """
+    return bool(getattr(engine, "supports_packed", False))
+
+
+class AssessmentKernel:
+    """Compiled state for one (topology, dependency model) substrate.
+
+    Owns the component arena and the growing compiled forest; stateless
+    with respect to individual assessments (per-assessment scratch lives
+    in the caller), so one kernel is shared by every assessment an
+    assessor runs — exactly like the legacy per-assessor caches.
+    """
+
+    def __init__(self, topology: "Topology", dependency_model: "DependencyModel"):
+        self.topology = topology
+        self.dependency_model = dependency_model
+        self.arena = ComponentArena.for_model(dependency_model)
+        self.forest = CompiledForest(self.arena)
+        self._compiler = FaultTreeCompiler(self.arena)
+        # component_ids tuple -> arena-index lookup; valid for this
+        # kernel's arena only, hence owned here (see row_for_index).
+        self._leaf_lookup_cache: dict = {}
+        # id(subjects set) -> (strong ref, evaluation order). The
+        # assessor's closure memo hands the same set object to every
+        # assessment of a plan's host set, so identity is a safe and
+        # free cache key; the strong ref pins the id.
+        self._order_cache: dict[int, tuple[object, list[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_packed(
+        self,
+        sampler: "Sampler",
+        probabilities: Mapping[str, float],
+        rounds: int,
+        rng: np.random.Generator,
+        cancel=None,
+    ) -> PackedBatch:
+        """One packed batch from any sampler.
+
+        Samplers with a matrix-native ``sample_packed`` fast path are
+        called directly; anything else runs its ordinary ``sample`` and
+        the sparse result is packed — either way the rng stream advances
+        exactly as the legacy path's would.
+        """
+        fast = getattr(sampler, "sample_packed", None)
+        if fast is not None:
+            return fast(probabilities, rounds, rng, cancel=cancel)
+        batch = sampler.sample(probabilities, rounds, rng, cancel=cancel)
+        return PackedBatch.from_sample_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Fault-tree reasoning
+    # ------------------------------------------------------------------
+
+    def compile_subjects(self, subject_ids: Iterable[str]) -> None:
+        """Intern any new subjects' trees into the shared forest."""
+        self._compiler.extend(self.forest, self.dependency_model, subject_ids)
+
+    def effective_states(
+        self,
+        subjects: Iterable[str],
+        sampled: Iterable[str],
+        batch: PackedBatch,
+        values: dict[int, np.ndarray | None] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Packed effective per-round failure rows after fault-tree reasoning.
+
+        The kernel analogue of the legacy "reason over each subject's
+        tree, then register failing links" stage: returns a mapping from
+        element id to packed failure row containing only elements that
+        fail in at least one round (absent == always alive, the
+        :class:`RoundStates` convention).
+        """
+        if not isinstance(subjects, set):
+            subjects = set(subjects)
+        entry = self._order_cache.get(id(subjects))
+        if entry is not None and entry[0] is subjects:
+            order = entry[1]
+        else:
+            self.compile_subjects(subjects)
+            order = self.forest.evaluation_order(subjects)
+            if len(self._order_cache) >= 64:
+                self._order_cache.clear()
+            self._order_cache[id(subjects)] = (subjects, order)
+        effective = self.forest.evaluate(
+            subjects,
+            batch.row_for_index(self.arena, self._leaf_lookup_cache),
+            values,
+            order=order,
+        )
+        failed: dict[str, np.ndarray] = {
+            subject: row for subject, row in effective.items() if row is not None
+        }
+        trees = self.dependency_model.trees
+        components = self.topology.components
+        index_get = batch._index.get
+        nonzero, matrix = batch.nonzero, batch.matrix
+        for cid in sampled:
+            if cid in subjects or cid in trees or cid not in components:
+                continue
+            i = index_get(cid)
+            if i is not None and nonzero[i]:
+                failed[cid] = matrix[i]
+        return failed
+
+    def __repr__(self) -> str:
+        return (
+            f"<AssessmentKernel on {self.topology.name!r}: "
+            f"{len(self.arena)} components, {self.forest.stats()}>"
+        )

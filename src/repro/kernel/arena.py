@@ -1,0 +1,88 @@
+"""Integer component arena: string ids interned to dense int32 indices.
+
+Every per-assessment structure the compiled kernel touches — packed
+state matrices, fault-tree leaf operands, closure sets — is indexed by a
+dense integer instead of a string id. The arena is built once per
+(topology, dependency model) pair, in the deterministic iteration order
+of :meth:`~repro.faults.dependencies.DependencyModel.failure_probabilities`,
+so indices are stable for the lifetime of an assessor and identical
+across processes given the same substrate.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.dependencies import DependencyModel
+
+#: dtype of arena indices.
+INDEX_DTYPE = np.int32
+
+
+class ComponentArena:
+    """Bidirectional component-id <-> dense-index interning table."""
+
+    __slots__ = ("ids", "index", "probabilities")
+
+    def __init__(self, ids: Iterable[str], probabilities: Iterable[float] | None = None):
+        self.ids: tuple[str, ...] = tuple(ids)
+        self.index: dict[str, int] = {cid: i for i, cid in enumerate(self.ids)}
+        if len(self.index) != len(self.ids):
+            raise ConfigurationError("duplicate component ids in arena")
+        self.probabilities: np.ndarray | None = (
+            None
+            if probabilities is None
+            else np.asarray(tuple(probabilities), dtype=np.float64)
+        )
+        if self.probabilities is not None and self.probabilities.shape != (
+            len(self.ids),
+        ):
+            raise ConfigurationError(
+                "probabilities length does not match component count"
+            )
+
+    @classmethod
+    def for_model(cls, model: "DependencyModel") -> "ComponentArena":
+        """Intern every network + dependency component of one substrate."""
+        probabilities = model.failure_probabilities()
+        return cls(probabilities.keys(), probabilities.values())
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __contains__(self, component_id: str) -> bool:
+        return component_id in self.index
+
+    def index_of(self, component_id: str) -> int:
+        """Dense index of one component id."""
+        try:
+            return self.index[component_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"component {component_id!r} is not in the arena"
+            ) from None
+
+    def id_of(self, index: int) -> str:
+        """Component id at one dense index."""
+        if not 0 <= index < len(self.ids):
+            raise ConfigurationError(
+                f"arena index {index} out of range [0, {len(self.ids)})"
+            )
+        return self.ids[index]
+
+    def indices_of(self, component_ids: Iterable[str]) -> np.ndarray:
+        """Dense indices of several component ids (input order preserved)."""
+        return np.fromiter(
+            (self.index_of(cid) for cid in component_ids),
+            dtype=INDEX_DTYPE,
+        )
+
+    def __repr__(self) -> str:
+        return f"<ComponentArena: {len(self.ids)} components>"

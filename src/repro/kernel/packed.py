@@ -1,0 +1,206 @@
+"""Bit-packed failure-state representation (8 rounds per byte).
+
+The sampled failure table of §3.2.1 is boolean, so the kernel stores it
+as ``np.packbits`` rows: one ``uint8`` vector of ``ceil(rounds / 8)``
+bytes per component, MSB-first (numpy's default ``bitorder="big"``).
+Bitwise ``&`` / ``|`` / ``~`` on packed rows compute the same per-round
+boolean algebra as the legacy dense vectors at an eighth of the memory
+traffic; dense views are materialised only at the estimate boundary via
+:func:`unpack_row`, whose ``count=rounds`` cut discards the pad bits of
+the last byte, which is what makes round counts that are not multiples
+of 8 safe everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sampling.base import SampleBatch
+
+#: dtype of packed state rows.
+PACK_DTYPE = np.uint8
+
+
+def packed_width(rounds: int) -> int:
+    """Bytes per packed row covering ``rounds`` sampling rounds."""
+    if rounds <= 0:
+        raise ConfigurationError(f"rounds must be positive, got {rounds}")
+    return (rounds + 7) // 8
+
+
+def pack_bool_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pack a ``(components, rounds)`` boolean matrix row-wise."""
+    return np.packbits(np.ascontiguousarray(matrix), axis=1)
+
+
+def pack_indices(indices: np.ndarray, rounds: int) -> np.ndarray:
+    """Packed row with the given (sorted or not) round indices set."""
+    dense = np.zeros(rounds, dtype=bool)
+    if len(indices):
+        dense[indices] = True
+    return np.packbits(dense)
+
+
+def unpack_row(row: np.ndarray, rounds: int) -> np.ndarray:
+    """Dense boolean per-round vector of one packed row (pads dropped)."""
+    return np.unpackbits(row, count=rounds).view(bool)
+
+
+def unpack_matrix(matrix: np.ndarray, rounds: int) -> np.ndarray:
+    """Dense boolean ``(components, rounds)`` view of a packed matrix."""
+    return np.unpackbits(matrix, axis=1, count=rounds).view(bool)
+
+
+@dataclass
+class PackedBatch:
+    """Failure states of sampled components as a bit-packed matrix.
+
+    The kernel-native sibling of
+    :class:`~repro.sampling.base.SampleBatch`: ``matrix[i]`` is the
+    packed per-round failure row of ``component_ids[i]``. Components
+    absent from ``component_ids`` never failed. ``nonzero`` flags rows
+    with at least one failure, so downstream stages can skip the (vast)
+    all-alive majority without touching row bytes again.
+    """
+
+    rounds: int
+    component_ids: tuple[str, ...] = ()
+    matrix: np.ndarray | None = None
+    _index: dict[str, int] = field(default_factory=dict, repr=False)
+    nonzero: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ConfigurationError(f"rounds must be positive, got {self.rounds}")
+        if self.matrix is None:
+            self.matrix = np.zeros((0, packed_width(self.rounds)), dtype=PACK_DTYPE)
+        if self.matrix.shape != (len(self.component_ids), packed_width(self.rounds)):
+            raise ConfigurationError(
+                f"packed matrix shape {self.matrix.shape} does not match "
+                f"{len(self.component_ids)} components x "
+                f"{packed_width(self.rounds)} bytes"
+            )
+        if not self._index:
+            self._index = {cid: i for i, cid in enumerate(self.component_ids)}
+        if self.nonzero is None:
+            self.nonzero = self.matrix.any(axis=1)
+
+    @property
+    def width(self) -> int:
+        """Bytes per row."""
+        return packed_width(self.rounds)
+
+    def row_for(self, component_id: str) -> np.ndarray | None:
+        """Packed failure row, or ``None`` when the component never failed
+        (including components that were not sampled at all)."""
+        i = self._index.get(component_id)
+        if i is None or not self.nonzero[i]:
+            return None
+        return self.matrix[i]
+
+    def row_for_index(
+        self, arena, lookup_cache: dict | None = None
+    ) -> "Callable[[int], np.ndarray | None]":
+        """A leaf-lookup closure over arena indices for the compiled forest.
+
+        Maps an arena component index to that component's packed failure
+        row, or ``None`` for never-failed / unsampled components.
+        ``lookup_cache`` (any mutable mapping the caller keeps, e.g. on
+        the kernel) memoizes the index translation per distinct
+        ``component_ids`` tuple — sampler layouts reuse one tuple object
+        across batches, so repeated assessments skip the id walk.
+        """
+        lookup = None if lookup_cache is None else lookup_cache.get(self.component_ids)
+        if lookup is None:
+            lookup = np.full(len(arena), -1, dtype=np.int64)
+            arena_index = arena.index
+            for i, cid in enumerate(self.component_ids):
+                idx = arena_index.get(cid)
+                if idx is not None:
+                    lookup[idx] = i
+            if lookup_cache is not None:
+                if len(lookup_cache) >= 64:
+                    lookup_cache.clear()
+                lookup_cache[self.component_ids] = lookup
+        nonzero, matrix = self.nonzero, self.matrix
+
+        def row(op: int) -> np.ndarray | None:
+            i = lookup[op]
+            if i < 0 or not nonzero[i]:
+                return None
+            return matrix[i]
+
+        return row
+
+    def dense(self, component_id: str) -> np.ndarray:
+        """Dense boolean per-round vector (all-False when never failed)."""
+        row = self.row_for(component_id)
+        if row is None:
+            return np.zeros(self.rounds, dtype=bool)
+        return unpack_row(row, self.rounds)
+
+    # ------------------------------------------------------------------
+    # Conversions to/from the legacy sparse-index representation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_sample_batch(
+        cls, batch: "SampleBatch", component_ids: Iterable[str] | None = None
+    ) -> "PackedBatch":
+        """Pack a legacy :class:`SampleBatch` (bit-identical by construction).
+
+        This is the fallback for samplers without a matrix-native
+        ``sample_packed`` fast path: the draws (and hence the rng stream)
+        are exactly the legacy ones, only the storage changes.
+        """
+        ids = tuple(component_ids) if component_ids is not None else tuple(
+            batch.failed_rounds
+        )
+        dense = np.zeros((len(ids), batch.rounds), dtype=bool)
+        for i, cid in enumerate(ids):
+            failed = batch.failed_rounds.get(cid)
+            if failed is not None and failed.size:
+                dense[i, failed] = True
+        return cls(
+            rounds=batch.rounds,
+            component_ids=ids,
+            matrix=pack_bool_matrix(dense) if len(ids) else None,
+        )
+
+    def to_sample_batch(self) -> "SampleBatch":
+        """The equivalent legacy sparse-index batch (for tests/debugging)."""
+        from repro.sampling.base import ROUND_DTYPE, SampleBatch
+
+        batch = SampleBatch(rounds=self.rounds)
+        for i, cid in enumerate(self.component_ids):
+            if not self.nonzero[i]:
+                continue
+            failed = np.nonzero(unpack_row(self.matrix[i], self.rounds))[0]
+            batch.failed_rounds[cid] = failed.astype(ROUND_DTYPE)
+        return batch
+
+
+def concat_packed(batches: Sequence[PackedBatch]) -> PackedBatch:
+    """Stack several packed batches over the same round count."""
+    if not batches:
+        raise ConfigurationError("need at least one batch to concatenate")
+    rounds = batches[0].rounds
+    for batch in batches[1:]:
+        if batch.rounds != rounds:
+            raise ConfigurationError("cannot concatenate batches of mixed rounds")
+    ids: tuple[str, ...] = ()
+    for batch in batches:
+        ids += batch.component_ids
+    return PackedBatch(
+        rounds=rounds,
+        component_ids=ids,
+        matrix=np.concatenate([b.matrix for b in batches], axis=0)
+        if ids
+        else None,
+    )

@@ -38,7 +38,18 @@ class RoundStates:
     are treated as always alive. For hosts and switches these are the
     *effective* states produced by fault-tree reasoning (§3.2.3), not the
     raw sampled states of the element's own hardware.
+
+    The compiled kernel uses the :class:`PackedRoundStates` subclass,
+    whose vectors are ``np.packbits`` rows (8 rounds per ``uint8`` byte)
+    instead of dense booleans. Engines that only combine alive masks
+    with :func:`all_alive` / :func:`any_path` / ``states.materialize``
+    work on either representation unchanged, because those helpers use
+    *bitwise* operators (identical to logical ones on booleans) and take
+    their vector geometry from the states object.
     """
+
+    #: True on subclasses whose vectors are bit-packed uint8 rows.
+    packed = False
 
     rounds: int
     failed: Mapping[str, np.ndarray]
@@ -46,6 +57,29 @@ class RoundStates:
     def __post_init__(self) -> None:
         if self.rounds <= 0:
             raise ConfigurationError(f"rounds must be positive, got {self.rounds}")
+
+    # -- vector geometry (overridden by PackedRoundStates) --------------
+
+    @property
+    def width(self) -> int:
+        """Length of one state vector in array elements."""
+        return self.rounds
+
+    def zeros(self) -> np.ndarray:
+        """A fresh all-False ("never alive" / "never failed") vector."""
+        return np.zeros(self.rounds, dtype=bool)
+
+    def materialize(self, mask: np.ndarray | None, alive: bool = True) -> np.ndarray:
+        """Expand a possibly-``None`` mask into a concrete vector."""
+        if mask is None:
+            return np.full(self.rounds, alive, dtype=bool)
+        return mask
+
+    def unpack(self, vector: np.ndarray) -> np.ndarray:
+        """Dense boolean per-round view of one state vector."""
+        return vector
+
+    # -- state queries ---------------------------------------------------
 
     def alive_mask(self, component_id: str) -> np.ndarray | None:
         """Per-round alive vector, or ``None`` when always alive."""
@@ -80,39 +114,126 @@ class RoundStates:
         return np.nonzero(any_failed)[0]
 
 
+class PackedRoundStates(RoundStates):
+    """Round states over bit-packed ``uint8`` rows (the kernel's native form).
+
+    Each vector covers 8 rounds per byte (``np.packbits`` layout,
+    MSB-first). Alive masks are bitwise complements, so the pad bits of
+    the last byte read "alive" — harmless, because every consumer
+    unpacks with ``count=rounds``, which drops them. Inverted alive rows
+    are memoized per component: engines ask for the same few masks over
+    and over while assembling path segments.
+    """
+
+    packed = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._alive_cache: dict[str, np.ndarray] = {}
+
+    @property
+    def width(self) -> int:
+        return (self.rounds + 7) // 8
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.width, dtype=np.uint8)
+
+    def materialize(self, mask: np.ndarray | None, alive: bool = True) -> np.ndarray:
+        if mask is None:
+            return np.full(self.width, 0xFF if alive else 0x00, dtype=np.uint8)
+        return mask
+
+    def unpack(self, vector: np.ndarray) -> np.ndarray:
+        return np.unpackbits(vector, count=self.rounds).view(bool)
+
+    def alive_mask(self, component_id: str) -> np.ndarray | None:
+        cached = self._alive_cache.get(component_id)
+        if cached is not None:
+            return cached
+        failed = self.failed.get(component_id)
+        if failed is None:
+            return None
+        cached = np.invert(failed)
+        cached.flags.writeable = False
+        self._alive_cache[component_id] = cached
+        return cached
+
+    def failed_in_round(self, component_id: str, round_index: int) -> bool:
+        failed = self.failed.get(component_id)
+        if failed is None:
+            return False
+        byte, bit = divmod(round_index, 8)
+        return bool(failed[byte] >> (7 - bit) & 1)
+
+    def rounds_with_failures(self, component_ids: Iterable[str]) -> np.ndarray:
+        any_failed = self.zeros()
+        for cid in component_ids:
+            failed = self.failed.get(cid)
+            if failed is not None:
+                np.bitwise_or(any_failed, failed, out=any_failed)
+        return np.nonzero(self.unpack(any_failed))[0]
+
+
 def all_alive(states: RoundStates, component_ids: Iterable[str]) -> np.ndarray | None:
-    """AND of the alive vectors of several elements (None = always alive)."""
+    """AND of the alive vectors of several elements (None = always alive).
+
+    Uses bitwise AND so the same code handles dense boolean vectors and
+    the kernel's packed ``uint8`` rows (on booleans the two coincide).
+
+    Returned arrays may alias a mask owned by ``states`` — treat them as
+    read-only (as :func:`any_path` and the engines' combine helpers do).
+    """
     result: np.ndarray | None = None
+    owned = False
     for cid in component_ids:
         mask = states.alive_mask(cid)
         if mask is None:
             continue
         if result is None:
-            result = mask.copy()
+            result = mask
+        elif owned:
+            np.bitwise_and(result, mask, out=result)
         else:
-            np.logical_and(result, mask, out=result)
+            result = np.bitwise_and(result, mask)
+            owned = True
     return result
 
 
-def any_path(paths: Sequence[np.ndarray | None], rounds: int) -> np.ndarray | None:
+def any_path(
+    paths: Sequence[np.ndarray | None], rounds: "int | RoundStates"
+) -> np.ndarray | None:
     """OR of per-path alive vectors.
 
     ``None`` entries mean "that path is always available", so the result is
     also ``None`` (always reachable). An empty sequence means no path
-    exists: an all-False vector.
+    exists: an all-False vector. ``rounds`` may be the round count (dense
+    vectors, the historical signature) or the :class:`RoundStates` the
+    paths came from — required for packed states, whose empty-path vector
+    is byte-sized.
     """
     if any(path is None for path in paths):
         return None
     if not paths:
+        if isinstance(rounds, RoundStates):
+            return rounds.zeros()
         return np.zeros(rounds, dtype=bool)
-    result = paths[0].copy()
+    result = paths[0]
+    owned = False
     for path in paths[1:]:
-        np.logical_or(result, path, out=result)
+        if owned:
+            np.bitwise_or(result, path, out=result)
+        else:
+            result = np.bitwise_or(result, path)
+            owned = True
     return result
 
 
 def materialize(mask: np.ndarray | None, rounds: int, alive: bool = True) -> np.ndarray:
-    """Expand a possibly-None alive mask into a concrete boolean vector."""
+    """Expand a possibly-None alive mask into a concrete boolean vector.
+
+    Dense-representation helper kept for compatibility; representation-
+    agnostic callers should use ``states.materialize(mask)`` instead.
+    """
     if mask is None:
         return np.full(rounds, alive, dtype=bool)
     return mask
@@ -120,6 +241,12 @@ def materialize(mask: np.ndarray | None, rounds: int, alive: bool = True) -> np.
 
 class ReachabilityEngine:
     """Architecture-specific route-and-check."""
+
+    #: True on engines whose route-and-check is pure boolean algebra over
+    #: alive masks and therefore works on :class:`PackedRoundStates`
+    #: unchanged. The generic per-round engine reads individual rounds,
+    #: so it stays dense-only.
+    supports_packed = False
 
     def __init__(self, topology: Topology):
         self.topology = topology

@@ -31,7 +31,6 @@ from repro.routing.base import (
     RoundStates,
     all_alive,
     any_path,
-    materialize,
 )
 from repro.topology.fattree import FatTreeTopology
 from repro.util.errors import TopologyError
@@ -39,6 +38,8 @@ from repro.util.errors import TopologyError
 
 class FatTreeReachabilityEngine(ReachabilityEngine):
     """Up-down reachability over a :class:`FatTreeTopology`."""
+
+    supports_packed = True
 
     topology: FatTreeTopology
 
@@ -82,7 +83,7 @@ class FatTreeReachabilityEngine(ReachabilityEngine):
                 uplink = all_alive(states, (link_id(agg, core),))
                 segment = self._combine(self._external_core(states, group, j), uplink)
                 paths.append(segment)
-            via_core = any_path(paths, states.rounds)
+            via_core = any_path(paths, states)
             cache[key] = self._combine(all_alive(states, (agg,)), via_core)
         return cache[key]
 
@@ -98,22 +99,176 @@ class FatTreeReachabilityEngine(ReachabilityEngine):
                 agg = topo.agg_ids[(pod, group)]
                 up = all_alive(states, (link_id(edge, agg),))
                 paths.append(self._combine(self._agg_external(states, pod, group), up))
-            via_agg = any_path(paths, states.rounds)
+            via_agg = any_path(paths, states)
             cache[key] = self._combine(all_alive(states, (edge,)), via_agg)
         return cache[key]
 
     @staticmethod
     def _combine(*masks):
-        """AND possibly-None alive masks (None = always alive)."""
+        """AND possibly-None alive masks (None = always alive).
+
+        Bitwise so the same formula runs on dense boolean vectors and on
+        the kernel's packed ``uint8`` rows. The result may alias the
+        single non-None input, so combined masks are read-only by
+        convention (every combiner here copies-on-write the same way).
+        """
         result = None
+        owned = False
         for mask in masks:
             if mask is None:
                 continue
             if result is None:
-                result = mask.copy()
+                result = mask
+            elif owned:
+                np.bitwise_and(result, mask, out=result)
             else:
-                np.logical_and(result, mask, out=result)
+                result = np.bitwise_and(result, mask)
+                owned = True
         return result
+
+    # ------------------------------------------------------------------
+    # Matrix-form external scaffolding (packed states only)
+    #
+    # The scalar helpers above issue one numpy call per path segment —
+    # hundreds of sub-microsecond bitwise ops whose *call overhead*
+    # dominates on packed rows (a k=4 fabric's row is ~1 KB). For packed
+    # states the whole external scaffold — every border->core segment,
+    # every aggregation switch's route up, every edge switch's external
+    # row — is evaluated in one shot: the fabric's element ids are laid
+    # out once per engine as contiguous slices of a single ordered list,
+    # each assessment fills one (elements x width) alive matrix from the
+    # failed-row dict, and a handful of broadcast AND / OR-reduce calls
+    # compute all edges' rows together. Identical boolean algebra,
+    # identical bits (AND/OR are commutative and associative per bit);
+    # always-alive (absent) elements enter as all-ones rows, which AND/OR
+    # treat exactly as the scalar path treats None.
+    # ------------------------------------------------------------------
+
+    def _scaffold_layout(self):
+        """Fixed element-id layout of the external-route scaffold.
+
+        Built once per engine: one ordered id tuple whose contiguous
+        slices are the core switches, border->core links, border
+        switches, agg->core uplinks, aggregation switches, edge->agg
+        uplinks, and edge switches — in loop order matching the scalar
+        helpers so reshapes recover the (pod, group, j) structure.
+        """
+        layout = getattr(self, "_scaffold", None)
+        if layout is None:
+            topo = self.topology
+            radix = topo.radix
+            pods = topo.num_pods
+            edges = list(topo.edge_pod)
+            groups = range(radix)
+            ids: list[str] = []
+
+            def span(items) -> slice:
+                start = len(ids)
+                ids.extend(items)
+                return slice(start, len(ids))
+
+            cores = span(
+                topo.core_ids[(g, j)] for g in groups for j in range(radix)
+            )
+            core_links = span(
+                link_id(topo.border_switch_of_group(g), topo.core_ids[(g, j)])
+                for g in groups
+                for j in range(radix)
+            )
+            borders = span(topo.border_switch_of_group(g) for g in groups)
+            uplinks = span(
+                link_id(topo.agg_ids[(pod, g)], topo.core_ids[(g, j)])
+                for pod in range(pods)
+                for g in groups
+                for j in range(radix)
+            )
+            aggs = span(
+                topo.agg_ids[(pod, g)] for pod in range(pods) for g in groups
+            )
+            edge_uplinks = span(
+                link_id(edge, topo.agg_ids[(topo.edge_pod[edge], g)])
+                for edge in edges
+                for g in groups
+            )
+            edge_span = span(edges)
+            layout = (
+                tuple(ids),
+                cores,
+                core_links,
+                borders,
+                uplinks,
+                aggs,
+                edge_uplinks,
+                edge_span,
+                np.array([topo.edge_pod[e] for e in edges], dtype=np.intp),
+                {edge: i for i, edge in enumerate(edges)},
+            )
+            self._scaffold = layout
+        return layout
+
+    def _edge_ext_matrix(self, states: RoundStates):
+        """All edge switches' packed external rows, plus the row index.
+
+        Returns ``(matrix, edge_index)`` where ``matrix[edge_index[e]]``
+        is edge ``e``'s "alive with an alive route to an external core"
+        row. Edges outside the sampled closure read all-alive rows for
+        their unsampled dependencies; their rows are never consulted.
+
+        The incremental assessor reuses one states object whose failed
+        dict only ever *gains* entries (existing rows are never
+        rewritten), so the dict's size doubles as a version counter: the
+        matrix is recomputed whenever the dict has grown since it was
+        built, which is exactly when a later plan's closure may have
+        registered scaffold elements this matrix read as always-alive.
+        """
+        cache = self._cache(states)
+        entry = cache.get("edge_ext_matrix")
+        if entry is not None and entry[2] != len(states.failed):
+            entry = None
+        if entry is None:
+            topo = self.topology
+            radix, pods = topo.radix, topo.num_pods
+            (
+                ids,
+                cores,
+                core_links,
+                borders,
+                uplinks,
+                aggs,
+                edge_uplinks,
+                edge_span,
+                pod_of_edge,
+                edge_index,
+            ) = self._scaffold_layout()
+            width = states.width
+            alive = np.zeros((len(ids), width), dtype=np.uint8)
+            failed_get = states.failed.get
+            for i, cid in enumerate(ids):
+                row = failed_get(cid)
+                if row is not None:
+                    alive[i] = row
+            np.bitwise_not(alive, out=alive)
+
+            # border(g) -> core(g, j) segments, shaped (group, j, width).
+            ext_core = alive[cores] & alive[core_links]
+            ext_core = ext_core.reshape(radix, radix, width)
+            ext_core &= alive[borders][:, None, :]
+            # agg(pod, g) alive with a route up: OR over core index j.
+            segments = alive[uplinks].reshape(pods, radix * radix, width)
+            segments &= ext_core.reshape(1, radix * radix, width)
+            agg_ext = np.bitwise_or.reduce(
+                segments.reshape(pods, radix, radix, width), axis=2
+            )
+            agg_ext &= alive[aggs].reshape(pods, radix, width)
+            # edge alive with a route up: OR over aggregation group g.
+            n_edges = len(pod_of_edge)
+            segments = alive[edge_uplinks].reshape(n_edges, radix, width)
+            segments &= agg_ext[pod_of_edge]
+            matrix = np.bitwise_or.reduce(segments, axis=1)
+            matrix &= alive[edge_span]
+            entry = (matrix, edge_index, len(states.failed))
+            cache["edge_ext_matrix"] = entry
+        return entry
 
     # ------------------------------------------------------------------
     # Engine interface
@@ -151,13 +306,32 @@ class FatTreeReachabilityEngine(ReachabilityEngine):
     ) -> dict[str, np.ndarray]:
         topo = self.topology
         result = {}
+        if states.packed:
+            edge_ext, edge_index, _ = self._edge_ext_matrix(states)
+            n, width = len(hosts), states.width
+            stack = np.zeros((2 * n, width), dtype=np.uint8)
+            eidx = np.empty(n, dtype=np.intp)
+            failed_get = states.failed.get
+            for i, host in enumerate(hosts):
+                edge = topo.edge_switch_of(host)
+                eidx[i] = edge_index[edge]
+                row = failed_get(host)
+                if row is not None:
+                    stack[i] = row
+                row = failed_get(link_id(host, edge))
+                if row is not None:
+                    stack[n + i] = row
+            np.bitwise_not(stack, out=stack)
+            matrix = stack[:n] & stack[n:]
+            matrix &= edge_ext[eidx]
+            return dict(zip(hosts, matrix))
         for host in hosts:
             edge = topo.edge_switch_of(host)
             mask = self._combine(
                 all_alive(states, (host, link_id(host, edge))),
                 self._edge_external(states, edge),
             )
-            result[host] = materialize(mask, states.rounds)
+            result[host] = states.materialize(mask)
         return result
 
     def pairwise_reachable(
@@ -165,7 +339,7 @@ class FatTreeReachabilityEngine(ReachabilityEngine):
     ) -> dict[tuple[str, str], np.ndarray]:
         result = {}
         for a, b in pairs:
-            result[(a, b)] = materialize(self._pair_mask(states, a, b), states.rounds)
+            result[(a, b)] = states.materialize(self._pair_mask(states, a, b))
         return result
 
     def _pair_mask(self, states: RoundStates, a: str, b: str):
@@ -197,7 +371,7 @@ class FatTreeReachabilityEngine(ReachabilityEngine):
                         )
                     )
                 )
-            return self._combine(endpoints, any_path(paths, states.rounds))
+            return self._combine(endpoints, any_path(paths, states))
 
         # Inter-pod: up through group g on both sides, across any core j.
         paths = []
@@ -220,5 +394,5 @@ class FatTreeReachabilityEngine(ReachabilityEngine):
                         )
                     )
                 )
-            paths.append(self._combine(rim, any_path(core_paths, states.rounds)))
-        return self._combine(endpoints, any_path(paths, states.rounds))
+            paths.append(self._combine(rim, any_path(core_paths, states)))
+        return self._combine(endpoints, any_path(paths, states))

@@ -19,7 +19,6 @@ from repro.routing.base import (
     RoundStates,
     all_alive,
     any_path,
-    materialize,
 )
 from repro.topology.leafspine import LeafSpineTopology
 from repro.util.errors import TopologyError
@@ -27,6 +26,8 @@ from repro.util.errors import TopologyError
 
 class LeafSpineReachabilityEngine(ReachabilityEngine):
     """Up-down reachability over a :class:`LeafSpineTopology`."""
+
+    supports_packed = True
 
     topology: LeafSpineTopology
 
@@ -46,14 +47,23 @@ class LeafSpineReachabilityEngine(ReachabilityEngine):
 
     @staticmethod
     def _combine(*masks):
+        """AND possibly-None alive masks (bitwise: dense or packed).
+
+        May alias the single non-None input; combined masks are
+        read-only by convention.
+        """
         result = None
+        owned = False
         for mask in masks:
             if mask is None:
                 continue
             if result is None:
-                result = mask.copy()
+                result = mask
+            elif owned:
+                np.bitwise_and(result, mask, out=result)
             else:
-                np.logical_and(result, mask, out=result)
+                result = np.bitwise_and(result, mask)
+                owned = True
         return result
 
     def _spine_external(self, states: RoundStates, spine: str):
@@ -66,7 +76,7 @@ class LeafSpineReachabilityEngine(ReachabilityEngine):
                 for border in self.topology.border_switches
             ]
             cache[key] = self._combine(
-                all_alive(states, (spine,)), any_path(paths, states.rounds)
+                all_alive(states, (spine,)), any_path(paths, states)
             )
         return cache[key]
 
@@ -82,7 +92,7 @@ class LeafSpineReachabilityEngine(ReachabilityEngine):
                 for spine in self.topology.spine_ids
             ]
             cache[key] = self._combine(
-                all_alive(states, (leaf,)), any_path(paths, states.rounds)
+                all_alive(states, (leaf,)), any_path(paths, states)
             )
         return cache[key]
 
@@ -114,7 +124,7 @@ class LeafSpineReachabilityEngine(ReachabilityEngine):
                 all_alive(states, (host, link_id(host, leaf))),
                 self._leaf_external(states, leaf),
             )
-            result[host] = materialize(mask, states.rounds)
+            result[host] = states.materialize(mask)
         return result
 
     def pairwise_reachable(
@@ -124,8 +134,8 @@ class LeafSpineReachabilityEngine(ReachabilityEngine):
         result = {}
         for a, b in pairs:
             if a == b:
-                result[(a, b)] = materialize(
-                    self._combine(all_alive(states, (a,))), states.rounds
+                result[(a, b)] = states.materialize(
+                    self._combine(all_alive(states, (a,)))
                 )
                 continue
             leaf_a = topo.edge_switch_of(a)
@@ -137,7 +147,7 @@ class LeafSpineReachabilityEngine(ReachabilityEngine):
                 all_alive(states, (leaf_b,)) if leaf_b != leaf_a else None,
             )
             if leaf_a == leaf_b:
-                result[(a, b)] = materialize(endpoints, states.rounds)
+                result[(a, b)] = states.materialize(endpoints)
                 continue
             paths = [
                 self._combine(
@@ -147,6 +157,6 @@ class LeafSpineReachabilityEngine(ReachabilityEngine):
                 )
                 for spine in topo.spine_ids
             ]
-            mask = self._combine(endpoints, any_path(paths, states.rounds))
-            result[(a, b)] = materialize(mask, states.rounds)
+            mask = self._combine(endpoints, any_path(paths, states))
+            result[(a, b)] = states.materialize(mask)
         return result

@@ -129,6 +129,7 @@ def _worker_portion(args: tuple) -> tuple[np.ndarray, int]:
                 rounds=rounds,
                 sampler=_WORKER_STATE["sampler"],
                 rng=seed,
+                kernel=_WORKER_STATE.get("kernel", False),
             ),
         )
         _WORKER_STATE["assessor"] = assessor
@@ -315,6 +316,7 @@ class ParallelAssessor:
             model=self.dependency_model,
             sampler=self.sampler,
             chaos=self.chaos,
+            kernel=self.config.kernel,
         )
         context = multiprocessing.get_context("fork")
         self._pool = context.Pool(
@@ -794,6 +796,7 @@ class ParallelAssessor:
                 rounds=portion.rounds,
                 sampler=self.sampler,
                 rng=seed,
+                kernel=self.config.kernel,
             ),
         )
         result = assessor.assess(plan, structure, cancel=cancel)

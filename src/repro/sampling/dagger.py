@@ -33,6 +33,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.kernel.packed import PACK_DTYPE, PackedBatch, pack_indices, packed_width
 from repro.sampling.base import ROUND_DTYPE, SampleBatch, Sampler, validate_probabilities
 
 
@@ -61,18 +62,20 @@ def dagger_draw_count(probabilities: Mapping[str, float], rounds: int) -> int:
     return total
 
 
-def _sample_group(
+def _group_draws(
     rng: np.random.Generator,
     probability: float,
     count: int,
     rounds: int,
     block_length: int,
-) -> list[np.ndarray]:
-    """Failed-round indices for ``count`` components sharing ``probability``.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raw ``(failed_round, valid)`` matrices for one probability group.
 
     Cycles of length ``s = floor(1/p)`` are concatenated within blocks of
     ``block_length`` rounds and truncated at block boundaries (extended
-    dagger). Returns one sorted index array per component.
+    dagger). Entry ``[i, d]`` is the round draw ``d`` of component ``i``
+    fails, meaningful only where ``valid`` is True (the draw landed in a
+    subinterval and inside the block and round range).
     """
     s = dagger_cycle_length(probability)
     cycles_per_block = math.ceil(block_length / s)
@@ -94,13 +97,67 @@ def _sample_group(
         & (cycle_in_block[np.newaxis, :] * s + offset < block_length)
         & (failed_round < rounds)
     )
+    return failed_round, valid
 
-    results = []
-    for row in range(count):
-        # Within a row, cycle starts are increasing and offsets stay inside
-        # their cycle, so the surviving indices are already sorted.
-        results.append(failed_round[row][valid[row]])
-    return results
+
+#: MSB-first bit weights, float64 because ``np.bincount`` weights are.
+_BIT_WEIGHTS = (0x80 >> np.arange(8)).astype(np.float64)
+
+#: Cached per-(probability, rounds, block_length) cycle geometry. The
+#: arrays are rng-independent, so repeated assessments (the search loop
+#: re-samples the same closure every move) skip rebuilding them.
+_GEOMETRY_CACHE: dict[tuple[float, int, int], tuple[int, int, np.ndarray, np.ndarray]] = {}
+
+
+def _cycle_geometry(
+    probability: float, rounds: int, block_length: int
+) -> tuple[int, int, np.ndarray, np.ndarray]:
+    """``(s, draws_per_component, cycle_start, limit)`` for one group.
+
+    Mirrors the arithmetic of :func:`_group_draws` exactly, with its
+    three per-draw validity conditions folded into one: a draw whose
+    offset is below ``limit`` lands in a subinterval (``offset < s``),
+    inside the block (``cycle_in_block * s + offset < block_length``)
+    and inside the round range (``cycle_start + offset < rounds``) —
+    all integers, so the conjunction is ``offset < min`` of the three
+    bounds.
+    """
+    key = (probability, rounds, block_length)
+    geometry = _GEOMETRY_CACHE.get(key)
+    if geometry is None:
+        s = dagger_cycle_length(probability)
+        cycles_per_block = math.ceil(block_length / s)
+        blocks = math.ceil(rounds / block_length)
+        draws_per_component = blocks * cycles_per_block
+        draw_index = np.arange(draws_per_component, dtype=ROUND_DTYPE)
+        block_of_draw = draw_index // cycles_per_block
+        cycle_in_block = draw_index % cycles_per_block
+        cycle_start = block_of_draw * block_length + cycle_in_block * s
+        limit = np.minimum(
+            np.minimum(s, block_length - cycle_in_block * s),
+            rounds - cycle_start,
+        ).astype(ROUND_DTYPE)
+        if len(_GEOMETRY_CACHE) >= 4096:
+            _GEOMETRY_CACHE.clear()
+        geometry = _GEOMETRY_CACHE[key] = (s, draws_per_component, cycle_start, limit)
+    return geometry
+
+
+def _sample_group(
+    rng: np.random.Generator,
+    probability: float,
+    count: int,
+    rounds: int,
+    block_length: int,
+) -> list[np.ndarray]:
+    """Failed-round indices for ``count`` components sharing ``probability``.
+
+    Returns one sorted index array per component.
+    """
+    failed_round, valid = _group_draws(rng, probability, count, rounds, block_length)
+    # Within a row, cycle starts are increasing and offsets stay inside
+    # their cycle, so the surviving indices are already sorted.
+    return [failed_round[row][valid[row]] for row in range(count)]
 
 
 class ExtendedDaggerSampler(Sampler):
@@ -141,6 +198,133 @@ class ExtendedDaggerSampler(Sampler):
                 if failed.size:
                     batch.failed_rounds[cid] = failed
         return batch
+
+    def sample_packed(
+        self,
+        probabilities: Mapping[str, float],
+        rounds: int,
+        rng: np.random.Generator,
+        cancel=None,
+    ) -> PackedBatch:
+        """Matrix-native fast path, stream-identical to :meth:`sample`.
+
+        All groups' uniforms come from ONE ``rng.random`` call — numpy
+        generators fill arrays sequentially from the bit stream, so a
+        flat draw sliced per group is bit-identical to :meth:`sample`'s
+        one call per group, without 2x-the-group-count call overhead.
+        The per-draw constants (probability, cycle starts, block guards,
+        component row) are precomputed as flat arrays and cached per
+        ``(probabilities, rounds)``, so the whole batch reduces to a
+        handful of whole-array operations plus one ``packbits``.
+        """
+        layout = self._packed_layout(probabilities, rounds)
+        if layout is None:
+            return PackedBatch(rounds=rounds)
+        ids, index, row_byte0, p_of_draw, cycle_start, limit = layout
+        if cancel is not None:
+            cancel.check()
+
+        flat = rng.random(len(p_of_draw))
+        # Truncation == floor for the non-negative ratios, and a single
+        # bound check replaces sample()'s three validity conditions (see
+        # _cycle_geometry) — the surviving draws are identical.
+        offset = (flat / p_of_draw).astype(ROUND_DTYPE)
+        hits = np.nonzero(offset < limit)[0]
+        # Pack without a dense (components x rounds) intermediate: each
+        # (component, round) pair is unique, so the bits of one byte come
+        # from distinct powers of two and summing them (bincount) equals
+        # OR-ing them.
+        width = (rounds + 7) >> 3
+        cols = cycle_start[hits] + offset[hits]
+        flat_byte = row_byte0[hits] + (cols >> 3)
+        bits = _BIT_WEIGHTS[cols & 7]
+        matrix = (
+            np.bincount(flat_byte, weights=bits, minlength=len(ids) * width)
+            .astype(PACK_DTYPE)
+            .reshape(len(ids), width)
+        )
+        return PackedBatch(
+            rounds=rounds, component_ids=ids, matrix=matrix, _index=index
+        )
+
+    #: (probabilities, rounds) -> flat draw layout; bounded, see below.
+    _LAYOUT_CACHE_LIMIT = 64
+
+    def _packed_layout(self, probabilities: Mapping[str, float], rounds: int):
+        """Flat per-draw constants for :meth:`sample_packed`, cached.
+
+        Returns ``None`` when no component has a positive probability.
+        The layout is a pure function of the (ordered) probability map
+        and the round count — exactly what determines :meth:`sample`'s
+        rng consumption. Reused map *objects* (the assessor passes its
+        one ``_all_probabilities`` dict in full-infrastructure mode) hit
+        an identity key, so the cache check costs nothing even for
+        thousands of components; small maps fall back to a content key
+        so logically-equal rebuilt closures still hit. Entries keep a
+        strong reference to identity-keyed maps, which both pins their
+        ``id`` and means a *mutated* map must be passed as a fresh dict
+        (as the assessors do) to take effect.
+        """
+        cache = getattr(self, "_layout_cache", None)
+        if cache is None:
+            cache = self._layout_cache = {}
+        key = (rounds, id(probabilities))
+        entry = cache.get(key)
+        if entry is not None and entry[0] is probabilities:
+            return entry[1]
+        if len(probabilities) <= 4096:
+            key = (rounds, tuple(probabilities.items()))
+            entry = cache.get(key)
+            if entry is not None:
+                return entry[1]
+
+        validate_probabilities(probabilities)  # once per layout, not per draw
+        by_probability: dict[float, list[str]] = defaultdict(list)
+        for cid, p in probabilities.items():
+            if p > 0.0:
+                by_probability[p].append(cid)
+        if not by_probability:
+            layout = None
+        else:
+            block_length = max(dagger_cycle_length(p) for p in by_probability)
+            width = packed_width(rounds)
+            ids: list[str] = []
+            rows, ps, starts, limits = [], [], [], []
+            for probability, component_ids in by_probability.items():
+                _s, dpc, cycle_start, limit = _cycle_geometry(
+                    probability, rounds, block_length
+                )
+                count = len(component_ids)
+                row0 = len(ids)
+                ids.extend(component_ids)
+                # Row-major draw order: component i's draws are contiguous,
+                # matching rng.random((count, dpc)) consumption in sample();
+                # pre-scaled to byte offsets for the bincount pack.
+                rows.append(
+                    np.repeat(
+                        np.arange(
+                            row0 * width, (row0 + count) * width, width,
+                            dtype=np.intp,
+                        ),
+                        dpc,
+                    )
+                )
+                ps.append(np.full(count * dpc, probability))
+                starts.append(np.tile(cycle_start, count))
+                limits.append(np.tile(limit, count))
+            id_tuple = tuple(ids)
+            layout = (
+                id_tuple,
+                {cid: i for i, cid in enumerate(id_tuple)},
+                np.concatenate(rows),
+                np.concatenate(ps),
+                np.concatenate(starts),
+                np.concatenate(limits),
+            )
+        if len(cache) >= self._LAYOUT_CACHE_LIMIT:
+            cache.clear()
+        cache[key] = (probabilities, layout)
+        return layout
 
 
 def _component_stream_seed(master_seed: int, component_id: str) -> np.random.SeedSequence:
@@ -228,6 +412,39 @@ class CommonRandomDaggerSampler(Sampler):
             if failed.size:
                 batch.failed_rounds[cid] = failed
         return batch
+
+    def component_packed_row(
+        self, component_id: str, probability: float, rounds: int
+    ) -> np.ndarray | None:
+        """Packed failure row of one component, ``None`` when never failed.
+
+        The packed analogue of :meth:`component_failed_rounds`, with the
+        same pure-function-of-``(master_seed, component_id, probability,
+        rounds)`` contract — safe to cache across assessments.
+        """
+        failed = self.component_failed_rounds(component_id, probability, rounds)
+        if not failed.size:
+            return None
+        return pack_indices(failed, rounds)
+
+    def sample_packed(
+        self,
+        probabilities: Mapping[str, float],
+        rounds: int,
+        rng: np.random.Generator,  # unused: streams are component-addressed
+        cancel=None,
+    ) -> PackedBatch:
+        """Packed batch from the per-component common-random streams."""
+        validate_probabilities(probabilities)
+        ids = tuple(probabilities)
+        matrix = np.zeros((len(ids), packed_width(rounds)), dtype=PACK_DTYPE)
+        for index, (cid, probability) in enumerate(probabilities.items()):
+            if cancel is not None and index % 64 == 0:
+                cancel.check()
+            row = self.component_packed_row(cid, probability, rounds)
+            if row is not None:
+                matrix[index] = row
+        return PackedBatch(rounds=rounds, component_ids=ids, matrix=matrix)
 
 
 class DaggerSampler(Sampler):

@@ -215,7 +215,10 @@ class TestParallelCancellation:
         with ParallelAssessor.from_config(
             fattree4,
             inventory,
-            AssessmentConfig(mode="parallel", workers=2, rounds=2_000_000, rng=3),
+            # Large enough that sampling reliably outlasts the 0.3 s
+            # deadline even on a fast machine — at 2M rounds the assess
+            # occasionally finished first and the test flaked.
+            AssessmentConfig(mode="parallel", workers=2, rounds=20_000_000, rng=3),
         ) as assessor:
             if assessor.backend != "process":
                 pytest.skip("fork unavailable on this platform")

@@ -1,0 +1,497 @@
+"""Compiled-kernel equivalence: packed states, flat forests, bit-identity.
+
+The kernel's contract is that enabling it never changes a single bit of
+any per-round result — it only changes how states are stored and
+combined. These tests pin that contract at every layer: packbits
+round-trips (including round counts not divisible by 8), the component
+arena, compiled-forest vs recursive-interpreter equality over random
+fault-tree forests, sampler fast-path stream identity, and end-to-end
+assessments on the fat-tree and leaf-spine presets, sequentially and
+incrementally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig, build_assessor
+from repro.core.plan import DeploymentPlan
+from repro.faults.faulttree import (
+    FaultTree,
+    and_gate,
+    basic,
+    k_of_n_gate,
+    or_gate,
+)
+from repro.faults.inventory import build_paper_inventory, build_rich_inventory
+from repro.kernel import (
+    AssessmentKernel,
+    ComponentArena,
+    CompiledForest,
+    kernel_supported,
+    pack_indices,
+    packed_width,
+    unpack_row,
+)
+from repro.kernel.packed import PackedBatch, pack_bool_matrix, unpack_matrix
+from repro.routing.generic import GenericReachabilityEngine
+from repro.sampling.dagger import (
+    CommonRandomDaggerSampler,
+    ExtendedDaggerSampler,
+)
+from repro.sampling.montecarlo import MonteCarloSampler
+from repro.topology.fattree import FatTreeTopology
+from repro.topology.leafspine import LeafSpineTopology
+from repro.util.errors import ConfigurationError
+
+# ---------------------------------------------------------------------------
+# Shared substrates (hypothesis re-runs test bodies; build these once)
+# ---------------------------------------------------------------------------
+
+FATTREE = FatTreeTopology(4, seed=1)
+FATTREE_INV = build_rich_inventory(FATTREE, seed=4)
+LEAFSPINE = LeafSpineTopology(spines=4, leaves=6, hosts_per_leaf=3, seed=2)
+LEAFSPINE_INV = build_paper_inventory(LEAFSPINE, seed=3)
+
+EVENT_IDS = tuple(f"c{i}" for i in range(9))
+
+
+# ---------------------------------------------------------------------------
+# Packed representation
+# ---------------------------------------------------------------------------
+
+
+class TestPackedEdgeCases:
+    @pytest.mark.parametrize("rounds", [1, 7, 8, 9, 13, 64, 501])
+    def test_pack_unpack_roundtrip(self, rounds):
+        rng = np.random.default_rng(rounds)
+        dense = rng.random((5, rounds)) < 0.3
+        packed = pack_bool_matrix(dense)
+        assert packed.shape == (5, packed_width(rounds))
+        assert np.array_equal(unpack_matrix(packed, rounds), dense)
+        for row in range(5):
+            assert np.array_equal(unpack_row(packed[row], rounds), dense[row])
+
+    @pytest.mark.parametrize("rounds", [1, 7, 8, 9, 13])
+    def test_pack_indices_matches_dense_scatter(self, rounds):
+        rng = np.random.default_rng(rounds + 100)
+        indices = np.nonzero(rng.random(rounds) < 0.5)[0]
+        dense = np.zeros(rounds, dtype=bool)
+        dense[indices] = True
+        assert np.array_equal(unpack_row(pack_indices(indices, rounds), rounds), dense)
+
+    def test_pad_bits_of_failure_rows_are_zero(self):
+        row = pack_indices(np.array([0, 8]), 9)  # 2 bytes, 7 pad bits
+        assert row.shape == (2,)
+        assert row[1] == 0b1000_0000  # only round 8 set, pads clear
+
+    def test_rejects_nonpositive_rounds(self):
+        with pytest.raises(ConfigurationError):
+            packed_width(0)
+        with pytest.raises(ConfigurationError):
+            PackedBatch(rounds=0)
+
+    @pytest.mark.parametrize("rounds", [1, 9, 501])
+    def test_sample_batch_roundtrip(self, rounds):
+        sampler = ExtendedDaggerSampler()
+        probs = {cid: 0.05 for cid in EVENT_IDS}
+        legacy = sampler.sample(probs, rounds, np.random.default_rng(5))
+        packed = PackedBatch.from_sample_batch(legacy)
+        back = packed.to_sample_batch()
+        assert set(back.failed_rounds) == set(legacy.failed_rounds)
+        for cid, failed in legacy.failed_rounds.items():
+            assert np.array_equal(back.failed_rounds[cid], failed)
+
+
+class TestComponentArena:
+    def test_roundtrip_and_order(self):
+        model = FATTREE_INV
+        arena = ComponentArena.for_model(model)
+        probabilities = model.failure_probabilities()
+        assert arena.ids == tuple(probabilities)
+        for i, cid in enumerate(arena.ids):
+            assert arena.index_of(cid) == i
+            assert arena.id_of(i) == cid
+            assert cid in arena
+        assert np.array_equal(
+            arena.indices_of(arena.ids[:5]), np.arange(5, dtype=np.int32)
+        )
+        assert arena.probabilities is not None
+        assert arena.probabilities[arena.index_of(arena.ids[3])] == pytest.approx(
+            probabilities[arena.ids[3]]
+        )
+
+    def test_unknown_component_raises(self):
+        arena = ComponentArena(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            arena.index_of("missing")
+        with pytest.raises(ConfigurationError):
+            arena.id_of(7)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComponentArena(["a", "a"])
+
+
+# ---------------------------------------------------------------------------
+# Compiled forest vs the recursive interpreter (random forests)
+# ---------------------------------------------------------------------------
+
+
+def _gate_nodes(children):
+    ors = st.lists(children, min_size=1, max_size=4).map(lambda cs: or_gate(*cs))
+    ands = st.lists(children, min_size=1, max_size=4).map(lambda cs: and_gate(*cs))
+    kofns = st.lists(children, min_size=2, max_size=5).flatmap(
+        lambda cs: st.integers(1, len(cs)).map(lambda k: k_of_n_gate(k, *cs))
+    )
+    return st.one_of(ors, ands, kofns)
+
+
+tree_nodes = st.recursive(
+    st.sampled_from(EVENT_IDS).map(basic), _gate_nodes, max_leaves=12
+)
+
+
+class TestCompiledForestEquality:
+    @given(
+        roots=st.lists(tree_nodes, min_size=1, max_size=4),
+        seed=st.integers(0, 2**32 - 1),
+        rounds=st.sampled_from([1, 7, 8, 9, 40, 501]),
+        p=st.floats(0.05, 0.6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_forest_matches_interpreter(self, roots, seed, rounds, p):
+        """Shared random forests evaluate bit-identically to Gate recursion."""
+        arena = ComponentArena(EVENT_IDS)
+        forest = CompiledForest(arena)
+        subjects = {}
+        for i, root in enumerate(roots):
+            subject = f"s{i}"
+            forest.ensure_subject(subject, root)
+            subjects[subject] = FaultTree(subject_id=subject, root=root)
+
+        rng = np.random.default_rng(seed)
+        dense = rng.random((len(EVENT_IDS), rounds)) < p
+        packed = pack_bool_matrix(dense)
+        nonzero = dense.any(axis=1)
+
+        def leaf_row(op):
+            return packed[op] if nonzero[op] else None
+
+        compiled = forest.evaluate(subjects, leaf_row)
+        states = {cid: dense[i] for i, cid in enumerate(EVENT_IDS)}
+        for subject, tree in subjects.items():
+            expected = tree.evaluate(states)
+            row = compiled[subject]
+            got = (
+                np.zeros(rounds, dtype=bool)
+                if row is None
+                else unpack_row(row, rounds)
+            )
+            assert np.array_equal(got, expected)
+
+    def test_dedup_across_subjects(self):
+        shared = and_gate(basic("c0"), basic("c1"))
+        forest = CompiledForest(ComponentArena(EVENT_IDS))
+        forest.ensure_subject("a", or_gate(basic("c2"), shared))
+        forest.ensure_subject("b", or_gate(basic("c3"), shared))
+        stats = forest.stats()
+        # The shared AND gate and its two leaves are interned once.
+        assert stats.dedup_hits >= 3
+        assert stats.subjects == 2
+
+    def test_degenerate_kofn_canonicalised(self):
+        forest = CompiledForest(ComponentArena(EVENT_IDS))
+        as_or = k_of_n_gate(1, basic("c0"), basic("c1"))
+        as_and = k_of_n_gate(2, basic("c0"), basic("c1"))
+        root_or = forest.ensure_subject("o", as_or)
+        root_and = forest.ensure_subject("a", as_and)
+        assert forest.ensure_subject("o2", or_gate(basic("c0"), basic("c1"))) == root_or
+        assert (
+            forest.ensure_subject("a2", and_gate(basic("c0"), basic("c1"))) == root_and
+        )
+
+    def test_unknown_subject_raises(self):
+        forest = CompiledForest(ComponentArena(EVENT_IDS))
+        with pytest.raises(ConfigurationError):
+            forest.evaluate(["nope"], lambda op: None)
+
+
+class TestScalarEvaluateRound:
+    @given(
+        root=tree_nodes,
+        failed=st.sets(st.sampled_from(EVENT_IDS), max_size=len(EVENT_IDS)),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_vectorised_single_round(self, root, failed):
+        tree = FaultTree(subject_id="s", root=root)
+        states = {cid: np.array([cid in failed]) for cid in EVENT_IDS}
+        assert tree.evaluate_round(failed) == bool(tree.evaluate(states)[0])
+
+
+# ---------------------------------------------------------------------------
+# Sampler fast paths (stream identity)
+# ---------------------------------------------------------------------------
+
+
+class TestSamplerFastPaths:
+    PROBS = {f"x{i}": p for i, p in enumerate([0.001, 0.01, 0.05, 0.0, 0.02] * 8)}
+
+    @pytest.mark.parametrize("rounds", [1, 7, 9, 501, 4000])
+    @pytest.mark.parametrize(
+        "sampler", [MonteCarloSampler(), ExtendedDaggerSampler()], ids=lambda s: s.name
+    )
+    def test_packed_matches_legacy_draws(self, sampler, rounds):
+        legacy = sampler.sample(self.PROBS, rounds, np.random.default_rng(42))
+        packed = sampler.sample_packed(self.PROBS, rounds, np.random.default_rng(42))
+        reference = PackedBatch.from_sample_batch(legacy, packed.component_ids)
+        assert np.array_equal(packed.matrix, reference.matrix)
+
+    @pytest.mark.parametrize("rounds", [9, 501])
+    def test_crn_packed_matches_legacy(self, rounds):
+        sampler = CommonRandomDaggerSampler(master_seed=7)
+        legacy = sampler.sample(self.PROBS, rounds, np.random.default_rng(0))
+        packed = sampler.sample_packed(self.PROBS, rounds, np.random.default_rng(1))
+        reference = PackedBatch.from_sample_batch(legacy, packed.component_ids)
+        assert np.array_equal(packed.matrix, reference.matrix)
+
+    def test_rng_stream_position_identical_after_sampling(self):
+        """A kernel assessment must leave the shared rng exactly where the
+        legacy one would, or subsequent assessments diverge."""
+        for sampler in (MonteCarloSampler(), ExtendedDaggerSampler()):
+            rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+            sampler.sample(self.PROBS, 501, rng_a)
+            sampler.sample_packed(self.PROBS, 501, rng_b)
+            assert rng_a.random() == rng_b.random()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end bit-identity
+# ---------------------------------------------------------------------------
+
+
+def _plan_for(topology, structure, offset=0):
+    count = structure.total_instances
+    hosts = list(topology.hosts)[offset : offset + count]
+    return DeploymentPlan.single_component(hosts, structure.components[0].name)
+
+
+SUBSTRATES = [
+    pytest.param(FATTREE, FATTREE_INV, id="fattree"),
+    pytest.param(LEAFSPINE, LEAFSPINE_INV, id="leafspine"),
+]
+
+
+class TestAssessmentBitIdentity:
+    @pytest.mark.parametrize("topology,inventory", SUBSTRATES)
+    @pytest.mark.parametrize("rounds", [501, 3000])
+    def test_sequential_assess(self, topology, inventory, rounds):
+        structure = ApplicationStructure.k_of_n(3, 5)
+        plan = _plan_for(topology, structure)
+        base = AssessmentConfig(rounds=rounds, rng=7)
+        legacy = build_assessor(topology, inventory, base)
+        kernel = build_assessor(topology, inventory, base.with_updates(kernel=True))
+        assert kernel.kernel is not None
+        a = legacy.assess(plan, structure)
+        b = kernel.assess(plan, structure)
+        assert np.array_equal(a.per_round, b.per_round)
+        assert a.estimate == b.estimate
+
+    @pytest.mark.parametrize("topology,inventory", SUBSTRATES)
+    def test_sequential_assess_stays_identical_across_calls(
+        self, topology, inventory
+    ):
+        """Back-to-back assessments share one rng; streams must not drift."""
+        structure = ApplicationStructure.k_of_n(2, 4)
+        base = AssessmentConfig(rounds=501, rng=13)
+        legacy = build_assessor(topology, inventory, base)
+        kernel = build_assessor(topology, inventory, base.with_updates(kernel=True))
+        hosts = list(topology.hosts)
+        for offset in (0, 2, 4):
+            plan = DeploymentPlan.single_component(
+                hosts[offset : offset + 4], structure.components[0].name
+            )
+            a = legacy.assess(plan, structure)
+            b = kernel.assess(plan, structure)
+            assert np.array_equal(a.per_round, b.per_round)
+
+    def test_full_infrastructure_mode(self):
+        structure = ApplicationStructure.k_of_n(3, 5)
+        plan = _plan_for(FATTREE, structure)
+        base = AssessmentConfig(rounds=800, rng=3, sample_full_infrastructure=True)
+        a = build_assessor(FATTREE, FATTREE_INV, base).assess(plan, structure)
+        b = build_assessor(
+            FATTREE, FATTREE_INV, base.with_updates(kernel=True)
+        ).assess(plan, structure)
+        assert np.array_equal(a.per_round, b.per_round)
+
+    def test_structured_application(self):
+        """Pairwise reachability (packed fixed point) agrees too."""
+        structure = ApplicationStructure.from_requirement_map(
+            {"web": 2, "app": 3, "db": 2},
+            {("app", "web"): 1, ("db", "app"): 2},
+        )
+        hosts = list(FATTREE.hosts)[:7]
+        plan = DeploymentPlan.from_mapping(
+            {"web": hosts[:2], "app": hosts[2:5], "db": hosts[5:7]}
+        )
+        base = AssessmentConfig(rounds=1001, rng=21)
+        a = build_assessor(FATTREE, FATTREE_INV, base).assess(plan, structure)
+        b = build_assessor(
+            FATTREE, FATTREE_INV, base.with_updates(kernel=True)
+        ).assess(plan, structure)
+        assert np.array_equal(a.per_round, b.per_round)
+
+    def test_generic_engine_falls_back_to_interpreter(self):
+        config = AssessmentConfig(
+            rounds=501, rng=7, engine=GenericReachabilityEngine(FATTREE), kernel=True
+        )
+        assessor = build_assessor(FATTREE, FATTREE_INV, config)
+        assert assessor.kernel is None  # fallback, not an error
+        assert not kernel_supported(assessor.engine)
+        structure = ApplicationStructure.k_of_n(3, 5)
+        result = assessor.assess(_plan_for(FATTREE, structure), structure)
+        reference = build_assessor(
+            FATTREE,
+            FATTREE_INV,
+            AssessmentConfig(
+                rounds=501, rng=7, engine=GenericReachabilityEngine(FATTREE)
+            ),
+        ).assess(_plan_for(FATTREE, structure), structure)
+        assert np.array_equal(result.per_round, reference.per_round)
+
+
+class TestIncrementalKernel:
+    def test_move_walk_bit_identity(self):
+        structure = ApplicationStructure.k_of_n(3, 5)
+        config = AssessmentConfig(rounds=1001, mode="incremental", master_seed=123)
+        dense = build_assessor(FATTREE, FATTREE_INV, config)
+        packed = build_assessor(
+            FATTREE, FATTREE_INV, config.with_updates(kernel=True)
+        )
+        assert packed.kernel is not None
+        hosts = list(FATTREE.hosts)
+        rng = np.random.default_rng(11)
+        current = hosts[:5]
+        for _ in range(12):
+            plan = DeploymentPlan.single_component(
+                current, structure.components[0].name
+            )
+            a = dense.assess(plan, structure)
+            b = packed.assess(plan, structure)
+            assert np.array_equal(a.per_round, b.per_round)
+            slot = int(rng.integers(0, 5))
+            candidates = [h for h in hosts if h not in current]
+            current = list(current)
+            current[slot] = candidates[int(rng.integers(0, len(candidates)))]
+
+    def test_walk_across_pods_tracks_growing_closure(self):
+        # Regression: the packed fat-tree engine caches the whole-fabric
+        # edge-external matrix per states object. The incremental
+        # assessor reuses ONE states object whose failed dict only grows,
+        # so a matrix built while another pod's elements were unsampled
+        # must be rebuilt once they register — otherwise later plans in
+        # that pod read stale all-alive rows. Needs enough rounds that
+        # newly registered scaffold elements actually fail somewhere.
+        structure = ApplicationStructure.k_of_n(2, 3)
+        config = AssessmentConfig(
+            rounds=2000, mode="incremental", master_seed=20170412
+        )
+        dense = build_assessor(FATTREE, FATTREE_INV, config)
+        packed = build_assessor(
+            FATTREE, FATTREE_INV, config.with_updates(kernel=True)
+        )
+        rng = np.random.default_rng(11)
+        plan = DeploymentPlan.random(FATTREE, structure, rng=rng)
+        for _ in range(11):
+            a = dense.assess(plan, structure)
+            b = packed.assess(plan, structure)
+            assert np.array_equal(a.per_round, b.per_round)
+            plan = plan.random_neighbor(FATTREE, rng=rng)
+
+    def test_clear_caches_resets_kernel_universe(self):
+        structure = ApplicationStructure.k_of_n(2, 4)
+        config = AssessmentConfig(
+            rounds=501, mode="incremental", master_seed=9, kernel=True
+        )
+        assessor = build_assessor(FATTREE, FATTREE_INV, config)
+        plan = _plan_for(FATTREE, structure)
+        first = assessor.assess(plan, structure)
+        assessor.clear_caches()
+        assert not assessor._packed_rows and not assessor._forest_values
+        again = assessor.assess(plan, structure)
+        assert np.array_equal(first.per_round, again.per_round)
+
+
+class TestScorePlans:
+    def test_crn_shared_batch_equals_individual_assessments(self):
+        structure = ApplicationStructure.k_of_n(3, 5)
+        hosts = list(FATTREE.hosts)
+        plans = [
+            DeploymentPlan.single_component(
+                hosts[i : i + 5], structure.components[0].name
+            )
+            for i in (0, 3, 7)
+        ]
+        config = AssessmentConfig(
+            rounds=1001, rng=3, sampler=CommonRandomDaggerSampler(99), kernel=True
+        )
+        shared = build_assessor(FATTREE, FATTREE_INV, config)
+        results = shared.score_plans(plans, structure)
+        assert [r.plan for r in results] == plans
+        for plan, result in zip(plans, results):
+            solo = build_assessor(FATTREE, FATTREE_INV, config).assess(
+                plan, structure
+            )
+            assert np.array_equal(solo.per_round, result.per_round)
+
+    def test_without_kernel_falls_back_to_independent_assess(self):
+        structure = ApplicationStructure.k_of_n(2, 4)
+        plans = [_plan_for(FATTREE, structure)]
+        config = AssessmentConfig(rounds=501, rng=5)
+        assessor = build_assessor(FATTREE, FATTREE_INV, config)
+        results = assessor.score_plans(plans, structure)
+        reference = build_assessor(FATTREE, FATTREE_INV, config).assess(
+            plans[0], structure
+        )
+        assert np.array_equal(results[0].per_round, reference.per_round)
+
+
+class TestKernelObject:
+    def test_effective_states_match_legacy_faulttree_stage(self):
+        kernel = AssessmentKernel(FATTREE, FATTREE_INV)
+        sampler = ExtendedDaggerSampler()
+        probabilities = FATTREE_INV.failure_probabilities()
+        rounds = 501
+        batch = kernel.sample_packed(
+            sampler, probabilities, rounds, np.random.default_rng(2)
+        )
+        subjects = {
+            cid for cid in FATTREE.graph if cid in FATTREE_INV.trees
+        } or set(list(FATTREE.graph)[:8])
+        failed = kernel.effective_states(subjects, set(probabilities), batch)
+        legacy = sampler.sample(probabilities, rounds, np.random.default_rng(2))
+        dense = {}
+        for cid, failed_rounds in legacy.failed_rounds.items():
+            vec = np.zeros(rounds, dtype=bool)
+            vec[failed_rounds] = True
+            dense[cid] = vec
+        for subject in subjects:
+            tree = FATTREE_INV.tree_for(subject)
+            states = {e: dense.get(e, np.zeros(rounds, dtype=bool)) for e in tree.basic_events()}
+            expected = tree.evaluate(states)
+            row = failed.get(subject)
+            got = (
+                np.zeros(rounds, dtype=bool)
+                if row is None
+                else unpack_row(row, rounds)
+            )
+            assert np.array_equal(got, expected)
+
+    def test_repr_mentions_arena_size(self):
+        kernel = AssessmentKernel(FATTREE, FATTREE_INV)
+        assert "components" in repr(kernel)
