@@ -13,31 +13,51 @@ real process, not just in-process test doubles:
    exception-shaped timeout,
 5. SIGTERM the server and require a clean drain (exit code 0).
 
-Machine speeds vary wildly across CI runners, so step 4 adapts: if the
-deadline expired before the first chunk finished (``cancelled``) the
-deadline is doubled; if everything finished in time (``ok``) the round
-count is quadrupled. A few iterations land in the degraded window on
-any hardware; a hard attempt cap keeps the job bounded.
+With ``--crash`` it instead proves the durability contract on a real
+``kill -9``:
+
+1. a reference server answers a keyed assessment (the ground truth),
+2. a journaled server is SIGKILLed while that same keyed request is
+   journaled-``started`` but unfinished,
+3. a restarted server on the same journal recovers the request; the
+   resubmitted key joins it and the answer must carry
+   ``runtime.recovered`` and be *bit-identical* to the reference
+   (per-request seeds derive from the key, not the process), and
+4. resubmitting the now-completed key must replay the stored response
+   (``replayed`` set) without executing any new assessment.
+
+Machine speeds vary wildly across CI runners, so the timing-sensitive
+steps adapt: the deadline/round knobs of step 4 walk toward the
+degraded window, and the crash run grows its round count until the
+kill demonstrably lands mid-execution. Hard attempt caps keep the job
+bounded.
 
 Exits 0 on success, 1 on failure. No third-party dependencies.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
+import shutil
 import signal
 import subprocess
 import sys
+import tempfile
+import threading
 import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.service.client import HttpServiceClient  # noqa: E402
+from repro.service.journal import RequestJournal  # noqa: E402
 
 READY_TIMEOUT_SECONDS = 30.0
 DRAIN_TIMEOUT_SECONDS = 30.0
 MAX_DEGRADED_ATTEMPTS = 8
+MAX_CRASH_ATTEMPTS = 6
+CRASH_KEY = "crash-smoke-job"
 
 
 class SmokeFailure(AssertionError):
@@ -49,7 +69,7 @@ def check(condition: bool, message: str) -> None:
         raise SmokeFailure(message)
 
 
-def start_server() -> tuple[subprocess.Popen, str]:
+def start_server(extra_args: list[str] | None = None) -> tuple[subprocess.Popen, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
     env["PYTHONUNBUFFERED"] = "1"
@@ -60,6 +80,7 @@ def start_server() -> tuple[subprocess.Popen, str]:
             "--port", "0",
             "--queue-capacity", "4",
             "--scheduler-workers", "1",
+            *(extra_args or []),
         ],
         cwd=REPO_ROOT,
         env=env,
@@ -156,7 +177,156 @@ def smoke_drain(process: subprocess.Popen) -> None:
     print("clean SIGTERM drain: exit 0")
 
 
-def main() -> int:
+def _stop(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.kill()
+        process.wait(timeout=10.0)
+    if process.stdout is not None:
+        process.stdout.close()
+
+
+def _reference_answer(hosts: list[str], rounds: int) -> dict:
+    """Ground truth: a fresh (journal-free) server answers the keyed job."""
+    process, base_url = start_server()
+    try:
+        client = HttpServiceClient(base_url, timeout=300.0)
+        wait_ready(client)
+        reply = client.assess(
+            hosts, k=2, rounds=rounds, idempotency_key=CRASH_KEY
+        )
+        check(reply["status"] == "ok", f"reference run not ok: {reply['status']}")
+        return reply
+    finally:
+        _stop(process)
+
+
+def _kill_mid_execution(
+    hosts: list[str], journal_dir: str, rounds: int
+) -> str | None:
+    """SIGKILL a journaled server while the keyed request is executing.
+
+    Returns the journaled request id, or ``None`` when the request
+    finished before the kill landed (caller should retry with more
+    rounds).
+    """
+    process, base_url = start_server(["--journal-dir", journal_dir])
+    try:
+        client = HttpServiceClient(base_url, timeout=300.0, max_attempts=1)
+        wait_ready(client)
+        # The HTTP call dies with the server; fire it from a thread and
+        # let the connection error evaporate.
+        submit = threading.Thread(
+            target=lambda: _swallow(
+                client.assess,
+                hosts, k=2, rounds=rounds, idempotency_key=CRASH_KEY,
+            ),
+            daemon=True,
+        )
+        submit.start()
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            state = RequestJournal.scan(journal_dir)
+            started = [
+                p for p in state.pending
+                if p.idempotency_key == CRASH_KEY and p.started
+            ]
+            if started:
+                process.kill()  # SIGKILL: no drain, no journal goodbye
+                process.wait(timeout=10.0)
+                return started[0].request_id
+            if CRASH_KEY in state.keys:
+                return None  # finished before we could kill: too fast
+            time.sleep(0.01)
+        raise SmokeFailure("keyed request never reached journaled-started")
+    finally:
+        _stop(process)
+
+
+def _swallow(fn, *args, **kwargs) -> None:
+    try:
+        fn(*args, **kwargs)
+    except Exception:
+        pass
+
+
+def smoke_crash_recovery() -> None:
+    hosts = ["host/0/0/0", "host/1/0/0", "host/2/0/0"]
+    rounds = 2_000_000
+    workdir = tempfile.mkdtemp(prefix="repro-crash-smoke-")
+    try:
+        victim_id = None
+        for attempt in range(1, MAX_CRASH_ATTEMPTS + 1):
+            journal_dir = os.path.join(workdir, f"journal-{attempt}")
+            victim_id = _kill_mid_execution(hosts, journal_dir, rounds)
+            if victim_id is not None:
+                print(
+                    f"attempt {attempt}: killed server mid-execution of "
+                    f"{victim_id} (rounds={rounds})"
+                )
+                break
+            rounds *= 4  # outlast the kill window on faster machines
+            print(f"attempt {attempt}: too fast, growing to rounds={rounds}")
+        check(
+            victim_id is not None,
+            "request kept finishing before the SIGKILL could land",
+        )
+        reference = _reference_answer(hosts, rounds)
+
+        # Restart on the surviving journal: the request must recover.
+        process, base_url = start_server(["--journal-dir", journal_dir])
+        try:
+            client = HttpServiceClient(base_url, timeout=300.0)
+            wait_ready(client)
+            reply = client.assess(
+                hosts, k=2, rounds=rounds, idempotency_key=CRASH_KEY
+            )
+            check(
+                reply["request_id"] == victim_id,
+                f"recovered id {reply['request_id']} != journaled {victim_id}",
+            )
+            check(
+                reply["result"]["runtime"]["recovered"] is True,
+                "recovered execution must disclose runtime.recovered",
+            )
+            check(
+                reply["result"]["estimate"] == reference["result"]["estimate"],
+                "recovered estimate differs from the reference run:\n"
+                f"  recovered: {reply['result']['estimate']}\n"
+                f"  reference: {reference['result']['estimate']}",
+            )
+            print(
+                "recovered bit-identical: score="
+                f"{reply['result']['estimate']['score']:.6f}"
+            )
+
+            # The key is now durably completed: a retry must replay the
+            # stored response without running any new assessment.
+            before = client.metrics()["counters"].get("service/status/ok", 0)
+            again = client.assess(
+                hosts, k=2, rounds=rounds, idempotency_key=CRASH_KEY
+            )
+            check(
+                again.get("replayed") is True,
+                f"resubmitted key was not replayed: {again.get('replayed')}",
+            )
+            check(
+                again["result"]["estimate"] == reply["result"]["estimate"],
+                "replayed estimate differs from the recovered one",
+            )
+            after = client.metrics()["counters"].get("service/status/ok", 0)
+            check(
+                after == before,
+                f"replay executed new work ({before} -> {after} completions)",
+            )
+            print("completed key replayed from the store, zero re-execution")
+            smoke_drain(process)
+        finally:
+            _stop(process)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def run_basic_smoke() -> None:
     process, base_url = start_server()
     print(f"server up at {base_url} (pid {process.pid})")
     try:
@@ -171,15 +341,26 @@ def main() -> int:
         smoke_ok_assessment(client, hosts)
         smoke_degraded_assessment(client, hosts)
         smoke_drain(process)
+    finally:
+        _stop(process)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--crash",
+        action="store_true",
+        help="run the kill-9 crash-recovery smoke instead of the basic one",
+    )
+    args = parser.parse_args()
+    try:
+        if args.crash:
+            smoke_crash_recovery()
+        else:
+            run_basic_smoke()
     except SmokeFailure as failure:
         print(f"SMOKE FAILED: {failure}", file=sys.stderr)
         return 1
-    finally:
-        if process.poll() is None:
-            process.kill()
-            process.wait(timeout=10.0)
-        if process.stdout is not None:
-            process.stdout.close()
     print("service smoke passed")
     return 0
 

@@ -324,6 +324,8 @@ def cmd_serve(args) -> int:
         parallel_workers=args.parallel_workers,
         default_deadline_seconds=args.default_deadline,
         drain_timeout_seconds=args.drain_timeout,
+        journal_dir=args.journal_dir,
+        result_ttl_seconds=args.result_ttl,
     )
     return serve(config, host=args.host, port=args.port)
 
@@ -509,6 +511,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="how long SIGTERM waits for in-flight requests before "
         "cancelling them into anytime results",
+    )
+    p.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="enable durability: write-ahead request journal + result "
+        "store in DIR; accepted requests survive a crash and are "
+        "re-executed on restart, completed idempotency keys replay "
+        "their stored response",
+    )
+    p.add_argument(
+        "--result-ttl",
+        type=float,
+        default=7 * 24 * 3600.0,
+        metavar="SECONDS",
+        help="retention for stored results and sealed journal segments "
+        "(default one week)",
     )
     p.add_argument(
         "--verbose", action="store_true", help="debug-level service logs"

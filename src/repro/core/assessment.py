@@ -212,7 +212,13 @@ class ReliabilityAssessor:
                 # caches hit on identity.
                 probabilities = self._all_probabilities
             else:
-                probabilities = {cid: self._all_probabilities[cid] for cid in sampled}
+                # Sorted, not set order: the sampler draws per component in
+                # mapping order, and set iteration varies with the process's
+                # hash seed — which would make results differ across process
+                # restarts with the same request seed.
+                probabilities = {
+                    cid: self._all_probabilities[cid] for cid in sorted(sampled)
+                }
 
         if self.kernel is not None:
             per_round = self._assess_kernel(

@@ -51,6 +51,9 @@ class RuntimeMetadata:
         cancelled: The assessment was stopped early by a cancellation
             token (deadline or client cancel); the estimate is an
             *anytime* result built from the portions completed by then.
+        recovered: The request was replayed from the service's
+            write-ahead journal after a crash; this execution is a
+            re-run of work accepted by a previous process.
         failures: Per-attempt failure records (crash/timeout/error/
             cancelled).
         profile: Flattened metrics snapshot (stage timers and cache
@@ -67,6 +70,7 @@ class RuntimeMetadata:
     dropped_portions: int = 0
     dropped_rounds: int = 0
     cancelled: bool = False
+    recovered: bool = False
     failures: tuple[PortionFailure, ...] = ()
     profile: tuple[tuple[str, float], ...] | None = None
 

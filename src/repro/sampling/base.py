@@ -115,8 +115,25 @@ class Sampler:
         raise NotImplementedError
 
 
+#: Test-only instrumentation: called (with no arguments) at the top of
+#: every sampler entry, i.e. whenever :func:`validate_probabilities`
+#: runs. Forked worker processes inherit the hook set in the parent
+#: before the pool was created, which lets tests gate *deterministically*
+#: on "a worker is now inside a sampling pass" instead of sleeping or
+#: inflating round counts. Never set in production code.
+_sampling_started_hook = None
+
+
+def set_sampling_started_hook(hook) -> None:
+    """Install (or with ``None`` clear) the sampling-started test hook."""
+    global _sampling_started_hook
+    _sampling_started_hook = hook
+
+
 def validate_probabilities(probabilities: Mapping[str, float]) -> None:
     """Reject probabilities outside [0, 1)."""
+    if _sampling_started_hook is not None:
+        _sampling_started_hook()
     for cid, p in probabilities.items():
         if not 0.0 <= p < 1.0:
             raise ConfigurationError(

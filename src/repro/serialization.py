@@ -181,6 +181,7 @@ def _runtime_to_dict(runtime: RuntimeMetadata) -> dict:
         "dropped_portions": runtime.dropped_portions,
         "dropped_rounds": runtime.dropped_rounds,
         "cancelled": runtime.cancelled,
+        "recovered": runtime.recovered,
         "failures": [
             {
                 "portion": f.portion,
@@ -208,6 +209,7 @@ def _runtime_from_dict(payload: dict) -> RuntimeMetadata:
         dropped_portions=int(payload["dropped_portions"]),
         dropped_rounds=int(payload["dropped_rounds"]),
         cancelled=bool(payload.get("cancelled", False)),
+        recovered=bool(payload.get("recovered", False)),
         failures=tuple(
             PortionFailure(
                 portion=int(f["portion"]),
@@ -440,6 +442,33 @@ def risk_report_to_dict(entries: list[RiskEntry]) -> dict:
 CHECKSUM_KEY = "sha256"
 
 
+def fsync_dir(directory) -> bool:
+    """Flush a directory's entry table to disk; best-effort by design.
+
+    ``os.replace`` makes a rename atomic but *not* durable — until the
+    parent directory's metadata is fsync'd, a power loss can roll the
+    rename back and resurrect the old file (or lose a newly created
+    one). POSIX allows opening a directory read-only purely to fsync it;
+    platforms where that fails (Windows, some network filesystems) raise,
+    in which case this helper quietly reports ``False`` — the write is
+    still atomic, just not power-loss durable, which is the best those
+    platforms offer.
+    """
+    import os
+
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+
+
 def _payload_checksum(document: dict) -> str:
     """SHA-256 over the canonical encoding of everything but the checksum."""
     import hashlib
@@ -456,7 +485,10 @@ def dump(document: dict, path, checksum: bool = False) -> None:
     directory, is fsynced, and is then renamed into place — a crash
     mid-write (the very scenario checkpoints exist for) can never leave
     a truncated or half-old artifact behind, and a concurrent dump to
-    the same path cannot corrupt another dump's temp file.
+    the same path cannot corrupt another dump's temp file. The parent
+    directory is fsync'd after the rename (see :func:`fsync_dir`): the
+    rename itself is atomic either way, but only the directory fsync
+    makes it survive power loss.
 
     ``checksum=True`` embeds a SHA-256 of the canonical payload under
     ``"sha256"``; :func:`load` verifies it, so silent corruption of a
@@ -481,6 +513,7 @@ def dump(document: dict, path, checksum: bool = False) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        fsync_dir(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)

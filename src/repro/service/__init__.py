@@ -1,17 +1,21 @@
-"""Resilient assessment service (admission, deadlines, breaker, anytime).
+"""Resilient, durable assessment service.
 
 The long-running front to the assessment engines: bounded admission with
 typed load shedding, per-request deadlines with cooperative cancellation,
 circuit-broken routing between the parallel and sequential backends,
 anytime (partial, honestly widened) results, health/readiness probes and
-graceful drain. Run it with ``python -m repro serve`` or embed it via
-:class:`AssessmentService` + :class:`ServiceClient`.
+graceful drain — plus durability: a write-ahead request journal with
+crash recovery and idempotent retries backed by a durable result store
+(enable with ``journal_dir`` / ``repro serve --journal-dir``). Run it
+with ``python -m repro serve`` or embed it via :class:`AssessmentService`
++ :class:`ServiceClient`.
 """
 
 from repro.service.breaker import CircuitBreaker
 from repro.service.cancellation import NEVER, CancellationToken
 from repro.service.client import HttpServiceClient, ServiceClient
 from repro.service.health import HealthMonitor
+from repro.service.journal import JournalState, RequestJournal
 from repro.service.queue import AdmissionQueue
 from repro.service.requests import (
     AssessRequest,
@@ -20,6 +24,7 @@ from repro.service.requests import (
     Ticket,
 )
 from repro.service.scheduler import AssessmentService, ServiceConfig
+from repro.service.store import ResultStore
 
 __all__ = [
     "AdmissionQueue",
@@ -29,7 +34,10 @@ __all__ = [
     "CircuitBreaker",
     "HealthMonitor",
     "HttpServiceClient",
+    "JournalState",
     "NEVER",
+    "RequestJournal",
+    "ResultStore",
     "SearchRequest",
     "ServiceClient",
     "ServiceConfig",

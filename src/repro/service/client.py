@@ -7,11 +7,21 @@ HTTP protocol of :mod:`repro.service.server` over stdlib ``urllib`` (no
 dependencies), converting the typed error responses back into the same
 exceptions the in-process path raises, so callers handle overload and
 validation identically either way.
+
+The HTTP client retries transient failures — connection errors while the
+server restarts, and 503 admission sheds — with capped exponential
+backoff plus jitter. Retrying is only safe when it cannot double-execute
+work, so a POST is retried after a *connection* error only when it
+carries an idempotency key (the service deduplicates it); reads and
+cancels are always safe to retry, and an admission shed is safe by
+definition (the request was never admitted).
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 
@@ -32,6 +42,7 @@ class ServiceClient:
         k: int,
         rounds: int | None = None,
         deadline_seconds: float | None = None,
+        idempotency_key: str | None = None,
         timeout: float | None = None,
     ) -> ServiceResponse:
         request = AssessRequest(
@@ -39,6 +50,7 @@ class ServiceClient:
             k=k,
             rounds=rounds,
             deadline_seconds=deadline_seconds,
+            idempotency_key=idempotency_key,
         )
         return self.service.assess(request, timeout=timeout)
 
@@ -50,6 +62,7 @@ class ServiceClient:
         desired_reliability: float = 1.0,
         rounds: int | None = None,
         deadline_seconds: float | None = None,
+        idempotency_key: str | None = None,
         timeout: float | None = None,
     ) -> ServiceResponse:
         request = SearchRequest(
@@ -59,6 +72,7 @@ class ServiceClient:
             desired_reliability=desired_reliability,
             rounds=rounds,
             deadline_seconds=deadline_seconds,
+            idempotency_key=idempotency_key,
         )
         return self.service.search(request, timeout=timeout)
 
@@ -67,33 +81,101 @@ class ServiceClient:
 
 
 class HttpServiceClient:
-    """Minimal stdlib HTTP client for a running ``repro serve`` process."""
+    """Minimal stdlib HTTP client for a running ``repro serve`` process.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    Attributes:
+        max_attempts: Total tries per logical request (first + retries).
+        backoff_seconds: Base delay; attempt ``i`` sleeps about
+            ``backoff_seconds * 2**i`` plus up to 25% jitter, capped at
+            ``max_backoff_seconds``.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        max_attempts: int = 3,
+        backoff_seconds: float = 0.2,
+        max_backoff_seconds: float = 5.0,
+        sleep=time.sleep,
+        rng: random.Random | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
+        self.max_backoff_seconds = max_backoff_seconds
+        self._sleep = sleep
+        self._rng = rng or random.Random()
 
     # ------------------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with jitter for the given 0-based attempt."""
+        base = min(self.max_backoff_seconds, self.backoff_seconds * (2**attempt))
+        return base * (1.0 + 0.25 * self._rng.random())
+
+    @staticmethod
+    def _retriable_connection(method: str, path: str, payload) -> bool:
+        """May this request be re-sent after a *connection* failure?
+
+        A dropped connection leaves it unknown whether the server acted.
+        GETs and cancels are idempotent by nature; a POST is only safe
+        when it carries an idempotency key the service deduplicates on.
+        """
+        if method == "GET" or path.startswith("/cancel/"):
+            return True
+        return bool(payload and payload.get("idempotency_key"))
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
         url = f"{self.base_url}{path}"
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
-        request = urllib.request.Request(
-            url,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
-                return json.loads(reply.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        attempts = 0
+        while True:
+            request = urllib.request.Request(
+                url,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"} if data else {},
+            )
+            attempts += 1
             try:
-                document = json.loads(exc.read().decode("utf-8"))
-            except Exception:
-                document = {"error": "http", "message": str(exc)}
-            self._raise_typed(exc.code, document)
-            raise  # unreachable; _raise_typed always raises
+                with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                    return json.loads(reply.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                try:
+                    document = json.loads(exc.read().decode("utf-8"))
+                except Exception:
+                    document = {"error": "http", "message": str(exc)}
+                # Only an admission shed is worth backing off for — the
+                # request was never admitted, so a retry cannot duplicate
+                # work. Other HTTP errors (validation, internal) are
+                # deterministic and re-raise immediately.
+                shed = exc.code == 503 and document.get("error") == "admission"
+                if shed and attempts < self.max_attempts:
+                    self._sleep(self._backoff(attempts - 1))
+                    continue
+                if shed and attempts > 1:
+                    document = dict(document)
+                    document["message"] = (
+                        f"{document.get('message', 'request rejected')} "
+                        f"(after {attempts} attempts)"
+                    )
+                self._raise_typed(exc.code, document)
+                raise  # unreachable; _raise_typed always raises
+            except urllib.error.URLError as exc:
+                if (
+                    attempts < self.max_attempts
+                    and self._retriable_connection(method, path, payload)
+                ):
+                    self._sleep(self._backoff(attempts - 1))
+                    continue
+                raise ReproError(
+                    f"service unreachable at {url} after {attempts} "
+                    f"attempt(s): {exc.reason}"
+                ) from exc
 
     @staticmethod
     def _raise_typed(status: int, document: dict) -> None:
@@ -122,12 +204,15 @@ class HttpServiceClient:
         k: int,
         rounds: int | None = None,
         deadline_seconds: float | None = None,
+        idempotency_key: str | None = None,
     ) -> dict:
         payload: dict = {"hosts": list(hosts), "k": k}
         if rounds is not None:
             payload["rounds"] = rounds
         if deadline_seconds is not None:
             payload["deadline_seconds"] = deadline_seconds
+        if idempotency_key is not None:
+            payload["idempotency_key"] = idempotency_key
         return self._request("POST", "/assess", payload)
 
     def search(self, k: int, n: int, **options) -> dict:

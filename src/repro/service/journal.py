@@ -1,0 +1,442 @@
+"""Write-ahead request journal: the service's crash-durable memory.
+
+The paper's provider runs the assessment service continuously (§2.1), so
+accepted work must survive a process crash. Every admitted request is
+journaled *before* it costs any assessment work, and every lifecycle
+transition is appended afterwards:
+
+``accepted``   the request was validated and admitted (full request
+               payload, idempotency key and fingerprint ride along, so a
+               restart can re-execute it verbatim)
+``started``    a scheduler worker began executing it
+``completed``  it reached a stored terminal response (``ok``,
+               ``degraded`` or ``error``)
+``cancelled``  it ended without a stored result (client cancel before
+               any work, or a graceful drain stranding it unstarted)
+
+On startup :meth:`RequestJournal.replay` folds the records into a
+:class:`JournalState`: requests that were accepted (or started) but never
+reached a terminal record are *pending* and get re-enqueued by the
+scheduler; terminal requests are left alone, and their idempotency keys
+map to the durable result store.
+
+Record framing is append-only, length-prefixed and checksummed::
+
+    +----------------+----------------+------------------+
+    | length (u32 BE)| crc32  (u32 BE)| payload (JSON)   |
+    +----------------+----------------+------------------+
+
+Appends are flushed and ``fsync``'d before the caller proceeds (the
+write-ahead contract), and segment files are rotated at a byte threshold
+so garbage collection can drop whole sealed segments instead of
+rewriting. Opening the journal for writing truncates a *torn tail* — a
+record half-written when the process died — back to the last intact
+record; corruption anywhere in a sealed (fsync'd, rotated-away) segment
+is loud :class:`~repro.util.errors.ConfigurationError`, never silent.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.serialization import fsync_dir
+from repro.util.errors import ConfigurationError
+
+logger = logging.getLogger("repro.service")
+
+#: Record header: payload length and payload crc32, both big-endian u32.
+_HEADER = struct.Struct(">II")
+
+#: Events a journal record may carry.
+EVENTS = ("accepted", "started", "completed", "cancelled")
+
+#: Terminal events — a request with one of these needs no recovery.
+TERMINAL_EVENTS = ("completed", "cancelled")
+
+_SEGMENT_PREFIX = "journal-"
+_SEGMENT_SUFFIX = ".waj"
+
+
+def _segment_name(sequence: int) -> str:
+    return f"{_SEGMENT_PREFIX}{sequence:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_sequence(name: str) -> int | None:
+    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def encode_record(record: dict) -> bytes:
+    """Frame one record: length + crc32 + canonical JSON payload."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def iter_records(data: bytes):
+    """Yield ``(offset, record)`` pairs until the data ends or breaks.
+
+    Stops at the first torn or corrupt record and reports where: returns
+    via StopIteration-free protocol — callers use :func:`scan_segment`.
+    """
+    offset = 0
+    while offset < len(data):
+        if offset + _HEADER.size > len(data):
+            return offset, "torn header"
+        length, checksum = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > len(data):
+            return offset, "torn payload"
+        payload = data[start:end]
+        if zlib.crc32(payload) != checksum:
+            return offset, "checksum mismatch"
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError:
+            return offset, "payload is not valid JSON"
+        yield offset, record
+        offset = end
+    return offset, None
+
+
+def scan_segment(path: str) -> tuple[list[dict], int, str | None]:
+    """Read one segment: ``(records, good_bytes, defect)``.
+
+    ``good_bytes`` is the offset up to which the segment is intact;
+    ``defect`` describes the first bad record (``None`` for a clean file).
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: list[dict] = []
+    iterator = iter_records(data)
+    while True:
+        try:
+            _, record = next(iterator)
+        except StopIteration as stop:
+            good_bytes, defect = stop.value
+            return records, good_bytes, defect
+        records.append(record)
+
+
+@dataclass
+class PendingRequest:
+    """One journaled request that never reached a terminal record."""
+
+    request_id: str
+    kind: str
+    request: dict
+    idempotency_key: str | None
+    fingerprint: str | None
+    started: bool = False
+
+
+@dataclass
+class JournalState:
+    """What a replay pass learned from the journal.
+
+    Attributes:
+        pending: Accepted-but-unfinished requests, in admission order —
+            the scheduler re-enqueues exactly these on startup.
+        keys: ``idempotency_key -> (fingerprint, status)`` for every key
+            that reached a terminal record (``status`` is the journaled
+            response status, e.g. ``"ok"``); used to route resubmissions
+            to the result store without re-execution.
+        terminal_ids: Request ids that reached ``completed``/``cancelled``.
+        max_request_number: Largest numeric suffix seen on ``req-N[-M]``
+            ids, so a restarted service can keep ids unique per journal.
+        segment_ids: Per segment path, the request ids whose ``accepted``
+            record lives in it (drives segment GC).
+        records: Total records replayed.
+    """
+
+    pending: list[PendingRequest] = field(default_factory=list)
+    keys: dict[str, tuple[str | None, str]] = field(default_factory=dict)
+    terminal_ids: set[str] = field(default_factory=set)
+    max_request_number: int = 0
+    segment_ids: dict[str, set[str]] = field(default_factory=dict)
+    records: int = 0
+
+
+def _fold(state: JournalState, record: dict, segment: str) -> None:
+    event = record.get("event")
+    request_id = record.get("id")
+    if event not in EVENTS or not isinstance(request_id, str):
+        raise ConfigurationError(
+            f"journal segment {segment!r} holds a malformed record: {record!r}"
+        )
+    state.records += 1
+    tail = request_id.rsplit("-", 1)[-1]
+    if tail.isdigit():
+        state.max_request_number = max(state.max_request_number, int(tail))
+    if event == "accepted":
+        state.segment_ids.setdefault(segment, set()).add(request_id)
+        state.pending.append(
+            PendingRequest(
+                request_id=request_id,
+                kind=str(record.get("kind", "assess")),
+                request=record.get("request") or {},
+                idempotency_key=record.get("key"),
+                fingerprint=record.get("fingerprint"),
+            )
+        )
+    elif event == "started":
+        for entry in state.pending:
+            if entry.request_id == request_id:
+                entry.started = True
+    else:  # terminal
+        state.terminal_ids.add(request_id)
+        for entry in list(state.pending):
+            if entry.request_id == request_id:
+                state.pending.remove(entry)
+                if entry.idempotency_key is not None and event == "completed":
+                    state.keys[entry.idempotency_key] = (
+                        entry.fingerprint,
+                        str(record.get("status", "ok")),
+                    )
+
+
+class RequestJournal:
+    """Append-only, segment-rotated, fsync'd write-ahead journal.
+
+    One instance owns a journal directory for writing; concurrent readers
+    may :meth:`scan` the same directory read-only (the chaos harness does,
+    while the service is live). All appends are serialized under a lock —
+    the scheduler's worker threads and the admission path share one
+    journal.
+    """
+
+    def __init__(self, directory, segment_bytes: int = 1 << 20):
+        if segment_bytes < 1:
+            raise ConfigurationError(
+                f"segment_bytes must be >= 1, got {segment_bytes}"
+            )
+        self.directory = os.fspath(directory)
+        self.segment_bytes = segment_bytes
+        self._lock = threading.Lock()
+        self._handle = None
+        os.makedirs(self.directory, exist_ok=True)
+        self._state = self._open()
+
+    # ------------------------------------------------------------------
+    # Opening and replay
+    # ------------------------------------------------------------------
+
+    def _segments(self) -> list[str]:
+        entries = [
+            (sequence, name)
+            for name in os.listdir(self.directory)
+            if (sequence := _segment_sequence(name)) is not None
+        ]
+        return [
+            os.path.join(self.directory, name)
+            for _, name in sorted(entries)
+        ]
+
+    def _open(self) -> JournalState:
+        """Replay every segment, truncate a torn tail, open for append."""
+        state = JournalState()
+        segments = self._segments()
+        for index, path in enumerate(segments):
+            records, good_bytes, defect = scan_segment(path)
+            if defect is not None:
+                if index != len(segments) - 1:
+                    raise ConfigurationError(
+                        f"journal segment {path!r} is corrupt mid-stream "
+                        f"({defect}); sealed segments were fsync'd, so this "
+                        "is real corruption — refusing to guess"
+                    )
+                # Torn tail of the live segment: the process died
+                # mid-append. Drop the partial record, keep the rest.
+                logger.warning(
+                    "journal %s: truncating torn tail (%s) at byte %d",
+                    path,
+                    defect,
+                    good_bytes,
+                )
+                with open(path, "r+b") as handle:
+                    handle.truncate(good_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            for record in records:
+                _fold(state, record, path)
+        if segments:
+            current = segments[-1]
+            sequence = _segment_sequence(os.path.basename(current))
+        else:
+            sequence = 1
+            current = os.path.join(self.directory, _segment_name(sequence))
+        self._current_path = current
+        self._sequence = sequence
+        self._handle = open(current, "ab")
+        fsync_dir(self.directory)
+        return state
+
+    def replay(self) -> JournalState:
+        """The state folded from the records present at open time."""
+        return self._state
+
+    @staticmethod
+    def scan(directory) -> JournalState:
+        """Read-only replay of a journal directory.
+
+        Tolerates a torn tail (the writer may be mid-append) without
+        truncating anything — safe to call against a *live* journal from
+        another process, e.g. the crash-recovery harness.
+        """
+        directory = os.fspath(directory)
+        state = JournalState()
+        entries = sorted(
+            name
+            for name in os.listdir(directory)
+            if _segment_sequence(name) is not None
+        )
+        for index, name in enumerate(entries):
+            path = os.path.join(directory, name)
+            records, _, defect = scan_segment(path)
+            if defect is not None and index != len(entries) - 1:
+                raise ConfigurationError(
+                    f"journal segment {path!r} is corrupt mid-stream ({defect})"
+                )
+            for record in records:
+                _fold(state, record, path)
+        return state
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        data = encode_record(record)
+        with self._lock:
+            handle = self._handle
+            if handle is None:
+                raise ConfigurationError("journal is closed")
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+            if record.get("event") == "accepted":
+                # Keep the segment->ids map live for gc: this admission's
+                # memory lives in the current segment until it is dropped.
+                self._state.segment_ids.setdefault(
+                    self._current_path, set()
+                ).add(record["id"])
+            if handle.tell() >= self.segment_bytes:
+                self._rotate()
+
+    def _rotate(self) -> None:
+        """Seal the current segment and open the next (lock held)."""
+        self._handle.close()
+        self._sequence += 1
+        self._current_path = os.path.join(
+            self.directory, _segment_name(self._sequence)
+        )
+        self._handle = open(self._current_path, "ab")
+        fsync_dir(self.directory)
+
+    def accepted(
+        self,
+        request_id: str,
+        kind: str,
+        request: dict,
+        idempotency_key: str | None = None,
+        fingerprint: str | None = None,
+    ) -> None:
+        """Durably record an admission *before* the request is enqueued."""
+        self._append(
+            {
+                "event": "accepted",
+                "id": request_id,
+                "kind": kind,
+                "request": request,
+                "key": idempotency_key,
+                "fingerprint": fingerprint,
+                "ts": time.time(),
+            }
+        )
+
+    def started(self, request_id: str) -> None:
+        self._append({"event": "started", "id": request_id, "ts": time.time()})
+
+    def completed(self, request_id: str, status: str) -> None:
+        self._append(
+            {
+                "event": "completed",
+                "id": request_id,
+                "status": status,
+                "ts": time.time(),
+            }
+        )
+
+    def cancelled(
+        self, request_id: str, reason: str, started: bool = False
+    ) -> None:
+        self._append(
+            {
+                "event": "cancelled",
+                "id": request_id,
+                "reason": reason,
+                "started": started,
+                "ts": time.time(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def gc(self, ttl_seconds: float, terminal_ids: set[str]) -> list[str]:
+        """Drop sealed segments whose every request finished long ago.
+
+        A segment is removable when it is not the live segment, every
+        request whose ``accepted`` record lives in it is terminal, and the
+        file has not been touched within ``ttl_seconds`` — the same TTL
+        the result store compacts with, so a key's journal memory and its
+        stored result age out together. Returns the removed paths.
+        """
+        removed: list[str] = []
+        now = time.time()
+        with self._lock:
+            for path, ids in list(self._state.segment_ids.items()):
+                if path == self._current_path:
+                    continue
+                if not os.path.exists(path):
+                    continue
+                if ids - terminal_ids:
+                    continue
+                if now - os.path.getmtime(path) < ttl_seconds:
+                    continue
+                os.unlink(path)
+                removed.append(path)
+                self._state.segment_ids.pop(path, None)
+            if removed:
+                fsync_dir(self.directory)
+        for path in removed:
+            logger.info("journal gc: removed sealed segment %s", path)
+        return removed
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            handle, self._handle = self._handle, None
+            if handle is not None:
+                handle.flush()
+                os.fsync(handle.fileno())
+                handle.close()
+
+    def __enter__(self) -> "RequestJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

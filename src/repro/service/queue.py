@@ -80,6 +80,27 @@ class AdmissionQueue:
                 self._metrics.set_gauge("service/queue_depth", len(self._items))
             self._not_empty.notify()
 
+    def restore(self, tickets) -> None:
+        """Re-admit recovered tickets ahead of new work, bypassing capacity.
+
+        Crash recovery must never shed journaled requests — they were
+        already admitted (and acknowledged) by a previous process, so the
+        capacity check does not apply to them. They go to the *front* of
+        the queue in their original order to preserve FIFO fairness
+        across the restart.
+        """
+        with self._lock:
+            if self._stopped or self._draining:
+                raise AdmissionRejected(
+                    "cannot restore tickets into a stopped/draining queue",
+                    reason="stopped" if self._stopped else "draining",
+                    queue_depth=len(self._items), capacity=self.capacity,
+                )
+            self._items.extendleft(reversed(list(tickets)))
+            if self._metrics is not None:
+                self._metrics.set_gauge("service/queue_depth", len(self._items))
+            self._not_empty.notify_all()
+
     def pop(self, timeout: float | None = None):
         """Take the oldest ticket, or ``None`` on timeout / stop."""
         with self._lock:

@@ -23,6 +23,32 @@ from repro.util.errors import ValidationError
 #: success shape, not an error shape.
 STATUSES = ("ok", "degraded", "cancelled", "rejected", "invalid", "error")
 
+#: Longest accepted idempotency key. Keys land in journal records and
+#: (hashed) in result-store filenames, so they must stay bounded.
+MAX_IDEMPOTENCY_KEY_LENGTH = 128
+
+
+def _validate_idempotency_key(
+    key: str | None, errors: list[tuple[str, str]]
+) -> None:
+    if key is None:
+        return
+    if not isinstance(key, str) or not key:
+        errors.append(("idempotency_key", "must be a non-empty string"))
+        return
+    if len(key) > MAX_IDEMPOTENCY_KEY_LENGTH:
+        errors.append(
+            (
+                "idempotency_key",
+                f"must be at most {MAX_IDEMPOTENCY_KEY_LENGTH} characters, "
+                f"got {len(key)}",
+            )
+        )
+    if not key.isprintable():
+        errors.append(
+            ("idempotency_key", "must not contain control characters")
+        )
+
 
 @dataclass(frozen=True)
 class AssessRequest:
@@ -35,16 +61,24 @@ class AssessRequest:
         deadline_seconds: Per-request deadline. On expiry the service
             returns the anytime estimate built from the chunks/portions
             completed so far, flagged degraded.
+        idempotency_key: Client-chosen retry handle. Requests sharing a
+            key execute at most once: a resubmission while the original
+            is queued or running joins its ticket, and a resubmission
+            after completion returns the journaled/stored response
+            without new work. The key also pins the request's random
+            streams, so re-execution after a crash is bit-identical.
     """
 
     hosts: tuple[str, ...]
     k: int
     rounds: int | None = None
     deadline_seconds: float | None = None
+    idempotency_key: str | None = None
 
     def validate(self, topology) -> None:
         """Raise :class:`ValidationError` listing every field problem."""
         errors: list[tuple[str, str]] = []
+        _validate_idempotency_key(self.idempotency_key, errors)
         if not self.hosts:
             errors.append(("hosts", "at least one host is required"))
         else:
@@ -97,6 +131,10 @@ class AssessRequest:
         if deadline is not None and not isinstance(deadline, (int, float)):
             errors.append(("deadline_seconds", "must be a number or omitted"))
             deadline = None
+        key = payload.get("idempotency_key")
+        if key is not None and not isinstance(key, str):
+            errors.append(("idempotency_key", "must be a string or omitted"))
+            key = None
         if errors:
             raise ValidationError(errors)
         return cls(
@@ -104,7 +142,19 @@ class AssessRequest:
             k=k,
             rounds=rounds,
             deadline_seconds=float(deadline) if deadline is not None else None,
+            idempotency_key=key,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready encoding; the journal stores exactly this."""
+        document: dict = {"hosts": list(self.hosts), "k": self.k}
+        if self.rounds is not None:
+            document["rounds"] = self.rounds
+        if self.deadline_seconds is not None:
+            document["deadline_seconds"] = self.deadline_seconds
+        if self.idempotency_key is not None:
+            document["idempotency_key"] = self.idempotency_key
+        return document
 
 
 @dataclass(frozen=True)
@@ -123,9 +173,11 @@ class SearchRequest:
     desired_reliability: float = 1.0
     rounds: int | None = None
     deadline_seconds: float | None = None
+    idempotency_key: str | None = None
 
     def validate(self, topology) -> None:
         errors: list[tuple[str, str]] = []
+        _validate_idempotency_key(self.idempotency_key, errors)
         if self.k < 1:
             errors.append(("k", f"k must be >= 1, got {self.k}"))
         if self.n < 1:
@@ -183,6 +235,10 @@ class SearchRequest:
                 errors.append((name, f"must be a {getattr(kinds, '__name__', 'number')}"))
                 continue
             values[name] = raw
+        key = payload.get("idempotency_key")
+        if key is not None and not isinstance(key, str):
+            errors.append(("idempotency_key", "must be a string or omitted"))
+            key = None
         if errors:
             raise ValidationError(errors)
         return cls(
@@ -196,12 +252,34 @@ class SearchRequest:
                 if "deadline_seconds" in values
                 else None
             ),
+            idempotency_key=key,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready encoding; the journal stores exactly this."""
+        document: dict = {
+            "k": self.k,
+            "n": self.n,
+            "max_seconds": self.max_seconds,
+            "desired_reliability": self.desired_reliability,
+        }
+        if self.rounds is not None:
+            document["rounds"] = self.rounds
+        if self.deadline_seconds is not None:
+            document["deadline_seconds"] = self.deadline_seconds
+        if self.idempotency_key is not None:
+            document["idempotency_key"] = self.idempotency_key
+        return document
 
 
 @dataclass
 class Ticket:
-    """One admitted request travelling through the service."""
+    """One admitted request travelling through the service.
+
+    ``recovered`` marks a ticket rebuilt from the write-ahead journal
+    after a crash: it was accepted by a previous process and is being
+    re-executed, which the result's runtime metadata discloses.
+    """
 
     id: str
     kind: str  # "assess" | "search"
@@ -211,6 +289,11 @@ class Ticket:
         default_factory=concurrent.futures.Future
     )
     enqueued_at: float = 0.0
+    recovered: bool = False
+
+    @property
+    def idempotency_key(self) -> str | None:
+        return self.request.idempotency_key
 
     def reject(self, response: "ServiceResponse") -> None:
         """Resolve the future with a terminal (non-executed) response."""
@@ -220,7 +303,12 @@ class Ticket:
 
 @dataclass(frozen=True)
 class ServiceResponse:
-    """What every request resolves to — errors included, typed, JSON-ready."""
+    """What every request resolves to — errors included, typed, JSON-ready.
+
+    ``replayed`` is set when the response was served from the durable
+    result store for a previously-completed idempotency key, i.e. no new
+    work ran for this submission.
+    """
 
     request_id: str
     status: str
@@ -229,6 +317,7 @@ class ServiceResponse:
     elapsed_seconds: float = 0.0
     queue_seconds: float = 0.0
     backend: str | None = None
+    replayed: bool = False
 
     def to_dict(self) -> dict:
         document = {
@@ -243,7 +332,23 @@ class ServiceResponse:
             document["result"] = self.result
         if self.error is not None:
             document["error"] = self.error
+        if self.replayed:
+            document["replayed"] = True
         return document
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "ServiceResponse":
+        """Rebuild a response from its :meth:`to_dict` encoding."""
+        return cls(
+            request_id=str(document.get("request_id", "")),
+            status=str(document.get("status", "error")),
+            result=document.get("result"),
+            error=document.get("error"),
+            elapsed_seconds=float(document.get("elapsed_seconds", 0.0)),
+            queue_seconds=float(document.get("queue_seconds", 0.0)),
+            backend=document.get("backend"),
+            replayed=bool(document.get("replayed", False)),
+        )
 
     @property
     def ok(self) -> bool:

@@ -33,8 +33,11 @@ workers and tears down the pool.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import logging
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -51,6 +54,7 @@ from repro.core.search import DeploymentSearch, SearchSpec
 from repro.sampling.statistics import estimate_from_results
 from repro.service.breaker import CircuitBreaker
 from repro.service.health import DRAINING, SERVING, STOPPED, HealthMonitor
+from repro.service.journal import JournalState, RequestJournal
 from repro.service.queue import AdmissionQueue
 from repro.service.requests import (
     AssessRequest,
@@ -58,6 +62,7 @@ from repro.service.requests import (
     ServiceResponse,
     Ticket,
 )
+from repro.service.store import ResultStore
 from repro.util.cancel import CancellationToken
 from repro.util.errors import (
     AdmissionRejected,
@@ -67,6 +72,7 @@ from repro.util.errors import (
     ValidationError,
 )
 from repro.util.metrics import MetricsRegistry
+from repro.util.rng import make_rng
 from repro.util.timing import Stopwatch
 
 logger = logging.getLogger("repro.service")
@@ -101,6 +107,15 @@ class ServiceConfig:
             parallel backend.
         drain_timeout_seconds: How long ``drain()`` waits for in-flight
             requests before cancelling them into anytime results.
+        journal_dir: Directory for the write-ahead request journal and
+            the durable result store. ``None`` (the default) disables
+            durability: no journaling, no crash recovery, no idempotent
+            replay — requests still get per-request deterministic seeds.
+        journal_segment_bytes: Rotation threshold for journal segments;
+            sealed segments are the unit of journal GC.
+        result_ttl_seconds: How long completed results (and the sealed
+            journal segments remembering them) are retained for
+            idempotent replay. Default one week.
     """
 
     scale: str = "tiny"
@@ -116,6 +131,9 @@ class ServiceConfig:
     breaker_half_open_probes: int = 1
     portion_timeout_seconds: float | None = 30.0
     drain_timeout_seconds: float = 30.0
+    journal_dir: str | None = None
+    journal_segment_bytes: int = 1 << 20
+    result_ttl_seconds: float = 7 * 24 * 3600.0
 
 
 class AssessmentService:
@@ -157,6 +175,29 @@ class AssessmentService:
         self._started = False
         self._parallel = None
         self._parallel_lock = threading.Lock()
+        # Durability: write-ahead journal + result store + idempotency map.
+        # ``_keys`` maps idempotency_key -> ("inflight", fingerprint, Ticket)
+        # while a submission is live, or ("completed", fingerprint, status)
+        # once its response is durably stored.
+        self._journal: RequestJournal | None = None
+        self._store: ResultStore | None = None
+        self._keys: dict[str, tuple[str, str | None, object]] = {}
+        self._keys_lock = threading.Lock()
+        self._recovered_tickets: list[Ticket] = []
+        self._id_offset = 0
+        if self.config.journal_dir is not None:
+            root = os.fspath(self.config.journal_dir)
+            self._journal = RequestJournal(
+                root, segment_bytes=self.config.journal_segment_bytes
+            )
+            self._store = ResultStore(os.path.join(root, "results"))
+            state = self._journal.replay()
+            # New ids start past every journaled id, so a restart can
+            # never hand out an id the journal already knows.
+            self._id_offset = state.max_request_number
+            for key, (fingerprint, status) in state.keys.items():
+                self._keys[key] = ("completed", fingerprint, status)
+            self._recovered_tickets = self._rebuild_pending(state)
         if self.config.parallel_workers > 0:
             from repro.runtime.mapreduce import ParallelAssessor, RetryPolicy
 
@@ -183,6 +224,25 @@ class AssessmentService:
         if self._started:
             return self
         self._started = True
+        if self._recovered_tickets:
+            # Journaled-but-unfinished work from a previous process goes
+            # back to the front of the queue (capacity-exempt: it was
+            # already admitted once) before any worker starts.
+            with self._tickets_lock:
+                for ticket in self._recovered_tickets:
+                    self._tickets[ticket.id] = ticket
+            self.queue.restore(self._recovered_tickets)
+            self.metrics.incr("service/recovered", len(self._recovered_tickets))
+            logger.info(
+                "recovery: re-enqueued %d journaled request(s)",
+                len(self._recovered_tickets),
+            )
+            self._recovered_tickets = []
+        if self._journal is not None:
+            state = self._journal.replay()
+            self._journal.gc(self.config.result_ttl_seconds, state.terminal_ids)
+        if self._store is not None:
+            self._store.compact(self.config.result_ttl_seconds)
         for index in range(self.config.scheduler_workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -228,6 +288,11 @@ class AssessmentService:
                     },
                 )
             )
+            # The journal must agree the request ended unstarted, or the
+            # next process would re-execute work the client saw rejected.
+            if self._journal is not None:
+                self._journal.cancelled(ticket.id, reason="draining", started=False)
+            self._forget_inflight_key(ticket)
             self._log_response(ticket, "rejected", 0.0, 0.0, None)
         deadline = self._clock() + timeout
         for ticket in self._open_tickets():
@@ -255,6 +320,8 @@ class AssessmentService:
         if self._parallel is not None:
             self._parallel.close()
             self._parallel = None
+        if self._journal is not None:
+            self._journal.close()
         self.health.transition(STOPPED)
 
     def __enter__(self) -> "AssessmentService":
@@ -272,38 +339,215 @@ class AssessmentService:
     # ------------------------------------------------------------------
 
     def submit(self, kind: str, request) -> Ticket:
-        """Validate, ticket and enqueue a request.
+        """Validate, ticket, journal and enqueue a request.
 
         Raises :class:`ValidationError` for malformed requests and
         :class:`AdmissionRejected` under overload or drain — both *before*
-        any assessment work is spent.
+        any assessment work is spent. With a journal configured, a
+        request carrying an already-known idempotency key is never
+        executed twice: it joins the live ticket (still queued/running)
+        or resolves immediately with the stored response (completed).
         """
         if kind not in ("assess", "search"):
             raise ValidationError([("kind", f"unknown request kind {kind!r}")])
         request.validate(self.topology)
+        key = request.idempotency_key
+        fingerprint = self._fingerprint(request) if key is not None else None
+        if key is not None and self._journal is not None:
+            existing = self._resolve_key(kind, request, key, fingerprint)
+            if existing is not None:
+                return existing
         deadline = request.deadline_seconds
         if deadline is None:
             deadline = self.config.default_deadline_seconds
         token = self._root_token.child(deadline_seconds=deadline)
         ticket = Ticket(
-            id=f"req-{next(_TICKET_IDS)}",
+            id=self._next_id(),
             kind=kind,
             request=request,
             token=token,
             enqueued_at=self._clock(),
         )
+        if key is not None and self._journal is not None:
+            with self._keys_lock:
+                if key in self._keys:
+                    # Lost a submit race for this key; join the winner.
+                    existing = self._resolve_key_locked(
+                        kind, request, key, fingerprint
+                    )
+                    if existing is not None:
+                        return existing
+                self._keys[key] = ("inflight", fingerprint, ticket)
         with self._tickets_lock:
             self._tickets[ticket.id] = ticket
+        if self._journal is not None:
+            # Write-ahead: the admission is durable before the ticket can
+            # reach a worker, so a crash at any later point replays it.
+            self._journal.accepted(
+                ticket.id, kind, request.to_dict(), key, fingerprint
+            )
         try:
             self.queue.submit(ticket)
         except AdmissionRejected:
             with self._tickets_lock:
                 self._tickets.pop(ticket.id, None)
+            self._forget_inflight_key(ticket)
+            if self._journal is not None:
+                self._journal.cancelled(ticket.id, reason="shed", started=False)
             self.metrics.incr("service/rejected")
             raise
         self.metrics.incr("service/requests")
         logger.info("request %s admitted kind=%s", ticket.id, kind)
         return ticket
+
+    def _next_id(self) -> str:
+        return f"req-{self._id_offset + next(_TICKET_IDS)}"
+
+    @staticmethod
+    def _fingerprint(request) -> str:
+        """Canonical digest of the request payload, key excluded.
+
+        Two submissions under one idempotency key must describe the same
+        work; the fingerprint is how a reuse-with-different-payload is
+        caught instead of silently answered with the other request's
+        result.
+        """
+        document = dict(request.to_dict())
+        document.pop("idempotency_key", None)
+        canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _request_seed(self, ticket: Ticket) -> int:
+        """Deterministic per-request stream seed.
+
+        Derived from the service seed and the idempotency key (or the
+        journaled request id), never from worker identity or submission
+        order — the property that makes a crash-replayed request
+        bit-identical to what the crashed process would have answered.
+        """
+        handle = ticket.idempotency_key or ticket.id
+        digest = hashlib.sha256(
+            f"{self.config.seed}:{ticket.kind}:{handle}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def _resolve_key(
+        self, kind: str, request, key: str, fingerprint: str
+    ) -> Ticket | None:
+        """Route a known idempotency key; ``None`` means proceed fresh.
+
+        Raises :class:`ValidationError` when the key was used with a
+        different payload. An inflight key returns the live ticket; a
+        completed key returns a pre-resolved ticket replaying the stored
+        response. A completed key whose stored result has aged out (or
+        was unreadable) is forgotten and re-executed.
+        """
+        with self._keys_lock:
+            return self._resolve_key_locked(kind, request, key, fingerprint)
+
+    def _resolve_key_locked(
+        self, kind: str, request, key: str, fingerprint: str
+    ) -> Ticket | None:
+        entry = self._keys.get(key)
+        if entry is None:
+            return None
+        state, known_fingerprint, payload = entry
+        if known_fingerprint != fingerprint:
+            raise ValidationError(
+                [
+                    (
+                        "idempotency_key",
+                        f"key {key!r} was already used with a different "
+                        "request payload",
+                    )
+                ]
+            )
+        if state == "inflight":
+            self.metrics.incr("service/idempotent_joins")
+            logger.info(
+                "request with key %s joined inflight %s", key, payload.id
+            )
+            return payload
+        stored = self._store.get(key) if self._store is not None else None
+        if stored is None:
+            # Result compacted away or unreadable: honest fallback is
+            # re-execution (deterministic under the key anyway).
+            del self._keys[key]
+            return None
+        response = replace(ServiceResponse.from_dict(stored), replayed=True)
+        ticket = Ticket(
+            id=response.request_id or self._next_id(),
+            kind=kind,
+            request=request,
+            token=CancellationToken(clock=self._clock),
+            enqueued_at=self._clock(),
+        )
+        ticket.future.set_result(response)
+        self.metrics.incr("service/idempotent_replays")
+        logger.info(
+            "request with key %s replayed stored %s (status=%s)",
+            key,
+            response.request_id,
+            response.status,
+        )
+        return ticket
+
+    def _forget_inflight_key(self, ticket: Ticket) -> None:
+        """Drop the key->ticket binding when ``ticket`` ended unstored."""
+        key = ticket.idempotency_key
+        if key is None:
+            return
+        with self._keys_lock:
+            entry = self._keys.get(key)
+            if entry is not None and entry[0] == "inflight" and entry[2] is ticket:
+                del self._keys[key]
+
+    def _rebuild_pending(self, state: JournalState) -> list[Ticket]:
+        """Turn journal replay state into re-executable tickets.
+
+        Recovered tickets keep their journaled ids (the seed derivation
+        and any client polling depend on that) and are flagged so the
+        result's runtime metadata discloses the re-execution. A journaled
+        request that no longer validates (topology changed under it) is
+        journaled cancelled rather than crashing the service.
+        """
+        tickets: list[Ticket] = []
+        for entry in state.pending:
+            try:
+                if entry.kind == "search":
+                    request = SearchRequest.from_dict(entry.request)
+                else:
+                    request = AssessRequest.from_dict(entry.request)
+                request.validate(self.topology)
+            except ValidationError as exc:
+                logger.warning(
+                    "recovery: dropping journaled request %s (%s)",
+                    entry.request_id,
+                    exc,
+                )
+                self._journal.cancelled(
+                    entry.request_id, reason="unrecoverable", started=entry.started
+                )
+                continue
+            deadline = request.deadline_seconds
+            if deadline is None:
+                deadline = self.config.default_deadline_seconds
+            ticket = Ticket(
+                id=entry.request_id,
+                kind=entry.kind,
+                request=request,
+                token=self._root_token.child(deadline_seconds=deadline),
+                enqueued_at=self._clock(),
+                recovered=True,
+            )
+            tickets.append(ticket)
+            if entry.idempotency_key is not None:
+                self._keys[entry.idempotency_key] = (
+                    "inflight",
+                    entry.fingerprint,
+                    ticket,
+                )
+        return tickets
 
     def assess(
         self, request: AssessRequest, timeout: float | None = None
@@ -363,6 +607,7 @@ class AssessmentService:
         self.metrics.observe("service/queue_wait", queue_seconds)
         watch = Stopwatch()
         backend = None
+        execution_started = False
         try:
             if ticket.token.cancelled:
                 response = ServiceResponse(
@@ -375,14 +620,18 @@ class AssessmentService:
                     },
                     queue_seconds=queue_seconds,
                 )
-            elif ticket.kind == "assess":
-                response, backend = self._run_assess(
-                    ticket, assessor, queue_seconds, watch
-                )
             else:
-                response, backend = self._run_search(
-                    ticket, queue_seconds, watch, worker_index
-                )
+                if self._journal is not None:
+                    self._journal.started(ticket.id)
+                execution_started = True
+                if ticket.kind == "assess":
+                    response, backend = self._run_assess(
+                        ticket, assessor, queue_seconds, watch
+                    )
+                else:
+                    response, backend = self._run_search(
+                        ticket, queue_seconds, watch, worker_index
+                    )
         except OperationCancelled as exc:
             response = ServiceResponse(
                 request_id=ticket.id,
@@ -403,6 +652,7 @@ class AssessmentService:
                 elapsed_seconds=watch.elapsed(),
                 queue_seconds=queue_seconds,
             )
+        self._record_terminal(ticket, response, execution_started)
         self.metrics.observe("service/latency", response.elapsed_seconds)
         self.metrics.incr(f"service/status/{response.status}")
         if not ticket.future.done():
@@ -412,6 +662,42 @@ class AssessmentService:
         self._log_response(
             ticket, response.status, response.elapsed_seconds, queue_seconds, backend
         )
+
+    def _record_terminal(
+        self, ticket: Ticket, response: ServiceResponse, started: bool
+    ) -> None:
+        """Make the request's outcome durable before the client sees it.
+
+        ``ok``/``degraded``/``error`` responses are stored (when keyed)
+        and journaled ``completed`` — a resubmission replays them.
+        ``cancelled`` is journaled without a stored result — a
+        resubmission re-executes, which is what a client cancelling and
+        retrying means. Journal trouble never blocks the response: the
+        client still gets its answer, durability is logged as lost.
+        """
+        if self._journal is None:
+            return
+        key = ticket.idempotency_key
+        try:
+            if response.status in ("ok", "degraded", "error"):
+                if key is not None and self._store is not None:
+                    self._store.put(key, response.to_dict())
+                self._journal.completed(ticket.id, response.status)
+                if key is not None:
+                    with self._keys_lock:
+                        self._keys[key] = (
+                            "completed",
+                            self._fingerprint(ticket.request),
+                            response.status,
+                        )
+            else:
+                reason = (response.error or {}).get("reason", "cancelled")
+                self._journal.cancelled(ticket.id, reason=reason, started=started)
+                self._forget_inflight_key(ticket)
+        except Exception:
+            logger.exception(
+                "request %s: failed to journal terminal state", ticket.id
+            )
 
     @staticmethod
     def _log_response(ticket, status, elapsed, queue_seconds, backend) -> None:
@@ -438,6 +724,7 @@ class AssessmentService:
             list(request.hosts), structure.components[0].name
         )
         rounds = request.rounds or self.config.rounds
+        seed = self._request_seed(ticket)
 
         result = None
         backend = "chunked-sequential"
@@ -449,6 +736,9 @@ class AssessmentService:
                 self.metrics.incr("service/breaker_fallbacks")
             else:
                 try:
+                    # Reseed under the backend lock: portion seeds become a
+                    # pure function of the request, not of execution order.
+                    self._parallel.rng = make_rng(seed)
                     result = self._parallel.assess(
                         plan, structure, rounds=rounds, cancel=ticket.token
                     )
@@ -474,11 +764,16 @@ class AssessmentService:
                 finally:
                     self._parallel_lock.release()
         if result is None and backend != "parallel":
+            assessor.rng = make_rng(seed)
             result = self._chunked_assess(
                 assessor, plan, structure, rounds, ticket.token
             )
             backend = "chunked-sequential"
 
+        if ticket.recovered and result.runtime is not None:
+            result = replace(
+                result, runtime=replace(result.runtime, recovered=True)
+            )
         status = (
             "degraded"
             if result.degraded or (result.runtime and result.runtime.cancelled)
@@ -601,15 +896,18 @@ class AssessmentService:
     ) -> tuple[ServiceResponse, str]:
         request: SearchRequest = ticket.request
         structure = ApplicationStructure.k_of_n(request.k, request.n)
+        # Seeds derive from the request, not the worker that happens to
+        # run it — a recovered search explores the same trajectory.
+        seed = self._request_seed(ticket)
         search = DeploymentSearch.from_config(
             self.topology,
             self.dependency_model,
             AssessmentConfig(
                 rounds=request.rounds or self.config.rounds,
-                rng=self.config.seed + 200 + worker_index,
+                rng=seed,
                 mode="incremental",
             ),
-            rng=self.config.seed + 300 + worker_index,
+            rng=(seed + 1) % 2**63,
             cancel=ticket.token,
         )
         spec = SearchSpec(
@@ -622,6 +920,8 @@ class AssessmentService:
         cut_short = ticket.token.cancelled
         status = "degraded" if cut_short else "ok"
         document = serialization.search_result_to_dict(result)
+        if ticket.recovered:
+            document["recovered"] = True
         if cut_short:
             document["cancelled"] = True
             document["cancel_reason"] = ticket.token.reason
@@ -650,4 +950,9 @@ class AssessmentService:
             },
             "breaker": self.breaker.snapshot(),
             "inflight": len(self._open_tickets()),
+            "durability": {
+                "journaling": self._journal is not None,
+                "journal_dir": self.config.journal_dir,
+                "known_keys": len(self._keys),
+            },
         }

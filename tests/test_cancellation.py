@@ -211,31 +211,75 @@ class TestParallelCancellation:
     def test_process_backend_cancel_leaves_no_orphan_pool(
         self, fattree4, inventory
     ):
-        """Mid-sampling cancel: the suspect pool is restarted, workers live."""
-        with ParallelAssessor.from_config(
-            fattree4,
-            inventory,
-            # Large enough that sampling reliably outlasts the 0.3 s
-            # deadline even on a fast machine — at 2M rounds the assess
-            # occasionally finished first and the test flaked.
-            AssessmentConfig(mode="parallel", workers=2, rounds=20_000_000, rng=3),
-        ) as assessor:
-            if assessor.backend != "process":
-                pytest.skip("fork unavailable on this platform")
-            before_pids = assessor._live_worker_pids()
-            token = CancellationToken.with_deadline(0.3)
-            try:
-                result = assessor.assess(_plan(fattree4), STRUCTURE, cancel=token)
-                assert result.runtime.cancelled
-            except OperationCancelled:
-                pass  # nothing completed before the deadline: also valid
-            # The old in-flight workers were torn down with the pool
-            # restart; the fresh pool must be fully alive and usable.
-            after_pids = assessor._live_worker_pids()
-            assert len(after_pids) == 2
-            assert not (before_pids & after_pids)
-            follow_up = assessor.assess(_plan(fattree4), STRUCTURE, rounds=200)
-            assert follow_up.estimate.rounds == 200
+        """Mid-sampling cancel: the suspect pool is restarted, workers live.
+
+        Deterministically gated: the sampling-started hook (inherited by
+        the forked workers, installed before the pool forks) signals the
+        moment a worker is inside a sampling pass and then blocks until
+        released — so the cancel always lands mid-portion, with no
+        timing-sensitive round counts or wall-clock deadlines.
+
+        The gates are raw semaphores, not ``multiprocessing.Event``:
+        the pool restart SIGTERMs workers while they are blocked on the
+        gate, and an Event's condition-variable ``set()`` deadlocks
+        waiting for dead sleepers to acknowledge. A POSIX semaphore has
+        no acknowledge protocol, so killing a blocked waiter is safe.
+        """
+        import multiprocessing
+        import threading
+
+        from repro.sampling import base as sampling_base
+
+        started = multiprocessing.Semaphore(0)
+        release = multiprocessing.Semaphore(0)
+
+        def hook():
+            started.release()
+            if release.acquire(timeout=60.0):
+                release.release()  # pass the baton: later entrants fly through
+
+        sampling_base.set_sampling_started_hook(hook)
+        try:
+            with ParallelAssessor.from_config(
+                fattree4,
+                inventory,
+                AssessmentConfig(mode="parallel", workers=2, rounds=10_000, rng=3),
+            ) as assessor:
+                if assessor.backend != "process":
+                    pytest.skip("fork unavailable on this platform")
+                before_pids = assessor._live_worker_pids()
+                token = CancellationToken()
+                saw_sampling = threading.Event()
+
+                def fire():
+                    if started.acquire(timeout=30.0):
+                        saw_sampling.set()
+                    token.cancel("test: worker is mid-sampling")
+
+                watcher = threading.Thread(target=fire, daemon=True)
+                watcher.start()
+                try:
+                    result = assessor.assess(
+                        _plan(fattree4), STRUCTURE, cancel=token
+                    )
+                    assert result.runtime.cancelled
+                except OperationCancelled:
+                    pass  # nothing completed before the cancel: also valid
+                watcher.join(timeout=30.0)
+                assert saw_sampling.is_set(), "no worker ever entered sampling"
+                # Open the gate for everyone — including freshly forked
+                # workers that inherited the hook — before using the pool.
+                release.release()
+                # The old in-flight workers were torn down with the pool
+                # restart; the fresh pool must be fully alive and usable.
+                after_pids = assessor._live_worker_pids()
+                assert len(after_pids) == 2
+                assert not (before_pids & after_pids)
+                follow_up = assessor.assess(_plan(fattree4), STRUCTURE, rounds=200)
+                assert follow_up.estimate.rounds == 200
+        finally:
+            release.release()
+            sampling_base.set_sampling_started_hook(None)
 
 
 class TestSearchCancellation:

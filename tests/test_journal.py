@@ -1,0 +1,251 @@
+"""The write-ahead request journal and the durable result store.
+
+Covers the on-disk contract the durability layer stands on: checksummed
+record framing, torn-tail truncation (crash mid-append), loud corruption
+detection in sealed segments, segment rotation + TTL garbage collection,
+replay folding, and the result store's atomic write / corrupt-read /
+compaction behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.service.journal import (
+    JournalState,
+    PendingRequest,
+    RequestJournal,
+    encode_record,
+    scan_segment,
+)
+from repro.service.store import ResultStore
+from repro.util.errors import ConfigurationError
+
+
+class TestRecordFraming:
+    def test_round_trip_one_record(self, tmp_path):
+        path = tmp_path / "seg.waj"
+        path.write_bytes(encode_record({"event": "started", "id": "req-1"}))
+        records, good, defect = scan_segment(str(path))
+        assert defect is None
+        assert good == path.stat().st_size
+        assert records == [{"event": "started", "id": "req-1"}]
+
+    def test_torn_header_reported(self, tmp_path):
+        path = tmp_path / "seg.waj"
+        whole = encode_record({"event": "started", "id": "req-1"})
+        path.write_bytes(whole + b"\x00\x00")  # 2 stray bytes: torn header
+        records, good, defect = scan_segment(str(path))
+        assert len(records) == 1
+        assert good == len(whole)
+        assert defect == "torn header"
+
+    def test_torn_payload_reported(self, tmp_path):
+        path = tmp_path / "seg.waj"
+        whole = encode_record({"event": "started", "id": "req-1"})
+        second = encode_record({"event": "completed", "id": "req-1"})
+        path.write_bytes(whole + second[:-3])  # payload cut short
+        records, good, defect = scan_segment(str(path))
+        assert len(records) == 1
+        assert good == len(whole)
+        assert defect == "torn payload"
+
+    def test_bit_flip_caught_by_checksum(self, tmp_path):
+        path = tmp_path / "seg.waj"
+        data = bytearray(encode_record({"event": "started", "id": "req-1"}))
+        data[-1] ^= 0x40  # flip a payload bit; the crc32 must notice
+        path.write_bytes(bytes(data))
+        records, good, defect = scan_segment(str(path))
+        assert records == []
+        assert good == 0
+        assert defect == "checksum mismatch"
+
+
+class TestJournalLifecycle:
+    def test_accept_start_complete_replays_to_nothing_pending(self, tmp_path):
+        with RequestJournal(tmp_path) as journal:
+            journal.accepted("req-1", "assess", {"hosts": ["h0"], "k": 1})
+            journal.started("req-1")
+            journal.completed("req-1", "ok")
+        state = RequestJournal(tmp_path).replay()
+        assert state.pending == []
+        assert state.terminal_ids == {"req-1"}
+        assert state.records == 3
+        assert state.max_request_number == 1
+
+    def test_unfinished_request_is_pending_with_started_flag(self, tmp_path):
+        with RequestJournal(tmp_path) as journal:
+            journal.accepted(
+                "req-2",
+                "assess",
+                {"hosts": ["h0"], "k": 1},
+                idempotency_key="kk",
+                fingerprint="ff",
+            )
+            journal.started("req-2")
+        state = RequestJournal(tmp_path).replay()
+        assert len(state.pending) == 1
+        entry = state.pending[0]
+        assert entry.request_id == "req-2"
+        assert entry.started
+        assert entry.idempotency_key == "kk"
+        assert entry.fingerprint == "ff"
+        # Not terminal, so the key must NOT be in the completed map.
+        assert "kk" not in state.keys
+
+    def test_completed_key_lands_in_keys_map(self, tmp_path):
+        with RequestJournal(tmp_path) as journal:
+            journal.accepted(
+                "req-3", "search", {"k": 1, "n": 2},
+                idempotency_key="kk", fingerprint="ff",
+            )
+            journal.completed("req-3", "degraded")
+        state = RequestJournal(tmp_path).replay()
+        assert state.keys == {"kk": ("ff", "degraded")}
+
+    def test_cancelled_key_is_forgotten(self, tmp_path):
+        with RequestJournal(tmp_path) as journal:
+            journal.accepted(
+                "req-4", "assess", {"hosts": ["h0"], "k": 1},
+                idempotency_key="kk", fingerprint="ff",
+            )
+            journal.cancelled("req-4", reason="client")
+        state = RequestJournal(tmp_path).replay()
+        assert state.pending == []
+        assert state.keys == {}  # cancelled => resubmission re-executes
+        assert "req-4" in state.terminal_ids
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        with RequestJournal(tmp_path) as journal:
+            journal.accepted("req-1", "assess", {"hosts": ["h0"], "k": 1})
+            segment = journal._current_path
+        with open(segment, "ab") as handle:
+            handle.write(b"\x00\x00\x00\x99partial")  # crash mid-append
+        journal = RequestJournal(tmp_path)
+        state = journal.replay()
+        assert len(state.pending) == 1
+        # The torn bytes are gone: appending works and rescans cleanly.
+        journal.completed("req-1", "ok")
+        journal.close()
+        assert RequestJournal.scan(tmp_path).terminal_ids == {"req-1"}
+
+    def test_corrupt_sealed_segment_is_loud(self, tmp_path):
+        with RequestJournal(tmp_path, segment_bytes=1) as journal:
+            # segment_bytes=1 seals a segment after every record.
+            journal.accepted("req-1", "assess", {"hosts": ["h0"], "k": 1})
+            journal.completed("req-1", "ok")
+        segments = sorted(
+            p for p in os.listdir(tmp_path) if p.endswith(".waj")
+        )
+        assert len(segments) >= 2
+        first = tmp_path / segments[0]
+        data = bytearray(first.read_bytes())
+        data[-1] ^= 0x01
+        first.write_bytes(bytes(data))
+        with pytest.raises(ConfigurationError, match="corrupt mid-stream"):
+            RequestJournal(tmp_path)
+
+    def test_rotation_and_gc_drop_only_fully_terminal_old_segments(
+        self, tmp_path
+    ):
+        journal = RequestJournal(tmp_path, segment_bytes=1)
+        journal.accepted("req-1", "assess", {"hosts": ["h0"], "k": 1})
+        journal.completed("req-1", "ok")
+        journal.accepted("req-2", "assess", {"hosts": ["h0"], "k": 1})
+        # req-2 never finishes; its segment must survive any gc.
+        state = RequestJournal.scan(tmp_path)
+        removed = journal.gc(ttl_seconds=0.0, terminal_ids=state.terminal_ids)
+        assert removed  # req-1's sealed segment went
+        survivors = RequestJournal.scan(tmp_path)
+        assert [p.request_id for p in survivors.pending] == ["req-2"]
+        # Young segments survive a long TTL even when fully terminal.
+        journal.completed("req-2", "ok")
+        state = RequestJournal.scan(tmp_path)
+        assert journal.gc(ttl_seconds=3600.0, terminal_ids=state.terminal_ids) == []
+        journal.close()
+
+    def test_scan_is_read_only_and_torn_tolerant(self, tmp_path):
+        journal = RequestJournal(tmp_path)
+        journal.accepted("req-1", "assess", {"hosts": ["h0"], "k": 1})
+        segment = journal._current_path
+        with open(segment, "ab") as handle:
+            handle.write(b"\xff\xff")  # writer mid-append
+        size_before = os.path.getsize(segment)
+        state = RequestJournal.scan(tmp_path)
+        assert [p.request_id for p in state.pending] == ["req-1"]
+        assert os.path.getsize(segment) == size_before  # nothing truncated
+        journal.close()
+
+    def test_malformed_record_event_is_rejected(self, tmp_path):
+        (tmp_path / "journal-00000001.waj").write_bytes(
+            encode_record({"event": "exploded", "id": "req-1"})
+        )
+        with pytest.raises(ConfigurationError, match="malformed"):
+            RequestJournal(tmp_path)
+
+    def test_ids_unique_after_restart(self, tmp_path):
+        with RequestJournal(tmp_path) as journal:
+            journal.accepted("req-41", "assess", {"hosts": ["h0"], "k": 1})
+        state = RequestJournal(tmp_path).replay()
+        assert state.max_request_number == 41
+
+
+class TestResultStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("kk", {"request_id": "req-1", "status": "ok"})
+        assert store.get("kk") == {"request_id": "req-1", "status": "ok"}
+        assert "kk" in store
+        assert store.get("other") is None
+
+    def test_corrupt_entry_reads_as_absent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("kk", {"status": "ok"})
+        (only,) = [p for p in os.listdir(tmp_path) if p.endswith(".json")]
+        with open(tmp_path / only, "r+b") as handle:
+            handle.seek(5)
+            handle.write(b"GARBAGE")
+        assert store.get("kk") is None  # degrade to re-execution, never crash
+
+    def test_compact_removes_expired_and_unreadable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("old", {"status": "ok"})
+        store.put("new", {"status": "ok"})
+        # Backdate "old" by rewriting its stored_at a week into the past.
+        from repro import serialization
+
+        old_path = store._path("old")
+        document = serialization.load(old_path)
+        document["stored_at"] = time.time() - 10_000.0
+        serialization.dump(document, old_path, checksum=True)
+        removed = store.compact(ttl_seconds=5_000.0)
+        assert removed == [old_path]
+        assert store.get("old") is None
+        assert store.get("new") is not None
+
+
+class TestJournalStateFolding:
+    def test_started_before_accepted_does_not_crash(self, tmp_path):
+        # A record order the writer never produces, but replay must not
+        # corrupt state if it ever appears (e.g. partial gc).
+        with RequestJournal(tmp_path) as journal:
+            journal.started("req-9")
+            journal.accepted("req-9", "assess", {"hosts": ["h0"], "k": 1})
+        state = RequestJournal(tmp_path).replay()
+        assert len(state.pending) == 1
+        assert not state.pending[0].started
+
+    def test_pending_request_dataclass_defaults(self):
+        entry = PendingRequest(
+            request_id="req-1",
+            kind="assess",
+            request={},
+            idempotency_key=None,
+            fingerprint=None,
+        )
+        assert not entry.started
+        state = JournalState()
+        assert state.pending == [] and state.records == 0

@@ -135,3 +135,50 @@ class TestFileHelpers:
         serialization.dump(serialization.plan_to_dict(plan), path)
         document = serialization.load(path)
         assert serialization.plan_from_dict(document) == plan
+
+    def test_fsync_dir_succeeds_on_a_real_directory(self, tmp_path):
+        assert serialization.fsync_dir(tmp_path) is True
+
+    def test_fsync_dir_degrades_quietly_when_unsyncable(self, tmp_path):
+        # Platforms (or paths) where a directory cannot be opened for
+        # fsync must not break the atomic write — just report False.
+        assert serialization.fsync_dir(tmp_path / "missing") is False
+
+
+class TestRuntimeRecoveredFlag:
+    @staticmethod
+    def _result_with_runtime(assessor, fattree4, runtime):
+        from dataclasses import replace
+
+        result = assessor.assess_k_of_n(fattree4.hosts[:3], 2)
+        return replace(result, runtime=runtime)
+
+    def test_recovered_round_trips(self, assessor, fattree4):
+        from repro.core.result import RuntimeMetadata
+
+        result = self._result_with_runtime(
+            assessor,
+            fattree4,
+            RuntimeMetadata(
+                backend="chunked", workers=1, portion_seeds=(), recovered=True
+            ),
+        )
+        document = serialization.assessment_to_dict(result)
+        assert document["runtime"]["recovered"] is True
+        decoded = serialization.assessment_from_dict(json.loads(json.dumps(document)))
+        assert decoded.runtime.recovered is True
+
+    def test_documents_without_the_flag_decode_as_not_recovered(
+        self, assessor, fattree4
+    ):
+        from repro.core.result import RuntimeMetadata
+
+        result = self._result_with_runtime(
+            assessor,
+            fattree4,
+            RuntimeMetadata(backend="chunked", workers=1, portion_seeds=()),
+        )
+        document = serialization.assessment_to_dict(result)
+        del document["runtime"]["recovered"]  # pre-durability document
+        decoded = serialization.assessment_from_dict(document)
+        assert decoded.runtime.recovered is False
