@@ -26,6 +26,13 @@ With ``--crash`` it instead proves the durability contract on a real
 4. resubmitting the now-completed key must replay the stored response
    (``replayed`` set) without executing any new assessment.
 
+With ``--crash-worker`` it proves the *fleet* failover contract: a
+``--workers 2`` server takes a concurrent keyed burst while one worker
+is ``kill -9``'d mid-request. Every keyed request must answer exactly
+once (no loss, no duplication), the interrupted one must come back
+``runtime.recovered`` from a survivor, and the dead shard must respawn
+(generation bump in ``/healthz``) before a clean SIGTERM drain.
+
 Machine speeds vary wildly across CI runners, so the timing-sensitive
 steps adapt: the deadline/round knobs of step 4 walk toward the
 degraded window, and the crash run grows its round count until the
@@ -326,6 +333,174 @@ def smoke_crash_recovery() -> None:
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def _fleet_view(client: HttpServiceClient) -> dict:
+    fleet = client.healthz().get("fleet")
+    check(fleet is not None, "fleet section missing from /healthz")
+    return fleet
+
+
+def _wait_fleet_alive(client: HttpServiceClient, workers: int) -> dict:
+    deadline = time.monotonic() + READY_TIMEOUT_SECONDS
+    fleet = None
+    while time.monotonic() < deadline:
+        fleet = _fleet_view(client)
+        if fleet["alive"] == workers:
+            return fleet
+        time.sleep(0.1)
+    raise SmokeFailure(f"fleet never reached {workers} alive workers: {fleet}")
+
+
+def _keyed_burst(
+    base_url: str, hosts: list[str], keys: list[str], rounds: int
+) -> tuple[list[dict], list[Exception]]:
+    """Fire one keyed assessment per key from concurrent client threads."""
+    replies: list[dict] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def run_one(key: str) -> None:
+        # One client per thread: retries on connection resets and 503
+        # sheds are exactly the failover window this smoke provokes.
+        client = HttpServiceClient(base_url, timeout=300.0, max_attempts=8)
+        try:
+            reply = client.assess(
+                hosts, k=2, rounds=rounds, idempotency_key=key
+            )
+            with lock:
+                replies.append(reply)
+        except Exception as exc:  # collected, asserted on by the caller
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run_one, args=(key,), daemon=True)
+        for key in keys
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300.0)
+        check(not thread.is_alive(), "a client thread wedged")
+    return replies, errors
+
+
+def _kill_busy_worker(client: HttpServiceClient) -> int | None:
+    """SIGKILL a worker that is executing a request; returns its shard."""
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        fleet = _fleet_view(client)
+        busy = [
+            s for s in fleet["shards"]
+            if s["state"] == "alive" and s["inflight"] and s["pid"]
+        ]
+        if busy:
+            os.kill(busy[0]["pid"], signal.SIGKILL)
+            return busy[0]["shard"]
+        time.sleep(0.01)
+    return None
+
+
+def smoke_worker_failover() -> None:
+    """kill -9 a fleet worker under concurrent keyed load.
+
+    Asserts the supervisor contract: every keyed request answers exactly
+    once (no loss, no duplication), the interrupted request is recovered
+    on a survivor with ``runtime.recovered`` set, and the dead shard is
+    respawned (generation bump) before a clean SIGTERM drain.
+    """
+    hosts = ["host/0/0/0", "host/1/0/0", "host/2/0/0"]
+    rounds = 150_000
+    workdir = tempfile.mkdtemp(prefix="repro-fleet-smoke-")
+    try:
+        for attempt in range(1, MAX_CRASH_ATTEMPTS + 1):
+            journal_dir = os.path.join(workdir, f"journal-{attempt}")
+            process, base_url = start_server([
+                "--journal-dir", journal_dir,
+                "--queue-capacity", "64",
+                "--workers", "2",
+                "--heartbeat-interval", "0.1",
+                "--heartbeat-misses", "5",
+            ])
+            try:
+                probe = HttpServiceClient(base_url, timeout=60.0)
+                wait_ready(probe)
+                _wait_fleet_alive(probe, workers=2)
+                keys = [f"fleet-smoke-{attempt}-{i}" for i in range(12)]
+                killer_result: list[int | None] = []
+                killer = threading.Thread(
+                    target=lambda: killer_result.append(
+                        _kill_busy_worker(probe)
+                    ),
+                    daemon=True,
+                )
+                killer.start()
+                replies, errors = _keyed_burst(base_url, hosts, keys, rounds)
+                killer.join(timeout=60.0)
+                check(not errors, f"client errors during failover: {errors}")
+                check(
+                    len(replies) == len(keys),
+                    f"{len(keys) - len(replies)} keyed requests lost",
+                )
+                by_id: dict[str, int] = {}
+                for reply in replies:
+                    check(
+                        reply["status"] == "ok",
+                        f"non-ok reply during failover: {reply['status']}",
+                    )
+                    by_id[reply["request_id"]] = (
+                        by_id.get(reply["request_id"], 0) + 1
+                    )
+                check(
+                    len(by_id) == len(keys),
+                    f"duplicated request ids: {sorted(by_id)}",
+                )
+                victim = killer_result[0] if killer_result else None
+                recovered = [
+                    r for r in replies
+                    if r["result"]["runtime"].get("recovered")
+                ]
+                if victim is None or not recovered:
+                    # The kill never landed mid-execution: grow the work
+                    # until it demonstrably does.
+                    print(
+                        f"attempt {attempt}: no mid-flight kill "
+                        f"(victim={victim}, recovered={len(recovered)}), "
+                        f"growing rounds to {rounds * 2}"
+                    )
+                    rounds *= 2
+                    continue
+                print(
+                    f"attempt {attempt}: killed shard {victim} mid-request; "
+                    f"{len(recovered)} request(s) recovered on a survivor"
+                )
+                fleet = _wait_fleet_alive(probe, workers=2)
+                shard = fleet["shards"][victim]
+                check(
+                    shard["generation"] >= 2 and shard["restarts"] >= 1,
+                    f"dead shard was not respawned: {shard}",
+                )
+                print(
+                    f"shard {victim} respawned: generation="
+                    f"{shard['generation']} pid={shard['pid']}"
+                )
+                workers = {
+                    row["name"]: row for row in probe.healthz()["workers"]
+                }
+                check(
+                    set(workers) == {"shard-0", "shard-1"},
+                    f"healthz workers view incomplete: {sorted(workers)}",
+                )
+                smoke_drain(process)
+                return
+            finally:
+                _stop(process)
+        raise SmokeFailure(
+            "kill -9 never landed mid-execution despite growing rounds"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def run_basic_smoke() -> None:
     process, base_url = start_server()
     print(f"server up at {base_url} (pid {process.pid})")
@@ -352,10 +527,17 @@ def main() -> int:
         action="store_true",
         help="run the kill-9 crash-recovery smoke instead of the basic one",
     )
+    parser.add_argument(
+        "--crash-worker",
+        action="store_true",
+        help="run the fleet failover smoke: kill -9 a worker under load",
+    )
     args = parser.parse_args()
     try:
         if args.crash:
             smoke_crash_recovery()
+        elif args.crash_worker:
+            smoke_worker_failover()
         else:
             run_basic_smoke()
     except SmokeFailure as failure:

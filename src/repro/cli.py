@@ -8,7 +8,10 @@ drive reCloud from scripts:
 ``search``     search for a reliable plan within a time budget
 ``risk``       single-failure risk report for a plan
 ``baseline``   show the common-practice / enhanced-CP plans
-``serve``      run the long-lived assessment service (HTTP)
+``serve``      run the long-lived assessment service (HTTP); with
+               ``--workers N`` a supervised multi-process shard fleet
+``capacity``   plan the worker fleet size for an SLO under a crash rate
+``journal``    inspect a write-ahead journal directory post-mortem
 
 All commands operate on the paper's preset data centers (``--scale``)
 with the §4.1 inventory, seeded deterministically (``--seed``), and can
@@ -326,8 +329,93 @@ def cmd_serve(args) -> int:
         drain_timeout_seconds=args.drain_timeout,
         journal_dir=args.journal_dir,
         result_ttl_seconds=args.result_ttl,
+        fleet_workers=args.workers,
+        heartbeat_interval_seconds=args.heartbeat_interval,
+        heartbeat_misses=args.heartbeat_misses,
     )
     return serve(config, host=args.host, port=args.port)
+
+
+def cmd_capacity(args) -> int:
+    from repro.service.capacity import plan_capacity
+
+    plan = plan_capacity(
+        target_rps=args.target_rps,
+        per_worker_rps=args.per_worker_rps,
+        slo=args.slo,
+        crash_rate_per_hour=args.crash_rate,
+        failover_seconds=args.failover_seconds,
+        max_workers=args.max_workers,
+        rounds=args.rounds,
+        seed=args.seed,
+    )
+    document = plan.to_dict()
+    lines = [
+        f"throughput : {args.target_rps:g} rps target / "
+        f"{args.per_worker_rps:g} rps per worker -> k={plan.k_required}",
+        f"worker p   : {plan.worker_unavailability:.6f} unavailable "
+        f"({args.crash_rate:g} crashes/h x {args.failover_seconds:g}s failover)",
+        f"{'workers':>8}  {'availability':>14}  {'method':<12} meets "
+        f"SLO {args.slo}",
+    ]
+    for candidate in plan.candidates:
+        lines.append(
+            f"{candidate.workers:>8}  {candidate.availability:>14.8f}  "
+            f"{candidate.method:<12} {'YES' if candidate.meets_slo else 'no'}"
+        )
+    if plan.satisfiable:
+        lines.append(f"recommend  : --workers {plan.recommended_workers}")
+    else:
+        lines.append(
+            f"recommend  : UNSATISFIABLE within {args.max_workers} workers"
+        )
+    _emit(args, document, "\n".join(lines))
+    return EXIT_OK if plan.satisfiable else EXIT_UNSATISFIED
+
+
+def cmd_journal(args) -> int:
+    from repro.service.journal import RequestJournal
+
+    state = RequestJournal.scan(args.directory)
+    pending = {entry.request_id: entry for entry in state.pending}
+    document = {
+        "directory": args.directory,
+        "requests": len(state.events),
+        "terminal": len(state.terminal_ids),
+        "orphans": len(pending),
+        "keys": len(state.keys),
+        "lifecycle": {
+            request_id: events
+            for request_id, events in sorted(state.events.items())
+        },
+        "orphan_ids": sorted(pending),
+    }
+    lines = [
+        f"journal    : {args.directory}",
+        f"requests   : {len(state.events)} journaled, "
+        f"{len(state.terminal_ids)} terminal, {len(pending)} orphaned",
+        f"keys       : {len(state.keys)} completed idempotency key(s)",
+    ]
+    for request_id, events in sorted(state.events.items()):
+        if args.orphans and request_id not in pending:
+            continue
+        entry = pending.get(request_id)
+        marker = " ORPHAN" if entry is not None else ""
+        shard = next(
+            (e["shard"] for e in events if e.get("shard") is not None), None
+        )
+        shard_note = f" shard={shard}" if shard is not None else ""
+        lines.append(f"{request_id}{shard_note}{marker}")
+        for event in events:
+            detail = ""
+            if event.get("status"):
+                detail = f" status={event['status']}"
+            elif event.get("reason"):
+                detail = f" reason={event['reason']}"
+            kind = f" kind={event['kind']}" if event.get("kind") else ""
+            lines.append(f"    {event['event']}{kind}{detail}")
+    _emit(args, document, "\n".join(lines))
+    return EXIT_OK
 
 
 # ----------------------------------------------------------------------
@@ -532,7 +620,87 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verbose", action="store_true", help="debug-level service logs"
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard worker processes for the supervised fleet (0 = "
+        "single-process thread scheduler); each worker owns a shard of "
+        "the idempotency-key space, dead workers are failed over from "
+        "the journal and respawned with backoff",
+    )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="fleet worker heartbeat period",
+    )
+    p.add_argument(
+        "--heartbeat-misses",
+        type=int,
+        default=8,
+        help="consecutive missed heartbeats before a worker is declared dead",
+    )
     p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser(
+        "capacity",
+        help="plan the worker fleet size for an SLO under a crash rate",
+    )
+    p.add_argument(
+        "--target-rps", type=float, required=True,
+        help="request throughput the fleet must sustain",
+    )
+    p.add_argument(
+        "--per-worker-rps", type=float, required=True,
+        help="measured throughput of one shard worker (bench_fleet.py "
+        "reports this)",
+    )
+    p.add_argument(
+        "--slo", type=float, default=0.999,
+        help="required fleet availability (probability >= k workers alive)",
+    )
+    p.add_argument(
+        "--crash-rate", type=float, default=1.0, metavar="PER_HOUR",
+        help="expected worker crashes per hour",
+    )
+    p.add_argument(
+        "--failover-seconds", type=float, default=5.0,
+        help="detection + takeover + respawn window per crash",
+    )
+    p.add_argument(
+        "--max-workers", type=int, default=64,
+        help="largest fleet size to consider",
+    )
+    p.add_argument(
+        "--rounds", type=int, default=200_000,
+        help="Monte Carlo rounds for fleets too large to enumerate exactly",
+    )
+    p.add_argument("--seed", type=int, default=1, help="deterministic seed")
+    p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p.set_defaults(handler=cmd_capacity)
+
+    p = sub.add_parser(
+        "journal", help="inspect a write-ahead journal directory"
+    )
+    journal_sub = p.add_subparsers(dest="journal_command", required=True)
+    p = journal_sub.add_parser(
+        "inspect",
+        help="print per-request lifecycle and orphan counts (read-only; "
+        "safe against a live journal)",
+    )
+    p.add_argument("directory", help="journal directory to scan")
+    p.add_argument(
+        "--orphans", action="store_true",
+        help="only show non-terminal (orphaned) requests",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p.set_defaults(handler=cmd_journal)
 
     return parser
 

@@ -1,0 +1,222 @@
+"""Fleet capacity planning: how many workers to meet an SLO.
+
+The paper's thesis applied to ourselves: the worker fleet is a
+deployment whose reliability we can *assess* instead of guess. A fleet
+of ``n`` workers serves its target load while at least ``k`` of them are
+alive, where ``k`` is fixed by throughput; each worker is independently
+unavailable for the failover window around every crash. That is exactly
+a K-of-N fault tree over worker basic events, so the planner reuses the
+repository's own assessment machinery — :func:`~repro.faults.faulttree.
+exact_failure_probability` for small fleets, the vectorised
+:meth:`~repro.faults.faulttree.FaultTree.evaluate` Monte Carlo sampler
+with :func:`~repro.sampling.statistics.estimate_from_results` beyond the
+enumeration limit — and recommends the smallest ``n`` whose availability
+(conservatively, the CI lower bound when sampled) meets the SLO.
+
+PCRAFT (PAPERS.md) frames the same question for stateless VM fleets;
+``benchmarks/bench_fleet.py`` closes the loop by confirming the
+recommended count under real kill -9 chaos.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.faults.faulttree import (
+    FaultTree,
+    basic,
+    exact_failure_probability,
+    k_of_n_gate,
+)
+from repro.sampling.statistics import estimate_from_results
+from repro.util.errors import ConfigurationError
+from repro.util.rng import make_rng
+
+#: Above this fleet size the 2**n exact enumeration is intractable and
+#: the planner switches to Monte Carlo (same limit faulttree enforces).
+EXACT_LIMIT = 20
+
+
+def worker_unavailability(
+    crash_rate_per_hour: float, failover_seconds: float
+) -> float:
+    """Steady-state probability that one worker is down.
+
+    Every crash costs one failover window (detection + journal takeover
+    + respawn backoff) during which the worker serves nothing; crashes
+    at ``crash_rate_per_hour`` therefore leave the worker unavailable
+    for ``rate * window`` seconds of every hour.
+    """
+    if crash_rate_per_hour < 0:
+        raise ConfigurationError("crash rate must be >= 0")
+    if failover_seconds < 0:
+        raise ConfigurationError("failover window must be >= 0")
+    return min(1.0, crash_rate_per_hour * failover_seconds / 3600.0)
+
+
+def fleet_fault_tree(workers: int, k_required: int) -> FaultTree:
+    """The fleet's own fault tree: down when fewer than ``k`` survive.
+
+    ``n - k + 1`` worker failures take the fleet below its required
+    capacity — the same K-of-N gate shape the paper uses for application
+    deployments, with shard workers as the basic events.
+    """
+    if workers < 1:
+        raise ConfigurationError("fleet needs at least one worker")
+    if not 1 <= k_required <= workers:
+        raise ConfigurationError(
+            f"k_required={k_required} must be within [1, {workers}]"
+        )
+    events = [basic(f"worker-{i}") for i in range(workers)]
+    return FaultTree(
+        subject_id=f"fleet-{workers}",
+        root=k_of_n_gate(workers - k_required + 1, *events),
+    )
+
+
+@dataclass(frozen=True)
+class CandidateFleet:
+    """One evaluated fleet size."""
+
+    workers: int
+    availability: float
+    availability_lower: float  # CI lower bound (== availability when exact)
+    method: str  # "exact" | "monte-carlo"
+    meets_slo: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "availability": self.availability,
+            "availability_lower": self.availability_lower,
+            "method": self.method,
+            "meets_slo": self.meets_slo,
+        }
+
+
+@dataclass(frozen=True)
+class FleetCapacityPlan:
+    """The planner's answer, JSON-ready for the CLI."""
+
+    target_rps: float
+    per_worker_rps: float
+    k_required: int
+    slo: float
+    crash_rate_per_hour: float
+    failover_seconds: float
+    worker_unavailability: float
+    recommended_workers: int | None
+    candidates: tuple[CandidateFleet, ...] = field(default_factory=tuple)
+
+    @property
+    def satisfiable(self) -> bool:
+        return self.recommended_workers is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "target_rps": self.target_rps,
+            "per_worker_rps": self.per_worker_rps,
+            "k_required": self.k_required,
+            "slo": self.slo,
+            "crash_rate_per_hour": self.crash_rate_per_hour,
+            "failover_seconds": self.failover_seconds,
+            "worker_unavailability": self.worker_unavailability,
+            "recommended_workers": self.recommended_workers,
+            "candidates": [c.to_dict() for c in self.candidates],
+        }
+
+
+def assess_fleet(
+    workers: int,
+    k_required: int,
+    unavailability: float,
+    rounds: int = 200_000,
+    seed: int = 7,
+) -> CandidateFleet:
+    """Availability of one fleet size, exact when tractable.
+
+    Sampled fleets use the CI *lower* bound for the SLO decision — a
+    capacity plan should err toward one worker too many, never one too
+    few on sampling noise.
+    """
+    tree = fleet_fault_tree(workers, k_required)
+    probabilities = {f"worker-{i}": unavailability for i in range(workers)}
+    if workers <= EXACT_LIMIT:
+        down = exact_failure_probability(tree, probabilities)
+        availability = 1.0 - down
+        return CandidateFleet(
+            workers=workers,
+            availability=availability,
+            availability_lower=availability,
+            method="exact",
+            meets_slo=False,  # decided by the caller against the SLO
+        )
+    rng = make_rng(seed + workers)
+    failed = {
+        event: rng.random(rounds) < probabilities[event]
+        for event in sorted(tree.basic_events())
+    }
+    fleet_down = tree.evaluate(failed)
+    estimate = estimate_from_results(~fleet_down)
+    return CandidateFleet(
+        workers=workers,
+        availability=estimate.score,
+        availability_lower=estimate.ci_lower,
+        method="monte-carlo",
+        meets_slo=False,
+    )
+
+
+def plan_capacity(
+    target_rps: float,
+    per_worker_rps: float,
+    slo: float,
+    crash_rate_per_hour: float,
+    failover_seconds: float,
+    max_workers: int = 64,
+    rounds: int = 200_000,
+    seed: int = 7,
+) -> FleetCapacityPlan:
+    """Smallest worker count meeting both throughput and availability.
+
+    ``k = ceil(target_rps / per_worker_rps)`` workers are needed just to
+    carry the load; spares are added until the K-of-N availability —
+    evaluated with the repo's own fault-tree assessor — reaches ``slo``
+    or ``max_workers`` is exhausted (``recommended_workers=None``).
+    """
+    if target_rps <= 0 or per_worker_rps <= 0:
+        raise ConfigurationError("target and per-worker throughput must be > 0")
+    if not 0.0 < slo < 1.0:
+        raise ConfigurationError(f"slo must be in (0, 1), got {slo}")
+    k_required = max(1, math.ceil(target_rps / per_worker_rps))
+    unavailability = worker_unavailability(crash_rate_per_hour, failover_seconds)
+    candidates: list[CandidateFleet] = []
+    recommended: int | None = None
+    for workers in range(k_required, max_workers + 1):
+        candidate = assess_fleet(
+            workers, k_required, unavailability, rounds=rounds, seed=seed
+        )
+        meets = candidate.availability_lower >= slo
+        candidate = CandidateFleet(
+            workers=candidate.workers,
+            availability=candidate.availability,
+            availability_lower=candidate.availability_lower,
+            method=candidate.method,
+            meets_slo=meets,
+        )
+        candidates.append(candidate)
+        if meets:
+            recommended = workers
+            break
+    return FleetCapacityPlan(
+        target_rps=target_rps,
+        per_worker_rps=per_worker_rps,
+        k_required=k_required,
+        slo=slo,
+        crash_rate_per_hour=crash_rate_per_hour,
+        failover_seconds=failover_seconds,
+        worker_unavailability=unavailability,
+        recommended_workers=recommended,
+        candidates=tuple(candidates),
+    )

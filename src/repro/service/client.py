@@ -19,6 +19,7 @@ definition (the request was never admitted).
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import time
@@ -165,7 +166,18 @@ class HttpServiceClient:
                     )
                 self._raise_typed(exc.code, document)
                 raise  # unreachable; _raise_typed always raises
-            except urllib.error.URLError as exc:
+            except (
+                urllib.error.URLError,
+                ConnectionError,
+                http.client.HTTPException,
+                TimeoutError,
+            ) as exc:
+                # ``URLError`` only covers failures *opening* the
+                # connection. A worker failover can reset the socket
+                # mid-response, which surfaces as a raw
+                # ``ConnectionResetError`` / ``RemoteDisconnected`` from
+                # ``reply.read()`` — equally transient, equally safe to
+                # retry under an idempotency key.
                 if (
                     attempts < self.max_attempts
                     and self._retriable_connection(method, path, payload)
@@ -174,7 +186,7 @@ class HttpServiceClient:
                     continue
                 raise ReproError(
                     f"service unreachable at {url} after {attempts} "
-                    f"attempt(s): {exc.reason}"
+                    f"attempt(s): {getattr(exc, 'reason', exc)}"
                 ) from exc
 
     @staticmethod

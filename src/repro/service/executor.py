@@ -1,0 +1,365 @@
+"""Request execution core shared by every service deployment shape.
+
+The in-process :class:`~repro.service.scheduler.AssessmentService` runs
+requests on scheduler *threads*; the supervised fleet
+(:mod:`repro.service.fleet`) runs them in shard worker *processes*. Both
+must answer a given request with the **same bits** — that is the whole
+failover guarantee: a request re-executed after a crash, on a different
+worker, in a different process, yields the result the original execution
+would have produced. The way to keep that property is to have exactly one
+implementation of the execution path, parameterised only by values that
+are a pure function of the request:
+
+* :func:`request_seed` — the deterministic random stream, derived from
+  ``(service seed, kind, idempotency key or journaled id)``, never from
+  worker identity, shard placement or submission order.
+* :func:`chunked_assess` — the anytime sequential assessment loop
+  (cancellation checked between chunks, honest CI widening on partial
+  completion).
+* :class:`RequestExecutor` — one worker's view: a per-worker assessor
+  plus ``run()`` mapping requests (and mid-run cancellation/errors) to
+  :class:`~repro.service.requests.ServiceResponse` exactly like the
+  scheduler's execute path does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+
+import numpy as np
+
+from repro import serialization
+from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig
+from repro.core.assessment import ReliabilityAssessor
+from repro.core.plan import DeploymentPlan
+from repro.core.result import AssessmentResult, RuntimeMetadata
+from repro.core.search import DeploymentSearch, SearchSpec
+from repro.sampling.statistics import estimate_from_results
+from repro.service.requests import (
+    AssessRequest,
+    SearchRequest,
+    ServiceResponse,
+)
+from repro.util.cancel import CancellationToken
+from repro.util.errors import OperationCancelled, ReproError
+from repro.util.rng import make_rng
+from repro.util.timing import Stopwatch
+
+
+def request_seed(service_seed: int, kind: str, handle: str) -> int:
+    """Deterministic per-request stream seed.
+
+    Derived from the service seed and the idempotency key (or the
+    journaled request id), never from worker identity or submission
+    order — the property that makes a crash-replayed request
+    bit-identical to what the crashed process would have answered, even
+    when a *different* worker process replays it.
+    """
+    digest = hashlib.sha256(
+        f"{service_seed}:{kind}:{handle}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def chunked_assess(
+    assessor,
+    plan: DeploymentPlan,
+    structure: ApplicationStructure,
+    rounds: int,
+    chunks: int,
+    token: CancellationToken,
+) -> AssessmentResult:
+    """Sequential anytime execution: assess in chunks, stop on cancel.
+
+    Rounds are split into about ``chunks`` independent chunks; the token
+    is checked between chunks and forwarded into each chunk's sampler
+    loop. On cancel the completed chunks become the anytime estimate with
+    coverage-widened bounds; only a cancel before *any* chunk finished
+    raises :class:`OperationCancelled`.
+    """
+    watch = Stopwatch()
+    chunk_size = max(1, rounds // max(1, chunks))
+    per_round_chunks: list[np.ndarray] = []
+    completed_rounds = 0
+    sampled_components = 0
+    cancelled = False
+    while completed_rounds < rounds:
+        if token.cancelled:
+            cancelled = True
+            break
+        batch = min(chunk_size, rounds - completed_rounds)
+        try:
+            chunk = assessor.assess(plan, structure, rounds=batch, cancel=token)
+        except OperationCancelled:
+            # Mid-chunk cancel: the interrupted chunk yields nothing,
+            # but earlier chunks may still carry the anytime result.
+            cancelled = True
+            break
+        per_round_chunks.append(chunk.per_round)
+        sampled_components = max(sampled_components, chunk.sampled_components)
+        completed_rounds += batch
+    if not per_round_chunks:
+        raise OperationCancelled(
+            "assessment cancelled before any chunk completed",
+            reason=token.reason,
+        )
+    per_round = (
+        per_round_chunks[0]
+        if len(per_round_chunks) == 1
+        else np.concatenate(per_round_chunks)
+    )
+    estimate = estimate_from_results(per_round)
+    dropped_rounds = rounds - completed_rounds
+    if dropped_rounds > 0:
+        # Same honest widening the parallel partial_ok path applies:
+        # missing rounds are missing data, not sampled data.
+        coverage = rounds / per_round.size
+        estimate = replace(
+            estimate,
+            variance=estimate.variance * coverage,
+            confidence_interval_width=(
+                estimate.confidence_interval_width * coverage**0.5
+            ),
+        )
+    total_chunks = -(-rounds // chunk_size)
+    runtime = RuntimeMetadata(
+        backend="chunked",
+        workers=1,
+        portion_seeds=(),
+        dropped_portions=total_chunks - len(per_round_chunks),
+        dropped_rounds=dropped_rounds,
+        cancelled=cancelled,
+    )
+    return AssessmentResult(
+        plan=plan,
+        estimate=estimate,
+        per_round=per_round,
+        sampled_components=sampled_components,
+        elapsed_seconds=watch.elapsed(),
+        runtime=runtime,
+    )
+
+
+class RequestExecutor:
+    """One worker's execution engine for validated service requests.
+
+    Owns a sequential assessor over the service's data center and turns
+    an ``(kind, request)`` pair into the :class:`ServiceResponse` the
+    scheduler's thread workers would produce on their chunked-sequential
+    path — including the cancelled/error response shapes, so a shard
+    worker process needs no extra mapping layer around it.
+    """
+
+    def __init__(
+        self,
+        topology,
+        dependency_model,
+        *,
+        service_seed: int,
+        default_rounds: int,
+        chunks: int,
+        worker_index: int = 0,
+    ):
+        self.topology = topology
+        self.dependency_model = dependency_model
+        self.service_seed = service_seed
+        self.default_rounds = default_rounds
+        self.chunks = chunks
+        self.assessor = ReliabilityAssessor.from_config(
+            topology,
+            dependency_model,
+            AssessmentConfig(
+                rounds=default_rounds,
+                rng=service_seed + 100 + worker_index,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+
+    def seed_for(self, kind: str, handle: str) -> int:
+        return request_seed(self.service_seed, kind, handle)
+
+    def run(
+        self,
+        kind: str,
+        request,
+        *,
+        request_id: str,
+        token: CancellationToken,
+        queue_seconds: float = 0.0,
+        recovered: bool = False,
+    ) -> ServiceResponse:
+        """Execute one request, mapping cancellation/errors to responses."""
+        watch = Stopwatch()
+        try:
+            if token.cancelled:
+                return ServiceResponse(
+                    request_id=request_id,
+                    status="cancelled",
+                    error={
+                        "error": "cancelled",
+                        "reason": token.reason,
+                        "message": "cancelled before execution started",
+                    },
+                    queue_seconds=queue_seconds,
+                )
+            if kind == "assess":
+                return self.run_assess(
+                    request,
+                    request_id=request_id,
+                    token=token,
+                    queue_seconds=queue_seconds,
+                    recovered=recovered,
+                    watch=watch,
+                )
+            return self.run_search(
+                request,
+                request_id=request_id,
+                token=token,
+                queue_seconds=queue_seconds,
+                recovered=recovered,
+                watch=watch,
+            )
+        except OperationCancelled as exc:
+            return ServiceResponse(
+                request_id=request_id,
+                status="cancelled",
+                error={
+                    "error": "cancelled",
+                    "reason": exc.reason,
+                    "message": str(exc),
+                },
+                elapsed_seconds=watch.elapsed(),
+                queue_seconds=queue_seconds,
+            )
+        except ReproError as exc:
+            return ServiceResponse(
+                request_id=request_id,
+                status="error",
+                error={"error": type(exc).__name__, "message": str(exc)},
+                elapsed_seconds=watch.elapsed(),
+                queue_seconds=queue_seconds,
+            )
+
+    # ------------------------------------------------------------------
+
+    def run_assess(
+        self,
+        request: AssessRequest,
+        *,
+        request_id: str,
+        token: CancellationToken,
+        queue_seconds: float,
+        recovered: bool,
+        watch: Stopwatch,
+    ) -> ServiceResponse:
+        structure = ApplicationStructure.k_of_n(request.k, len(request.hosts))
+        plan = DeploymentPlan.single_component(
+            list(request.hosts), structure.components[0].name
+        )
+        rounds = request.rounds or self.default_rounds
+        seed = self.seed_for("assess", request.idempotency_key or request_id)
+        # Reseed per request: the stream is a pure function of the
+        # request, not of which worker runs it or what ran before.
+        self.assessor.rng = make_rng(seed)
+        result = chunked_assess(
+            self.assessor, plan, structure, rounds, self.chunks, token
+        )
+        if recovered and result.runtime is not None:
+            result = replace(
+                result, runtime=replace(result.runtime, recovered=True)
+            )
+        status = (
+            "degraded"
+            if result.degraded or (result.runtime and result.runtime.cancelled)
+            else "ok"
+        )
+        return ServiceResponse(
+            request_id=request_id,
+            status=status,
+            result=serialization.assessment_to_dict(result),
+            elapsed_seconds=watch.elapsed(),
+            queue_seconds=queue_seconds,
+            backend="chunked-sequential",
+        )
+
+    def run_search(
+        self,
+        request: SearchRequest,
+        *,
+        request_id: str,
+        token: CancellationToken,
+        queue_seconds: float,
+        recovered: bool,
+        watch: Stopwatch,
+    ) -> ServiceResponse:
+        return execute_search(
+            self.topology,
+            self.dependency_model,
+            request,
+            request_id=request_id,
+            seed=self.seed_for("search", request.idempotency_key or request_id),
+            default_rounds=self.default_rounds,
+            token=token,
+            queue_seconds=queue_seconds,
+            recovered=recovered,
+            watch=watch,
+        )
+
+
+def execute_search(
+    topology,
+    dependency_model,
+    request: SearchRequest,
+    *,
+    request_id: str,
+    seed: int,
+    default_rounds: int,
+    token: CancellationToken,
+    queue_seconds: float,
+    recovered: bool,
+    watch: Stopwatch,
+) -> ServiceResponse:
+    """One search request, end to end, on the incremental engine.
+
+    The seed must come from :func:`request_seed` — a recovered search
+    then explores the same trajectory regardless of which worker (thread
+    or process) runs it.
+    """
+    structure = ApplicationStructure.k_of_n(request.k, request.n)
+    search = DeploymentSearch.from_config(
+        topology,
+        dependency_model,
+        AssessmentConfig(
+            rounds=request.rounds or default_rounds,
+            rng=seed,
+            mode="incremental",
+        ),
+        rng=(seed + 1) % 2**63,
+        cancel=token,
+    )
+    spec = SearchSpec(
+        structure=structure,
+        desired_reliability=request.desired_reliability,
+        max_seconds=request.max_seconds,
+        forbid_shared_rack=True,
+    )
+    result = search.search(spec)
+    cut_short = token.cancelled
+    status = "degraded" if cut_short else "ok"
+    document = serialization.search_result_to_dict(result)
+    if recovered:
+        document["recovered"] = True
+    if cut_short:
+        document["cancelled"] = True
+        document["cancel_reason"] = token.reason
+    return ServiceResponse(
+        request_id=request_id,
+        status=status,
+        result=document,
+        elapsed_seconds=watch.elapsed(),
+        queue_seconds=queue_seconds,
+        backend="search",
+    )

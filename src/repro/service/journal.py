@@ -29,7 +29,10 @@ Record framing is append-only, length-prefixed and checksummed::
 Appends are flushed and ``fsync``'d before the caller proceeds (the
 write-ahead contract), and segment files are rotated at a byte threshold
 so garbage collection can drop whole sealed segments instead of
-rewriting. Opening the journal for writing truncates a *torn tail* — a
+rewriting. A fleet deployment gives every shard its own *segment family*
+(``journal-sNN-*.waj``) in the shared directory: one single-writer file
+per shard, a takeover scan that reads only the dead shard's family, and
+per-shard GC that never touches a survivor's live segment. Opening the journal for writing truncates a *torn tail* — a
 record half-written when the process died — back to the last intact
 record; corruption anywhere in a sealed (fsync'd, rotated-away) segment
 is loud :class:`~repro.util.errors.ConfigurationError`, never silent.
@@ -64,15 +67,36 @@ _SEGMENT_PREFIX = "journal-"
 _SEGMENT_SUFFIX = ".waj"
 
 
-def _segment_name(sequence: int) -> str:
-    return f"{_SEGMENT_PREFIX}{sequence:08d}{_SEGMENT_SUFFIX}"
+def _segment_name(sequence: int, shard: int | None = None) -> str:
+    """Segment filename; fleet shards get their own segment families.
+
+    ``journal-00000001.waj`` (unsharded, the single-process service) or
+    ``journal-s03-00000001.waj`` (shard 3 of a fleet). Per-shard segment
+    families mean a worker failover replays *only the dead shard's*
+    records, and shard GC never has to look at a survivor's live file.
+    """
+    if shard is None:
+        return f"{_SEGMENT_PREFIX}{sequence:08d}{_SEGMENT_SUFFIX}"
+    return f"{_SEGMENT_PREFIX}s{shard:02d}-{sequence:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_key(name: str) -> tuple[int | None, int] | None:
+    """Parse a segment filename into ``(shard, sequence)``; None = not ours."""
+    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    body = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    shard: int | None = None
+    if body.startswith("s") and "-" in body:
+        shard_digits, _, body = body.partition("-")
+        if not shard_digits[1:].isdigit():
+            return None
+        shard = int(shard_digits[1:])
+    return (shard, int(body)) if body.isdigit() else None
 
 
 def _segment_sequence(name: str) -> int | None:
-    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
-        return None
-    digits = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
-    return int(digits) if digits.isdigit() else None
+    key = _segment_key(name)
+    return None if key is None else key[1]
 
 
 def encode_record(record: dict) -> bytes:
@@ -131,7 +155,12 @@ def scan_segment(path: str) -> tuple[list[dict], int, str | None]:
 
 @dataclass
 class PendingRequest:
-    """One journaled request that never reached a terminal record."""
+    """One journaled request that never reached a terminal record.
+
+    ``shard`` is the fleet shard whose journal last accepted the request
+    (``None`` for the unsharded single-process journal); a takeover moves
+    a request to a survivor's shard by re-accepting it there.
+    """
 
     request_id: str
     kind: str
@@ -139,6 +168,7 @@ class PendingRequest:
     idempotency_key: str | None
     fingerprint: str | None
     started: bool = False
+    shard: int | None = None
 
 
 @dataclass
@@ -158,6 +188,9 @@ class JournalState:
         segment_ids: Per segment path, the request ids whose ``accepted``
             record lives in it (drives segment GC).
         records: Total records replayed.
+        events: Per request id, the lifecycle records seen (event name,
+            timestamp and the distinguishing fields), in fold order —
+            what ``repro journal inspect`` prints for post-mortems.
     """
 
     pending: list[PendingRequest] = field(default_factory=list)
@@ -166,6 +199,7 @@ class JournalState:
     max_request_number: int = 0
     segment_ids: dict[str, set[str]] = field(default_factory=dict)
     records: int = 0
+    events: dict[str, list[dict]] = field(default_factory=dict)
 
 
 def _fold(state: JournalState, record: dict, segment: str) -> None:
@@ -176,11 +210,29 @@ def _fold(state: JournalState, record: dict, segment: str) -> None:
             f"journal segment {segment!r} holds a malformed record: {record!r}"
         )
     state.records += 1
+    state.events.setdefault(request_id, []).append(
+        {
+            key: record[key]
+            for key in ("event", "ts", "status", "reason", "shard", "kind")
+            if key in record
+        }
+    )
     tail = request_id.rsplit("-", 1)[-1]
     if tail.isdigit():
         state.max_request_number = max(state.max_request_number, int(tail))
     if event == "accepted":
         state.segment_ids.setdefault(segment, set()).add(request_id)
+        if request_id in state.terminal_ids:
+            # A takeover re-acceptance whose terminal record folded first
+            # (per-shard segment families are folded shard by shard, not
+            # in global time order) — the request is done, stay done.
+            return
+        for entry in state.pending:
+            if entry.request_id == request_id:
+                # Same id accepted twice: a failover moved the request to
+                # a surviving shard. One execution, latest ownership.
+                entry.shard = record.get("shard")
+                return
         state.pending.append(
             PendingRequest(
                 request_id=request_id,
@@ -188,6 +240,7 @@ def _fold(state: JournalState, record: dict, segment: str) -> None:
                 request=record.get("request") or {},
                 idempotency_key=record.get("key"),
                 fingerprint=record.get("fingerprint"),
+                shard=record.get("shard"),
             )
         )
     elif event == "started":
@@ -216,13 +269,16 @@ class RequestJournal:
     journal.
     """
 
-    def __init__(self, directory, segment_bytes: int = 1 << 20):
+    def __init__(
+        self, directory, segment_bytes: int = 1 << 20, shard: int | None = None
+    ):
         if segment_bytes < 1:
             raise ConfigurationError(
                 f"segment_bytes must be >= 1, got {segment_bytes}"
             )
         self.directory = os.fspath(directory)
         self.segment_bytes = segment_bytes
+        self.shard = shard
         self._lock = threading.Lock()
         self._handle = None
         os.makedirs(self.directory, exist_ok=True)
@@ -233,10 +289,11 @@ class RequestJournal:
     # ------------------------------------------------------------------
 
     def _segments(self) -> list[str]:
+        """This journal's own segment family, in sequence order."""
         entries = [
-            (sequence, name)
+            (key[1], name)
             for name in os.listdir(self.directory)
-            if (sequence := _segment_sequence(name)) is not None
+            if (key := _segment_key(name)) is not None and key[0] == self.shard
         ]
         return [
             os.path.join(self.directory, name)
@@ -275,7 +332,9 @@ class RequestJournal:
             sequence = _segment_sequence(os.path.basename(current))
         else:
             sequence = 1
-            current = os.path.join(self.directory, _segment_name(sequence))
+            current = os.path.join(
+                self.directory, _segment_name(sequence, self.shard)
+            )
         self._current_path = current
         self._sequence = sequence
         self._handle = open(current, "ab")
@@ -287,29 +346,42 @@ class RequestJournal:
         return self._state
 
     @staticmethod
-    def scan(directory) -> JournalState:
+    def scan(directory, shard=...) -> JournalState:
         """Read-only replay of a journal directory.
 
         Tolerates a torn tail (the writer may be mid-append) without
         truncating anything — safe to call against a *live* journal from
-        another process, e.g. the crash-recovery harness.
+        another process, e.g. the crash-recovery harness. With the
+        default ``shard=...`` every segment family in the directory is
+        folded into one state (each family may carry its own torn live
+        tail); ``shard=N`` (or ``shard=None`` for the unsharded family)
+        restricts the scan to one family — the **takeover scan** a fleet
+        supervisor runs against a dead worker's shard.
         """
         directory = os.fspath(directory)
         state = JournalState()
-        entries = sorted(
-            name
-            for name in os.listdir(directory)
-            if _segment_sequence(name) is not None
-        )
-        for index, name in enumerate(entries):
-            path = os.path.join(directory, name)
-            records, _, defect = scan_segment(path)
-            if defect is not None and index != len(entries) - 1:
-                raise ConfigurationError(
-                    f"journal segment {path!r} is corrupt mid-stream ({defect})"
-                )
-            for record in records:
-                _fold(state, record, path)
+        families: dict[int | None, list[tuple[int, str]]] = {}
+        for name in os.listdir(directory):
+            key = _segment_key(name)
+            if key is None:
+                continue
+            if shard is not ... and key[0] != shard:
+                continue
+            families.setdefault(key[0], []).append((key[1], name))
+        for _, entries in sorted(
+            families.items(), key=lambda item: (item[0] is None, item[0] or 0)
+        ):
+            entries.sort()
+            for index, (_, name) in enumerate(entries):
+                path = os.path.join(directory, name)
+                records, _, defect = scan_segment(path)
+                if defect is not None and index != len(entries) - 1:
+                    raise ConfigurationError(
+                        f"journal segment {path!r} is corrupt mid-stream "
+                        f"({defect})"
+                    )
+                for record in records:
+                    _fold(state, record, path)
         return state
 
     # ------------------------------------------------------------------
@@ -317,6 +389,8 @@ class RequestJournal:
     # ------------------------------------------------------------------
 
     def _append(self, record: dict) -> None:
+        if self.shard is not None and "shard" not in record:
+            record = dict(record, shard=self.shard)
         data = encode_record(record)
         with self._lock:
             handle = self._handle
@@ -339,7 +413,7 @@ class RequestJournal:
         self._handle.close()
         self._sequence += 1
         self._current_path = os.path.join(
-            self.directory, _segment_name(self._sequence)
+            self.directory, _segment_name(self._sequence, self.shard)
         )
         self._handle = open(self._current_path, "ab")
         fsync_dir(self.directory)

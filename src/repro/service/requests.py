@@ -279,6 +279,8 @@ class Ticket:
     ``recovered`` marks a ticket rebuilt from the write-ahead journal
     after a crash: it was accepted by a previous process and is being
     re-executed, which the result's runtime metadata discloses.
+    ``shard`` is the owning shard under the supervised fleet
+    (:mod:`repro.service.fleet`); the thread scheduler leaves it ``None``.
     """
 
     id: str
@@ -290,6 +292,7 @@ class Ticket:
     )
     enqueued_at: float = 0.0
     recovered: bool = False
+    shard: int | None = None
 
     @property
     def idempotency_key(self) -> str | None:

@@ -42,18 +42,16 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
-import numpy as np
-
 from repro import serialization
 from repro.app.structure import ApplicationStructure
 from repro.core.api import AssessmentConfig
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
 from repro.core.result import AssessmentResult, RuntimeMetadata
-from repro.core.search import DeploymentSearch, SearchSpec
-from repro.sampling.statistics import estimate_from_results
 from repro.service.breaker import CircuitBreaker
+from repro.service.executor import chunked_assess, execute_search, request_seed
 from repro.service.health import DRAINING, SERVING, STOPPED, HealthMonitor
+from repro.service.heartbeat import HeartbeatTracker
 from repro.service.journal import JournalState, RequestJournal
 from repro.service.queue import AdmissionQueue
 from repro.service.requests import (
@@ -116,6 +114,21 @@ class ServiceConfig:
         result_ttl_seconds: How long completed results (and the sealed
             journal segments remembering them) are retained for
             idempotent replay. Default one week.
+        fleet_workers: Shard worker *processes* for the supervised fleet
+            (:mod:`repro.service.fleet`); 0 keeps the single-process
+            thread scheduler. Only ``repro serve --workers N`` and the
+            fleet supervisor read this.
+        heartbeat_interval_seconds / heartbeat_misses: Fleet failure
+            detection — a worker that misses ``heartbeat_misses``
+            consecutive intervals (or whose process exits) is declared
+            dead and failed over.
+        respawn_backoff_seconds / respawn_backoff_cap_seconds: Base and
+            cap of the exponential backoff between respawns of a dead
+            shard worker.
+        quarantine_restarts / quarantine_window_seconds: A worker
+            restarted more than ``quarantine_restarts`` times within the
+            window is quarantined — no further respawns; its key range
+            is served by the surviving shards.
     """
 
     scale: str = "tiny"
@@ -134,6 +147,13 @@ class ServiceConfig:
     journal_dir: str | None = None
     journal_segment_bytes: int = 1 << 20
     result_ttl_seconds: float = 7 * 24 * 3600.0
+    fleet_workers: int = 0
+    heartbeat_interval_seconds: float = 0.25
+    heartbeat_misses: int = 8
+    respawn_backoff_seconds: float = 0.25
+    respawn_backoff_cap_seconds: float = 5.0
+    quarantine_restarts: int = 5
+    quarantine_window_seconds: float = 30.0
 
 
 class AssessmentService:
@@ -161,6 +181,7 @@ class AssessmentService:
         self.metrics = MetricsRegistry()
         self.queue = AdmissionQueue(self.config.queue_capacity, self.metrics)
         self.health = HealthMonitor(clock)
+        self.heartbeats = HeartbeatTracker(clock=clock)
         self.breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_failure_threshold,
             recovery_seconds=self.config.breaker_recovery_seconds,
@@ -418,18 +439,9 @@ class AssessmentService:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def _request_seed(self, ticket: Ticket) -> int:
-        """Deterministic per-request stream seed.
-
-        Derived from the service seed and the idempotency key (or the
-        journaled request id), never from worker identity or submission
-        order — the property that makes a crash-replayed request
-        bit-identical to what the crashed process would have answered.
-        """
+        """Deterministic per-request stream seed (see :func:`request_seed`)."""
         handle = ticket.idempotency_key or ticket.id
-        digest = hashlib.sha256(
-            f"{self.config.seed}:{ticket.kind}:{handle}".encode("utf-8")
-        ).digest()
-        return int.from_bytes(digest[:8], "big")
+        return request_seed(self.config.seed, ticket.kind, handle)
 
     def _resolve_key(
         self, kind: str, request, key: str, fingerprint: str
@@ -576,6 +588,7 @@ class AssessmentService:
     # ------------------------------------------------------------------
 
     def _worker_loop(self, index: int) -> None:
+        name = f"worker-{index}"
         assessor = ReliabilityAssessor.from_config(
             self.topology,
             self.dependency_model,
@@ -584,8 +597,14 @@ class AssessmentService:
                 rng=self.config.seed + 100 + index,
             ),
         )
+        self.heartbeats.beat(name)
         while True:
             ticket = self.queue.pop(timeout=0.1)
+            # Thread workers beat between requests; during a long
+            # execution the age grows, which status() reports honestly
+            # (an operator sees a busy worker, not a dead one — liveness
+            # of *threads* is the process's own liveness).
+            self.heartbeats.beat(name, busy=ticket is not None)
             if ticket is None:
                 if self._root_token.cancelled:
                     return
@@ -601,6 +620,8 @@ class AssessmentService:
                         error={"error": "internal", "message": str(exc)},
                     )
                 )
+            finally:
+                self.heartbeats.beat(name, busy=False)
 
     def _execute(self, ticket: Ticket, assessor, worker_index: int) -> None:
         queue_seconds = max(0.0, self._clock() - ticket.enqueued_at)
@@ -816,75 +837,14 @@ class AssessmentService:
         rounds: int,
         token: CancellationToken,
     ) -> AssessmentResult:
-        """Sequential anytime execution: assess in chunks, stop on cancel.
+        """Sequential anytime execution (shared with the fleet workers).
 
-        The fallback (and default) backend. Rounds are split into about
-        ``config.chunks`` independent chunks; the token is checked between
-        chunks and forwarded into each chunk's sampler loop. On cancel the
-        completed chunks become the anytime estimate with coverage-widened
-        bounds; only a cancel before *any* chunk finished raises
-        :class:`OperationCancelled`.
+        The fallback (and default) backend; the single implementation
+        lives in :func:`repro.service.executor.chunked_assess` so thread
+        workers and shard worker processes stay bit-identical.
         """
-        watch = Stopwatch()
-        chunk_size = max(1, rounds // max(1, self.config.chunks))
-        per_round_chunks: list[np.ndarray] = []
-        completed_rounds = 0
-        sampled_components = 0
-        cancelled = False
-        while completed_rounds < rounds:
-            if token.cancelled:
-                cancelled = True
-                break
-            batch = min(chunk_size, rounds - completed_rounds)
-            try:
-                chunk = assessor.assess(plan, structure, rounds=batch, cancel=token)
-            except OperationCancelled:
-                # Mid-chunk cancel: the interrupted chunk yields nothing,
-                # but earlier chunks may still carry the anytime result.
-                cancelled = True
-                break
-            per_round_chunks.append(chunk.per_round)
-            sampled_components = max(sampled_components, chunk.sampled_components)
-            completed_rounds += batch
-        if not per_round_chunks:
-            raise OperationCancelled(
-                "assessment cancelled before any chunk completed",
-                reason=token.reason,
-            )
-        per_round = (
-            per_round_chunks[0]
-            if len(per_round_chunks) == 1
-            else np.concatenate(per_round_chunks)
-        )
-        estimate = estimate_from_results(per_round)
-        dropped_rounds = rounds - completed_rounds
-        if dropped_rounds > 0:
-            # Same honest widening the parallel partial_ok path applies:
-            # missing rounds are missing data, not sampled data.
-            coverage = rounds / per_round.size
-            estimate = replace(
-                estimate,
-                variance=estimate.variance * coverage,
-                confidence_interval_width=(
-                    estimate.confidence_interval_width * coverage**0.5
-                ),
-            )
-        total_chunks = -(-rounds // chunk_size)
-        runtime = RuntimeMetadata(
-            backend="chunked",
-            workers=1,
-            portion_seeds=(),
-            dropped_portions=total_chunks - len(per_round_chunks),
-            dropped_rounds=dropped_rounds,
-            cancelled=cancelled,
-        )
-        return AssessmentResult(
-            plan=plan,
-            estimate=estimate,
-            per_round=per_round,
-            sampled_components=sampled_components,
-            elapsed_seconds=watch.elapsed(),
-            runtime=runtime,
+        return chunked_assess(
+            assessor, plan, structure, rounds, self.config.chunks, token
         )
 
     # ------------------------------------------------------------------
@@ -894,44 +854,17 @@ class AssessmentService:
     def _run_search(
         self, ticket: Ticket, queue_seconds: float, watch: Stopwatch, worker_index: int
     ) -> tuple[ServiceResponse, str]:
-        request: SearchRequest = ticket.request
-        structure = ApplicationStructure.k_of_n(request.k, request.n)
-        # Seeds derive from the request, not the worker that happens to
-        # run it — a recovered search explores the same trajectory.
-        seed = self._request_seed(ticket)
-        search = DeploymentSearch.from_config(
+        response = execute_search(
             self.topology,
             self.dependency_model,
-            AssessmentConfig(
-                rounds=request.rounds or self.config.rounds,
-                rng=seed,
-                mode="incremental",
-            ),
-            rng=(seed + 1) % 2**63,
-            cancel=ticket.token,
-        )
-        spec = SearchSpec(
-            structure=structure,
-            desired_reliability=request.desired_reliability,
-            max_seconds=request.max_seconds,
-            forbid_shared_rack=True,
-        )
-        result = search.search(spec)
-        cut_short = ticket.token.cancelled
-        status = "degraded" if cut_short else "ok"
-        document = serialization.search_result_to_dict(result)
-        if ticket.recovered:
-            document["recovered"] = True
-        if cut_short:
-            document["cancelled"] = True
-            document["cancel_reason"] = ticket.token.reason
-        response = ServiceResponse(
+            ticket.request,
             request_id=ticket.id,
-            status=status,
-            result=document,
-            elapsed_seconds=watch.elapsed(),
+            seed=self._request_seed(ticket),
+            default_rounds=self.config.rounds,
+            token=ticket.token,
             queue_seconds=queue_seconds,
-            backend="search",
+            recovered=ticket.recovered,
+            watch=watch,
         )
         return response, "search"
 
@@ -940,7 +873,7 @@ class AssessmentService:
     # ------------------------------------------------------------------
 
     def status(self) -> dict:
-        """JSON-ready health + queue + breaker snapshot."""
+        """JSON-ready health + queue + breaker + per-worker snapshot."""
         return {
             "health": self.health.snapshot(),
             "queue": {
@@ -950,6 +883,7 @@ class AssessmentService:
             },
             "breaker": self.breaker.snapshot(),
             "inflight": len(self._open_tickets()),
+            "workers": self.heartbeats.snapshot(),
             "durability": {
                 "journaling": self._journal is not None,
                 "journal_dir": self.config.journal_dir,

@@ -164,9 +164,19 @@ def serve(
     """Run the service until SIGTERM/SIGINT, then drain gracefully.
 
     Returns the process exit code (0 for a clean drain). Signal handlers
-    are optional so tests can drive shutdown directly.
+    are optional so tests can drive shutdown directly. With
+    ``config.fleet_workers > 0`` the HTTP front talks to a
+    :class:`~repro.service.fleet.FleetSupervisor` — N forked shard
+    worker processes with heartbeat supervision and journal-based
+    failover — instead of the in-process thread scheduler; the handler
+    cannot tell the difference.
     """
-    service = AssessmentService(config).start()
+    if config is not None and config.fleet_workers > 0:
+        from repro.service.fleet import FleetSupervisor
+
+        service = FleetSupervisor(config).start()
+    else:
+        service = AssessmentService(config).start()
     httpd = ServiceHTTPServer((host, port), service)
     stop_event = threading.Event()
 

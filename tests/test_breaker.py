@@ -233,3 +233,78 @@ class TestServiceLevelBreaker:
             assert service.breaker.state == CLOSED
         finally:
             service.close()
+
+
+class TestHalfOpenConcurrency:
+    """Probe slots under racing submissions.
+
+    The half-open gate must admit exactly ``half_open_probes`` racing
+    callers and refuse the rest — one atomic decision per caller, no
+    thundering herd onto the recovering backend.
+    """
+
+    def _race(self, breaker, callers: int) -> list[str]:
+        import threading
+
+        barrier = threading.Barrier(callers)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def caller():
+            barrier.wait()
+            try:
+                breaker.before_call()
+            except CircuitOpen:
+                with lock:
+                    outcomes.append("refused")
+            else:
+                with lock:
+                    outcomes.append("probe")
+
+        threads = [threading.Thread(target=caller) for _ in range(callers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return outcomes
+
+    def test_racing_callers_get_exactly_the_probe_slots(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_seconds=1.0, half_open_probes=2,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        outcomes = self._race(breaker, callers=8)
+        assert outcomes.count("probe") == 2
+        assert outcomes.count("refused") == 6
+        assert breaker.state == HALF_OPEN
+
+    def test_all_probes_succeeding_closes_under_concurrency(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_seconds=1.0, half_open_probes=3,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        outcomes = self._race(breaker, callers=6)
+        assert outcomes.count("probe") == 3
+        for _ in range(3):
+            breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.before_call()  # closed again: flows freely
+
+    def test_one_failed_probe_reopens_despite_other_successes(self, clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_seconds=1.0, half_open_probes=2,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        outcomes = self._race(breaker, callers=4)
+        assert outcomes.count("probe") == 2
+        breaker.record_success()
+        breaker.record_failure()  # the second probe fails
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.before_call()

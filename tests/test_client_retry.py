@@ -10,6 +10,7 @@ report the attempt count.
 
 from __future__ import annotations
 
+import http.client
 import io
 import json
 import random
@@ -194,3 +195,62 @@ class TestConnectionErrorRetries:
     def test_max_attempts_must_be_positive(self):
         with pytest.raises(ValueError):
             HttpServiceClient("http://test", max_attempts=0)
+
+
+class TestFailoverWindowRetries:
+    """Mid-response disconnects during a worker failover.
+
+    ``urlopen`` wraps failures *opening* the connection in ``URLError``,
+    but a socket reset while *reading* the response surfaces raw —
+    ``http.client.RemoteDisconnected`` or ``ConnectionResetError``. Both
+    mean the same thing during a fleet failover and must retry under the
+    same idempotency rules.
+    """
+
+    def test_keyed_post_retries_remote_disconnected(self, monkeypatch):
+        transport = _Transport(
+            [
+                http.client.RemoteDisconnected("closed mid-response"),
+                {"request_id": "req-9", "status": "ok"},
+            ]
+        )
+        client, sleeps = _client(monkeypatch, transport)
+        reply = client.assess(["h0"], k=1, idempotency_key="key-1")
+        assert reply["status"] == "ok"
+        assert transport.calls == 2
+        assert len(sleeps) == 1
+
+    def test_keyed_post_retries_connection_reset(self, monkeypatch):
+        transport = _Transport(
+            [
+                ConnectionResetError("peer reset"),
+                ConnectionResetError("peer reset"),
+                {"request_id": "req-9", "status": "ok"},
+            ]
+        )
+        client, sleeps = _client(monkeypatch, transport)
+        reply = client.assess(["h0"], k=1, idempotency_key="key-1")
+        assert reply["status"] == "ok"
+        assert transport.calls == 3
+
+    def test_keyless_post_never_retries_resets(self, monkeypatch):
+        transport = _Transport([ConnectionResetError("peer reset")])
+        client, sleeps = _client(monkeypatch, transport)
+        with pytest.raises(ReproError, match="after 1 attempt"):
+            client.assess(["h0"], k=1)
+        assert transport.calls == 1
+        assert sleeps == []
+
+    def test_get_retries_resets(self, monkeypatch):
+        transport = _Transport(
+            [http.client.RemoteDisconnected("restarting"), {"status": "serving"}]
+        )
+        client, _ = _client(monkeypatch, transport)
+        assert client.readyz()["status"] == "serving"
+        assert transport.calls == 2
+
+    def test_exhausted_resets_report_attempts(self, monkeypatch):
+        transport = _Transport([ConnectionResetError("reset")] * 3)
+        client, _ = _client(monkeypatch, transport)
+        with pytest.raises(ReproError, match="after 3 attempt"):
+            client.assess(["h0"], k=1, idempotency_key="key-1")

@@ -1,0 +1,315 @@
+"""The supervised worker fleet: sharding, failover, chaos replay.
+
+The expensive end of the service tests: real forked worker processes,
+real SIGKILL. Rounds are kept small and heartbeats fast so the whole
+file still runs in seconds. The crown jewel is
+``test_kill9_mid_request_replays_bit_identical`` — the PR 5 durability
+guarantee carried across process boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.sampling import base as sampling_base
+from repro.service.fleet import FleetSupervisor, HashRing
+from repro.service.journal import RequestJournal
+from repro.service.requests import AssessRequest
+from repro.service.scheduler import ServiceConfig
+from repro.util.errors import AdmissionRejected, ConfigurationError
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the worker fleet requires the fork start method",
+)
+
+
+def _config(journal_dir, **overrides) -> ServiceConfig:
+    defaults = dict(
+        scale="tiny",
+        seed=1,
+        rounds=200,
+        chunks=4,
+        queue_capacity=16,
+        fleet_workers=2,
+        journal_dir=os.fspath(journal_dir),
+        heartbeat_interval_seconds=0.1,
+        heartbeat_misses=5,
+        respawn_backoff_seconds=0.1,
+        respawn_backoff_cap_seconds=0.5,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _hosts(supervisor, count=3):
+    return tuple(
+        c for c in supervisor.topology.components if c.startswith("host")
+    )[:count]
+
+
+def _wait_until(predicate, timeout=30.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestHashRing:
+    def test_every_shard_owns_part_of_the_space(self):
+        ring = HashRing(4)
+        owners = {ring.owner(f"key-{i}") for i in range(500)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_placement_is_deterministic_across_instances(self):
+        first = HashRing(8)
+        second = HashRing(8)
+        keys = [f"key-{i}" for i in range(200)]
+        assert [first.owner(k) for k in keys] == [second.owner(k) for k in keys]
+
+    def test_removing_a_shard_only_moves_its_own_keys(self):
+        ring = HashRing(4)
+        keys = [f"key-{i}" for i in range(500)]
+        before = {k: ring.owner(k) for k in keys}
+        survivors = [0, 1, 3]  # shard 2 died
+        for key, owner in before.items():
+            after = ring.owner(key, survivors)
+            if owner != 2:
+                assert after == owner, "a surviving shard's key moved"
+            else:
+                assert after in survivors
+
+    def test_eligible_filter_and_empty_set(self):
+        ring = HashRing(4)
+        assert ring.owner("anything", [2]) == 2
+        assert ring.owner("anything", []) is None
+
+
+class TestFleetBasics:
+    def test_requires_fleet_workers(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="fleet_workers"):
+            FleetSupervisor(_config(tmp_path, fleet_workers=0))
+
+    def test_assess_executes_and_keys_replay(self, tmp_path):
+        with FleetSupervisor(_config(tmp_path)) as fleet:
+            hosts = _hosts(fleet)
+            first = fleet.assess(
+                AssessRequest(hosts=hosts, k=2, idempotency_key="alpha"),
+                timeout=60,
+            )
+            assert first.status == "ok"
+            assert first.result is not None
+            unkeyed = fleet.assess(AssessRequest(hosts=hosts, k=2), timeout=60)
+            assert unkeyed.status == "ok"
+            replay = fleet.assess(
+                AssessRequest(hosts=hosts, k=2, idempotency_key="alpha"),
+                timeout=60,
+            )
+            assert replay.replayed
+            assert replay.result == first.result
+
+    def test_keyed_requests_route_by_ring_owner(self, tmp_path):
+        with FleetSupervisor(_config(tmp_path)) as fleet:
+            hosts = _hosts(fleet)
+            key = "routed-key"
+            expected = fleet.ring.owner(key, range(fleet.config.fleet_workers))
+            ticket = fleet.submit(
+                "assess", AssessRequest(hosts=hosts, k=2, idempotency_key=key)
+            )
+            assert ticket.shard == expected
+            ticket.future.result(timeout=60)
+
+    def test_status_exposes_shard_and_heartbeat_views(self, tmp_path):
+        with FleetSupervisor(_config(tmp_path)) as fleet:
+            assert _wait_until(
+                lambda: fleet.status()["fleet"]["alive"] == 2
+            ), fleet.status()
+            status = fleet.status()
+            shards = status["fleet"]["shards"]
+            assert [s["shard"] for s in shards] == [0, 1]
+            assert all(s["pid"] for s in shards)
+            workers = {row["name"]: row for row in status["workers"]}
+            assert set(workers) == {"shard-0", "shard-1"}
+            for row in workers.values():
+                assert row["heartbeat_age_seconds"] is not None
+                assert row["status"] == "alive"
+            assert status["durability"]["journaling"] is True
+
+    def test_submit_sheds_failover_when_no_shard_routable(self, tmp_path):
+        fleet = FleetSupervisor(_config(tmp_path))
+        try:
+            fleet.start()
+            hosts = _hosts(fleet)
+            with fleet._lock:
+                for slot in fleet._slots:
+                    slot.state = "quarantined"
+            with pytest.raises(AdmissionRejected) as excinfo:
+                fleet.submit("assess", AssessRequest(hosts=hosts, k=2))
+            assert excinfo.value.reason == "failover"
+        finally:
+            with fleet._lock:
+                for slot in fleet._slots:
+                    slot.state = "alive"
+            fleet.close()
+
+
+class TestFleetRecovery:
+    def test_full_restart_replays_journaled_pending_requests(self, tmp_path):
+        # A previous supervisor accepted work into shard 1's segment
+        # family and died before executing it.
+        from repro.service.scheduler import AssessmentService
+        from repro.topology.presets import paper_topology
+
+        topology = paper_topology("tiny", seed=1)
+        hosts = tuple(
+            c for c in topology.components if c.startswith("host")
+        )[:3]
+        request = AssessRequest(hosts=hosts, k=2, idempotency_key="ghost")
+        journal = RequestJournal(os.fspath(tmp_path), shard=1)
+        journal.accepted(
+            "req-77",
+            "assess",
+            request.to_dict(),
+            "ghost",
+            AssessmentService._fingerprint(request),
+        )
+        journal.started("req-77")
+        journal.close()
+        with FleetSupervisor(_config(tmp_path)) as fleet:
+            assert _wait_until(lambda: "req-77" not in fleet._tickets)
+            # The replayed execution completed and the key is now bound
+            # to a stored response.
+            replay = fleet.assess(
+                AssessRequest(hosts=hosts, k=2, idempotency_key="ghost"),
+                timeout=60,
+            )
+            assert replay.replayed
+            assert replay.request_id == "req-77"
+            assert replay.result["runtime"]["recovered"] is True
+
+    def test_dead_worker_respawns_and_serves_again(self, tmp_path):
+        with FleetSupervisor(_config(tmp_path)) as fleet:
+            assert _wait_until(lambda: fleet.status()["fleet"]["alive"] == 2)
+            victim = fleet._slots[0].process.pid
+            os.kill(victim, signal.SIGKILL)
+            assert _wait_until(
+                lambda: fleet._slots[0].generation == 2
+                and fleet.status()["fleet"]["alive"] == 2
+            ), fleet.status()
+            status = fleet.status()
+            assert status["fleet"]["shards"][0]["restarts"] == 1
+            assert fleet._slots[0].process.pid != victim
+            hosts = _hosts(fleet)
+            response = fleet.assess(AssessRequest(hosts=hosts, k=2), timeout=60)
+            assert response.status == "ok"
+
+    def test_flapping_worker_is_quarantined_and_survivors_serve(self, tmp_path):
+        config = _config(tmp_path, quarantine_restarts=0)
+        with FleetSupervisor(config) as fleet:
+            assert _wait_until(lambda: fleet.status()["fleet"]["alive"] == 2)
+            os.kill(fleet._slots[0].process.pid, signal.SIGKILL)
+            assert _wait_until(
+                lambda: fleet._slots[0].state == "quarantined"
+            ), fleet.status()
+            status = fleet.status()
+            assert status["fleet"]["quarantined"] == 1
+            hosts = _hosts(fleet)
+            # Every key now lands on the survivor, including ones the
+            # dead shard used to own.
+            for index in range(4):
+                response = fleet.assess(
+                    AssessRequest(
+                        hosts=hosts, k=2, idempotency_key=f"q-{index}"
+                    ),
+                    timeout=60,
+                )
+                assert response.status == "ok"
+
+
+class TestFleetChaos:
+    def test_kill9_mid_request_replays_bit_identical(self, tmp_path):
+        """SIGKILL a worker mid-assessment; the survivor's replay must be
+        bit-identical to an uninterrupted run of the same request."""
+        request = None
+        reference = None
+        # Reference: the same keyed request on an undisturbed fleet.
+        with FleetSupervisor(_config(tmp_path / "ref", rounds=40_000)) as fleet:
+            hosts = _hosts(fleet)
+            request = AssessRequest(
+                hosts=hosts, k=2, idempotency_key="victim-key"
+            )
+            reference = fleet.assess(request, timeout=120)
+            assert reference.status == "ok"
+
+        ctx = multiprocessing.get_context("fork")
+        ready = ctx.Semaphore(0)
+        gate = ctx.Semaphore(0)
+        calls = ctx.Value("i", 0)
+
+        def hook():
+            with calls.get_lock():
+                calls.value += 1
+                landed = calls.value
+            if landed == 3:  # a few chunks in: flag the test, then block
+                ready.release()
+                gate.acquire()
+
+        sampling_base.set_sampling_started_hook(hook)
+        try:
+            # Workers fork *after* the hook is set and inherit it.
+            with FleetSupervisor(
+                _config(tmp_path / "chaos", rounds=40_000)
+            ) as fleet:
+                ticket = fleet.submit("assess", request)
+                assert ready.acquire(timeout=60), "worker never sampled"
+                with fleet._lock:
+                    busy = [s for s in fleet._slots if s.inflight is not None]
+                assert busy, fleet.status()
+                os.kill(busy[0].process.pid, signal.SIGKILL)
+                for _ in range(500):  # unblock the replay and respawns
+                    gate.release()
+                response = ticket.future.result(timeout=120)
+                assert response.status == "ok"
+                assert response.result["runtime"]["recovered"] is True
+                assert response.result["estimate"] == reference.result["estimate"]
+                # The journal agrees: one lifecycle, completed once.
+                state = RequestJournal.scan(tmp_path / "chaos")
+                events = [
+                    e["event"] for e in state.events[response.request_id]
+                ]
+                assert events.count("completed") == 1
+        finally:
+            sampling_base.set_sampling_started_hook(None)
+
+    def test_queued_keyed_requests_survive_worker_death(self, tmp_path):
+        """Tickets queued behind a dying shard move to survivors without
+        loss or duplication."""
+        with FleetSupervisor(
+            _config(tmp_path, queue_capacity=32, rounds=100)
+        ) as fleet:
+            assert _wait_until(lambda: fleet.status()["fleet"]["alive"] == 2)
+            hosts = _hosts(fleet)
+            tickets = [
+                fleet.submit(
+                    "assess",
+                    AssessRequest(
+                        hosts=hosts, k=2, idempotency_key=f"burst-{i}"
+                    ),
+                )
+                for i in range(10)
+            ]
+            os.kill(fleet._slots[1].process.pid, signal.SIGKILL)
+            responses = [t.future.result(timeout=120) for t in tickets]
+            by_id = {}
+            for response in responses:
+                assert response.status == "ok", response
+                by_id.setdefault(response.request_id, 0)
+                by_id[response.request_id] += 1
+            assert len(by_id) == 10  # nothing lost, nothing merged
