@@ -20,6 +20,7 @@ from repro.core.objectives import ClassicReliabilityObjective, ReliabilityObject
 from repro.core.search import DeploymentSearch, SearchSpec
 
 from common import ResultTable, bench_scales, inventory, topology
+from repro.core.api import AssessmentConfig
 
 BUDGET_SECONDS = 6.0
 TRIALS = 3
@@ -49,9 +50,7 @@ def _experiment_acceptance_probability_contrast():
 def _experiment_search_quality_with_both_deltas():
     scale = bench_scales()[0]
     structure = ApplicationStructure.k_of_n(4, 5)
-    reference = ReliabilityAssessor(
-        topology(scale), inventory(scale), rounds=40_000, rng=99
-    )
+    reference = ReliabilityAssessor(topology(scale), inventory(scale), config=AssessmentConfig(rounds=40_000, rng=99))
     table = ResultTable(
         "ablation_delta_search",
         f"{'delta':<10} {'trial':>6} {'best_R':>9} {'odds':>10}",
@@ -63,9 +62,7 @@ def _experiment_search_quality_with_both_deltas():
     ):
         scores = []
         for trial in range(TRIALS):
-            assessor = ReliabilityAssessor(
-                topology(scale), inventory(scale), rounds=8_000, rng=trial
-            )
+            assessor = ReliabilityAssessor(topology(scale), inventory(scale), config=AssessmentConfig(rounds=8_000, rng=trial))
             search = DeploymentSearch(assessor, objective=objective, rng=trial + 50)
             result = search.search(
                 SearchSpec(structure, max_seconds=BUDGET_SECONDS)

@@ -27,6 +27,7 @@ from repro.faults.dependencies import DependencyModel
 from repro.faults.inventory import build_rich_inventory
 
 from common import ResultTable, bench_scales, inventory, topology, workload
+from repro.core.api import AssessmentConfig
 
 ROUNDS = 40_000
 STRUCTURE = ApplicationStructure.k_of_n(4, 5)
@@ -59,7 +60,7 @@ def _experiment_dependency_model_effect_on_scores():
     for plan_name, plan in plans.items():
         row = []
         for model_name, model in models.items():
-            assessor = ReliabilityAssessor(topo, model, rounds=ROUNDS, rng=9)
+            assessor = ReliabilityAssessor(topo, model, config=AssessmentConfig(rounds=ROUNDS, rng=9))
             score = assessor.assess(plan, STRUCTURE).score
             scores[(plan_name, model_name)] = score
             row.append(f"{score:>10.4f}")
@@ -84,10 +85,10 @@ def _experiment_search_gain_grows_with_dependency_richness():
     for model_name, model in _models(scale).items():
         if model_name == "none":
             continue
-        reference = ReliabilityAssessor(topo, model, rounds=ROUNDS, rng=99)
+        reference = ReliabilityAssessor(topo, model, config=AssessmentConfig(rounds=ROUNDS, rng=99))
         ecp = enhanced_common_practice_plan(topo, workload(scale), model, 5)
         ecp_score = reference.assess(ecp, STRUCTURE).score
-        assessor = ReliabilityAssessor(topo, model, rounds=8_000, rng=5)
+        assessor = ReliabilityAssessor(topo, model, config=AssessmentConfig(rounds=8_000, rng=5))
         search = DeploymentSearch(assessor, rng=7)
         result = search.search(SearchSpec(STRUCTURE, max_seconds=8.0))
         found = reference.assess(result.best_plan, STRUCTURE).score

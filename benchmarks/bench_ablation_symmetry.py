@@ -21,6 +21,7 @@ from repro.core.search import DeploymentSearch, SearchSpec
 from repro.core.transforms import SymmetryChecker
 
 from common import ResultTable, bench_scales, inventory, topology
+from repro.core.api import AssessmentConfig
 
 BUDGET_SECONDS = 6.0
 
@@ -35,9 +36,7 @@ def _experiment_symmetry_pruning_effect():
     )
     outcomes = {}
     for use_symmetry in (True, False):
-        assessor = ReliabilityAssessor(
-            topology(scale), inventory(scale), rounds=8_000, rng=3
-        )
+        assessor = ReliabilityAssessor(topology(scale), inventory(scale), config=AssessmentConfig(rounds=8_000, rng=3))
         search = DeploymentSearch(assessor, use_symmetry=use_symmetry, rng=7)
         result = search.search(SearchSpec(structure, max_seconds=BUDGET_SECONDS))
         skip_rate = result.plans_skipped_symmetric / max(result.plans_considered, 1)
@@ -63,7 +62,7 @@ def test_signature_cost(benchmark):
     neighbor = plan.random_neighbor(topo, rng=6)
     benchmark(lambda: checker.equivalent(plan, neighbor))
 
-    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=10_000, rng=3)
+    assessor = ReliabilityAssessor(topo, inventory(scale), config=AssessmentConfig(rounds=10_000, rng=3))
     start = time.perf_counter()
     assessor.assess(plan, structure)
     assess_time = time.perf_counter() - start

@@ -20,6 +20,8 @@ from repro.app.structure import ApplicationStructure
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
 
+from repro.core.api import AssessmentConfig
+
 from common import (
     REDUNDANCY_SETTINGS,
     ResultTable,
@@ -42,7 +44,7 @@ def test_evolve_and_assess_time(benchmark, scale, k_n):
     k, n = k_n
     structure = ApplicationStructure.k_of_n(k, n)
     topo = topology(scale)
-    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=ROUNDS, rng=5)
+    assessor = ReliabilityAssessor(topo, inventory(scale), config=AssessmentConfig(rounds=ROUNDS, rng=5))
     plan = DeploymentPlan.random(topo, structure, rng=6)
     rng = np.random.default_rng(7)
     benchmark.pedantic(
@@ -64,9 +66,7 @@ def _experiment_fig10_table_and_shape():
         times = []
         for k, n in REDUNDANCY_SETTINGS:
             structure = ApplicationStructure.k_of_n(k, n)
-            assessor = ReliabilityAssessor(
-                topo, inventory(scale), rounds=ROUNDS, rng=5
-            )
+            assessor = ReliabilityAssessor(topo, inventory(scale), config=AssessmentConfig(rounds=ROUNDS, rng=5))
             plan = DeploymentPlan.random(topo, structure, rng=6)
             rng = np.random.default_rng(7)
             best = float("inf")

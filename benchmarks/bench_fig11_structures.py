@@ -24,6 +24,7 @@ from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
 
 from common import ResultTable, bench_scales, inventory, topology
+from repro.core.api import AssessmentConfig
 
 ROUNDS = 10_000
 
@@ -40,7 +41,7 @@ STRUCTURES = {
 
 def _measure(scale, structure, repetitions=3):
     topo = topology(scale)
-    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=ROUNDS, rng=5)
+    assessor = ReliabilityAssessor(topo, inventory(scale), config=AssessmentConfig(rounds=ROUNDS, rng=5))
     plan = DeploymentPlan.random(topo, structure, rng=6)
     rng = np.random.default_rng(7)
     best = float("inf")
@@ -86,7 +87,7 @@ def test_multilayer_time(benchmark, layers):
     scale = bench_scales()[-1]
     structure = multilayer(layers)
     topo = topology(scale)
-    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=ROUNDS, rng=5)
+    assessor = ReliabilityAssessor(topo, inventory(scale), config=AssessmentConfig(rounds=ROUNDS, rng=5))
     plan = DeploymentPlan.random(topo, structure, rng=6)
     benchmark.pedantic(
         lambda: assessor.assess(plan, structure), iterations=1, rounds=3
@@ -100,7 +101,7 @@ def test_microservice_time(benchmark, mesh):
     topo = topology(scale)
     if structure.total_instances > len(topo.hosts):
         pytest.skip(f"{structure.name} needs {structure.total_instances} hosts")
-    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=ROUNDS, rng=5)
+    assessor = ReliabilityAssessor(topo, inventory(scale), config=AssessmentConfig(rounds=ROUNDS, rng=5))
     plan = DeploymentPlan.random(topo, structure, rng=6)
     benchmark.pedantic(
         lambda: assessor.assess(plan, structure), iterations=1, rounds=2

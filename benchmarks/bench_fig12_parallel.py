@@ -19,6 +19,7 @@ from repro.core.plan import DeploymentPlan
 from repro.runtime.mapreduce import ParallelAssessor
 
 from common import ResultTable, bench_scales, inventory, topology
+from repro.core.api import AssessmentConfig
 
 WORKER_COUNTS = (1, 2, 3, 4)
 # The paper sweeps 10^3/10^4/10^5. Our vectorised route-and-check is far
@@ -32,10 +33,7 @@ STRUCTURE = ApplicationStructure.k_of_n(4, 5)
 def _measure(scale, workers, rounds, repetitions=3):
     topo = topology(scale)
     plan = DeploymentPlan.random(topo, STRUCTURE, rng=6)
-    with ParallelAssessor(
-        topo, inventory(scale), rounds=rounds, workers=workers, rng=5,
-        backend="process",
-    ) as assessor:
+    with ParallelAssessor(topo, inventory(scale), config=AssessmentConfig(mode="parallel", rounds=rounds, workers=workers, rng=5, backend="process")) as assessor:
         best = float("inf")
         for _ in range(repetitions):
             start = time.perf_counter()
@@ -84,10 +82,7 @@ def test_parallel_assessment_time(benchmark, workers):
     rounds = max(ROUND_SERIES)
     topo = topology(scale)
     plan = DeploymentPlan.random(topo, STRUCTURE, rng=6)
-    with ParallelAssessor(
-        topo, inventory(scale), rounds=rounds, workers=workers, rng=5,
-        backend="process",
-    ) as assessor:
+    with ParallelAssessor(topo, inventory(scale), config=AssessmentConfig(mode="parallel", rounds=rounds, workers=workers, rng=5, backend="process")) as assessor:
         benchmark.pedantic(
             lambda: assessor.assess(plan, STRUCTURE), iterations=1, rounds=2
         )

@@ -15,6 +15,8 @@ from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
 from repro.app.structure import ApplicationStructure
 
+from repro.core.api import AssessmentConfig
+
 from common import (
     REDUNDANCY_SETTINGS,
     ResultTable,
@@ -33,9 +35,7 @@ def _ci_width(scale, k, n, rounds, seed):
     topo = topology(scale)
     structure = ApplicationStructure.k_of_n(k, n)
     plan = DeploymentPlan.random(topo, structure, rng=seed)
-    assessor = ReliabilityAssessor(
-        topo, inventory(scale), rounds=rounds, rng=seed + 1
-    )
+    assessor = ReliabilityAssessor(topo, inventory(scale), config=AssessmentConfig(rounds=rounds, rng=seed + 1))
     return assessor.assess(plan, structure).estimate.confidence_interval_width
 
 
@@ -77,7 +77,7 @@ def test_assessment_time_vs_rounds(benchmark, rounds):
     topo = topology(scale)
     structure = ApplicationStructure.k_of_n(4, 5)
     plan = DeploymentPlan.random(topo, structure, rng=5)
-    assessor = ReliabilityAssessor(topo, inventory(scale), rounds=rounds, rng=6)
+    assessor = ReliabilityAssessor(topo, inventory(scale), config=AssessmentConfig(rounds=rounds, rng=6))
     benchmark.pedantic(
         lambda: assessor.assess(plan, structure), iterations=1, rounds=3
     )

@@ -30,6 +30,8 @@ from repro.core.assessment import ReliabilityAssessor
 from repro.core.objectives import CompositeObjective, WorkloadUtilityObjective
 from repro.core.search import DeploymentSearch, SearchSpec
 
+from repro.core.api import AssessmentConfig
+
 from common import (
     REDUNDANCY_SETTINGS,
     ResultTable,
@@ -45,15 +47,11 @@ SEARCH_ROUNDS = 10_000
 
 
 def _reference(scale):
-    return ReliabilityAssessor(
-        topology(scale), inventory(scale), rounds=REFERENCE_ROUNDS, rng=99
-    )
+    return ReliabilityAssessor(topology(scale), inventory(scale), config=AssessmentConfig(rounds=REFERENCE_ROUNDS, rng=99))
 
 
 def _search_for(scale, seed):
-    assessor = ReliabilityAssessor(
-        topology(scale), inventory(scale), rounds=SEARCH_ROUNDS, rng=seed
-    )
+    assessor = ReliabilityAssessor(topology(scale), inventory(scale), config=AssessmentConfig(rounds=SEARCH_ROUNDS, rng=seed))
     objective = CompositeObjective.reliability_and_utility(
         WorkloadUtilityObjective(workload(scale))
     )

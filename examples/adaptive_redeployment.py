@@ -29,6 +29,7 @@ from repro import (
     paper_topology,
 )
 from repro.faults.probability import BathtubCurve
+from repro.core.api import AssessmentConfig
 
 EPOCHS = 4
 MIGRATION_GAIN_THRESHOLD = 0.002  # migrate only for a real improvement
@@ -41,7 +42,7 @@ def main() -> None:
     workload = HostWorkloadModel.paper_default(topology, seed=3)
     structure = ApplicationStructure.k_of_n(4, 5)
 
-    assessor = ReliabilityAssessor(topology, inventory, rounds=8_000, rng=4)
+    assessor = ReliabilityAssessor(topology, inventory, config=AssessmentConfig(rounds=8_000, rng=4))
     objective = CompositeObjective.reliability_and_utility(
         WorkloadUtilityObjective(workload)
     )

@@ -29,11 +29,12 @@ from repro import (
 )
 from repro.faults.probability import AhpProbabilityPolicy, DefaultProbabilityPolicy
 from repro.topology.fattree import FatTreeTopology
+from repro.core.api import AssessmentConfig
 
 
 def search_with(topology, model, label, seconds=5.0):
     structure = ApplicationStructure.k_of_n(4, 5)
-    assessor = ReliabilityAssessor(topology, model, rounds=8_000, rng=3)
+    assessor = ReliabilityAssessor(topology, model, config=AssessmentConfig(rounds=8_000, rng=3))
     search = DeploymentSearch(assessor, rng=4)
     result = search.search(SearchSpec(structure, max_seconds=seconds))
     estimate = result.best_assessment.estimate

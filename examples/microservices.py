@@ -14,6 +14,7 @@ Run:  python examples/microservices.py
 
 import time
 
+from repro.core.api import AssessmentConfig
 from repro import (
     DeploymentPlan,
     DeploymentSearch,
@@ -28,7 +29,7 @@ from repro import (
 def main() -> None:
     topology = paper_topology("small", seed=1)
     inventory = build_paper_inventory(topology, seed=2)
-    assessor = ReliabilityAssessor(topology, inventory, rounds=5_000, rng=3)
+    assessor = ReliabilityAssessor(topology, inventory, config=AssessmentConfig(rounds=5_000, rng=3))
 
     print("Random placements for growing microservice meshes:")
     print(f"{'structure':<14} {'components':>11} {'instances':>10} "
@@ -54,7 +55,7 @@ def main() -> None:
     search = DeploymentSearch(assessor, rng=7)
     result = search.search(SearchSpec(structure, max_seconds=15.0))
 
-    reference = ReliabilityAssessor(topology, inventory, rounds=20_000, rng=9)
+    reference = ReliabilityAssessor(topology, inventory, config=AssessmentConfig(rounds=20_000, rng=9))
     random_score = reference.assess(
         DeploymentPlan.random(topology, structure, rng=3), structure
     ).score

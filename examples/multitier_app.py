@@ -14,6 +14,7 @@ frontends must be reachable from the Internet. The example contrasts:
 Run:  python examples/multitier_app.py
 """
 
+from repro.core.api import AssessmentConfig
 from repro import (
     ApplicationStructure,
     BandwidthUtilityObjective,
@@ -67,8 +68,8 @@ def main() -> None:
     structure = three_tier_structure()
     print(f"Structure: {structure!r}")
 
-    assessor = ReliabilityAssessor(topology, inventory, rounds=8_000, rng=3)
-    reference = ReliabilityAssessor(topology, inventory, rounds=30_000, rng=9)
+    assessor = ReliabilityAssessor(topology, inventory, config=AssessmentConfig(rounds=8_000, rng=3))
+    reference = ReliabilityAssessor(topology, inventory, config=AssessmentConfig(rounds=30_000, rng=9))
     bandwidth = BandwidthUtilityObjective(topology, structure)
 
     # Pure reliability.

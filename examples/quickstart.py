@@ -27,6 +27,7 @@ from repro import (
     power_diversity,
 )
 from repro.faults.probability import annual_downtime_hours
+from repro.core.api import AssessmentConfig
 
 
 def main() -> None:
@@ -52,7 +53,7 @@ def main() -> None:
     print(f"\nRequirements: {structure.name} redundancy, T_max = {spec.max_seconds}s")
 
     # --- Search (§3.3) -------------------------------------------------
-    assessor = ReliabilityAssessor(topology, inventory, rounds=10_000, rng=3)
+    assessor = ReliabilityAssessor(topology, inventory, config=AssessmentConfig(rounds=10_000, rng=3))
     search = DeploymentSearch(assessor, rng=4)
     result = search.search(spec)
     print(
@@ -64,7 +65,7 @@ def main() -> None:
     print(f"  reliability: {result.best_assessment.estimate}")
 
     # --- Baselines (§4.2.2) -------------------------------------------
-    reference = ReliabilityAssessor(topology, inventory, rounds=40_000, rng=9)
+    reference = ReliabilityAssessor(topology, inventory, config=AssessmentConfig(rounds=40_000, rng=9))
     workload = HostWorkloadModel.paper_default(topology, seed=5)
 
     plans = {

@@ -16,6 +16,7 @@ failure's blast radius at one instance.
 Run:  python examples/risk_audit.py
 """
 
+from repro.core.api import AssessmentConfig
 from repro import (
     ApplicationStructure,
     DeploymentPlan,
@@ -58,7 +59,7 @@ def main() -> None:
     print(f"  single points of failure: {[e.component_id for e in spofs]}")
 
     # reCloud's plan, searched on reliability alone.
-    assessor = ReliabilityAssessor(topology, inventory, rounds=8_000, rng=3)
+    assessor = ReliabilityAssessor(topology, inventory, config=AssessmentConfig(rounds=8_000, rng=3))
     search = DeploymentSearch(assessor, rng=4)
     found = search.search(
         SearchSpec(structure, max_seconds=8.0, forbid_shared_rack=True)

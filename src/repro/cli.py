@@ -48,6 +48,7 @@ from repro.core.api import AssessmentConfig, build_assessor
 from repro.core.objectives import CompositeObjective, WorkloadUtilityObjective
 from repro.core.plan import DeploymentPlan
 from repro.core.risk import RiskAnalyzer
+from repro.core.anneal import MoveBudgetTemperatureSchedule
 from repro.core.search import DeploymentSearch, SearchSpec
 from repro.faults.inventory import build_paper_inventory
 from repro.faults.probability import annual_downtime_hours
@@ -212,6 +213,15 @@ def cmd_search(args) -> int:
         signal.signal(signal.SIGTERM, _request_stop)
         signal.signal(signal.SIGINT, _request_stop)
 
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return EXIT_CONFIG
+    schedule = None
+    if args.move_budget is not None:
+        if args.move_budget < 1:
+            print("error: --move-budget must be >= 1", file=sys.stderr)
+            return EXIT_CONFIG
+        schedule = MoveBudgetTemperatureSchedule(args.move_budget)
     search = DeploymentSearch.from_config(
         topology,
         inventory,
@@ -221,6 +231,8 @@ def cmd_search(args) -> int:
         checkpoint_path=checkpoint_path,
         checkpoint_every=args.checkpoint_every,
         should_stop=(lambda: stop_requested["flag"]) if checkpoint_path else None,
+        batch_size=args.batch_size,
+        temperature_schedule=schedule,
     )
     if args.resume:
         result = search.resume(args.resume, max_seconds=args.seconds)
@@ -231,6 +243,7 @@ def cmd_search(args) -> int:
             desired_reliability=args.desired,
             max_seconds=args.seconds if args.seconds is not None else 10.0,
             forbid_shared_rack=True,
+            max_iterations=args.move_budget,
         )
         result = search.search(spec)
     document = serialization.search_result_to_dict(result)
@@ -242,6 +255,11 @@ def cmd_search(args) -> int:
         f"({result.plans_skipped_symmetric} symmetric skips)\n"
         f"elapsed   : {result.elapsed_seconds:.1f} s"
     )
+    if args.batch_size > 1:
+        human += (
+            f"\nbatches   : {result.batches_scored} score_plans calls over "
+            f"{result.candidates_proposed} proposed candidates"
+        )
     if checkpoint_path:
         human += f"\ncheckpoint: {checkpoint_path}"
         if stop_requested["flag"]:
@@ -544,6 +562,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="run the search hot path through the incremental assessment "
         "engine (bit-identical to the from-scratch path, just faster)",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="B",
+        help="candidate neighbours proposed and scored (one shared-CRN "
+        "score_plans call) per temperature step; 1 = the classic "
+        "one-neighbour loop, bit-identical trajectories",
+    )
+    p.add_argument(
+        "--move-budget",
+        type=int,
+        default=None,
+        metavar="M",
+        help="drive the temperature by moves consumed out of M instead of "
+        "the wall clock, for host-speed-independent trajectories "
+        "(also caps the search at M iterations; the time budget "
+        "still applies)",
     )
     p.set_defaults(handler=cmd_search)
 

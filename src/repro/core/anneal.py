@@ -90,6 +90,27 @@ class LinearTemperatureSchedule:
             raise ConfigurationError(f"T_max must be positive, got {max_seconds}")
         self.max_seconds = float(max_seconds)
 
-    def temperature(self, elapsed_seconds: float) -> float:
+    def temperature(self, elapsed_seconds: float, moves: int = 0) -> float:
         remaining = 1.0 - elapsed_seconds / self.max_seconds
+        return min(1.0, max(0.0, remaining))
+
+
+class MoveBudgetTemperatureSchedule:
+    """Eq. 6 over a move budget instead of a wall clock.
+
+    ``t = (M_max - M_done) / M_max`` falls linearly from 1 to 0 as moves
+    are consumed, so a fixed-seed search traces the *same* trajectory on
+    any host — the wall clock never enters the acceptance rule. This is
+    what benchmarks and reproducibility tests want; the seconds-based
+    schedule stays the CLI default because the paper's budget is a time
+    budget (§3.3.2).
+    """
+
+    def __init__(self, max_moves: int):
+        if max_moves <= 0:
+            raise ConfigurationError(f"move budget must be positive, got {max_moves}")
+        self.max_moves = int(max_moves)
+
+    def temperature(self, elapsed_seconds: float, moves: int = 0) -> float:
+        remaining = 1.0 - moves / self.max_moves
         return min(1.0, max(0.0, remaining))

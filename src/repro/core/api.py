@@ -9,21 +9,22 @@ the surface. This module collapses them:
 
 * :class:`AssessmentConfig` — a single declarative dataclass holding every
   assessment knob, independent of the execution mode;
-* :class:`Assessor` — the protocol every execution mode implements
-  (``assess(plan, structure, rounds=None) -> AssessmentResult`` plus the
-  substrate attributes the search reads);
+* :class:`Assessor` — the protocol every execution mode implements:
+  ``assess(plan, structure, rounds=None)`` for one plan, the batch-first
+  ``score_plans(plans, structure, rounds=None)`` the search hot loop
+  consumes, plus the substrate attributes the search reads;
 * :func:`build_assessor` — the factory that turns a topology + dependency
   model + config into the right assessor (sequential, parallel, or
   incremental).
 
-The old keyword forms keep working through a thin shim that converts them
-into an :class:`AssessmentConfig` and emits a :class:`DeprecationWarning`
-(see :func:`config_from_legacy_kwargs`).
+The pre-``AssessmentConfig`` keyword forms (``ReliabilityAssessor(topo,
+model, rounds=..., rng=...)``) went through a ``DeprecationWarning`` shim
+for one release cycle and are now a hard :class:`TypeError` — see
+:func:`reject_legacy_kwargs` for the migration hint.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
@@ -33,6 +34,8 @@ from repro.util.errors import ConfigurationError
 from repro.util.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from typing import Sequence
+
     from repro.app.structure import ApplicationStructure
     from repro.core.plan import DeploymentPlan
     from repro.core.result import AssessmentResult
@@ -201,41 +204,72 @@ class Assessor(Protocol):
         """Assess one plan against one application structure."""
         ...
 
+    def score_plans(
+        self,
+        plans: "Sequence[DeploymentPlan]",
+        structure: "ApplicationStructure",
+        rounds: int | None = None,
+    ) -> "list[AssessmentResult]":
+        """Assess a batch of plans against one application structure.
 
-#: Legacy keyword -> config field, for the deprecation shim.
+        Every backend must return exactly what per-plan :meth:`assess`
+        calls would: the batch form is a performance contract (shared
+        packed layouts, shared closure extension, one kernel dispatch),
+        never a semantic one. Backends without a fast path delegate to
+        :func:`score_plans_sequentially`.
+        """
+        ...
+
+
+#: Legacy keyword -> config field, kept for the migration-hint message.
 _LEGACY_FIELDS = frozenset(
     f.name for f in fields(AssessmentConfig) if f.name not in ("mode",)
 )
 
 
-def config_from_legacy_kwargs(
-    base: AssessmentConfig | None = None,
-    *,
-    mode: str | None = None,
-    stacklevel: int = 3,
-    **legacy: Any,
-) -> AssessmentConfig:
-    """Convert pre-``AssessmentConfig`` keyword arguments into a config.
+def reject_legacy_kwargs(legacy: dict[str, Any]) -> None:
+    """Raise the hard error that replaced the legacy-keyword shim.
 
-    This is the deprecation shim behind the old entry points
-    (``ReliabilityAssessor(topology, model, rounds=..., rng=...)``,
-    ``ParallelAssessor(topology, model, workers=...)``): the keywords keep
-    working, but each use emits a :class:`DeprecationWarning` pointing at
-    the unified API.
+    Pre-``AssessmentConfig`` keyword forms (``ReliabilityAssessor(topo,
+    model, rounds=..., rng=...)``, ``ParallelAssessor(topo, model,
+    workers=...)``, ``build_assessor(topo, model, rounds=...)``) spent one
+    release cycle behind a ``DeprecationWarning``; they now fail loudly
+    with a hint naming the config fields to move the keywords into.
     """
-    unknown = set(legacy) - _LEGACY_FIELDS
+    known = sorted(set(legacy) & _LEGACY_FIELDS)
+    unknown = sorted(set(legacy) - _LEGACY_FIELDS)
+    parts = []
+    if known:
+        parts.append(
+            "move "
+            + ", ".join(f"{name}=..." for name in known)
+            + " into AssessmentConfig and pass config=AssessmentConfig(...)"
+        )
     if unknown:
-        raise TypeError(f"unexpected assessment keyword(s): {sorted(unknown)}")
-    warnings.warn(
-        "passing assessment keywords directly is deprecated; build an "
-        "AssessmentConfig and use build_assessor()/from_config() instead",
-        DeprecationWarning,
-        stacklevel=stacklevel,
+        parts.append(f"unknown keyword(s) {unknown}")
+    raise TypeError(
+        "legacy assessment keywords are no longer accepted: "
+        + "; ".join(parts)
+        + ". Build an AssessmentConfig and use "
+        "build_assessor()/from_config() instead."
     )
-    config = base or AssessmentConfig()
-    if mode is not None:
-        legacy["mode"] = mode
-    return replace(config, **legacy)
+
+
+def score_plans_sequentially(
+    assessor: Assessor,
+    plans: "Sequence[DeploymentPlan]",
+    structure: "ApplicationStructure",
+    rounds: int | None = None,
+) -> "list[AssessmentResult]":
+    """The default ``score_plans``: one :meth:`~Assessor.assess` per plan.
+
+    Correct for every backend by construction — batch scoring is defined
+    as "exactly what the per-plan calls would return". Backends with a
+    shared fast path (packed kernel batches, common closure extension)
+    override ``score_plans`` and fall back here when the fast path does
+    not apply.
+    """
+    return [assessor.assess(plan, structure, rounds=rounds) for plan in plans]
 
 
 def build_assessor(
@@ -247,10 +281,9 @@ def build_assessor(
     """Build the assessor a config describes.
 
     The one entry point the search, the CLI and the baselines share.
-    Legacy keyword arguments are accepted through the deprecation shim.
     """
     if legacy:
-        config = config_from_legacy_kwargs(config, **legacy)
+        reject_legacy_kwargs(legacy)
     config = config or AssessmentConfig()
     config.validate(topology)
 

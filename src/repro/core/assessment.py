@@ -27,7 +27,7 @@ from typing import Any, Iterable, Sequence
 import numpy as np
 
 from repro.app.structure import ApplicationStructure
-from repro.core.api import DEFAULT_ROUNDS, AssessmentConfig, config_from_legacy_kwargs
+from repro.core.api import DEFAULT_ROUNDS, AssessmentConfig, reject_legacy_kwargs
 from repro.core.evaluation import StructureEvaluator
 from repro.core.plan import DeploymentPlan
 from repro.core.result import AssessmentResult
@@ -85,11 +85,7 @@ class ReliabilityAssessor:
         **legacy: Any,
     ):
         if legacy:
-            if config is not None:
-                raise ConfigurationError(
-                    "pass either an AssessmentConfig or legacy keywords, not both"
-                )
-            config = config_from_legacy_kwargs(**legacy)
+            reject_legacy_kwargs(legacy)
         config = config or AssessmentConfig()
         self.config = config
         self.topology = topology
@@ -340,7 +336,11 @@ class ReliabilityAssessor:
         in the batch.
         """
         rounds = rounds or self.rounds
-        if self.kernel is None or not plans:
+        if self.kernel is None or len(plans) < 2:
+            # Also the single-plan route: score_plans([p]) must equal
+            # [assess(p)] bit-for-bit on every backend, and assess's
+            # sorted-closure sampling order differs from the arena order
+            # the shared batch uses (visible to non-CRN samplers).
             return [
                 self.assess(plan, structure, rounds=rounds, cancel=cancel)
                 for plan in plans

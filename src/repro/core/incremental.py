@@ -510,6 +510,48 @@ class IncrementalAssessor:
             )
         return result
 
+    def score_plans(
+        self,
+        plans: Sequence[DeploymentPlan],
+        structure: ApplicationStructure,
+        rounds: int | None = None,
+        cancel=None,
+    ) -> list[AssessmentResult]:
+        """Assess a batch of plans sharing one universe extension.
+
+        The union of the plans' relevant closures is folded into the
+        sampling universe in a single :meth:`_extend_universe` call —
+        sampling and fault-tree reasoning for components shared by several
+        candidates happen once instead of once per candidate — and each
+        plan is then assessed against the (now warm) caches. Under CRN
+        every cache entry is a pure function of ``(component,
+        master_seed, rounds)``, independent of batch composition, so the
+        results are bit-identical to per-plan :meth:`assess` calls in any
+        order.
+        """
+        plans = list(plans)
+        if not plans:
+            return []
+        uncached = [
+            plan
+            for plan in plans
+            if (plan.canonical_key(), _structure_key(structure)) not in self._plan_cache
+        ]
+        if len(uncached) > 1:
+            subjects: set[str] = set()
+            sampled: set[str] = set()
+            with self.metrics.timer("closure"):
+                for plan in uncached:
+                    plan_subjects, plan_sampled = self.closure_for(plan)
+                    subjects |= plan_subjects
+                    sampled |= plan_sampled
+            self._extend_universe(subjects, sampled, cancel=cancel)
+            self.metrics.incr("score_plans/batched", len(uncached))
+        return [
+            self.assess(plan, structure, rounds=rounds, cancel=cancel)
+            for plan in plans
+        ]
+
     def assess_k_of_n(self, hosts, k: int) -> AssessmentResult:
         """Convenience wrapper for the simple K-of-N scenario (§2.2)."""
         hosts = list(hosts)

@@ -25,6 +25,24 @@ from repro.util.rng import make_rng
 
 
 @dataclass(frozen=True)
+class MoveDescriptor:
+    """One annealing neighbour move: swap ``old_host`` for ``new_host``.
+
+    The batched search proposes moves as descriptors instead of full plan
+    copies: a descriptor is all the symmetry screen and the incremental
+    caches need to reason about the move (two hosts), and materialising
+    the neighbour plan is deferred until the move survives screening.
+    """
+
+    old_host: str
+    new_host: str
+
+    def apply(self, plan: "DeploymentPlan") -> "DeploymentPlan":
+        """Materialise the neighbour plan this move describes."""
+        return plan.replace_host(self.old_host, self.new_host)
+
+
+@dataclass(frozen=True)
 class DeploymentPlan:
     """An immutable assignment of component instances to hosts.
 
@@ -223,6 +241,33 @@ class DeploymentPlan:
             raise ConfigurationError(f"{old_host!r} is not part of the plan")
         return DeploymentPlan(tuple(placements))
 
+    def propose_move(
+        self,
+        topology: Topology,
+        rng: int | np.random.Generator | None = None,
+        max_attempts: int = 1_000,
+    ) -> MoveDescriptor:
+        """Draw one neighbour move without materialising the plan.
+
+        Exactly the draw sequence of :meth:`random_neighbor` — one index
+        into the plan's hosts, then rejection-sampled indices into the
+        topology's hosts — so a search that proposes via descriptors and a
+        search that proposes full plans consume identical RNG streams.
+        """
+        generator = make_rng(rng)
+        current = self.hosts()
+        used = set(current)
+        if len(topology.hosts) <= len(used):
+            raise UnsatisfiableRequirements("no spare host available for a swap")
+        old_host = current[int(generator.integers(len(current)))]
+        for _ in range(max_attempts):
+            candidate = topology.hosts[int(generator.integers(len(topology.hosts)))]
+            if candidate not in used:
+                return MoveDescriptor(old_host, candidate)
+        raise UnsatisfiableRequirements(
+            f"could not find an unused host in {max_attempts} draws"
+        )
+
     def random_neighbor(
         self,
         topology: Topology,
@@ -234,19 +279,7 @@ class DeploymentPlan:
         This is the neighbour-generation move of the annealing search: a
         single placement changes, everything else stays.
         """
-        generator = make_rng(rng)
-        current = self.hosts()
-        used = set(current)
-        if len(topology.hosts) <= len(used):
-            raise UnsatisfiableRequirements("no spare host available for a swap")
-        old_host = current[int(generator.integers(len(current)))]
-        for _ in range(max_attempts):
-            candidate = topology.hosts[int(generator.integers(len(topology.hosts)))]
-            if candidate not in used:
-                return self.replace_host(old_host, candidate)
-        raise UnsatisfiableRequirements(
-            f"could not find an unused host in {max_attempts} draws"
-        )
+        return self.propose_move(topology, rng, max_attempts).apply(self)
 
     def canonical_key(self) -> tuple:
         """Hashable identity ignoring instance order within a component.

@@ -169,6 +169,12 @@ class SearchResult:
     plans_assessed: int
     plans_skipped_symmetric: int
     trace: tuple[SearchRecord, ...] = field(default=(), repr=False)
+    #: Neighbour moves proposed, including screened-out candidates
+    #: (== iterations when batch_size is 1 and nothing raises).
+    candidates_proposed: int = 0
+    #: ``score_plans`` calls the hot loop issued (one per temperature
+    #: step that had at least one screening survivor).
+    batches_scored: int = 0
 
     @property
     def best_score(self) -> float:

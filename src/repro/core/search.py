@@ -47,9 +47,9 @@ from repro.core.anneal import LinearTemperatureSchedule, accept_neighbor
 from repro.core.api import AssessmentConfig, Assessor
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.objectives import Objective, ReliabilityObjective
-from repro.core.plan import DeploymentPlan
+from repro.core.plan import DeploymentPlan, MoveDescriptor
 from repro.core.result import AssessmentResult, SearchRecord, SearchResult
-from repro.core.transforms import SymmetryChecker
+from repro.core.transforms import BatchSymmetryFilter, SymmetryChecker
 from repro.sampling.dagger import CommonRandomDaggerSampler
 from repro.util.errors import ConfigurationError
 from repro.util.metrics import MetricsRegistry
@@ -117,6 +117,9 @@ class SearchState:
     plans_assessed: int = 0
     skipped_symmetric: int = 0
     skipped_resources: int = 0
+    batch_size: int = 1
+    candidates_proposed: int = 0
+    batches_scored: int = 0
     elapsed_seconds: float = 0.0
     search_rng_state: dict | None = None
     assessor_rng_state: dict | None = None
@@ -164,19 +167,34 @@ class DeploymentSearch:
         checkpoint_every: int = 10,
         should_stop: Callable[[], bool] | None = None,
         cancel=None,
+        batch_size: int = 1,
+        temperature_schedule=None,
     ):
         if checkpoint_every < 1:
             raise ConfigurationError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         self.assessor = assessor
         self.objective = objective or ReliabilityObjective()
         if use_symmetry:
             self.symmetry = symmetry or SymmetryChecker(
                 assessor.topology, assessor.dependency_model
             )
+            self._symmetry_filter = BatchSymmetryFilter(self.symmetry)
         else:
             self.symmetry = None
+            self._symmetry_filter = None
+        #: Candidates proposed (and scored in one ``score_plans`` call) per
+        #: temperature step. ``1`` reproduces the classic one-neighbour
+        #: loop bit-for-bit; see :meth:`_run` for the B>1 policy.
+        self.batch_size = batch_size
+        #: Optional schedule object with ``temperature(elapsed, moves)``;
+        #: ``None`` keeps Eq. 6's wall-clock linear schedule. Pass a
+        #: :class:`~repro.core.anneal.MoveBudgetTemperatureSchedule` for
+        #: host-speed-independent trajectories.
+        self.temperature_schedule = temperature_schedule
         self.resource_filter = resource_filter
         self.rng = make_rng(rng)
         self.keep_trace = keep_trace
@@ -279,7 +297,9 @@ class DeploymentSearch:
     ) -> SearchResult:
         """Run the 6-step loop and return the outcome."""
         deadline = Deadline(spec.max_seconds, clock=self._clock)
-        schedule = LinearTemperatureSchedule(spec.max_seconds)
+        schedule = self.temperature_schedule or LinearTemperatureSchedule(
+            spec.max_seconds
+        )
         crn_master_seed = (
             int(self.rng.integers(0, 2**63)) if self.common_random_numbers else None
         )
@@ -310,6 +330,7 @@ class DeploymentSearch:
             best=best,
             best_measure=self.objective.measure(current_plan, best),
             plans_assessed=2,
+            batch_size=self.batch_size,
             crn_master_seed=crn_master_seed,
         )
         if self._satisfied(spec, current, current_measure):
@@ -369,7 +390,9 @@ class DeploymentSearch:
             clock=self._clock,
             elapsed_offset=state.elapsed_seconds,
         )
-        schedule = LinearTemperatureSchedule(spec.max_seconds)
+        schedule = self.temperature_schedule or LinearTemperatureSchedule(
+            spec.max_seconds
+        )
         return self._run(
             spec, state, assessor, deadline, schedule,
             first_elapsed=state.elapsed_seconds,
@@ -381,12 +404,29 @@ class DeploymentSearch:
         self,
         spec: SearchSpec,
         state: SearchState,
-        assessor: ReliabilityAssessor,
+        assessor: Assessor,
         deadline: Deadline,
-        schedule: LinearTemperatureSchedule,
+        schedule,
         first_elapsed: float | None = None,
     ) -> SearchResult:
-        """Steps 3-6: evolve neighbours until satisfied or out of budget.
+        """Steps 3-6, batch-first: evolve neighbours until satisfied or
+        out of budget.
+
+        Each temperature step proposes ``state.batch_size`` candidate
+        moves from the incumbent, screens them (resource filter, then the
+        move-keyed symmetry filter), scores every survivor in **one**
+        :meth:`~repro.core.api.Assessor.score_plans` call, and processes
+        the scored candidates in proposal order under the classic
+        acceptance rule — the first accepted candidate wins the step and
+        the rest of the batch is discarded unprocessed (every scored
+        delta compares against the *pre-move* incumbent, so the policy is
+        order-deterministic). RNG discipline, per step: the search RNG
+        draws exactly the proposal draws (in proposal order), then one
+        acceptance draw per processed candidate whose acceptance
+        probability is below 1; the confirmation RNG draws once per
+        best-screen pass. With ``batch_size=1`` every draw lands where
+        the classic one-neighbour loop put it, so B=1 trajectories are
+        bit-identical to the pre-batch implementation.
 
         The clock is read exactly once per loop iteration (at the top);
         that one reading drives the expiry check, the temperature, trace
@@ -431,84 +471,133 @@ class DeploymentSearch:
             ):
                 break
             state.iterations += 1
+            temperature = schedule.temperature(elapsed, state.iterations - 1)
 
-            neighbor_plan = state.current_plan.random_neighbor(
-                assessor.topology, rng=self.rng
-            )
-            if self.resource_filter is not None and not self.resource_filter(
-                neighbor_plan
-            ):
-                state.skipped_resources += 1
-                continue
-            if self.symmetry is not None and self.symmetry.equivalent(
-                neighbor_plan, state.current_plan
-            ):
-                # Symmetric to the current plan: same reliability, skip the
-                # assessment and evolve again (Step 3).
-                state.skipped_symmetric += 1
+            # Step 3, batched: propose B moves from the incumbent (all
+            # proposal draws happen here, in order), screening each as it
+            # is drawn. `None` entries mark candidates the screens
+            # dropped; `skipped[i]` records a symmetric drop for tracing.
+            candidates: list[tuple[MoveDescriptor, DeploymentPlan] | None] = []
+            skipped_symmetric: list[bool] = []
+            for _ in range(state.batch_size):
+                move = state.current_plan.propose_move(
+                    assessor.topology, rng=self.rng
+                )
+                state.candidates_proposed += 1
+                neighbor_plan = move.apply(state.current_plan)
+                if self.resource_filter is not None and not self.resource_filter(
+                    neighbor_plan
+                ):
+                    state.skipped_resources += 1
+                    candidates.append(None)
+                    skipped_symmetric.append(False)
+                    continue
+                if (
+                    self._symmetry_filter is not None
+                    and self._symmetry_filter.equivalent_move(
+                        state.current_plan, move, neighbor_plan
+                    )
+                ):
+                    # Symmetric to the current plan: same reliability,
+                    # skip the assessment (Step 3's discard).
+                    state.skipped_symmetric += 1
+                    candidates.append(None)
+                    skipped_symmetric.append(True)
+                    continue
+                candidates.append((move, neighbor_plan))
+                skipped_symmetric.append(False)
+
+            # Step 4, batched: one shared-CRN scoring call for every
+            # survivor. Under CRN the results are bit-identical to
+            # per-candidate assessments, batching only shares the work.
+            survivors = [c[1] for c in candidates if c is not None]
+            if survivors:
+                scores = assessor.score_plans(survivors, spec.structure)
+                state.batches_scored += 1
+                state.plans_assessed += len(survivors)
+            else:
+                scores = []
+
+            score_index = 0
+            for candidate, was_symmetric in zip(candidates, skipped_symmetric):
+                if candidate is None:
+                    if was_symmetric and self.keep_trace:
+                        state.trace.append(
+                            SearchRecord(
+                                iteration=state.iterations,
+                                elapsed_seconds=elapsed,
+                                temperature=temperature,
+                                candidate_score=state.current.score,
+                                current_score=state.current.score,
+                                best_score=state.best.score,
+                                accepted=False,
+                                skipped_symmetric=True,
+                            )
+                        )
+                    continue
+                _, neighbor_plan = candidate
+                neighbor = scores[score_index]
+                score_index += 1
+                neighbor_measure = self.objective.measure(neighbor_plan, neighbor)
+
+                if self.objective.prefers(
+                    neighbor_plan, neighbor, state.best_plan, state.best
+                ):
+                    # Cheap screen passed; confirm with independent
+                    # sampling before dethroning the incumbent best.
+                    confirmation = self.assessor.assess(
+                        neighbor_plan, spec.structure
+                    )
+                    state.plans_assessed += 1
+                    if self.objective.prefers(
+                        neighbor_plan, confirmation, state.best_plan, state.best
+                    ):
+                        state.best_plan, state.best = neighbor_plan, confirmation
+                        state.best_measure = self.objective.measure(
+                            state.best_plan, state.best
+                        )
+
+                # Step 5: accept improvements, or worse plans
+                # probabilistically — always against the pre-move
+                # incumbent the whole batch was proposed from.
+                delta = self.objective.delta(
+                    state.current_plan, state.current, neighbor_plan, neighbor
+                )
+                accepted = accept_neighbor(delta, temperature, self.rng)
                 if self.keep_trace:
                     state.trace.append(
                         SearchRecord(
                             iteration=state.iterations,
                             elapsed_seconds=elapsed,
-                            temperature=schedule.temperature(elapsed),
-                            candidate_score=state.current.score,
+                            temperature=temperature,
+                            candidate_score=neighbor.score,
                             current_score=state.current.score,
                             best_score=state.best.score,
-                            accepted=False,
-                            skipped_symmetric=True,
+                            accepted=accepted,
                         )
                     )
-                continue
 
-            neighbor = assessor.assess(neighbor_plan, spec.structure)
-            neighbor_measure = self.objective.measure(neighbor_plan, neighbor)
-            state.plans_assessed += 1
-
-            if self.objective.prefers(
-                neighbor_plan, neighbor, state.best_plan, state.best
-            ):
-                # Cheap screen passed; confirm with independent sampling
-                # before dethroning the incumbent best.
-                confirmation = self.assessor.assess(neighbor_plan, spec.structure)
-                state.plans_assessed += 1
-                if self.objective.prefers(
-                    neighbor_plan, confirmation, state.best_plan, state.best
-                ):
-                    state.best_plan, state.best = neighbor_plan, confirmation
-                    state.best_measure = self.objective.measure(
-                        state.best_plan, state.best
-                    )
-
-            # Step 5: accept improvements, or worse plans probabilistically.
-            delta = self.objective.delta(
-                state.current_plan, state.current, neighbor_plan, neighbor
-            )
-            temperature = schedule.temperature(elapsed)
-            accepted = accept_neighbor(delta, temperature, self.rng)
-            if self.keep_trace:
-                state.trace.append(
-                    SearchRecord(
-                        iteration=state.iterations,
-                        elapsed_seconds=elapsed,
-                        temperature=temperature,
-                        candidate_score=neighbor.score,
-                        current_score=state.current.score,
-                        best_score=state.best.score,
-                        accepted=accepted,
-                    )
+                # Step 6: requirements met -> report the plan. Checked
+                # before the incumbent moves so the comparison base stays
+                # the pre-move incumbent for every processed candidate.
+                satisfied_candidate = self._satisfied(
+                    spec, neighbor, neighbor_measure
                 )
-            if accepted:
-                state.current_plan = neighbor_plan
-                state.current = neighbor
-                state.current_measure = neighbor_measure
-
-            # Step 6: requirements met -> report the plan.
-            if self._satisfied(spec, neighbor, neighbor_measure):
-                verified = self._verify_satisfaction(spec, neighbor_plan, neighbor)
-                if verified is not None:
-                    state.best_plan, state.best = neighbor_plan, verified
-                    return self._result(state, verified, True, deadline)
+                if accepted:
+                    state.current_plan = neighbor_plan
+                    state.current = neighbor
+                    state.current_measure = neighbor_measure
+                if satisfied_candidate:
+                    verified = self._verify_satisfaction(
+                        spec, neighbor_plan, neighbor
+                    )
+                    if verified is not None:
+                        state.best_plan, state.best = neighbor_plan, verified
+                        return self._result(state, verified, True, deadline)
+                if accepted:
+                    # First accepted candidate wins the temperature step;
+                    # the rest of the batch is discarded unprocessed.
+                    break
 
         # Budget exhausted (or stop requested): requirements not
         # fulfilled; report the best found (its assessment is already an
@@ -573,4 +662,6 @@ class DeploymentSearch:
             plans_assessed=state.plans_assessed,
             plans_skipped_symmetric=state.skipped_symmetric,
             trace=tuple(state.trace),
+            candidates_proposed=state.candidates_proposed,
+            batches_scored=state.batches_scored,
         )

@@ -30,9 +30,13 @@ types). The quantisation step is configurable.
 
 from __future__ import annotations
 
+import math
+from collections import OrderedDict
+from itertools import permutations, product
+
 import networkx as nx
 
-from repro.core.plan import DeploymentPlan
+from repro.core.plan import DeploymentPlan, MoveDescriptor
 from repro.faults.dependencies import DependencyModel
 from repro.topology.base import Topology
 from repro.util.errors import ConfigurationError
@@ -121,6 +125,301 @@ class SymmetryChecker:
         matcher = nx.algorithms.isomorphism.GraphMatcher(
             self.surgery_graph(plan_a),
             self.surgery_graph(plan_b),
+            node_match=lambda a, b: a["label"] == b["label"],
+        )
+        return matcher.is_isomorphic()
+
+
+class BatchSymmetryFilter:
+    """Move-keyed symmetry screening for the batched search hot loop.
+
+    Profiling the annealing loop shows :meth:`SymmetryChecker.equivalent`
+    dominating wall-clock time (~2/3): every check rebuilds two surgery
+    graphs and runs two Weisfeiler-Lehman hashes, even though consecutive
+    checks share the incumbent plan and each neighbour differs by exactly
+    one host swap. This filter wraps a checker with two caches keyed by
+    what actually changes between moves:
+
+    * **Host-context labels.** For a single-host move ``A -> B``, the two
+      surgery graphs differ only in the group nodes host ``A``/``B``
+      contribute (the host itself, its edge switch, its pod, its shared
+      fault-tree dependencies). A label-preserving isomorphism preserves
+      the multiset over instances of (component label, neighbourhood
+      label multiset); every unmoved instance contributes identically to
+      both plans, so by multiset cancellation equivalence *requires* the
+      sorted group-label multisets of ``A`` and ``B`` to coincide. Hosts
+      with differing context labels therefore prove inequivalence without
+      building a single graph — and in an asymmetric-failure-probability
+      or multi-class topology that settles most moves. Labels depend only
+      on the topology, so the cache persists across moves and batches.
+    * **Exact certificates.** For plans with few instances the surgery
+      graph is a tiny coloured bipartite incidence structure, and a
+      *complete* isomorphism invariant is cheap to compute outright: the
+      lexicographically minimal (group label, attached canonical instance
+      positions) multiset over all label-preserving permutations of the
+      instances. Two plans are equivalent **iff** their certificates are
+      equal — no hashing, no VF2 — so the per-move check collapses to one
+      certificate build (LRU-cached by ``plan.canonical_key()``, so the
+      incumbent's certificate is computed once per incumbent, not once
+      per candidate). When the permutation budget would blow up (many
+      interchangeable instances of one component) the filter falls back
+      to the checker's WL-signature + exact-isomorphism path; both paths
+      decide exact graph isomorphism, so verdicts never depend on which
+      one ran.
+    * **Plan signatures.** The fallback's WL signatures are cached by
+      ``plan.canonical_key()`` (bounded LRU), so checking B candidates
+      against one incumbent hashes the incumbent once, not B times, and a
+      re-visited incumbent costs nothing.
+
+    The filter is deliberately *not* folded into :class:`SymmetryChecker`:
+    the unwrapped checker remains the uncached reference implementation
+    benchmarks measure the legacy loop against.
+    """
+
+    #: Maximum number of label-preserving instance permutations the exact
+    #: certificate may enumerate; beyond it the WL + VF2 fallback runs.
+    PERMUTATION_BUDGET = 720
+
+    def __init__(self, checker: SymmetryChecker, max_signatures: int = 4096):
+        if max_signatures < 1:
+            raise ConfigurationError(
+                f"max_signatures must be >= 1, got {max_signatures}"
+            )
+        self.checker = checker
+        self.max_signatures = max_signatures
+        self._host_labels: dict[str, tuple[str, ...]] = {}
+        self._host_groups: dict[str, tuple[tuple[str, str], ...]] = {}
+        self._signatures: OrderedDict[tuple, str] = OrderedDict()
+        self._certificates: OrderedDict[tuple, tuple | None] = OrderedDict()
+        self.prefilter_rejections = 0
+        self.certificate_checks = 0
+        self.full_checks = 0
+
+    # ------------------------------------------------------------------
+
+    def host_context_label(self, host: str) -> tuple[str, ...]:
+        """Sorted multiset of group labels ``host`` contributes to the graph."""
+        cached = self._host_labels.get(host)
+        if cached is not None:
+            return cached
+        checker = self.checker
+        topo = checker.topology
+        labels = [
+            checker._group_label(host),
+            checker._group_label(topo.edge_switch_of(host)),
+        ]
+        pod_of = getattr(topo, "pod_of", None)
+        if pod_of is not None and pod_of(host) is not None:
+            labels.append("pod")
+        for event in checker.dependency_model.tree_for(host).basic_events():
+            if event != host:
+                labels.append(checker._group_label(event))
+        result = tuple(sorted(labels))
+        self._host_labels[host] = result
+        return result
+
+    def _host_group_entries(self, host: str) -> tuple[tuple[str, str], ...]:
+        """``(group id, group label)`` pairs ``host`` contributes, deduplicated.
+
+        Exactly the group nodes :meth:`SymmetryChecker.surgery_graph`
+        attaches to an instance on ``host`` (the host, its edge switch,
+        its pod, its shared fault-tree dependencies) — ids preserve the
+        sharing structure between instances, labels are the graph's node
+        labels.
+        """
+        cached = self._host_groups.get(host)
+        if cached is not None:
+            return cached
+        checker = self.checker
+        topo = checker.topology
+        entries: dict[str, str] = {
+            host: checker._group_label(host),
+        }
+        edge = topo.edge_switch_of(host)
+        entries.setdefault(edge, checker._group_label(edge))
+        pod_of = getattr(topo, "pod_of", None)
+        if pod_of is not None and pod_of(host) is not None:
+            entries.setdefault(f"pod:{pod_of(host)}", "pod")
+        for event in checker.dependency_model.tree_for(host).basic_events():
+            if event != host:
+                entries.setdefault(event, checker._group_label(event))
+        result = tuple(entries.items())
+        self._host_groups[host] = result
+        return result
+
+    def certificate(self, plan: DeploymentPlan) -> tuple | None:
+        """Complete isomorphism invariant of the surgery graph, or ``None``.
+
+        LRU-cached by canonical key. Two plans with certificates are
+        equivalent iff the certificates are equal; ``None`` means the
+        permutation budget was exceeded and the caller must fall back to
+        the WL + exact-isomorphism path.
+        """
+        key = plan.canonical_key()
+        if key in self._certificates:
+            self._certificates.move_to_end(key)
+            return self._certificates[key]
+        certificate = self._compute_certificate(plan)
+        self._certificates[key] = certificate
+        if len(self._certificates) > self.max_signatures:
+            self._certificates.popitem(last=False)
+        return certificate
+
+    def _compute_certificate(self, plan: DeploymentPlan) -> tuple | None:
+        """Canonicalise the coloured instance-group incidence structure.
+
+        The surgery graph is bipartite (instances x groups) and groups
+        carry no identity beyond their label and attachment set, so the
+        graph is determined up to isomorphism by the multiset of
+        ``(group label, attached instances)`` pairs modulo a
+        label-preserving permutation of the instances. The certificate is
+        that multiset under canonical instance numbering, minimised over
+        every permutation that preserves each instance's refinement class
+        (component + sorted adjacent-group labels) — any isomorphism
+        preserves those classes, so restricting the search loses nothing.
+        """
+        attachments: dict[str, list[int]] = {}
+        group_labels: dict[str, str] = {}
+        instance_entries: list[tuple[str, tuple[tuple[str, str], ...]]] = []
+        index = 0
+        for component, hosts in plan.placements:
+            for host in hosts:
+                entries = self._host_group_entries(host)
+                for group_id, label in entries:
+                    group_labels[group_id] = label
+                    attachments.setdefault(group_id, []).append(index)
+                instance_entries.append((component, entries))
+                index += 1
+
+        # Groups attached to one instance carry no sharing structure, so
+        # they are regrouped into a per-instance private-label multiset
+        # (a faithful re-encoding of the incidence); only genuinely
+        # shared groups need per-permutation attachment canonicalisation.
+        # Classes refine on component + the sorted (label, degree)
+        # profile — both isomorphism invariants, and degree splits
+        # instances apart by how they share, shrinking the permutation
+        # search.
+        shared = [
+            (group_labels[group_id], tuple(attached))
+            for group_id, attached in attachments.items()
+            if len(attached) > 1
+        ]
+        private_labels: list[tuple[str, ...]] = []
+        refinements: list[tuple] = []
+        for component, entries in instance_entries:
+            private: list[str] = []
+            profile: list[tuple[str, int]] = []
+            for group_id, label in entries:
+                degree = len(attachments[group_id])
+                profile.append((label, degree))
+                if degree == 1:
+                    private.append(label)
+            private_labels.append(tuple(sorted(private)))
+            refinements.append((component, tuple(sorted(profile))))
+
+        classes: dict[tuple, list[int]] = {}
+        for instance, refinement in enumerate(refinements):
+            classes.setdefault(refinement, []).append(instance)
+        budget = 1
+        for members in classes.values():
+            budget *= math.factorial(len(members))
+            if budget > self.PERMUTATION_BUDGET:
+                return None
+
+        # Canonical positions are assigned per refinement class (classes
+        # sorted by their key), so isomorphic plans agree on which
+        # positions each class occupies even when their instances were
+        # enumerated in different orders.
+        ordered = sorted(classes.items())
+        class_shape = tuple((key, len(members)) for key, members in ordered)
+        class_slots: list[tuple[list[int], tuple[int, ...]]] = []
+        base = 0
+        for _, members in ordered:
+            class_slots.append((members, tuple(range(base, base + len(members)))))
+            base += len(members)
+
+        count = index
+        best: tuple | None = None
+        for combo in product(
+            *(permutations(slots) for _, slots in class_slots)
+        ):
+            mapping = [0] * count
+            for (members, _), permuted in zip(class_slots, combo):
+                for instance, position in zip(members, permuted):
+                    mapping[instance] = position
+            candidate = (
+                tuple(
+                    sorted(
+                        (mapping[i], private_labels[i]) for i in range(count)
+                    )
+                ),
+                tuple(
+                    sorted(
+                        (label, tuple(sorted(mapping[i] for i in attached)))
+                        for label, attached in shared
+                    )
+                ),
+            )
+            if best is None or candidate < best:
+                best = candidate
+        return (class_shape, best)
+
+    def signature(self, plan: DeploymentPlan) -> str:
+        """WL signature of ``plan``, LRU-cached by canonical key."""
+        key = plan.canonical_key()
+        cached = self._signatures.get(key)
+        if cached is not None:
+            self._signatures.move_to_end(key)
+            return cached
+        signature = self.checker.signature(plan)
+        self._signatures[key] = signature
+        if len(self._signatures) > self.max_signatures:
+            self._signatures.popitem(last=False)
+        return signature
+
+    # ------------------------------------------------------------------
+
+    def equivalent_move(
+        self,
+        incumbent: DeploymentPlan,
+        move: MoveDescriptor,
+        neighbor: DeploymentPlan,
+    ) -> bool:
+        """Whether applying ``move`` to ``incumbent`` yields a symmetric plan.
+
+        Same verdicts as ``checker.equivalent(incumbent, neighbor)`` —
+        the prefilter only ever proves *in*equivalence, and the full check
+        confirms signature collisions with exact isomorphism exactly as
+        the unwrapped checker does.
+        """
+        if self.host_context_label(move.old_host) != self.host_context_label(
+            move.new_host
+        ):
+            self.prefilter_rejections += 1
+            return False
+        return self.equivalent(incumbent, neighbor)
+
+    def equivalent(self, plan_a: DeploymentPlan, plan_b: DeploymentPlan) -> bool:
+        """Cached variant of :meth:`SymmetryChecker.equivalent`.
+
+        Both the certificate fast path and the WL + VF2 fallback decide
+        exact isomorphism of the surgery graphs, so the verdict is always
+        the one the unwrapped checker would return.
+        """
+        if plan_a.canonical_key() == plan_b.canonical_key():
+            return True
+        certificate_a = self.certificate(plan_a)
+        if certificate_a is not None:
+            certificate_b = self.certificate(plan_b)
+            if certificate_b is not None:
+                self.certificate_checks += 1
+                return certificate_a == certificate_b
+        if self.signature(plan_a) != self.signature(plan_b):
+            return False
+        self.full_checks += 1
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            self.checker.surgery_graph(plan_a),
+            self.checker.surgery_graph(plan_b),
             node_match=lambda a, b: a["label"] == b["label"],
         )
         return matcher.is_isomorphic()

@@ -103,6 +103,12 @@ class AssessmentKernel:
         # assessment of a plan's host set, so identity is a safe and
         # free cache key; the strong ref pins the id.
         self._order_cache: dict[int, tuple[object, list[int]]] = {}
+        # frozenset(subjects) -> evaluation order: content-addressed
+        # fallback for callers that rebuild equal subject sets instead of
+        # reusing one object — the batched search loop proposes candidate
+        # closures per move, and neighbouring moves frequently revisit
+        # the same host set through fresh set objects.
+        self._order_by_content: dict[frozenset, list[int]] = {}
 
     # ------------------------------------------------------------------
     # Sampling
@@ -158,8 +164,14 @@ class AssessmentKernel:
         if entry is not None and entry[0] is subjects:
             order = entry[1]
         else:
-            self.compile_subjects(subjects)
-            order = self.forest.evaluation_order(subjects)
+            content_key = frozenset(subjects)
+            order = self._order_by_content.get(content_key)
+            if order is None:
+                self.compile_subjects(subjects)
+                order = self.forest.evaluation_order(subjects)
+                if len(self._order_by_content) >= 256:
+                    self._order_by_content.clear()
+                self._order_by_content[content_key] = order
             if len(self._order_cache) >= 64:
                 self._order_cache.clear()
             self._order_cache[id(subjects)] = (subjects, order)

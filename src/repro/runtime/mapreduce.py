@@ -54,12 +54,16 @@ import multiprocessing.pool
 import time
 import warnings
 from dataclasses import dataclass, replace
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
 from repro.app.structure import ApplicationStructure
-from repro.core.api import AssessmentConfig, config_from_legacy_kwargs
+from repro.core.api import (
+    AssessmentConfig,
+    reject_legacy_kwargs,
+    score_plans_sequentially,
+)
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
 from repro.core.result import AssessmentResult, PortionFailure, RuntimeMetadata
@@ -247,11 +251,7 @@ class ParallelAssessor:
         **legacy: Any,
     ):
         if legacy:
-            if config is not None:
-                raise ConfigurationError(
-                    "pass either an AssessmentConfig or legacy keywords, not both"
-                )
-            config = config_from_legacy_kwargs(mode="parallel", **legacy)
+            reject_legacy_kwargs(legacy)
         config = config or AssessmentConfig(mode="parallel")
         if config.workers < 1:
             raise ConfigurationError(
@@ -520,6 +520,27 @@ class ParallelAssessor:
             elapsed_seconds=watch.elapsed(),
             runtime=runtime,
         )
+
+    def score_plans(
+        self,
+        plans: Sequence[DeploymentPlan],
+        structure: ApplicationStructure,
+        rounds: int | None = None,
+        cancel=None,
+    ) -> list[AssessmentResult]:
+        """Batch scoring via the protocol's sequential fallback.
+
+        The parallel backend already saturates the workers with one
+        plan's portions, so there is no shared-batch fast path to gain;
+        the method exists so the search can consume every backend through
+        the same :class:`~repro.core.api.Assessor` batch interface.
+        """
+        if cancel is not None:
+            return [
+                self.assess(plan, structure, rounds=rounds, cancel=cancel)
+                for plan in plans
+            ]
+        return score_plans_sequentially(self, plans, structure, rounds=rounds)
 
     # ------------------------------------------------------------------
     # Supervision

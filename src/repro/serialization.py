@@ -275,6 +275,8 @@ def search_result_to_dict(result: SearchResult) -> dict:
             "iterations": result.iterations,
             "plans_assessed": result.plans_assessed,
             "plans_skipped_symmetric": result.plans_skipped_symmetric,
+            "candidates_proposed": result.candidates_proposed,
+            "batches_scored": result.batches_scored,
             "best_plan": plan_to_dict(result.best_plan),
             "best_estimate": estimate_to_dict(result.best_assessment.estimate),
         },
@@ -366,6 +368,9 @@ def search_state_to_dict(state: SearchState) -> dict:
             "plans_assessed": state.plans_assessed,
             "skipped_symmetric": state.skipped_symmetric,
             "skipped_resources": state.skipped_resources,
+            "batch_size": state.batch_size,
+            "candidates_proposed": state.candidates_proposed,
+            "batches_scored": state.batches_scored,
             "elapsed_seconds": state.elapsed_seconds,
             "current_plan": plan_to_dict(state.current_plan),
             "current_assessment": assessment_to_dict(state.current),
@@ -391,6 +396,11 @@ def search_state_from_dict(document: dict) -> SearchState:
             plans_assessed=int(document["plans_assessed"]),
             skipped_symmetric=int(document["skipped_symmetric"]),
             skipped_resources=int(document["skipped_resources"]),
+            # .get(): pre-batch checkpoints (same format version) lack
+            # the batched fields; their loops were all batch_size=1.
+            batch_size=int(document.get("batch_size", 1)),
+            candidates_proposed=int(document.get("candidates_proposed", 0)),
+            batches_scored=int(document.get("batches_scored", 0)),
             elapsed_seconds=float(document["elapsed_seconds"]),
             current_plan=plan_from_dict(document["current_plan"]),
             current=assessment_from_dict(document["current_assessment"]),

@@ -15,6 +15,7 @@ from repro.faults.inventory import build_paper_inventory, build_rich_inventory
 from repro.faults.probability import DefaultProbabilityPolicy
 from repro.topology.fattree import FatTreeTopology
 from repro.topology.leafspine import LeafSpineTopology
+from repro.core.api import AssessmentConfig
 
 
 @pytest.fixture
@@ -72,4 +73,4 @@ def bare_model(fattree4):
 
 @pytest.fixture
 def assessor(fattree4, inventory):
-    return ReliabilityAssessor(fattree4, inventory, rounds=4_000, rng=5)
+    return ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=4_000, rng=5))

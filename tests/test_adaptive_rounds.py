@@ -6,6 +6,7 @@ from repro.app.structure import ApplicationStructure
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
 from repro.util.errors import ConfigurationError
+from repro.core.api import AssessmentConfig
 
 
 @pytest.fixture
@@ -20,7 +21,7 @@ def structure():
 
 class TestAssessToCi:
     def test_reaches_target(self, fattree4, inventory, plan, structure):
-        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rng=5))
         result = assessor.assess_to_ci(
             plan, structure, target_ci_width=5e-3, pilot_rounds=1_000
         )
@@ -29,7 +30,7 @@ class TestAssessToCi:
         assert result.per_round.shape[0] == result.estimate.rounds
 
     def test_loose_target_stops_at_pilot(self, fattree4, inventory, plan, structure):
-        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rng=5))
         result = assessor.assess_to_ci(
             plan, structure, target_ci_width=0.5, pilot_rounds=1_000
         )
@@ -38,7 +39,7 @@ class TestAssessToCi:
     def test_tighter_target_needs_more_rounds(
         self, fattree4, inventory, plan, structure
     ):
-        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rng=5))
         loose = assessor.assess_to_ci(
             plan, structure, target_ci_width=2e-2, pilot_rounds=1_000
         )
@@ -48,7 +49,7 @@ class TestAssessToCi:
         assert tight.estimate.rounds > loose.estimate.rounds
 
     def test_max_rounds_cap_respected(self, fattree4, inventory, plan, structure):
-        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rng=5))
         result = assessor.assess_to_ci(
             plan,
             structure,
@@ -61,15 +62,15 @@ class TestAssessToCi:
     def test_score_consistent_with_plain_assessment(
         self, fattree4, inventory, plan, structure
     ):
-        adaptive = ReliabilityAssessor(fattree4, inventory, rng=5).assess_to_ci(
+        adaptive = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rng=5)).assess_to_ci(
             plan, structure, target_ci_width=4e-3
         )
-        plain = ReliabilityAssessor(fattree4, inventory, rounds=40_000, rng=6).assess(
+        plain = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=40_000, rng=6)).assess(
             plan, structure
         )
         assert adaptive.score == pytest.approx(plain.score, abs=0.01)
 
     def test_rejects_bad_target(self, fattree4, inventory, plan, structure):
-        assessor = ReliabilityAssessor(fattree4, inventory, rng=5)
+        assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rng=5))
         with pytest.raises(ConfigurationError):
             assessor.assess_to_ci(plan, structure, target_ci_width=0.0)

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core.anneal import (
     LinearTemperatureSchedule,
+    MoveBudgetTemperatureSchedule,
     accept_neighbor,
     acceptance_probability,
     classic_delta,
@@ -124,3 +125,25 @@ class TestLinearTemperatureSchedule:
     def test_rejects_non_positive_budget(self):
         with pytest.raises(ConfigurationError):
             LinearTemperatureSchedule(0.0)
+
+
+class TestMoveBudgetTemperatureSchedule:
+    def test_linear_in_moves(self):
+        schedule = MoveBudgetTemperatureSchedule(5)
+        assert schedule.temperature(0.0, 0) == 1.0
+        assert schedule.temperature(0.0, 2) == pytest.approx(0.6)
+        assert schedule.temperature(0.0, 5) == 0.0
+
+    def test_wall_clock_is_ignored(self):
+        schedule = MoveBudgetTemperatureSchedule(8)
+        assert schedule.temperature(0.0, 3) == schedule.temperature(1e9, 3)
+
+    def test_clamped_beyond_budget(self):
+        schedule = MoveBudgetTemperatureSchedule(4)
+        assert schedule.temperature(0.0, 9) == 0.0
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ConfigurationError):
+            MoveBudgetTemperatureSchedule(0)
+        with pytest.raises(ConfigurationError):
+            MoveBudgetTemperatureSchedule(-3)

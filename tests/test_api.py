@@ -18,7 +18,7 @@ from repro.core.api import (
     AssessmentConfig,
     Assessor,
     build_assessor,
-    config_from_legacy_kwargs,
+    score_plans_sequentially,
 )
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.incremental import IncrementalAssessor
@@ -89,44 +89,29 @@ class TestBuildAssessorDispatch:
         assert isinstance(assessor, ReliabilityAssessor)
 
 
-class TestLegacyShim:
-    def test_reliability_assessor_legacy_kwargs_warn(self, fattree4, inventory):
-        with pytest.warns(DeprecationWarning, match="AssessmentConfig"):
-            assessor = ReliabilityAssessor(
-                fattree4, inventory, rounds=500, rng=1
-            )
-        assert assessor.rounds == 500
+class TestLegacyKwargsRejected:
+    """The DeprecationWarning shim served its release cycle; the keyword
+    forms are now a hard TypeError carrying a migration hint."""
 
-    def test_parallel_assessor_legacy_kwargs_warn(self, fattree4, inventory):
-        with pytest.warns(DeprecationWarning, match="AssessmentConfig"):
-            pa = ParallelAssessor(
-                fattree4, inventory, workers=2, backend="inline"
-            )
-        pa.close()
+    def test_reliability_assessor_legacy_kwargs_raise(self, fattree4, inventory):
+        with pytest.raises(TypeError, match="AssessmentConfig"):
+            ReliabilityAssessor(fattree4, inventory, rounds=500, rng=1)
 
-    def test_build_assessor_legacy_kwargs_warn(self, fattree4, inventory):
-        with pytest.warns(DeprecationWarning, match="AssessmentConfig"):
-            assessor = build_assessor(fattree4, inventory, rounds=700)
-        assert assessor.rounds == 700
+    def test_parallel_assessor_legacy_kwargs_raise(self, fattree4, inventory):
+        with pytest.raises(TypeError, match="AssessmentConfig"):
+            ParallelAssessor(fattree4, inventory, workers=2, backend="inline")
 
-    def test_config_plus_legacy_rejected(self, fattree4, inventory):
-        with pytest.raises(ConfigurationError):
-            ReliabilityAssessor(
-                fattree4, inventory, AssessmentConfig(), rounds=500
-            )
+    def test_build_assessor_legacy_kwargs_raise(self, fattree4, inventory):
+        with pytest.raises(TypeError, match="AssessmentConfig"):
+            build_assessor(fattree4, inventory, rounds=700)
 
-    def test_unknown_legacy_keyword_rejected(self):
+    def test_hint_names_the_offending_fields(self, fattree4, inventory):
+        with pytest.raises(TypeError, match=r"rng=.*rounds=|rounds=.*rng="):
+            ReliabilityAssessor(fattree4, inventory, rounds=500, rng=1)
+
+    def test_unknown_keyword_reported_as_unknown(self, fattree4, inventory):
         with pytest.raises(TypeError, match="hyperdrive"):
-            config_from_legacy_kwargs(hyperdrive=True)
-
-    def test_shim_maps_keywords_onto_config(self):
-        with pytest.warns(DeprecationWarning):
-            config = config_from_legacy_kwargs(
-                rounds=123, sample_full_infrastructure=True
-            )
-        assert config.rounds == 123
-        assert config.sample_full_infrastructure is True
-        assert config.mode == "sequential"
+            build_assessor(fattree4, inventory, hyperdrive=True)
 
     def test_config_form_does_not_warn(self, fattree4, inventory):
         import warnings
@@ -137,6 +122,60 @@ class TestLegacyShim:
                 fattree4, inventory, AssessmentConfig(rounds=500)
             )
             build_assessor(fattree4, inventory, AssessmentConfig(rounds=500))
+
+
+class TestScorePlansProtocol:
+    """score_plans is part of the Assessor protocol: every backend returns
+    exactly what per-plan assess calls would."""
+
+    CONFIG = AssessmentConfig(rounds=400, rng=3)
+
+    def _plans(self, fattree4, count=3):
+        rng = np.random.default_rng(11)
+        plans = [DeploymentPlan.random(fattree4, STRUCTURE, rng=rng)]
+        while len(plans) < count:
+            plans.append(plans[-1].random_neighbor(fattree4, rng=rng))
+        return plans
+
+    def test_sequential_backend_matches_assess(self, fattree4, inventory):
+        plans = self._plans(fattree4)
+        batch = ReliabilityAssessor.from_config(
+            fattree4, inventory, self.CONFIG.with_updates(master_seed=9)
+        )
+        results = batch.score_plans(plans, STRUCTURE)
+        assert len(results) == len(plans)
+        for plan, result in zip(plans, results):
+            assert result.plan == plan
+
+    def test_incremental_backend_bit_identical(self, fattree4, inventory):
+        plans = self._plans(fattree4, count=4)
+        config = AssessmentConfig(mode="incremental", rounds=400, master_seed=7)
+        batched = IncrementalAssessor.from_config(fattree4, inventory, config)
+        sequential = IncrementalAssessor.from_config(fattree4, inventory, config)
+        batch_results = batched.score_plans(plans, STRUCTURE)
+        for plan, batch_result in zip(plans, batch_results):
+            lone = sequential.assess(plan, STRUCTURE)
+            assert np.array_equal(batch_result.per_round, lone.per_round)
+            assert batch_result.estimate == lone.estimate
+
+    def test_parallel_backend_uses_fallback(self, fattree4, inventory):
+        plans = self._plans(fattree4, count=2)
+        config = AssessmentConfig(
+            mode="parallel", rounds=400, rng=3, workers=2, backend="inline"
+        )
+        with ParallelAssessor.from_config(fattree4, inventory, config) as pa:
+            results = pa.score_plans(plans, STRUCTURE)
+        assert [r.plan for r in results] == plans
+
+    def test_sequential_helper_orders_results(self, fattree4, inventory):
+        plans = self._plans(fattree4, count=2)
+        assessor = ReliabilityAssessor.from_config(fattree4, inventory, self.CONFIG)
+        results = score_plans_sequentially(assessor, plans, STRUCTURE)
+        assert [r.plan for r in results] == plans
+
+    def test_empty_batch(self, fattree4, inventory):
+        assessor = ReliabilityAssessor.from_config(fattree4, inventory, self.CONFIG)
+        assert assessor.score_plans([], STRUCTURE) == []
 
 
 class TestAssessmentResultRoundTrip:

@@ -21,6 +21,7 @@ from repro.sampling.dagger import ExtendedDaggerSampler
 from repro.sampling.montecarlo import MonteCarloSampler
 from repro.topology.fattree import FatTreeTopology
 from repro.util.errors import ConfigurationError
+from repro.core.api import AssessmentConfig
 
 
 def exact_k_of_n_reliability(topology, model, hosts, k, engine=None):
@@ -88,7 +89,7 @@ class TestAgainstExactEnumeration:
         model = DependencyModel.empty(micro_topology)
         hosts = ["host/0/0/0", "host/1/0/0"]
         exact = exact_k_of_n_reliability(micro_topology, model, hosts, k)
-        assessor = ReliabilityAssessor(micro_topology, model, rounds=40_000, rng=3)
+        assessor = ReliabilityAssessor(micro_topology, model, config=AssessmentConfig(rounds=40_000, rng=3))
         result = assessor.assess_k_of_n(hosts, k)
         # Allow 1.5x the CI: a ~95% interval should rarely miss by 50%.
         half = 0.75 * result.estimate.confidence_interval_width
@@ -99,28 +100,17 @@ class TestAgainstExactEnumeration:
     def test_monte_carlo_agrees_with_dagger(self, micro_topology):
         model = DependencyModel.empty(micro_topology)
         hosts = ["host/0/0/0", "host/1/0/0"]
-        dagger = ReliabilityAssessor(
-            micro_topology, model, sampler=ExtendedDaggerSampler(),
-            rounds=40_000, rng=5,
-        ).assess_k_of_n(hosts, 2)
-        monte_carlo = ReliabilityAssessor(
-            micro_topology, model, sampler=MonteCarloSampler(),
-            rounds=40_000, rng=6,
-        ).assess_k_of_n(hosts, 2)
+        dagger = ReliabilityAssessor(micro_topology, model, config=AssessmentConfig(sampler=ExtendedDaggerSampler(), rounds=40_000, rng=5)).assess_k_of_n(hosts, 2)
+        monte_carlo = ReliabilityAssessor(micro_topology, model, config=AssessmentConfig(sampler=MonteCarloSampler(), rounds=40_000, rng=6)).assess_k_of_n(hosts, 2)
         # Both at 40k rounds: sigma of the difference ~ 0.003.
         assert dagger.score == pytest.approx(monte_carlo.score, abs=1.2e-2)
 
     def test_dependencies_lower_reliability(self, micro_topology):
         """Shared power supplies can only hurt: R(with deps) <= R(without)."""
         hosts = ["host/0/0/0", "host/1/0/0"]
-        bare = ReliabilityAssessor(
-            micro_topology, DependencyModel.empty(micro_topology),
-            rounds=30_000, rng=7,
-        ).assess_k_of_n(hosts, 2)
+        bare = ReliabilityAssessor(micro_topology, DependencyModel.empty(micro_topology), config=AssessmentConfig(rounds=30_000, rng=7)).assess_k_of_n(hosts, 2)
         powered = build_paper_inventory(micro_topology, seed=8)
-        with_deps = ReliabilityAssessor(
-            micro_topology, powered, rounds=30_000, rng=7
-        ).assess_k_of_n(hosts, 2)
+        with_deps = ReliabilityAssessor(micro_topology, powered, config=AssessmentConfig(rounds=30_000, rng=7)).assess_k_of_n(hosts, 2)
         assert with_deps.score < bare.score + 2e-3
 
 
@@ -144,9 +134,7 @@ class TestAssessorMechanics:
         assert len(sampled) < len(fattree4.components)
 
     def test_full_infrastructure_mode(self, fattree4, inventory):
-        assessor = ReliabilityAssessor(
-            fattree4, inventory, rounds=500, rng=1, sample_full_infrastructure=True
-        )
+        assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=500, rng=1, sample_full_infrastructure=True))
         result = assessor.assess_k_of_n(fattree4.hosts[:2], 1)
         # Everything with p > 0 is sampled: all hosts/switches + supplies.
         expected = sum(
@@ -158,18 +146,13 @@ class TestAssessorMechanics:
     def test_closure_and_full_sampling_agree(self, fattree4, inventory):
         """Restricting sampling to the closure is distribution-preserving."""
         hosts = fattree4.hosts[:3]
-        closure = ReliabilityAssessor(
-            fattree4, inventory, rounds=30_000, rng=2
-        ).assess_k_of_n(hosts, 2)
-        full = ReliabilityAssessor(
-            fattree4, inventory, rounds=30_000, rng=2,
-            sample_full_infrastructure=True,
-        ).assess_k_of_n(hosts, 2)
+        closure = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=30_000, rng=2)).assess_k_of_n(hosts, 2)
+        full = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=30_000, rng=2, sample_full_infrastructure=True)).assess_k_of_n(hosts, 2)
         assert closure.score == pytest.approx(full.score, abs=6e-3)
 
     def test_rejects_zero_rounds(self, fattree4, inventory):
         with pytest.raises(ConfigurationError):
-            ReliabilityAssessor(fattree4, inventory, rounds=0)
+            ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=0))
 
     def test_rejects_foreign_dependency_model(self, fattree4, fattree8):
         model = DependencyModel.empty(fattree8)
@@ -178,7 +161,7 @@ class TestAssessorMechanics:
 
     def test_refresh_probabilities(self, fattree4):
         model = DependencyModel.empty(fattree4)
-        assessor = ReliabilityAssessor(fattree4, model, rounds=20_000, rng=3)
+        assessor = ReliabilityAssessor(fattree4, model, config=AssessmentConfig(rounds=20_000, rng=3))
         hosts = fattree4.hosts[:2]
         before = assessor.assess_k_of_n(hosts, 2).score
         # Making one deployed host much worse must show after refresh.
@@ -188,8 +171,8 @@ class TestAssessorMechanics:
         assert after < before - 0.2
 
     def test_reproducible_with_seed(self, fattree4, inventory):
-        a = ReliabilityAssessor(fattree4, inventory, rounds=2_000, rng=9)
-        b = ReliabilityAssessor(fattree4, inventory, rounds=2_000, rng=9)
+        a = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=2_000, rng=9))
+        b = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=2_000, rng=9))
         hosts = fattree4.hosts[:3]
         assert a.assess_k_of_n(hosts, 2).score == b.assess_k_of_n(hosts, 2).score
 
@@ -197,9 +180,9 @@ class TestAssessorMechanics:
         hosts = fattree4.hosts[:3]
         structure = ApplicationStructure.k_of_n(2, 3)
         plan = DeploymentPlan.single_component(hosts, "app")
-        a = ReliabilityAssessor(fattree4, inventory, rounds=5_000, rng=4)
+        a = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=5_000, rng=4))
         r1 = a.assess(plan, structure)
-        b = ReliabilityAssessor(fattree4, inventory, rounds=5_000, rng=4)
+        b = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=5_000, rng=4))
         r2 = b.assess_k_of_n(hosts, 2, rounds=5_000)
         assert r1.score == r2.score
 
@@ -213,7 +196,7 @@ class TestAssessorMechanics:
 class TestLimitedInformationModes:
     def test_no_dependency_model(self, fattree4):
         """§3.4: works with no dependency information at all."""
-        assessor = ReliabilityAssessor(fattree4, rounds=2_000, rng=1)
+        assessor = ReliabilityAssessor(fattree4, config=AssessmentConfig(rounds=2_000, rng=1))
         result = assessor.assess_k_of_n(fattree4.hosts[:3], 2)
         assert 0.8 < result.score <= 1.0
 
@@ -222,6 +205,6 @@ class TestLimitedInformationModes:
         topo = FatTreeTopology(
             4, probability_policy=DefaultProbabilityPolicy(0.01), seed=1
         )
-        assessor = ReliabilityAssessor(topo, rounds=2_000, rng=1)
+        assessor = ReliabilityAssessor(topo, config=AssessmentConfig(rounds=2_000, rng=1))
         result = assessor.assess_k_of_n(topo.hosts[:3], 2)
         assert 0.9 < result.score <= 1.0

@@ -16,6 +16,7 @@ from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
 from repro.util.errors import ConfigurationError, UnsatisfiableRequirements
 from repro.workload.model import HostWorkloadModel
+from repro.core.api import AssessmentConfig
 
 
 @pytest.fixture
@@ -84,9 +85,9 @@ class TestRandomBaselines:
 
     def test_best_of_random_not_worse_than_single(self, fattree4, inventory):
         structure = ApplicationStructure.k_of_n(3, 4)
-        assessor = ReliabilityAssessor(fattree4, inventory, rounds=2_000, rng=3)
+        assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=2_000, rng=3))
         _plan1, single = best_of_random(assessor, structure, candidates=1, rng=7)
-        assessor2 = ReliabilityAssessor(fattree4, inventory, rounds=2_000, rng=3)
+        assessor2 = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=2_000, rng=3))
         _plan5, best5 = best_of_random(assessor2, structure, candidates=5, rng=7)
         assert best5 >= single - 1e-9
 

@@ -8,6 +8,7 @@ import pytest
 from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.util.errors import CircuitOpen
 from repro.util.metrics import MetricsRegistry
+from repro.core.api import AssessmentConfig
 
 
 class FakeClock:

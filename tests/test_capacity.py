@@ -6,6 +6,7 @@ from repro.app.structure import ApplicationStructure
 from repro.core.plan import DeploymentPlan
 from repro.workload.capacity import CapacityModel
 from repro.util.errors import ConfigurationError
+from repro.core.api import AssessmentConfig
 
 
 class TestConstruction:
@@ -83,7 +84,7 @@ class TestSearchIntegration:
         occupied = fattree4.hosts[::2]
         model.occupy_hosts(occupied)
 
-        assessor = ReliabilityAssessor(fattree4, inventory, rounds=1_000, rng=5)
+        assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=1_000, rng=5))
         search = DeploymentSearch(
             assessor, resource_filter=model.as_resource_filter(), rng=6
         )

@@ -15,6 +15,7 @@ from repro.core.plan import DeploymentPlan
 from repro.runtime.chaos import ChaosAction, ChaosPolicy
 from repro.runtime.mapreduce import ParallelAssessor, RetryPolicy
 from repro.util.errors import ConfigurationError, DegradedResult, WorkerFailure
+from repro.core.api import AssessmentConfig
 
 
 @pytest.fixture
@@ -80,19 +81,11 @@ class TestSupervisedRecovery:
         tolerance as the fault-free process/inline equivalence test."""
         chaos = ChaosPolicy(crash={0, 2}, hang={1})
         assert len(chaos.targeted_portions(4)) >= 1  # >= 25% of 4 portions
-        with ParallelAssessor(
-            fattree4, inventory, rounds=20_000, workers=4, rng=3,
-            backend="process",
-            retry_policy=RetryPolicy(
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=20_000, workers=4, rng=3, backend="process", retry_policy=RetryPolicy(
                 timeout_seconds=1.0, max_retries=2, backoff_seconds=0.01
-            ),
-            chaos=chaos,
-        ) as pa:
+            ), chaos=chaos)) as pa:
             chaotic = pa.assess(plan, structure)
-        with ParallelAssessor(
-            fattree4, inventory, rounds=20_000, workers=4, rng=3,
-            backend="inline",
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=20_000, workers=4, rng=3, backend="inline")) as pa:
             inline = pa.assess(plan, structure)
         assert chaotic.estimate.rounds == 20_000
         assert chaotic.score == pytest.approx(inline.score, abs=0.015)
@@ -106,12 +99,7 @@ class TestSupervisedRecovery:
         self, fattree4, inventory, plan, structure
     ):
         chaos = ChaosPolicy(error={0, 1})
-        with ParallelAssessor(
-            fattree4, inventory, rounds=4_000, workers=2, rng=3,
-            backend="process",
-            retry_policy=RetryPolicy(max_retries=2, backoff_seconds=0.01),
-            chaos=chaos,
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=4_000, workers=2, rng=3, backend="process", retry_policy=RetryPolicy(max_retries=2, backoff_seconds=0.01), chaos=chaos)) as pa:
             result = pa.assess(plan, structure)
         assert result.estimate.rounds == 4_000
         assert result.runtime.retries == 2
@@ -123,12 +111,7 @@ class TestSupervisedRecovery:
         """A portion that fails on every attempt falls back to inline
         execution in the master, still completing all rounds."""
         chaos = ChaosPolicy(error={0}, max_attempts=10)
-        with ParallelAssessor(
-            fattree4, inventory, rounds=2_000, workers=2, rng=3,
-            backend="process",
-            retry_policy=RetryPolicy(max_retries=1, backoff_seconds=0.01),
-            chaos=chaos,
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=2_000, workers=2, rng=3, backend="process", retry_policy=RetryPolicy(max_retries=1, backoff_seconds=0.01), chaos=chaos)) as pa:
             result = pa.assess(plan, structure)
         assert result.estimate.rounds == 2_000
         assert result.runtime.recovered_inline == 1
@@ -140,17 +123,9 @@ class TestSupervisedRecovery:
         """partial_ok drops exhausted portions instead of recovering them:
         the result is flagged degraded and its CI honestly widened."""
         chaos = ChaosPolicy(error={0}, max_attempts=10)
-        with ParallelAssessor(
-            fattree4, inventory, rounds=4_000, workers=2, rng=3,
-            backend="process",
-            retry_policy=RetryPolicy(max_retries=1, backoff_seconds=0.01),
-            chaos=chaos, partial_ok=True,
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=4_000, workers=2, rng=3, backend="process", retry_policy=RetryPolicy(max_retries=1, backoff_seconds=0.01), chaos=chaos, partial_ok=True)) as pa:
             degraded = pa.assess(plan, structure)
-        with ParallelAssessor(
-            fattree4, inventory, rounds=4_000, workers=2, rng=3,
-            backend="process",
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=4_000, workers=2, rng=3, backend="process")) as pa:
             healthy = pa.assess(plan, structure)
         assert degraded.degraded
         assert degraded.runtime.dropped_portions == 1
@@ -167,12 +142,7 @@ class TestSupervisedRecovery:
         self, fattree4, inventory, plan, structure
     ):
         chaos = ChaosPolicy(error={0, 1}, max_attempts=10)
-        with ParallelAssessor(
-            fattree4, inventory, rounds=2_000, workers=2, rng=3,
-            backend="process",
-            retry_policy=RetryPolicy(max_retries=0),
-            chaos=chaos, partial_ok=True,
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=2_000, workers=2, rng=3, backend="process", retry_policy=RetryPolicy(max_retries=0), chaos=chaos, partial_ok=True)) as pa:
             # Inline recovery is off (partial_ok) and every portion fails:
             # nothing remains to estimate from.
             with pytest.raises(DegradedResult):
@@ -184,12 +154,7 @@ class TestSupervisedRecovery:
         """If even the master's inline fallback fails, the failure is
         reported as WorkerFailure with the attempt history attached."""
         chaos = ChaosPolicy(error={0, 1}, max_attempts=10)
-        pa = ParallelAssessor(
-            fattree4, inventory, rounds=2_000, workers=2, rng=3,
-            backend="process",
-            retry_policy=RetryPolicy(max_retries=0),
-            chaos=chaos,
-        )
+        pa = ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=2_000, workers=2, rng=3, backend="process", retry_policy=RetryPolicy(max_retries=0), chaos=chaos))
         monkeypatch.setattr(
             pa, "_inline_portion",
             lambda *a, **k: (_ for _ in ()).throw(RuntimeError("inline down")),
@@ -205,12 +170,7 @@ class TestSupervisedRecovery:
         """Same seed + same chaos policy => identical estimate, because
         retried portions reseed deterministically."""
         def run():
-            with ParallelAssessor(
-                fattree4, inventory, rounds=4_000, workers=2, rng=3,
-                backend="process",
-                retry_policy=RetryPolicy(max_retries=2, backoff_seconds=0.01),
-                chaos=ChaosPolicy(error={0}),
-            ) as pa:
+            with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=4_000, workers=2, rng=3, backend="process", retry_policy=RetryPolicy(max_retries=2, backoff_seconds=0.01), chaos=ChaosPolicy(error={0}))) as pa:
                 return pa.assess(plan, structure)
 
         a, b = run(), run()

@@ -16,6 +16,7 @@ from repro.app.structure import ApplicationStructure
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.search import DeploymentSearch, SearchSpec, SearchState
 from repro.util.errors import ConfigurationError
+from repro.core.api import AssessmentConfig
 
 
 class FakeClock:
@@ -34,7 +35,7 @@ STRUCTURE = ApplicationStructure.k_of_n(2, 3)
 
 
 def _make_search(fattree4, inventory, ckpt=None, **kwargs):
-    assessor = ReliabilityAssessor(fattree4, inventory, rounds=800, rng=5)
+    assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=800, rng=5))
     kwargs.setdefault("rng", 42)
     kwargs.setdefault("clock", FakeClock())
     kwargs.setdefault("keep_trace", True)

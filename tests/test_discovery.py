@@ -11,6 +11,7 @@ from repro.faults.discovery import (
 )
 from repro.faults.dependencies import DependencyModel
 from repro.util.errors import ConfigurationError
+from repro.core.api import AssessmentConfig
 
 GROUND_TRUTH = {
     "web": ["auth", "db"],
@@ -151,10 +152,8 @@ class TestBridgeToFaultTrees:
             discovered,
             service_failure_probability=0.05,
         )
-        with_deps = ReliabilityAssessor(fattree4, model, rounds=20_000, rng=8)
-        bare = ReliabilityAssessor(
-            fattree4, DependencyModel.empty(fattree4), rounds=20_000, rng=8
-        )
+        with_deps = ReliabilityAssessor(fattree4, model, config=AssessmentConfig(rounds=20_000, rng=8))
+        bare = ReliabilityAssessor(fattree4, DependencyModel.empty(fattree4), config=AssessmentConfig(rounds=20_000, rng=8))
         assert (
             with_deps.assess_k_of_n(hosts, 3).score
             < bare.assess_k_of_n(hosts, 3).score

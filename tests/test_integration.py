@@ -25,6 +25,7 @@ from repro.faults.inventory import build_paper_inventory, build_rich_inventory
 from repro.topology.fattree import FatTreeTopology
 from repro.topology.leafspine import LeafSpineTopology
 from repro.workload.model import HostWorkloadModel
+from repro.core.api import AssessmentConfig
 
 
 class FakeClock:
@@ -47,12 +48,12 @@ class TestProviderWorkflow:
         inventory = build_paper_inventory(fattree8, seed=2)
         workload = HostWorkloadModel.paper_default(fattree8, seed=3)
         structure = ApplicationStructure.k_of_n(4, 5)
-        reference = ReliabilityAssessor(fattree8, inventory, rounds=40_000, rng=99)
+        reference = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=40_000, rng=99))
 
         ecp = enhanced_common_practice_plan(fattree8, workload, inventory, 5)
         ecp_score = reference.assess(ecp, structure).score
 
-        assessor = ReliabilityAssessor(fattree8, inventory, rounds=5_000, rng=5)
+        assessor = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=5_000, rng=5))
         search = DeploymentSearch(assessor, rng=7)
         result = search.search(SearchSpec(structure, max_seconds=8.0))
         found_score = reference.assess(result.best_plan, structure).score
@@ -65,7 +66,7 @@ class TestProviderWorkflow:
         topo = FatTreeTopology(4, seed=21)
         inventory = build_paper_inventory(topo, seed=22)
         structure = ApplicationStructure.k_of_n(1, 2)
-        assessor = ReliabilityAssessor(topo, inventory, rounds=25_000, rng=23)
+        assessor = ReliabilityAssessor(topo, inventory, config=AssessmentConfig(rounds=25_000, rng=23))
 
         best_exhaustive = max(
             assessor.assess(plan, structure).score
@@ -79,7 +80,7 @@ class TestProviderWorkflow:
 
     def test_satisfied_search_reports_plan(self, fattree8):
         inventory = build_paper_inventory(fattree8, seed=2)
-        assessor = ReliabilityAssessor(fattree8, inventory, rounds=2_000, rng=5)
+        assessor = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=2_000, rng=5))
         search = DeploymentSearch(assessor, rng=6, clock=FakeClock())
         spec = SearchSpec(
             ApplicationStructure.k_of_n(1, 3),
@@ -98,7 +99,7 @@ class TestProviderWorkflow:
             loads[h] = 0.05  # a quarter of the fleet is idle
         workload = HostWorkloadModel(loads)
         structure = ApplicationStructure.k_of_n(2, 3)
-        assessor = ReliabilityAssessor(fattree8, inventory, rounds=2_000, rng=5)
+        assessor = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=2_000, rng=5))
         # Weight utility heavily so its pull is unambiguous against the
         # log-odds reliability noise of a 2k-round assessment (Eq. 7's
         # weights are exactly the knob for this trade).
@@ -123,7 +124,7 @@ class TestComplexStructures:
     def test_multilayer_assessment(self, fattree8, layers):
         inventory = build_paper_inventory(fattree8, seed=2)
         structure = multilayer(layers)
-        assessor = ReliabilityAssessor(fattree8, inventory, rounds=3_000, rng=5)
+        assessor = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=3_000, rng=5))
         plan = DeploymentPlan.random(fattree8, structure, rng=layers)
         result = assessor.assess(plan, structure)
         assert 0.5 < result.score <= 1.0
@@ -139,9 +140,7 @@ class TestComplexStructures:
             trials = 3
             for t in range(trials):
                 plan = DeploymentPlan.random(fattree8, structure, rng=rng)
-                assessor = ReliabilityAssessor(
-                    fattree8, inventory, rounds=4_000, rng=100 + t
-                )
+                assessor = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=4_000, rng=100 + t))
                 total += assessor.assess(plan, structure).score
             scores.append(total / trials)
         assert scores[1] <= scores[0] + 0.01
@@ -149,7 +148,7 @@ class TestComplexStructures:
     def test_microservice_mesh_assessment(self, fattree8):
         inventory = build_paper_inventory(fattree8, seed=2)
         structure = microservice_mesh(3, 2, instances_per_component=2, k_per_component=1)
-        assessor = ReliabilityAssessor(fattree8, inventory, rounds=1_500, rng=5)
+        assessor = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=1_500, rng=5))
         plan = DeploymentPlan.random(fattree8, structure, rng=9)
         result = assessor.assess(plan, structure)
         assert 0.3 < result.score <= 1.0
@@ -157,7 +156,7 @@ class TestComplexStructures:
     def test_two_tier_search(self, fattree8):
         inventory = build_paper_inventory(fattree8, seed=2)
         structure = two_tier()
-        assessor = ReliabilityAssessor(fattree8, inventory, rounds=2_000, rng=5)
+        assessor = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=2_000, rng=5))
         search = DeploymentSearch(assessor, rng=12)
         result = search.search(SearchSpec(structure, max_seconds=3.0))
         assert result.best_score > 0.9
@@ -166,7 +165,7 @@ class TestComplexStructures:
 class TestRichDependencies:
     def test_rich_inventory_end_to_end(self, fattree8):
         inventory = build_rich_inventory(fattree8, seed=4)
-        assessor = ReliabilityAssessor(fattree8, inventory, rounds=4_000, rng=5)
+        assessor = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=4_000, rng=5))
         result = assessor.assess_k_of_n(fattree8.hosts[:5], 4)
         assert 0.8 < result.score <= 1.0
 
@@ -174,17 +173,13 @@ class TestRichDependencies:
         """AND-gated power pairs are far more reliable than single PSUs."""
         single = build_paper_inventory(fattree8, seed=4)
         hosts = fattree8.hosts[:5]
-        single_score = ReliabilityAssessor(
-            fattree8, single, rounds=20_000, rng=6
-        ).assess_k_of_n(hosts, 4).score
+        single_score = ReliabilityAssessor(fattree8, single, config=AssessmentConfig(rounds=20_000, rng=6)).assess_k_of_n(hosts, 4).score
         from repro.faults.dependencies import DependencyModel
         from repro.faults.inventory import attach_redundant_power
 
         redundant = DependencyModel.empty(fattree8)
         attach_redundant_power(redundant, pairs=5, seed=4)
-        redundant_score = ReliabilityAssessor(
-            fattree8, redundant, rounds=20_000, rng=6
-        ).assess_k_of_n(hosts, 4).score
+        redundant_score = ReliabilityAssessor(fattree8, redundant, config=AssessmentConfig(rounds=20_000, rng=6)).assess_k_of_n(hosts, 4).score
         assert redundant_score > single_score
 
 
@@ -193,7 +188,7 @@ class TestSecondArchitecture:
         topo = LeafSpineTopology(spines=4, leaves=10, hosts_per_leaf=4, seed=2)
         inventory = build_paper_inventory(topo, seed=3)
         structure = ApplicationStructure.k_of_n(2, 3)
-        assessor = ReliabilityAssessor(topo, inventory, rounds=3_000, rng=5)
+        assessor = ReliabilityAssessor(topo, inventory, config=AssessmentConfig(rounds=3_000, rng=5))
         search = DeploymentSearch(assessor, rng=6, clock=FakeClock())
         result = search.search(
             SearchSpec(structure, max_seconds=3.0, max_iterations=40)
@@ -218,7 +213,7 @@ class TestAdaptiveRedeployment:
         as conditions vary; degraded hosts get evacuated."""
         inventory = build_paper_inventory(fattree8, seed=2)
         structure = ApplicationStructure.k_of_n(2, 3)
-        assessor = ReliabilityAssessor(fattree8, inventory, rounds=2_500, rng=5)
+        assessor = ReliabilityAssessor(fattree8, inventory, config=AssessmentConfig(rounds=2_500, rng=5))
         search = DeploymentSearch(assessor, rng=6)
         first = search.search(SearchSpec(structure, max_seconds=2.0))
 

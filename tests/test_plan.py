@@ -5,7 +5,7 @@ import pytest
 
 from repro.app.structure import ApplicationStructure, InstanceRef
 from repro.app.generators import two_tier
-from repro.core.plan import DeploymentPlan, enumerate_k_of_n_plans
+from repro.core.plan import DeploymentPlan, MoveDescriptor, enumerate_k_of_n_plans
 from repro.util.errors import ConfigurationError, UnsatisfiableRequirements
 
 
@@ -135,6 +135,27 @@ class TestNeighborMoves:
         plan = DeploymentPlan.random(fattree4, s, rng=1)
         with pytest.raises(UnsatisfiableRequirements):
             plan.random_neighbor(fattree4, rng=2)
+
+    def test_move_descriptor_apply(self):
+        plan = DeploymentPlan.from_mapping({"fe": ["a", "b"], "db": ["c"]})
+        moved = MoveDescriptor("b", "z").apply(plan)
+        assert moved.hosts_for("fe") == ("a", "z")
+        assert plan.hosts_for("fe") == ("a", "b")  # original untouched
+
+    def test_propose_move_draw_identity(self, fattree4):
+        """propose_move consumes the exact RNG stream random_neighbor does,
+        so descriptor-based and plan-based proposal walks are identical."""
+        s = ApplicationStructure.k_of_n(2, 4)
+        plan_a = DeploymentPlan.random(fattree4, s, rng=3)
+        plan_b = DeploymentPlan.random(fattree4, s, rng=3)
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        for _ in range(25):
+            move = plan_a.propose_move(fattree4, rng=rng_a)
+            plan_a = move.apply(plan_a)
+            plan_b = plan_b.random_neighbor(fattree4, rng=rng_b)
+            assert plan_a == plan_b
+            assert rng_a.bit_generator.state == rng_b.bit_generator.state
 
 
 class TestCanonicalKey:

@@ -22,6 +22,7 @@ from repro.faults.probability import DefaultProbabilityPolicy
 from repro.routing.base import RoundStates
 from repro.routing.fattree_fast import FatTreeReachabilityEngine
 from repro.topology.fattree import FatTreeTopology
+from repro.core.api import AssessmentConfig
 
 # Module-level fixtures built once: hypothesis re-runs the bodies many
 # times and the topology is immutable under these tests.
@@ -113,17 +114,13 @@ class TestAssessmentProperties:
     def test_reliability_antitone_in_k(self, k):
         """Requiring more alive instances can only lower reliability."""
         hosts = HOSTS[:4]
-        assessor = ReliabilityAssessor(TOPOLOGY, INVENTORY, rounds=6_000, rng=9)
+        assessor = ReliabilityAssessor(TOPOLOGY, INVENTORY, config=AssessmentConfig(rounds=6_000, rng=9))
         structure_k = ApplicationStructure.k_of_n(k, 4)
         plan = DeploymentPlan.single_component(hosts, structure_k.components[0].name)
         # Reuse one sampled batch implicitly by fixing the assessor seed
         # per comparison pair.
-        score_k = ReliabilityAssessor(
-            TOPOLOGY, INVENTORY, rounds=6_000, rng=9
-        ).assess(plan, ApplicationStructure.k_of_n(k, 4)).score
-        score_1 = ReliabilityAssessor(
-            TOPOLOGY, INVENTORY, rounds=6_000, rng=9
-        ).assess(plan, ApplicationStructure.k_of_n(1, 4)).score
+        score_k = ReliabilityAssessor(TOPOLOGY, INVENTORY, config=AssessmentConfig(rounds=6_000, rng=9)).assess(plan, ApplicationStructure.k_of_n(k, 4)).score
+        score_1 = ReliabilityAssessor(TOPOLOGY, INVENTORY, config=AssessmentConfig(rounds=6_000, rng=9)).assess(plan, ApplicationStructure.k_of_n(1, 4)).score
         assert score_k <= score_1 + 1e-12
 
     def test_reliability_monotone_in_probability(self):
@@ -133,19 +130,19 @@ class TestAssessmentProperties:
         )
         model = DependencyModel.empty(topo)
         hosts = topo.hosts[:3]
-        before = ReliabilityAssessor(topo, model, rounds=30_000, rng=2).assess_k_of_n(
+        before = ReliabilityAssessor(topo, model, config=AssessmentConfig(rounds=30_000, rng=2)).assess_k_of_n(
             hosts, 3
         )
         topo.override_probabilities({hosts[0]: 0.2})
-        after = ReliabilityAssessor(topo, model, rounds=30_000, rng=2).assess_k_of_n(
+        after = ReliabilityAssessor(topo, model, config=AssessmentConfig(rounds=30_000, rng=2)).assess_k_of_n(
             hosts, 3
         )
         assert after.score < before.score
 
     def test_instance_order_does_not_change_score(self):
         hosts = HOSTS[:4]
-        a = ReliabilityAssessor(TOPOLOGY, INVENTORY, rounds=8_000, rng=5)
-        b = ReliabilityAssessor(TOPOLOGY, INVENTORY, rounds=8_000, rng=5)
+        a = ReliabilityAssessor(TOPOLOGY, INVENTORY, config=AssessmentConfig(rounds=8_000, rng=5))
+        b = ReliabilityAssessor(TOPOLOGY, INVENTORY, config=AssessmentConfig(rounds=8_000, rng=5))
         forward = a.assess_k_of_n(hosts, 2).score
         backward = b.assess_k_of_n(list(reversed(hosts)), 2).score
         assert forward == pytest.approx(backward, abs=1e-12)
@@ -156,7 +153,7 @@ class TestAssessmentProperties:
         plan = DeploymentPlan.random(
             TOPOLOGY, ApplicationStructure.k_of_n(2, 3), rng=seed
         )
-        assessor = ReliabilityAssessor(TOPOLOGY, INVENTORY, rounds=1_000, rng=seed)
+        assessor = ReliabilityAssessor(TOPOLOGY, INVENTORY, config=AssessmentConfig(rounds=1_000, rng=seed))
         result = assessor.assess(plan, ApplicationStructure.k_of_n(2, 3))
         assert 0.0 <= result.score <= 1.0
         assert result.estimate.ci_lower <= result.score <= result.estimate.ci_upper

@@ -9,6 +9,7 @@ from repro.core.plan import DeploymentPlan
 from repro.runtime import mapreduce
 from repro.runtime.mapreduce import ParallelAssessor, RetryPolicy
 from repro.util.errors import ConfigurationError
+from repro.core.api import AssessmentConfig
 
 
 @pytest.fixture
@@ -23,33 +24,33 @@ def plan(fattree4, structure):
 
 class TestPortions:
     def test_even_split(self, fattree4, inventory):
-        with ParallelAssessor(fattree4, inventory, workers=4, backend="inline") as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", workers=4, backend="inline")) as pa:
             assert pa._portions(100) == [25, 25, 25, 25]
 
     def test_remainder_distributed(self, fattree4, inventory):
-        with ParallelAssessor(fattree4, inventory, workers=3, backend="inline") as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", workers=3, backend="inline")) as pa:
             assert pa._portions(10) == [4, 3, 3]
 
     def test_more_workers_than_rounds(self, fattree4, inventory):
-        with ParallelAssessor(fattree4, inventory, workers=4, backend="inline") as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", workers=4, backend="inline")) as pa:
             assert pa._portions(2) == [1, 1]
 
     def test_rejects_zero_workers(self, fattree4, inventory):
         with pytest.raises(ConfigurationError):
-            ParallelAssessor(fattree4, inventory, workers=0)
+            ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", workers=0))
 
     def test_rejects_unknown_backend(self, fattree4, inventory):
         with pytest.raises(ConfigurationError):
-            ParallelAssessor(fattree4, inventory, backend="gpu")
+            ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", backend="gpu"))
 
     def test_rejects_zero_rounds_at_construction(self, fattree4, inventory):
         with pytest.raises(ConfigurationError):
-            ParallelAssessor(fattree4, inventory, rounds=0, backend="inline")
+            ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=0, backend="inline"))
 
     def test_rejects_zero_rounds_override(self, fattree4, inventory):
         structure = ApplicationStructure.k_of_n(2, 3)
         plan = DeploymentPlan.random(fattree4, structure, rng=4)
-        with ParallelAssessor(fattree4, inventory, workers=2, backend="inline") as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", workers=2, backend="inline")) as pa:
             with pytest.raises(ConfigurationError):
                 pa.assess(plan, structure, rounds=0)
             with pytest.raises(ConfigurationError):
@@ -58,37 +59,27 @@ class TestPortions:
 
 class TestInlineBackend:
     def test_total_rounds_preserved(self, fattree4, inventory, plan, structure):
-        with ParallelAssessor(
-            fattree4, inventory, rounds=1_000, workers=3, rng=1, backend="inline"
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=1_000, workers=3, rng=1, backend="inline")) as pa:
             result = pa.assess(plan, structure)
         assert result.estimate.rounds == 1_000
         assert result.per_round.shape == (1_000,)
 
     def test_statistically_matches_sequential(self, fattree4, inventory, plan, structure):
-        sequential = ReliabilityAssessor(
-            fattree4, inventory, rounds=30_000, rng=7
-        ).assess(plan, structure)
-        with ParallelAssessor(
-            fattree4, inventory, rounds=30_000, workers=3, rng=8, backend="inline"
-        ) as pa:
+        sequential = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=30_000, rng=7)).assess(plan, structure)
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=30_000, workers=3, rng=8, backend="inline")) as pa:
             parallel = pa.assess(plan, structure)
         # Two independent 30k-round estimates: sigma of difference ~ 0.002.
         assert parallel.score == pytest.approx(sequential.score, abs=0.012)
 
     def test_rounds_override(self, fattree4, inventory, plan, structure):
-        with ParallelAssessor(
-            fattree4, inventory, rounds=1_000, workers=2, rng=1, backend="inline"
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=1_000, workers=2, rng=1, backend="inline")) as pa:
             result = pa.assess(plan, structure, rounds=600)
         assert result.estimate.rounds == 600
 
 
 class TestProcessBackend:
     def test_process_pool_roundtrip(self, fattree4, inventory, plan, structure):
-        with ParallelAssessor(
-            fattree4, inventory, rounds=4_000, workers=2, rng=3, backend="process"
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=4_000, workers=2, rng=3, backend="process")) as pa:
             result = pa.assess(plan, structure)
         assert result.estimate.rounds == 4_000
         assert 0.5 < result.score <= 1.0
@@ -96,26 +87,20 @@ class TestProcessBackend:
     def test_process_matches_inline_statistically(
         self, fattree4, inventory, plan, structure
     ):
-        with ParallelAssessor(
-            fattree4, inventory, rounds=20_000, workers=2, rng=3, backend="process"
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=20_000, workers=2, rng=3, backend="process")) as pa:
             proc = pa.assess(plan, structure)
-        with ParallelAssessor(
-            fattree4, inventory, rounds=20_000, workers=2, rng=3, backend="inline"
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=20_000, workers=2, rng=3, backend="inline")) as pa:
             inline = pa.assess(plan, structure)
         assert proc.score == pytest.approx(inline.score, abs=0.015)
 
     def test_pool_reusable_across_assessments(self, fattree4, inventory, plan, structure):
-        with ParallelAssessor(
-            fattree4, inventory, rounds=2_000, workers=2, rng=3, backend="process"
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=2_000, workers=2, rng=3, backend="process")) as pa:
             first = pa.assess(plan, structure)
             second = pa.assess(plan, structure)
         assert first.estimate.rounds == second.estimate.rounds == 2_000
 
     def test_close_idempotent(self, fattree4, inventory):
-        pa = ParallelAssessor(fattree4, inventory, workers=2, backend="process")
+        pa = ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", workers=2, backend="process"))
         pa.close()
         pa.close()
 
@@ -123,9 +108,7 @@ class TestProcessBackend:
         """A healthy pool is drained (close + join), not terminated: work
         dispatched before close() still lands, and no registry entry or
         worker process is leaked."""
-        pa = ParallelAssessor(
-            fattree4, inventory, rounds=2_000, workers=2, rng=3, backend="process"
-        )
+        pa = ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=2_000, workers=2, rng=3, backend="process"))
         key = pa._registry_key
         result = pa.assess(plan, structure)
         assert result.estimate.rounds == 2_000
@@ -134,7 +117,7 @@ class TestProcessBackend:
         assert key not in mapreduce._FORK_REGISTRY
 
     def test_del_reaps_pool(self, fattree4, inventory):
-        pa = ParallelAssessor(fattree4, inventory, workers=2, backend="process")
+        pa = ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", workers=2, backend="process"))
         key = pa._registry_key
         pa.__del__()
         assert key not in mapreduce._FORK_REGISTRY
@@ -144,9 +127,7 @@ class TestRuntimeMetadata:
     def test_metadata_populated(self, fattree4, inventory, plan, structure):
         """The result carries real runtime metadata: actual worker count,
         one real per-portion seed per portion, zeroed fault counters."""
-        with ParallelAssessor(
-            fattree4, inventory, rounds=4_000, workers=2, rng=3, backend="process"
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=4_000, workers=2, rng=3, backend="process")) as pa:
             result = pa.assess(plan, structure)
         runtime = result.runtime
         assert runtime is not None
@@ -167,9 +148,7 @@ class TestRuntimeMetadata:
     def test_inline_backend_also_reports_metadata(
         self, fattree4, inventory, plan, structure
     ):
-        with ParallelAssessor(
-            fattree4, inventory, rounds=1_000, workers=3, rng=1, backend="inline"
-        ) as pa:
+        with ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", rounds=1_000, workers=3, rng=1, backend="inline")) as pa:
             result = pa.assess(plan, structure)
         assert result.runtime.backend == "inline"
         assert result.runtime.portions == 3
@@ -221,9 +200,7 @@ class TestForkFallback:
             ParallelAssessor, "_fork_available", staticmethod(lambda: False)
         )
         with pytest.warns(RuntimeWarning, match="fork"):
-            pa = ParallelAssessor(
-                fattree4, inventory, workers=2, backend="process"
-            )
+            pa = ParallelAssessor(fattree4, inventory, config=AssessmentConfig(mode="parallel", workers=2, backend="process"))
         try:
             assert pa.backend == "inline"
         finally:

@@ -12,6 +12,7 @@ from repro.core.assessment import ReliabilityAssessor
 from repro.core.plan import DeploymentPlan
 from repro.core.search import DeploymentSearch, SearchSpec
 from repro.util.errors import ConfigurationError
+from repro.core.api import AssessmentConfig
 
 
 class FakeClock:
@@ -28,7 +29,7 @@ class FakeClock:
 
 @pytest.fixture
 def quick_assessor(fattree4, inventory):
-    return ReliabilityAssessor(fattree4, inventory, rounds=1_500, rng=5)
+    return ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=1_500, rng=5))
 
 
 def _search(quick_assessor, **kwargs):
@@ -97,7 +98,7 @@ class TestSearchLoop:
 
     def test_deterministic_given_seed(self, fattree4, inventory):
         def run():
-            assessor = ReliabilityAssessor(fattree4, inventory, rounds=800, rng=5)
+            assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=800, rng=5))
             search = DeploymentSearch(assessor, rng=42, clock=FakeClock())
             spec = SearchSpec(
                 ApplicationStructure.k_of_n(2, 3), max_seconds=50.0, max_iterations=30
@@ -155,8 +156,8 @@ class TestSearchLoop:
 
     def test_search_improves_over_random_start(self, fattree4, inventory):
         """On average the searched plan beats its random starting point."""
-        assessor = ReliabilityAssessor(fattree4, inventory, rounds=3_000, rng=5)
-        reference = ReliabilityAssessor(fattree4, inventory, rounds=30_000, rng=99)
+        assessor = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=3_000, rng=5))
+        reference = ReliabilityAssessor(fattree4, inventory, config=AssessmentConfig(rounds=30_000, rng=99))
         structure = ApplicationStructure.k_of_n(4, 5)
 
         wins = ties_or_better = 0

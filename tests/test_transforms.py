@@ -146,3 +146,92 @@ class TestSignatureCache:
         cache = SignatureCache(checker)
         cache.record(plan_of("host/0/0/0", "host/1/0/0"), 0.9)
         assert cache.lookup(plan_of("host/0/0/0", "host/0/0/1")) is None
+
+
+class TestBatchSymmetryFilter:
+    """The search-loop wrapper must be verdict-identical to the checker:
+    the host-label prefilter only proves inequivalence, the certificate
+    fast path is a complete isomorphism invariant, and the WL + VF2
+    fallback is the unwrapped check itself."""
+
+    def _walk(self, topology, moves=60, seed=11):
+        import numpy as np
+
+        from repro.core.plan import DeploymentPlan
+
+        rng = np.random.default_rng(seed)
+        plan = DeploymentPlan.single_component(list(topology.hosts[:3]), "app")
+        pairs = []
+        for _ in range(moves):
+            move = plan.propose_move(topology, rng=rng)
+            neighbor = move.apply(plan)
+            pairs.append((plan, move, neighbor))
+            plan = neighbor
+        return pairs
+
+    def test_verdicts_match_unwrapped_checker(self, uniform_fattree):
+        from repro.core.transforms import BatchSymmetryFilter
+
+        filt = BatchSymmetryFilter(SymmetryChecker(uniform_fattree))
+        reference = SymmetryChecker(uniform_fattree)
+        verdicts = []
+        for plan, move, neighbor in self._walk(uniform_fattree):
+            verdict = filt.equivalent_move(plan, move, neighbor)
+            assert verdict == reference.equivalent(plan, neighbor)
+            verdicts.append(verdict)
+        # The walk must exercise both verdicts for the test to mean much.
+        assert any(verdicts) and not all(verdicts)
+
+    def test_certificates_decide_small_plans(self, uniform_fattree):
+        from repro.core.transforms import BatchSymmetryFilter
+
+        filt = BatchSymmetryFilter(SymmetryChecker(uniform_fattree))
+        for plan, move, neighbor in self._walk(uniform_fattree, moves=40):
+            filt.equivalent_move(plan, move, neighbor)
+        assert filt.certificate_checks > 0
+        assert filt.full_checks == 0  # 3 instances never exceed the budget
+
+    def test_certificate_none_over_permutation_budget(self, uniform_fattree):
+        """Eight same-class instances (8! orderings) exceed the budget:
+        the certificate declines and verdicts come from the exact
+        WL + VF2 fallback, still matching the unwrapped checker."""
+        from repro.core.transforms import BatchSymmetryFilter
+
+        checker = SymmetryChecker(uniform_fattree)
+        filt = BatchSymmetryFilter(checker)
+        pod_host = lambda pod: [
+            h for h in uniform_fattree.hosts if uniform_fattree.pod_of(h) == pod
+        ]
+        a = plan_of(*pod_host(0), *pod_host(1))
+        b = plan_of(*pod_host(1), *pod_host(2))  # pods 0->1->2 relabelling
+        assert filt.certificate(a) is None
+        assert filt.equivalent(a, b)
+        assert checker.equivalent(a, b)
+        assert filt.full_checks > 0
+
+    def test_reordered_instances_short_circuit(self, uniform_fattree):
+        from repro.core.transforms import BatchSymmetryFilter
+
+        filt = BatchSymmetryFilter(SymmetryChecker(uniform_fattree))
+        a = plan_of("host/0/0/0", "host/1/0/0")
+        b = plan_of("host/1/0/0", "host/0/0/0")
+        assert filt.equivalent(a, b)
+        assert filt.certificate_checks == filt.full_checks == 0
+
+    def test_prefilter_rejects_differing_host_contexts(self, uniform_fattree):
+        """A move between hosts of different probability classes is
+        provably asymmetric from the context labels alone — no graph
+        work, just the counter."""
+        from repro.core.plan import MoveDescriptor
+        from repro.core.transforms import BatchSymmetryFilter
+
+        uniform_fattree.override_probabilities({"host/0/0/0": 0.2})
+        filt = BatchSymmetryFilter(SymmetryChecker(uniform_fattree))
+        assert filt.host_context_label("host/0/0/0") != filt.host_context_label(
+            "host/2/0/0"
+        )
+        plan = plan_of("host/0/0/0", "host/1/0/0")
+        move = MoveDescriptor("host/0/0/0", "host/2/0/0")
+        assert not filt.equivalent_move(plan, move, move.apply(plan))
+        assert filt.prefilter_rejections == 1
+        assert filt.certificate_checks == filt.full_checks == 0
