@@ -1,0 +1,343 @@
+"""Multi-zone correlated outages and warm-start incumbent re-search.
+
+Two gates for the zone-aware robustness stack:
+
+* ``zone_outage_exact`` — an *exact* (no sampling) small-case check of
+  the correlated-failure semantics: on a two-zone data center, every
+  fault tree is evaluated deterministically with zone0's shared roots
+  (power feed, cooling plant, control plane) failed. A zone0-pinned plan
+  must be dead — the zone takes all of its instances with it — while a
+  plan honouring the ``min_outside_primary`` constraint must survive via
+  its out-of-zone replica. This pins the reason the zone constraints
+  exist to ground truth rather than a Monte Carlo estimate.
+* ``incumbent_research`` — the redeployment controller's warm start:
+  after a zone outage degrades the incumbent, re-searching *from the
+  incumbent* with a small move budget must match the quality of a
+  from-scratch search given several times the budget, at >= 2x less
+  wall clock. Seeds are fixed, so the scores are reproducible; only the
+  timing ratio varies between runs.
+
+Results land in ``BENCH_zones.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/bench_zones.py            # full run
+    python benchmarks/bench_zones.py --smoke    # CI gate
+
+Also runnable under pytest (``pytest benchmarks/bench_zones.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # standalone: make src/ importable without install
+    _ROOT = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np
+
+from repro.app.structure import ApplicationStructure
+from repro.core.anneal import MoveBudgetTemperatureSchedule
+from repro.core.api import AssessmentConfig
+from repro.core.evaluation import StructureEvaluator
+from repro.core.plan import DeploymentPlan, ZoneConstraints
+from repro.core.search import DeploymentSearch, SearchSpec
+from repro.faults.component import ComponentType
+from repro.faults.inventory import build_zone_inventory, zone_shared_root_ids
+from repro.routing import engine_for
+from repro.routing.base import RoundStates
+from repro.runtime.chaos import ZoneOutage
+from repro.topology.zones import MultiZoneTopology
+
+MASTER_SEED = 20170412
+SMOKE_SPEEDUP_FLOOR = 2.0
+#: Warm-start quality slack: the incumbent re-search may trail the
+#: from-scratch search by at most this much reliability (seeds are fixed,
+#: so in practice the scores are constants; the slack absorbs future
+#: re-seeding, not run-to-run noise).
+QUALITY_EPSILON = 0.01
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_PATH = _REPO_ROOT / "BENCH_zones.json"
+
+
+def _substrate(zones: int = 2, k: int = 4):
+    topology = MultiZoneTopology(zones=zones, k=k, seed=1)
+    inventory = build_zone_inventory(topology, seed=2)
+    return topology, inventory
+
+
+# ----------------------------------------------------------------------
+# Workload 1: exact correlated-outage check
+# ----------------------------------------------------------------------
+
+
+def _exact_outage_states(topology, inventory, zone: str) -> RoundStates:
+    """One deterministic round with ``zone``'s shared roots failed.
+
+    Every graph element's fault tree is evaluated exactly (no sampling):
+    the zone's roots are the only failed basic events, so an element is
+    effectively down iff its tree reaches a root through the attached
+    OR branch — the correlated blast radius, derived from the trees
+    themselves rather than asserted.
+    """
+    outage = set(zone_shared_root_ids(inventory, zone))
+    failed = {}
+    for component_id, component in topology.components.items():
+        if component.component_type is ComponentType.LINK:
+            continue
+        down = inventory.tree_for(component_id).evaluate_round(outage)
+        failed[component_id] = np.array([down])
+    return RoundStates(rounds=1, failed=failed)
+
+
+def bench_zone_outage_exact() -> dict:
+    topology, inventory = _substrate()
+    structure = ApplicationStructure.k_of_n(1, 3)
+    zone0 = topology.hosts_in_zone("zone0")
+    zone1 = topology.hosts_in_zone("zone1")
+    pinned = DeploymentPlan.from_mapping({"app": zone0[:3]})
+    spread = DeploymentPlan.from_mapping({"app": [zone0[0], zone0[7], zone1[0]]})
+    constraints = ZoneConstraints.from_mapping(
+        primary_zone="zone0", min_outside_primary=1
+    )
+
+    states = _exact_outage_states(topology, inventory, "zone0")
+    evaluator = StructureEvaluator(engine_for(topology))
+    pinned_alive = bool(evaluator.evaluate(states, pinned, structure)[0])
+    spread_alive = bool(evaluator.evaluate(states, spread, structure)[0])
+    blast_radius = int(
+        sum(bool(vector[0]) for vector in states.failed.values())
+    )
+
+    return {
+        "workload": "zone_outage_exact",
+        "zones": 2,
+        "fabric_k": 4,
+        "failed_elements": blast_radius,
+        "zone_elements": len(topology.zone_elements("zone0")),
+        "pinned_satisfies_constraints": constraints.satisfied_by(
+            pinned, topology
+        ),
+        "spread_satisfies_constraints": constraints.satisfied_by(
+            spread, topology
+        ),
+        "pinned_survives": pinned_alive,
+        "spread_survives": spread_alive,
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload 2: warm-start incumbent re-search vs from-scratch
+# ----------------------------------------------------------------------
+
+
+def _zone_search(topology, inventory, rounds, search_seed, move_budget):
+    return DeploymentSearch.from_config(
+        topology,
+        inventory,
+        AssessmentConfig(rounds=rounds, rng=MASTER_SEED),
+        rng=search_seed,
+        temperature_schedule=MoveBudgetTemperatureSchedule(move_budget),
+    )
+
+
+def bench_incumbent_research(
+    rounds: int = 2_000,
+    scratch_budget: int = 60,
+    incumbent_budget: int = 12,
+) -> dict:
+    """Race a warm-start re-search against a from-scratch search.
+
+    Both run under the same degraded substrate (zone0 down). The
+    from-scratch search gets ``scratch_budget`` annealing moves from a
+    random initial plan; the incumbent re-search gets
+    ``incumbent_budget`` moves from the pre-outage incumbent — the
+    controller's exact situation after a degradation event.
+    """
+    topology, inventory = _substrate()
+    structure = ApplicationStructure.k_of_n(2, 3)
+    constraints = ZoneConstraints.from_mapping(
+        primary_zone="zone0", min_outside_primary=1
+    )
+
+    def spec(budget: int) -> SearchSpec:
+        return SearchSpec(
+            structure,
+            desired_reliability=1.0,
+            max_seconds=3_600.0,
+            max_iterations=budget,
+            zone_constraints=constraints,
+        )
+
+    # The incumbent comes from a healthy-substrate search (untimed): the
+    # deployment that was optimal before the disaster.
+    incumbent = (
+        _zone_search(topology, inventory, rounds, MASTER_SEED + 1, 40)
+        .search(spec(40))
+        .best_plan
+    )
+
+    with ZoneOutage(inventory, "zone0"):
+        scratch_search = _zone_search(
+            topology, inventory, rounds, MASTER_SEED + 2, scratch_budget
+        )
+        start = time.perf_counter()
+        scratch = scratch_search.search(spec(scratch_budget))
+        scratch_seconds = time.perf_counter() - start
+
+        warm_search = _zone_search(
+            topology, inventory, rounds, MASTER_SEED + 3, incumbent_budget
+        )
+        start = time.perf_counter()
+        warm = warm_search.search(spec(incumbent_budget), initial_plan=incumbent)
+        warm_seconds = time.perf_counter() - start
+
+    return {
+        "workload": "incumbent_research",
+        "rounds": rounds,
+        "scratch_budget": scratch_budget,
+        "incumbent_budget": incumbent_budget,
+        "incumbent_hosts": sorted(incumbent.hosts()),
+        "scratch_score": scratch.best_assessment.score,
+        "warm_score": warm.best_assessment.score,
+        "quality_epsilon": QUALITY_EPSILON,
+        "scratch_seconds": scratch_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": scratch_seconds / max(warm_seconds, 1e-12),
+        "warm_satisfies_constraints": constraints.satisfied_by(
+            warm.best_plan, topology
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting and gates
+# ----------------------------------------------------------------------
+
+
+def _report(row: dict) -> str:
+    if row["workload"] == "zone_outage_exact":
+        return (
+            f"{row['workload']:<18} blast={row['failed_elements']} elements "
+            f"pinned={'alive' if row['pinned_survives'] else 'DOWN'} "
+            f"spread={'alive' if row['spread_survives'] else 'DOWN'}"
+        )
+    return (
+        f"{row['workload']:<18} scratch={row['scratch_score']:.4f} in "
+        f"{row['scratch_seconds']:.2f}s ({row['scratch_budget']} moves) "
+        f"warm={row['warm_score']:.4f} in {row['warm_seconds']:.2f}s "
+        f"({row['incumbent_budget']} moves) speedup={row['speedup']:.2f}x"
+    )
+
+
+def _check(rows: list[dict]) -> list[str]:
+    """Gate failures (empty = all gates met)."""
+    exact = next(r for r in rows if r["workload"] == "zone_outage_exact")
+    research = next(r for r in rows if r["workload"] == "incumbent_research")
+    failures = []
+    if exact["pinned_satisfies_constraints"]:
+        failures.append("zone0-pinned plan unexpectedly satisfies constraints")
+    if not exact["spread_satisfies_constraints"]:
+        failures.append("cross-zone spread plan violates constraints")
+    if exact["pinned_survives"]:
+        failures.append("zone0-pinned plan survived a full zone0 outage")
+    if not exact["spread_survives"]:
+        failures.append("K-outside-primary plan died with zone0")
+    if research["warm_score"] < research["scratch_score"] - QUALITY_EPSILON:
+        failures.append(
+            f"warm-start quality {research['warm_score']:.4f} trails "
+            f"from-scratch {research['scratch_score']:.4f} by more than "
+            f"{QUALITY_EPSILON}"
+        )
+    if research["speedup"] < SMOKE_SPEEDUP_FLOOR:
+        failures.append(
+            f"incumbent re-search speedup {research['speedup']:.2f}x below "
+            f"the {SMOKE_SPEEDUP_FLOOR:.0f}x floor"
+        )
+    if not research["warm_satisfies_constraints"]:
+        failures.append("warm-start result violates the zone constraints")
+    return failures
+
+
+def _write_results(rows: list[dict]) -> None:
+    payload = {
+        "benchmark": "multi-zone correlated outages and incumbent re-search",
+        "master_seed": MASTER_SEED,
+        "smoke_speedup_floor": SMOKE_SPEEDUP_FLOOR,
+        "quality_epsilon": QUALITY_EPSILON,
+        "rows": rows,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_PATH}")
+
+
+def run_smoke() -> int:
+    """CI gate: exact outage semantics plus the warm-start floor."""
+    rows = [
+        bench_zone_outage_exact(),
+        bench_incumbent_research(rounds=1_000, scratch_budget=60,
+                                 incumbent_budget=12),
+    ]
+    for row in rows:
+        print(_report(row))
+    failures = _check(rows)
+    assert not failures, "; ".join(failures)
+    _write_results(rows)
+    print(
+        "smoke OK: zone-pinned plan dies with its zone, constrained plan "
+        "survives, warm re-search meets the speedup floor at equal quality"
+    )
+    return 0
+
+
+def run_full(rounds: int, scratch_budget: int, incumbent_budget: int) -> int:
+    rows = [
+        bench_zone_outage_exact(),
+        bench_incumbent_research(
+            rounds=rounds,
+            scratch_budget=scratch_budget,
+            incumbent_budget=incumbent_budget,
+        ),
+    ]
+    for row in rows:
+        print(_report(row))
+    failures = _check(rows)
+    for failure in failures:
+        print(f"  !! {failure}")
+    _write_results(rows)
+    return 1 if failures else 0
+
+
+def test_zones_smoke():
+    """Pytest entry point mirroring the CI smoke gate."""
+    assert run_smoke() == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate: exact outage check + 2x warm-start re-search floor",
+    )
+    parser.add_argument("--rounds", type=int, default=2_000)
+    parser.add_argument("--scratch-budget", type=int, default=60)
+    parser.add_argument("--incumbent-budget", type=int, default=12)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    return run_full(
+        rounds=args.rounds,
+        scratch_budget=args.scratch_budget,
+        incumbent_budget=args.incumbent_budget,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,16 @@ monitoring epochs:
 * each epoch, reCloud re-searches with the multi-objective measure and
   migrates if the new plan is meaningfully better.
 
+The annealing temperature is driven by a *move budget* rather than the
+wall clock (:class:`MoveBudgetTemperatureSchedule`), so every epoch's
+search walks the same cooling trajectory regardless of host speed —
+epochs are comparable with each other and across machines.
+
+For the zone-aware version of this loop — correlated zone outages,
+cross-zone placement constraints and the journaled
+:class:`~repro.service.redeploy.RedeploymentController` — see
+``examples/multizone_redeployment.py``.
+
 Run:  python examples/adaptive_redeployment.py
 """
 
@@ -28,11 +38,13 @@ from repro import (
     build_paper_inventory,
     paper_topology,
 )
+from repro.core.anneal import MoveBudgetTemperatureSchedule
 from repro.faults.probability import BathtubCurve
 from repro.core.api import AssessmentConfig
 
 EPOCHS = 4
 MIGRATION_GAIN_THRESHOLD = 0.002  # migrate only for a real improvement
+MOVE_BUDGET = 60  # annealing moves per search; cooling follows moves, not time
 
 
 def main() -> None:
@@ -46,9 +58,16 @@ def main() -> None:
     objective = CompositeObjective.reliability_and_utility(
         WorkloadUtilityObjective(workload)
     )
-    search = DeploymentSearch(assessor, objective=objective, rng=5)
+    search = DeploymentSearch(
+        assessor,
+        objective=objective,
+        rng=5,
+        temperature_schedule=MoveBudgetTemperatureSchedule(MOVE_BUDGET),
+    )
 
-    result = search.search(SearchSpec(structure, max_seconds=5.0))
+    result = search.search(
+        SearchSpec(structure, max_seconds=5.0, max_iterations=MOVE_BUDGET)
+    )
     current_plan = result.best_plan
     print(f"Initial deployment: {current_plan}")
     print(f"  {result.best_assessment.estimate}")
@@ -72,7 +91,9 @@ def main() -> None:
         current_score = assessor.assess(current_plan, structure).score
         print(f"  current plan reliability: {current_score:.4f}")
 
-        result = search.search(SearchSpec(structure, max_seconds=5.0))
+        result = search.search(
+            SearchSpec(structure, max_seconds=5.0, max_iterations=MOVE_BUDGET)
+        )
         candidate_score = result.best_assessment.score
         if candidate_score > current_score + MIGRATION_GAIN_THRESHOLD:
             moved = set(current_plan.hosts()) - set(result.best_plan.hosts())

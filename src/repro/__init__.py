@@ -62,6 +62,7 @@ from repro.core import (
     SearchSpec,
     SymmetryChecker,
     WorkloadUtilityObjective,
+    ZoneConstraints,
     build_assessor,
 )
 from repro.faults import (
@@ -72,9 +73,11 @@ from repro.faults import (
     PaperProbabilityPolicy,
     build_paper_inventory,
     build_rich_inventory,
+    build_zone_inventory,
 )
 from repro.routing import engine_for
-from repro.runtime import ParallelAssessor
+from repro.runtime import ParallelAssessor, ZoneOutage
+from repro.service import RedeploymentController
 from repro.sampling import (
     DaggerSampler,
     ExtendedDaggerSampler,
@@ -84,6 +87,7 @@ from repro.sampling import (
 from repro.topology import (
     FatTreeTopology,
     LeafSpineTopology,
+    MultiZoneTopology,
     Topology,
     paper_topology,
 )
@@ -115,9 +119,11 @@ __all__ = [
     "InstanceRef",
     "LeafSpineTopology",
     "MonteCarloSampler",
+    "MultiZoneTopology",
     "PaperProbabilityPolicy",
     "ParallelAssessor",
     "ReachabilityRequirement",
+    "RedeploymentController",
     "ReliabilityAssessor",
     "ReliabilityEstimate",
     "ReliabilityObjective",
@@ -128,11 +134,14 @@ __all__ = [
     "SymmetryChecker",
     "Topology",
     "WorkloadUtilityObjective",
+    "ZoneConstraints",
+    "ZoneOutage",
     "__version__",
     "best_of_random",
     "build_assessor",
     "build_paper_inventory",
     "build_rich_inventory",
+    "build_zone_inventory",
     "common_practice_plan",
     "engine_for",
     "enhanced_common_practice_plan",

@@ -12,10 +12,15 @@ drive reCloud from scripts:
                ``--workers N`` a supervised multi-process shard fleet
 ``capacity``   plan the worker fleet size for an SLO under a crash rate
 ``journal``    inspect a write-ahead journal directory post-mortem
+``redeploy``   watch a multi-zone deployment and redeploy on degradation
 
-All commands operate on the paper's preset data centers (``--scale``)
-with the §4.1 inventory, seeded deterministically (``--seed``), and can
-emit machine-readable JSON (``--json``).
+Most commands operate on the paper's preset data centers (``--scale``);
+``redeploy`` instead builds a multi-zone data center (``--zones`` joined
+fat-trees with per-zone shared roots) and runs the degradation-triggered
+redeployment controller against it.
+
+All commands are seeded deterministically (``--seed``) and can emit
+machine-readable JSON (``--json``).
 
 Exit codes (stable; scripts may branch on them):
 
@@ -436,6 +441,157 @@ def cmd_journal(args) -> int:
     return EXIT_OK
 
 
+def cmd_redeploy(args) -> int:
+    import os
+
+    from repro.core.plan import ZoneConstraints
+    from repro.faults.inventory import build_zone_inventory
+    from repro.runtime.chaos import ZoneOutage
+    from repro.service.redeploy import INCUMBENT_NAME, RedeploymentController
+    from repro.topology.zones import MultiZoneTopology
+
+    topology = MultiZoneTopology(
+        zones=args.zones, k=args.fabric_k, seed=args.seed
+    )
+    inventory = build_zone_inventory(topology, seed=args.seed + 1)
+
+    pinned: dict[str, list[str]] = {}
+    for spec in args.pin or []:
+        component, _, zones = spec.partition("=")
+        zone_list = [z.strip() for z in zones.split(",") if z.strip()]
+        if not component or not zone_list:
+            print(
+                f"error: --pin expects COMPONENT=zone[,zone...], got {spec!r}",
+                file=sys.stderr,
+            )
+            return EXIT_CONFIG
+        pinned[component] = zone_list
+    known_zones = set(topology.zone_names)
+    referenced = set()
+    if args.primary_zone is not None:
+        referenced.add(args.primary_zone)
+    if args.inject_outage is not None:
+        referenced.add(args.inject_outage)
+    for zone_list in pinned.values():
+        referenced.update(zone_list)
+    unknown = sorted(referenced - known_zones)
+    if unknown:
+        print(
+            f"error: unknown zone(s) {', '.join(unknown)}; this data center "
+            f"has {', '.join(topology.zone_names)}",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG
+    constraints = ZoneConstraints.from_mapping(
+        primary_zone=args.primary_zone,
+        min_outside_primary=args.min_outside_primary,
+        pinned_zones=pinned,
+        spread_components=args.spread or (),
+    )
+    if constraints.is_trivial:
+        constraints = None
+
+    config = AssessmentConfig(
+        rounds=args.rounds, rng=args.seed + 2, kernel=args.kernel
+    )
+    search = DeploymentSearch.from_config(
+        topology, inventory, config, rng=args.seed + 4
+    )
+    structure = ApplicationStructure.k_of_n(args.k, args.n)
+
+    # A first run has no committed incumbent to recover: seed one (random
+    # but constraint-satisfying, so the controller starts from a legal
+    # deployment). Reruns recover the journaled incumbent instead.
+    incumbent = None
+    if not os.path.exists(os.path.join(args.state_dir, INCUMBENT_NAME)):
+        incumbent = DeploymentPlan.random(
+            topology, structure, rng=args.seed + 5, zone_constraints=constraints
+        )
+    controller = RedeploymentController(
+        search,
+        structure,
+        args.state_dir,
+        incumbent=incumbent,
+        zone_constraints=constraints,
+        min_gain=args.min_gain,
+        degradation_threshold=args.threshold,
+        search_seconds=args.search_seconds,
+        search_iterations=args.move_budget,
+    )
+
+    outage = None
+    decisions = []
+    try:
+        if args.inject_outage is not None:
+            # Establish the healthy baseline first, then fail the zone:
+            # the controller must *observe* the degradation rather than
+            # start inside it (a first check only sets the baseline).
+            decisions += controller.run(1)
+            outage = ZoneOutage(inventory, args.inject_outage)
+            outage.inject()
+        decisions += controller.run(args.cycles, poll_seconds=args.poll_seconds)
+    finally:
+        if outage is not None:
+            outage.revert()
+
+    recovery = controller.last_recovery
+    document = {
+        "format": "redeploy-report",
+        "version": 1,
+        "zones": args.zones,
+        "state_dir": args.state_dir,
+        "recovery": {
+            "decisions_seen": recovery.decisions_seen,
+            "completed_applies": recovery.completed_applies,
+            "incumbent_restored": recovery.incumbent_restored,
+            "torn_records_dropped": recovery.torn_records_dropped,
+        },
+        "decisions": [
+            {
+                "decision": d.decision_id,
+                "event": d.event.to_dict(),
+                "action": d.action,
+                "incumbent_score": d.incumbent_score,
+                "candidate_score": d.candidate_score,
+                "gain": d.gain,
+                "search_attempts": d.search_attempts,
+                "plan": serialization.plan_to_dict(d.plan) if d.plan else None,
+            }
+            for d in decisions
+        ],
+        "incumbent": serialization.plan_to_dict(controller.incumbent),
+        "baseline_score": controller.baseline_score,
+    }
+    lines = [
+        f"zones      : {args.zones} x fat-tree(k={args.fabric_k}), "
+        f"{len(topology.hosts)} hosts",
+        f"recovery   : {recovery.decisions_seen} journaled decision(s), "
+        f"{recovery.completed_applies} apply(ies) completed, incumbent "
+        f"{'restored' if recovery.incumbent_restored else 'seeded'}",
+    ]
+    if not decisions:
+        lines.append(f"decisions  : none in {args.cycles} cycle(s) — steady")
+    for d in decisions:
+        detail = f" [{d.event.detail}]" if d.event.detail else ""
+        lines.append(
+            f"decision {d.decision_id}: {d.event.kind}{detail} -> {d.action} "
+            f"(incumbent {d.incumbent_score:.4f}"
+            + (
+                f", candidate {d.candidate_score:.4f}, gain {d.gain:+.4f}"
+                if d.candidate_score is not None
+                else ""
+            )
+            + f", {d.search_attempts} search attempt(s))"
+        )
+    lines.append(f"incumbent  : {controller.incumbent}")
+    if controller.baseline_score is not None:
+        lines.append(f"baseline   : {controller.baseline_score:.4f}")
+    _emit(args, document, "\n".join(lines))
+    if any(d.action == "abandoned" for d in decisions):
+        return EXIT_UNSATISFIED
+    return EXIT_OK
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -738,6 +894,111 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     p.set_defaults(handler=cmd_journal)
+
+    p = sub.add_parser(
+        "redeploy",
+        help="watch a multi-zone deployment, redeploy on degradation",
+    )
+    p.add_argument(
+        "--zones", type=int, default=2, help="availability zones to build"
+    )
+    p.add_argument(
+        "--fabric-k",
+        type=int,
+        default=4,
+        help="fat-tree arity k of each zone's fabric",
+    )
+    p.add_argument("--seed", type=int, default=1, help="deterministic seed")
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=2000,
+        help="sampling rounds per assessment",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p.add_argument(
+        "--kernel",
+        action="store_true",
+        help="route assessments through the compiled kernel",
+    )
+    p.add_argument("--k", type=int, required=True, help="instances that must be alive")
+    p.add_argument("--n", type=int, required=True, help="instances to deploy")
+    p.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="controller state: decision journal + committed incumbent; "
+        "rerunning against the same DIR recovers cleanly after a crash",
+    )
+    p.add_argument(
+        "--primary-zone",
+        default=None,
+        help="zone treated as primary for --min-outside-primary",
+    )
+    p.add_argument(
+        "--min-outside-primary",
+        type=int,
+        default=0,
+        metavar="K",
+        help="require >= K instances placed outside the primary zone",
+    )
+    p.add_argument(
+        "--pin",
+        action="append",
+        metavar="COMPONENT=ZONE[,ZONE...]",
+        help="pin a component's instances to the listed zones (repeatable)",
+    )
+    p.add_argument(
+        "--spread",
+        action="append",
+        metavar="COMPONENT",
+        help="forbid this component's instances from sharing a zone "
+        "(repeatable)",
+    )
+    p.add_argument(
+        "--cycles", type=int, default=3, help="watch cycles to run"
+    )
+    p.add_argument(
+        "--poll-seconds",
+        type=float,
+        default=0.0,
+        help="sleep between watch cycles",
+    )
+    p.add_argument(
+        "--search-seconds",
+        type=float,
+        default=5.0,
+        help="T_max budget of each incumbent re-search",
+    )
+    p.add_argument(
+        "--move-budget",
+        type=int,
+        default=None,
+        metavar="M",
+        help="cap each re-search at M annealing moves",
+    )
+    p.add_argument(
+        "--min-gain",
+        type=float,
+        default=0.002,
+        help="minimum reliability gain before a candidate is applied",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.005,
+        help="reliability drop (vs baseline) that counts as degradation",
+    )
+    p.add_argument(
+        "--inject-outage",
+        default=None,
+        metavar="ZONE",
+        help="chaos: fail ZONE's shared roots for the duration of the run "
+        "(demonstrates the outage -> redeploy loop)",
+    )
+    p.set_defaults(handler=cmd_redeploy)
 
     return parser
 

@@ -23,7 +23,11 @@ from repro.core.objectives import (
     WeightedObjective,
     WorkloadUtilityObjective,
 )
-from repro.core.plan import DeploymentPlan, enumerate_k_of_n_plans
+from repro.core.plan import (
+    DeploymentPlan,
+    ZoneConstraints,
+    enumerate_k_of_n_plans,
+)
 from repro.core.result import AssessmentResult, SearchRecord, SearchResult
 from repro.core.risk import RiskAnalyzer, RiskEntry
 from repro.core.search import DeploymentSearch, SearchSpec
@@ -54,6 +58,7 @@ __all__ = [
     "SymmetryChecker",
     "WeightedObjective",
     "WorkloadUtilityObjective",
+    "ZoneConstraints",
     "acceptance_probability",
     "build_assessor",
     "classic_delta",

@@ -25,6 +25,162 @@ from repro.util.rng import make_rng
 
 
 @dataclass(frozen=True)
+class ZoneConstraints:
+    """Zone-aware placement constraints for multi-zone deployments.
+
+    Three constraint families, all cheap to screen (O(instances) with no
+    graph work), matching the operator policies of cross-zone disaster
+    recovery:
+
+    * ``min_outside_primary``: at least K instances (across all
+      components) must land on hosts *outside* ``primary_zone`` — the
+      "K replicas survive a primary-zone outage" rule.
+    * ``pinned_zones``: per-component allow-lists; every instance of a
+      listed component must be placed in one of its allowed zones
+      (data-residency pinning). Encoded as a tuple of
+      ``(component, (zone, ...))`` pairs so the spec stays hashable.
+    * ``spread_components``: components whose instances must not share a
+      zone (per-component zone anti-affinity).
+
+    Constraints evaluate against any topology exposing ``zone_of`` (see
+    :class:`~repro.topology.zones.MultiZoneTopology`).
+    """
+
+    primary_zone: str | None = None
+    min_outside_primary: int = 0
+    pinned_zones: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    spread_components: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.min_outside_primary < 0:
+            raise ConfigurationError(
+                f"min_outside_primary must be >= 0, got {self.min_outside_primary}"
+            )
+        if self.min_outside_primary > 0 and self.primary_zone is None:
+            raise ConfigurationError(
+                "min_outside_primary requires a primary_zone"
+            )
+        # Normalise possibly-listy inputs into hashable tuples.
+        object.__setattr__(
+            self,
+            "pinned_zones",
+            tuple(
+                (component, tuple(zones)) for component, zones in self.pinned_zones
+            ),
+        )
+        object.__setattr__(self, "spread_components", tuple(self.spread_components))
+        for component, zones in self.pinned_zones:
+            if not zones:
+                raise ConfigurationError(
+                    f"component {component!r} is pinned to an empty zone list"
+                )
+
+    @classmethod
+    def from_mapping(
+        cls,
+        primary_zone: str | None = None,
+        min_outside_primary: int = 0,
+        pinned_zones: Mapping[str, Sequence[str]] | None = None,
+        spread_components: Sequence[str] = (),
+    ) -> "ZoneConstraints":
+        """Convenience constructor taking a plain dict of pinnings."""
+        return cls(
+            primary_zone=primary_zone,
+            min_outside_primary=min_outside_primary,
+            pinned_zones=tuple(
+                (component, tuple(zones))
+                for component, zones in (pinned_zones or {}).items()
+            ),
+            spread_components=tuple(spread_components),
+        )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when no constraint is actually imposed."""
+        return (
+            self.min_outside_primary == 0
+            and not self.pinned_zones
+            and not self.spread_components
+        )
+
+    def pinned_for(self, component: str) -> tuple[str, ...] | None:
+        """The allowed zones of one component, or ``None`` if unpinned."""
+        for name, zones in self.pinned_zones:
+            if name == component:
+                return zones
+        return None
+
+    # ------------------------------------------------------------------
+
+    def violations(
+        self, plan: "DeploymentPlan", topology: Topology
+    ) -> list[tuple[str, str]]:
+        """Every violated constraint as ``(field, message)`` pairs."""
+        zone_of = getattr(topology, "zone_of", None)
+        if zone_of is None:
+            return [
+                (
+                    "topology",
+                    f"topology {topology.name!r} has no zones; zone constraints "
+                    "need a multi-zone topology",
+                )
+            ]
+        errors: list[tuple[str, str]] = []
+        if self.min_outside_primary > 0:
+            outside = sum(
+                1 for host in plan.hosts() if zone_of(host) != self.primary_zone
+            )
+            if outside < self.min_outside_primary:
+                errors.append(
+                    (
+                        "min_outside_primary",
+                        f"only {outside} instances outside primary zone "
+                        f"{self.primary_zone!r}, need {self.min_outside_primary}",
+                    )
+                )
+        for component, allowed in self.pinned_zones:
+            try:
+                hosts = plan.hosts_for(component)
+            except ConfigurationError:
+                continue  # structure mismatch is validate_against's job
+            for host in hosts:
+                zone = zone_of(host)
+                if zone not in allowed:
+                    errors.append(
+                        (
+                            f"pinned_zones.{component}",
+                            f"instance on {host!r} is in zone {zone!r}, "
+                            f"allowed zones are {list(allowed)}",
+                        )
+                    )
+        for component in self.spread_components:
+            try:
+                hosts = plan.hosts_for(component)
+            except ConfigurationError:
+                continue
+            zones = [zone_of(host) for host in hosts]
+            duplicated = sorted({z for z in zones if zones.count(z) > 1})
+            if duplicated:
+                errors.append(
+                    (
+                        f"spread.{component}",
+                        f"instances share zones {duplicated}",
+                    )
+                )
+        return errors
+
+    def satisfied_by(self, plan: "DeploymentPlan", topology: Topology) -> bool:
+        """Whether a plan meets every constraint."""
+        return not self.violations(plan, topology)
+
+    def validate(self, plan: "DeploymentPlan", topology: Topology) -> None:
+        """Raise a field-collecting :class:`ValidationError` on violations."""
+        errors = self.violations(plan, topology)
+        if errors:
+            raise ValidationError(errors)
+
+
+@dataclass(frozen=True)
 class MoveDescriptor:
     """One annealing neighbour move: swap ``old_host`` for ``new_host``.
 
@@ -83,12 +239,31 @@ class DeploymentPlan:
         structure: ApplicationStructure,
         rng: int | np.random.Generator | None = None,
         forbid_shared_rack: bool = False,
+        zone_constraints: "ZoneConstraints | None" = None,
+        max_attempts: int = 200,
     ) -> "DeploymentPlan":
         """A uniformly random initial plan (§3.3.1, Step 1).
 
         With ``forbid_shared_rack`` the optional "no hosts from the same
         rack" heuristic is applied, sampling at most one host per rack.
+        With ``zone_constraints`` the draw is rejection-sampled until the
+        plan satisfies them (uniform over the constrained plan space);
+        ``UnsatisfiableRequirements`` is raised when ``max_attempts``
+        draws all violate.
         """
+        if zone_constraints is not None and not zone_constraints.is_trivial:
+            generator = make_rng(rng)
+            for _ in range(max_attempts):
+                plan = cls.random(
+                    topology, structure, rng=generator,
+                    forbid_shared_rack=forbid_shared_rack,
+                )
+                if zone_constraints.satisfied_by(plan, topology):
+                    return plan
+            raise UnsatisfiableRequirements(
+                f"no random plan satisfied the zone constraints in "
+                f"{max_attempts} draws"
+            )
         generator = make_rng(rng)
         needed = structure.total_instances
         if forbid_shared_rack:
@@ -246,6 +421,7 @@ class DeploymentPlan:
         topology: Topology,
         rng: int | np.random.Generator | None = None,
         max_attempts: int = 1_000,
+        zone_constraints: "ZoneConstraints | None" = None,
     ) -> MoveDescriptor:
         """Draw one neighbour move without materialising the plan.
 
@@ -253,19 +429,35 @@ class DeploymentPlan:
         into the plan's hosts, then rejection-sampled indices into the
         topology's hosts — so a search that proposes via descriptors and a
         search that proposes full plans consume identical RNG streams.
+        Passing ``zone_constraints`` (None draws nothing extra) also
+        rejection-samples the *destination*: a candidate is kept only if
+        the resulting plan satisfies the constraints or strictly reduces
+        the violation count — so a constraint-satisfying incumbent stays
+        satisfying, and a violating incumbent (e.g. after a zone policy
+        change mid-deployment) can walk toward compliance.
         """
         generator = make_rng(rng)
         current = self.hosts()
         used = set(current)
         if len(topology.hosts) <= len(used):
             raise UnsatisfiableRequirements("no spare host available for a swap")
+        screened = zone_constraints is not None and not zone_constraints.is_trivial
+        baseline = (
+            len(zone_constraints.violations(self, topology)) if screened else 0
+        )
         old_host = current[int(generator.integers(len(current)))]
         for _ in range(max_attempts):
             candidate = topology.hosts[int(generator.integers(len(topology.hosts)))]
-            if candidate not in used:
-                return MoveDescriptor(old_host, candidate)
+            if candidate in used:
+                continue
+            move = MoveDescriptor(old_host, candidate)
+            if screened:
+                count = len(zone_constraints.violations(move.apply(self), topology))
+                if count > 0 and count >= baseline:
+                    continue
+            return move
         raise UnsatisfiableRequirements(
-            f"could not find an unused host in {max_attempts} draws"
+            f"could not find an acceptable unused host in {max_attempts} draws"
         )
 
     def random_neighbor(

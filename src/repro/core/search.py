@@ -47,7 +47,7 @@ from repro.core.anneal import LinearTemperatureSchedule, accept_neighbor
 from repro.core.api import AssessmentConfig, Assessor
 from repro.core.assessment import ReliabilityAssessor
 from repro.core.objectives import Objective, ReliabilityObjective
-from repro.core.plan import DeploymentPlan, MoveDescriptor
+from repro.core.plan import DeploymentPlan, MoveDescriptor, ZoneConstraints
 from repro.core.result import AssessmentResult, SearchRecord, SearchResult
 from repro.core.transforms import BatchSymmetryFilter, SymmetryChecker
 from repro.sampling.dagger import CommonRandomDaggerSampler
@@ -78,6 +78,11 @@ class SearchSpec:
             for multi-objective searches.
         max_iterations: Optional hard cap on loop iterations (useful for
             deterministic tests; production searches are time-bounded).
+        zone_constraints: Optional zone-aware placement constraints
+            (multi-zone topologies): the initial plan is drawn inside the
+            constrained space and every proposed move is screened at
+            proposal time, so no assessment budget is spent on plans a
+            zone policy forbids.
     """
 
     structure: ApplicationStructure
@@ -86,6 +91,7 @@ class SearchSpec:
     forbid_shared_rack: bool = False
     desired_measure: float | None = None
     max_iterations: int | None = None
+    zone_constraints: ZoneConstraints | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.desired_reliability <= 1.0:
@@ -305,12 +311,17 @@ class DeploymentSearch:
         )
         assessor = self._search_assessor(crn_master_seed)
 
-        # Steps 1-2: initial plan and its assessment.
+        # Steps 1-2: initial plan and its assessment. An explicit initial
+        # plan (incumbent re-search) is accepted even when it violates the
+        # zone constraints — the proposal screen only admits moves that
+        # repair violations, so the walk converges into the constrained
+        # space instead of failing outright on a degraded incumbent.
         current_plan = initial_plan or DeploymentPlan.random(
             assessor.topology,
             spec.structure,
             rng=self.rng,
             forbid_shared_rack=spec.forbid_shared_rack,
+            zone_constraints=spec.zone_constraints,
         )
         current = assessor.assess(current_plan, spec.structure)
         current_measure = self.objective.measure(current_plan, current)
@@ -481,7 +492,9 @@ class DeploymentSearch:
             skipped_symmetric: list[bool] = []
             for _ in range(state.batch_size):
                 move = state.current_plan.propose_move(
-                    assessor.topology, rng=self.rng
+                    assessor.topology,
+                    rng=self.rng,
+                    zone_constraints=spec.zone_constraints,
                 )
                 state.candidates_proposed += 1
                 neighbor_plan = move.apply(state.current_plan)

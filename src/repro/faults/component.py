@@ -23,9 +23,11 @@ class ComponentType(enum.Enum):
     AGGREGATION_SWITCH = "aggregation_switch"
     CORE_SWITCH = "core_switch"
     BORDER_SWITCH = "border_switch"
+    WAN_ROUTER = "wan_router"
     LINK = "link"
     POWER_SUPPLY = "power_supply"
     COOLING = "cooling"
+    CONTROL_PLANE = "control_plane"
     OPERATING_SYSTEM = "operating_system"
     LIBRARY = "library"
     FIRMWARE = "firmware"
@@ -52,6 +54,9 @@ _SWITCH_TYPES = frozenset(
         ComponentType.AGGREGATION_SWITCH,
         ComponentType.CORE_SWITCH,
         ComponentType.BORDER_SWITCH,
+        # WAN routers join zones; they live in the network graph and route
+        # like switches, so they share the switch failure model (§4.1).
+        ComponentType.WAN_ROUTER,
     }
 )
 

@@ -130,6 +130,24 @@ class DependencyModel:
             probabilities[cid] = component.failure_probability
         return probabilities
 
+    def override_probabilities(self, overrides: Mapping[str, float]) -> None:
+        """Replace failure probabilities of dependency and/or network
+        components (degradation events, chaos injections, what-ifs).
+
+        Structure is untouched, so attached trees stay valid. Assessors
+        cache probability maps: call ``refresh_probabilities()`` (and
+        ``clear_caches()`` on incremental assessors) afterwards.
+        """
+        network = {}
+        for cid, probability in overrides.items():
+            existing = self.dependency_components.get(cid)
+            if existing is not None:
+                self.dependency_components[cid] = existing.with_probability(probability)
+            else:
+                network[cid] = probability
+        if network:
+            self.topology.override_probabilities(network)
+
     def basic_events_for(self, subject_ids: Iterable[str]) -> frozenset[str]:
         """Every component id the given subjects' trees can read.
 

@@ -16,7 +16,8 @@ machinery is exercised with AND gates and deeper structures too.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+import math
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -25,11 +26,40 @@ from repro.faults.cvss import SyntheticVulnerabilityDatabase
 from repro.faults.dependencies import DependencyModel
 from repro.faults.faulttree import and_gate, basic, or_gate
 from repro.faults.probability import PAPER_DEFAULT_MODEL, NormalProbabilityModel
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, ValidationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology uses faults)
     from repro.topology.base import Topology
 from repro.util.rng import make_rng
+
+
+def validate_failure_probabilities(probabilities: Mapping[str, float]) -> None:
+    """Reject malformed failure probabilities at the inventory boundary.
+
+    Operator-supplied probability feeds (measured zone-root rates,
+    bathtub-curve overrides, hand-edited what-if studies) are the one
+    place garbage enters the fault model: a NaN silently poisons every
+    sampled round it touches, and a negative or >1 value turns the
+    Monte Carlo estimate into nonsense. Every problem is collected and
+    raised as one field-level :class:`~repro.util.errors.ValidationError`
+    (field = component id) instead of dying on the first bad entry.
+    """
+    errors: list[tuple[str, str]] = []
+    for component_id in sorted(probabilities):
+        raw = probabilities[component_id]
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            errors.append((component_id, f"failure probability {raw!r} is not a number"))
+            continue
+        if math.isnan(value):
+            errors.append((component_id, "failure probability is NaN"))
+        elif value < 0.0:
+            errors.append((component_id, f"failure probability {value} is negative"))
+        elif value > 1.0:
+            errors.append((component_id, f"failure probability {value} exceeds 1"))
+    if errors:
+        raise ValidationError(errors)
 
 
 def _make_dependency(
@@ -235,6 +265,113 @@ def attach_host_software(
     return software_by_host
 
 
+def attach_zone_shared_roots(
+    model: DependencyModel,
+    probability_model: NormalProbabilityModel = PAPER_DEFAULT_MODEL,
+    root_probabilities: Mapping[str, float] | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> dict[str, list[str]]:
+    """Attach per-zone shared roots so zone outages are correlated events.
+
+    Every zone of a :class:`~repro.topology.zones.MultiZoneTopology` gets
+    three shared dependencies — power feed, cooling plant and control
+    plane — attached to **every** network element of the zone (hosts,
+    switches, WAN routers). One root failing fails the whole zone in the
+    same sampling round, which is exactly the correlated-failure
+    structure the cross-zone placement constraints defend against.
+
+    Each inter-zone WAN plane additionally gets a shared *conduit*
+    dependency (the physical long-haul fiber) attached to the WAN
+    routers at both ends: a conduit cut severs that plane's inter-zone
+    path as one correlated event.
+
+    ``root_probabilities`` optionally overrides sampled probabilities
+    with operator-measured rates (keyed by root id); the mapping is
+    validated with :func:`validate_failure_probabilities` before any
+    component is built. Returns ``{zone: [root ids]}`` with conduit ids
+    under the pseudo-zone key ``"wan"``.
+    """
+    topology = model.topology
+    zone_names = getattr(topology, "zone_names", None)
+    if not zone_names:
+        raise ConfigurationError(
+            f"topology {topology.name!r} has no zones; zone shared roots need a "
+            "MultiZoneTopology"
+        )
+    if root_probabilities:
+        validate_failure_probabilities(root_probabilities)
+    overrides = dict(root_probabilities or {})
+    rng = make_rng(seed)
+
+    def probability_of(root_id: str) -> float:
+        if root_id in overrides:
+            return float(overrides[root_id])
+        return probability_model.sample(rng)
+
+    roots_by_zone: dict[str, list[str]] = {}
+    for zone in zone_names:
+        root_ids = []
+        for kind, ctype in (
+            ("power-feed", ComponentType.POWER_SUPPLY),
+            ("cooling-plant", ComponentType.COOLING),
+            ("control-plane", ComponentType.CONTROL_PLANE),
+        ):
+            rid = f"zone-root/{zone}/{kind}"
+            _make_dependency(
+                model,
+                rid,
+                ctype,
+                probability=probability_of(rid),
+                zone=zone,
+                shared_root=True,
+            )
+            root_ids.append(rid)
+        roots_by_zone[zone] = root_ids
+        branch = or_gate(*[basic(rid) for rid in root_ids], label=f"{zone} roots fail")
+        for element_id in topology.zone_elements(zone):
+            model.attach_branch(element_id, branch)
+
+    conduit_ids = []
+    for i, zone_a in enumerate(zone_names):
+        for zone_b in zone_names[i + 1 :]:
+            for plane in range(getattr(topology, "wan_routers_per_zone", 1)):
+                cid = f"wan-conduit/{zone_a}--{zone_b}/{plane}"
+                _make_dependency(
+                    model,
+                    cid,
+                    ComponentType.LINK,
+                    probability=probability_of(cid),
+                    zones=(zone_a, zone_b),
+                    plane=plane,
+                )
+                conduit_ids.append(cid)
+                branch = basic(cid)
+                model.attach_branch(topology.wan_by_zone[zone_a][plane], branch)
+                model.attach_branch(topology.wan_by_zone[zone_b][plane], branch)
+    roots_by_zone["wan"] = conduit_ids
+    return roots_by_zone
+
+
+def zone_shared_root_ids(model: DependencyModel, zone: str) -> list[str]:
+    """The shared-root dependency ids of one zone (power, cooling, control).
+
+    The chaos harness uses this to take a whole zone down in one
+    injection; see :class:`~repro.runtime.chaos.ZoneOutage`.
+    """
+    roots = [
+        cid
+        for cid, component in model.dependency_components.items()
+        if component.attributes.get("shared_root")
+        and component.attributes.get("zone") == zone
+    ]
+    if not roots:
+        raise ConfigurationError(
+            f"no shared roots found for zone {zone!r}; was the inventory built "
+            "with attach_zone_shared_roots?"
+        )
+    return roots
+
+
 def build_paper_inventory(
     topology: Topology,
     power_supplies: int = 5,
@@ -263,6 +400,28 @@ def build_rich_inventory(
     attach_host_software(
         model, os_images=os_images, shared_libraries=shared_libraries, seed=rng
     )
+    return model
+
+
+def build_zone_inventory(
+    topology: Topology,
+    power_supplies: int = 5,
+    root_probabilities: Mapping[str, float] | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> DependencyModel:
+    """The multi-zone inventory: §4.1 power supplies plus zone shared roots.
+
+    Round-robin power supplies within each zone's racks and switches (as
+    in the paper's evaluation) layered with per-zone power feed / cooling
+    plant / control plane and per-plane WAN conduits, so zone outages and
+    conduit cuts are correlated events. The assembled model's complete
+    probability map is re-validated as a final invariant check.
+    """
+    rng = make_rng(seed)
+    model = DependencyModel.empty(topology)
+    attach_power_supplies(model, count=power_supplies, seed=rng)
+    attach_zone_shared_roots(model, root_probabilities=root_probabilities, seed=rng)
+    validate_failure_probabilities(model.failure_probabilities())
     return model
 
 

@@ -34,6 +34,11 @@ from repro.util.errors import ConfigurationError
 #: Failure kinds a policy can inject.
 KINDS = ("crash", "hang", "error", "delay")
 
+#: Probability a zone's shared roots are driven to during an injected
+#: outage. Just under 1 because components require p < 1; at 1e-6 odds of
+#: survival the zone is down in essentially every sampled round.
+ZONE_OUTAGE_PROBABILITY = 0.999999
+
 #: How long a "hung" worker sleeps. Long enough that only supervision
 #: (portion timeout + pool restart) can rescue the assessment; the pool's
 #: terminate() kills the sleeper when the supervisor restarts it.
@@ -151,3 +156,67 @@ class ChaosPolicy:
                 f"chaos: injected worker error (portion {portion}, attempt {attempt})"
             )
         time.sleep(action.seconds)  # "delay": late but otherwise healthy
+
+
+class ZoneOutage:
+    """Take a whole availability zone down in one injection.
+
+    Drives every shared root of the zone (power feed, cooling plant,
+    control plane — see :func:`repro.faults.inventory.
+    attach_zone_shared_roots`) to :data:`ZONE_OUTAGE_PROBABILITY` at
+    once, which fails every element of the zone in essentially every
+    sampled round — the correlated disaster the cross-zone placement
+    constraints exist for. :meth:`revert` restores the exact original
+    probabilities, and the class is a context manager (``with
+    ZoneOutage(model, "zone0"): ...``).
+
+    Only probabilities change, never structure, so attached fault trees
+    and topology graphs stay valid. Assessors cache probability maps:
+    after :meth:`inject`/:meth:`revert`, call ``refresh_probabilities()``
+    on from-scratch assessors and ``clear_caches()`` on incremental ones
+    (the :class:`~repro.service.redeploy.RedeploymentController` does
+    this automatically).
+    """
+
+    def __init__(self, dependency_model, zone: str, probability: float = ZONE_OUTAGE_PROBABILITY):
+        from repro.faults.inventory import zone_shared_root_ids
+
+        if not 0.0 < probability < 1.0:
+            raise ConfigurationError(
+                f"outage probability must be in (0, 1), got {probability}"
+            )
+        self.dependency_model = dependency_model
+        self.zone = zone
+        self.probability = probability
+        self.root_ids = zone_shared_root_ids(dependency_model, zone)
+        self._saved: dict[str, float] | None = None
+
+    @property
+    def active(self) -> bool:
+        """True while the outage is injected."""
+        return self._saved is not None
+
+    def inject(self) -> list[str]:
+        """Fail the zone's shared roots; returns the affected root ids."""
+        if self.active:
+            return self.root_ids
+        probabilities = self.dependency_model.failure_probabilities()
+        self._saved = {rid: probabilities[rid] for rid in self.root_ids}
+        self.dependency_model.override_probabilities(
+            {rid: self.probability for rid in self.root_ids}
+        )
+        return self.root_ids
+
+    def revert(self) -> None:
+        """Restore the pre-outage probabilities (idempotent)."""
+        if self._saved is None:
+            return
+        self.dependency_model.override_probabilities(self._saved)
+        self._saved = None
+
+    def __enter__(self) -> "ZoneOutage":
+        self.inject()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.revert()

@@ -24,7 +24,7 @@ from repro.app.structure import (
     ComponentSpec,
     ReachabilityRequirement,
 )
-from repro.core.plan import DeploymentPlan
+from repro.core.plan import DeploymentPlan, ZoneConstraints
 from repro.core.result import (
     AssessmentResult,
     PortionFailure,
@@ -288,6 +288,35 @@ def search_result_to_dict(result: SearchResult) -> dict:
 # ----------------------------------------------------------------------
 
 
+def zone_constraints_to_dict(constraints: ZoneConstraints) -> dict:
+    return {
+        "primary_zone": constraints.primary_zone,
+        "min_outside_primary": constraints.min_outside_primary,
+        "pinned_zones": [
+            {"component": component, "zones": list(zones)}
+            for component, zones in constraints.pinned_zones
+        ],
+        "spread_components": list(constraints.spread_components),
+    }
+
+
+def zone_constraints_from_dict(payload: dict) -> ZoneConstraints:
+    try:
+        return ZoneConstraints(
+            primary_zone=payload["primary_zone"],
+            min_outside_primary=int(payload["min_outside_primary"]),
+            pinned_zones=tuple(
+                (entry["component"], tuple(entry["zones"]))
+                for entry in payload["pinned_zones"]
+            ),
+            spread_components=tuple(payload["spread_components"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"malformed zone-constraints payload: {exc}"
+        ) from exc
+
+
 def search_spec_to_dict(spec: SearchSpec) -> dict:
     return _artifact(
         "search-spec",
@@ -298,6 +327,11 @@ def search_spec_to_dict(spec: SearchSpec) -> dict:
             "forbid_shared_rack": spec.forbid_shared_rack,
             "desired_measure": spec.desired_measure,
             "max_iterations": spec.max_iterations,
+            "zone_constraints": (
+                None
+                if spec.zone_constraints is None
+                else zone_constraints_to_dict(spec.zone_constraints)
+            ),
         },
     )
 
@@ -305,6 +339,9 @@ def search_spec_to_dict(spec: SearchSpec) -> dict:
 def search_spec_from_dict(document: dict) -> SearchSpec:
     _check(document, "search-spec")
     try:
+        # .get(): pre-zone checkpoints (same format version) lack the
+        # constraints field; their searches were unconstrained.
+        zone_constraints = document.get("zone_constraints")
         return SearchSpec(
             structure=structure_from_dict(document["structure"]),
             desired_reliability=float(document["desired_reliability"]),
@@ -319,6 +356,11 @@ def search_spec_from_dict(document: dict) -> SearchSpec:
                 None
                 if document["max_iterations"] is None
                 else int(document["max_iterations"])
+            ),
+            zone_constraints=(
+                None
+                if zone_constraints is None
+                else zone_constraints_from_dict(zone_constraints)
             ),
         )
     except (KeyError, TypeError, ValueError) as exc:

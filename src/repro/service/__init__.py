@@ -17,6 +17,12 @@ from repro.service.client import HttpServiceClient, ServiceClient
 from repro.service.health import HealthMonitor
 from repro.service.journal import JournalState, RequestJournal
 from repro.service.queue import AdmissionQueue
+from repro.service.redeploy import (
+    DegradationEvent,
+    RecoveryReport,
+    RedeployDecision,
+    RedeploymentController,
+)
 from repro.service.requests import (
     AssessRequest,
     SearchRequest,
@@ -32,10 +38,14 @@ __all__ = [
     "AssessmentService",
     "CancellationToken",
     "CircuitBreaker",
+    "DegradationEvent",
     "HealthMonitor",
     "HttpServiceClient",
     "JournalState",
     "NEVER",
+    "RecoveryReport",
+    "RedeployDecision",
+    "RedeploymentController",
     "RequestJournal",
     "ResultStore",
     "SearchRequest",

@@ -9,10 +9,12 @@ from repro.topology.presets import (
     ScaleSpec,
     paper_topology,
 )
+from repro.topology.zones import MultiZoneTopology
 
 __all__ = [
     "FatTreeTopology",
     "LeafSpineTopology",
+    "MultiZoneTopology",
     "PAPER_SCALES",
     "SCALE_ORDER",
     "ScaleSpec",

@@ -198,3 +198,50 @@ class TestBaselineCommand:
         assert set(document["plans"]) == {
             "common-practice", "enhanced-common-practice",
         }
+
+
+class TestRedeployCommand:
+    BASE = (
+        "redeploy", "--zones", "2", "--fabric-k", "4", "--k", "2", "--n", "3",
+        "--rounds", "300", "--move-budget", "10", "--cycles", "1",
+        "--primary-zone", "zone0", "--min-outside-primary", "1",
+    )
+
+    def test_outage_run_then_recovery(self, capsys, tmp_path):
+        state = str(tmp_path / "state")
+        code, out, _err = run_cli(
+            capsys, *self.BASE, "--state-dir", state,
+            "--cycles", "2", "--inject-outage", "zone0", "--json",
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["format"] == "redeploy-report"
+        assert document["recovery"]["incumbent_restored"] is False
+        # A rerun against the same state dir recovers the committed
+        # incumbent from the journal instead of seeding a fresh one.
+        code, out, _err = run_cli(
+            capsys, *self.BASE, "--state-dir", state, "--json",
+        )
+        assert code == 0
+        rerun = json.loads(out)
+        assert rerun["recovery"]["incumbent_restored"] is True
+        assert rerun["recovery"]["completed_applies"] == 0
+        assert rerun["incumbent"] == document["incumbent"]
+
+    def test_unknown_zone_is_config_error(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "redeploy", "--zones", "2", "--fabric-k", "4",
+            "--k", "2", "--n", "3", "--state-dir", str(tmp_path / "s"),
+            "--primary-zone", "zone7", "--min-outside-primary", "1",
+        )
+        assert code == 2
+        assert "unknown zone" in err and "zone7" in err
+
+    def test_bad_pin_spec_is_config_error(self, capsys, tmp_path):
+        code, _out, err = run_cli(
+            capsys, "redeploy", "--zones", "2", "--fabric-k", "4",
+            "--k", "2", "--n", "3", "--state-dir", str(tmp_path / "s"),
+            "--pin", "app:zone1",
+        )
+        assert code == 2
+        assert "--pin" in err

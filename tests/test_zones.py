@@ -1,0 +1,478 @@
+"""Multi-zone topology, zone-correlated failures and zone constraints.
+
+Covers the zone-aware robustness stack end to end: the joined fat-tree
+zones (repro.topology.zones), the per-zone shared fault roots
+(repro.faults.inventory), the placement constraints and their repair
+semantics in the annealing move proposal (repro.core.plan), constrained
+search + checkpoint round-trips, the symmetry screen's zone refinement,
+and the ZoneOutage chaos injector.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import serialization
+from repro.app.structure import ApplicationStructure
+from repro.core.api import AssessmentConfig, build_assessor
+from repro.core.plan import DeploymentPlan, ZoneConstraints
+from repro.core.search import DeploymentSearch, SearchSpec
+from repro.core.transforms import BatchSymmetryFilter, SymmetryChecker
+from repro.faults.component import ComponentType
+from repro.faults.inventory import (
+    attach_zone_shared_roots,
+    build_zone_inventory,
+    validate_failure_probabilities,
+    zone_shared_root_ids,
+)
+from repro.routing import engine_for
+from repro.routing.generic import GenericReachabilityEngine
+from repro.runtime.chaos import ZONE_OUTAGE_PROBABILITY, ZoneOutage
+from repro.topology.zones import MultiZoneTopology
+from repro.util.errors import (
+    ConfigurationError,
+    UnsatisfiableRequirements,
+    ValidationError,
+)
+
+
+@pytest.fixture
+def zones2():
+    return MultiZoneTopology(zones=2, k=4, seed=7)
+
+
+@pytest.fixture
+def zone_model(zones2):
+    return build_zone_inventory(zones2, seed=7)
+
+
+STRUCTURE = ApplicationStructure.k_of_n(1, 3)
+CROSS_ZONE = ZoneConstraints.from_mapping(
+    primary_zone="zone0", min_outside_primary=1
+)
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+
+
+class TestMultiZoneTopology:
+    def test_two_fat_tree_zones(self, zones2):
+        assert len(zones2.hosts) == 24  # 2 zones x 12 hosts (k=4)
+        assert len(zones2.hosts_in_zone("zone0")) == 12
+        assert len(zones2.hosts_in_zone("zone1")) == 12
+        assert list(zones2.zone_names) == ["zone0", "zone1"]
+
+    def test_zone_queries(self, zones2):
+        host = zones2.hosts_in_zone("zone0")[0]
+        assert zones2.zone_of(host) == "zone0"
+        assert zones2.zone_of(zones2.wan_routers_in_zone("zone1")[0]) == "zone1"
+        assert all(
+            zones2.zone_of(e) == "zone0" for e in zones2.zone_elements("zone0")
+        )
+
+    def test_pods_are_zone_qualified(self, zones2):
+        """Same pod index in different zones must not collide."""
+        h0 = zones2.hosts_in_zone("zone0")[0]
+        h1 = zones2.hosts_in_zone("zone1")[0]
+        assert zones2.pod_of(h0) != zones2.pod_of(h1)
+        assert zones2.pod_of(h0).startswith("zone0/")
+
+    def test_symmetry_classes_are_zone_qualified(self, zones2):
+        h0 = zones2.hosts_in_zone("zone0")[0]
+        h1 = zones2.hosts_in_zone("zone1")[0]
+        assert zones2.symmetry_class_of(h0) == "zone0:host"
+        assert zones2.symmetry_class_of(h1) == "zone1:host"
+
+    def test_wan_joins_the_zones(self, zones2):
+        """Cross-zone paths exist and route through the WAN mesh."""
+        import networkx as nx
+
+        assert nx.is_connected(zones2.graph)
+        h0 = zones2.hosts_in_zone("zone0")[0]
+        h1 = zones2.hosts_in_zone("zone1")[0]
+        path = nx.shortest_path(zones2.graph, h0, h1)
+        assert any(node.startswith("wan/") for node in path)
+
+    def test_dispatches_to_generic_engine(self, zones2):
+        assert isinstance(engine_for(zones2), GenericReachabilityEngine)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MultiZoneTopology(zones=1, k=4)
+        with pytest.raises(ConfigurationError):
+            MultiZoneTopology(zones=2, k=5)
+
+
+# ----------------------------------------------------------------------
+# Inventory: zone shared roots and validation
+# ----------------------------------------------------------------------
+
+
+class TestZoneInventory:
+    def test_every_zone_element_depends_on_its_roots(self, zones2, zone_model):
+        roots = set(zone_shared_root_ids(zone_model, "zone0"))
+        assert len(roots) == 3  # power feed, cooling plant, control plane
+        for element in zones2.zone_elements("zone0"):
+            events = zone_model.tree_for(element).basic_events()
+            assert roots <= set(events)
+
+    def test_roots_do_not_cross_zones(self, zone_model, zones2):
+        zone1_roots = set(zone_shared_root_ids(zone_model, "zone1"))
+        host0 = zones2.hosts_in_zone("zone0")[0]
+        events = set(zone_model.tree_for(host0).basic_events())
+        assert not (zone1_roots & events)
+
+    def test_missing_zone_raises(self, zone_model):
+        with pytest.raises(ConfigurationError):
+            zone_shared_root_ids(zone_model, "zone9")
+
+    def test_root_probability_overrides_are_validated(self, zones2):
+        with pytest.raises(ValidationError):
+            build_zone_inventory(
+                zones2, root_probabilities={"power-feed": 1.5}, seed=1
+            )
+
+    def test_wan_conduits_attach_to_routers(self, zones2):
+        model = build_zone_inventory(zones2, seed=7)
+        router = zones2.wan_routers_in_zone("zone0")[0]
+        events = set(model.tree_for(router).basic_events())
+        assert any(event.startswith("wan-conduit/") for event in events)
+
+
+class TestProbabilityValidation:
+    def test_collects_every_bad_field(self):
+        with pytest.raises(ValidationError) as excinfo:
+            validate_failure_probabilities(
+                {
+                    "nan": math.nan,
+                    "negative": -0.1,
+                    "above-one": 1.5,
+                    "fine": 0.3,
+                    "stringy": "half",
+                }
+            )
+        fields = sorted(field for field, _ in excinfo.value.errors)
+        assert fields == ["above-one", "nan", "negative", "stringy"]
+
+    def test_accepts_valid_probabilities(self):
+        validate_failure_probabilities({"a": 0.0, "b": 0.5, "c": 1.0})
+
+    def test_inventory_boundary_rejects_nan(self, zones2):
+        """A NaN in an operator probability feed is caught, by component
+        id, before it can poison a sampled round."""
+        model = build_zone_inventory(zones2, seed=7)
+        probabilities = dict(model.failure_probabilities())
+        host = zones2.hosts_in_zone("zone0")[0]
+        probabilities[host] = math.nan
+        with pytest.raises(ValidationError) as excinfo:
+            validate_failure_probabilities(probabilities)
+        assert [field for field, _ in excinfo.value.errors] == [host]
+
+
+# ----------------------------------------------------------------------
+# Zone constraints
+# ----------------------------------------------------------------------
+
+
+class TestZoneConstraints:
+    def test_min_outside_primary(self, zones2):
+        z0 = zones2.hosts_in_zone("zone0")
+        z1 = zones2.hosts_in_zone("zone1")
+        pinned = DeploymentPlan.from_mapping({"app": z0[:3]})
+        spread = DeploymentPlan.from_mapping({"app": [z0[0], z0[1], z1[0]]})
+        assert not CROSS_ZONE.satisfied_by(pinned, zones2)
+        assert CROSS_ZONE.satisfied_by(spread, zones2)
+        fields = [f for f, _ in CROSS_ZONE.violations(pinned, zones2)]
+        assert fields == ["min_outside_primary"]
+
+    def test_pinned_zones(self, zones2):
+        constraints = ZoneConstraints.from_mapping(
+            pinned_zones={"app": ["zone1"]}
+        )
+        z1_plan = DeploymentPlan.from_mapping(
+            {"app": zones2.hosts_in_zone("zone1")[:2]}
+        )
+        mixed = DeploymentPlan.from_mapping(
+            {
+                "app": [
+                    zones2.hosts_in_zone("zone1")[0],
+                    zones2.hosts_in_zone("zone0")[0],
+                ]
+            }
+        )
+        assert constraints.satisfied_by(z1_plan, zones2)
+        assert not constraints.satisfied_by(mixed, zones2)
+
+    def test_spread_components(self, zones2):
+        constraints = ZoneConstraints.from_mapping(spread_components=["app"])
+        same_zone = DeploymentPlan.from_mapping(
+            {"app": zones2.hosts_in_zone("zone0")[:2]}
+        )
+        split = DeploymentPlan.from_mapping(
+            {
+                "app": [
+                    zones2.hosts_in_zone("zone0")[0],
+                    zones2.hosts_in_zone("zone1")[0],
+                ]
+            }
+        )
+        assert not constraints.satisfied_by(same_zone, zones2)
+        assert constraints.satisfied_by(split, zones2)
+
+    def test_zoneless_topology_is_a_violation(self, fattree4):
+        plan = DeploymentPlan.from_mapping({"app": fattree4.hosts[:3]})
+        fields = [f for f, _ in CROSS_ZONE.violations(plan, fattree4)]
+        assert fields == ["topology"]
+
+    def test_validate_raises_validation_error(self, zones2):
+        pinned = DeploymentPlan.from_mapping(
+            {"app": zones2.hosts_in_zone("zone0")[:3]}
+        )
+        with pytest.raises(ValidationError):
+            CROSS_ZONE.validate(pinned, zones2)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZoneConstraints(min_outside_primary=-1)
+        with pytest.raises(ConfigurationError):
+            ZoneConstraints(min_outside_primary=1)  # no primary zone
+        with pytest.raises(ConfigurationError):
+            ZoneConstraints.from_mapping(pinned_zones={"app": []})
+
+    def test_trivial_constraints(self):
+        assert ZoneConstraints().is_trivial
+        assert not CROSS_ZONE.is_trivial
+
+
+class TestConstrainedPlans:
+    def test_random_plan_satisfies_constraints(self, zones2):
+        for seed in range(5):
+            plan = DeploymentPlan.random(
+                zones2, STRUCTURE, rng=seed, zone_constraints=CROSS_ZONE
+            )
+            assert CROSS_ZONE.satisfied_by(plan, zones2)
+
+    def test_impossible_constraints_raise(self, zones2):
+        impossible = ZoneConstraints.from_mapping(
+            pinned_zones={"app": ["zone9"]}
+        )
+        with pytest.raises(UnsatisfiableRequirements):
+            DeploymentPlan.random(
+                zones2, STRUCTURE, rng=1, zone_constraints=impossible,
+                max_attempts=10,
+            )
+
+    def test_propose_move_preserves_compliance(self, zones2):
+        """A constraint-satisfying incumbent only proposes compliant moves."""
+        rng = np.random.default_rng(3)
+        plan = DeploymentPlan.random(
+            zones2, STRUCTURE, rng=rng, zone_constraints=CROSS_ZONE
+        )
+        for _ in range(25):
+            move = plan.propose_move(zones2, rng=rng, zone_constraints=CROSS_ZONE)
+            candidate = move.apply(plan)
+            assert CROSS_ZONE.satisfied_by(candidate, zones2)
+            plan = candidate
+
+    def test_propose_move_repairs_violations(self, zones2):
+        """A violating incumbent walks toward compliance, never away."""
+        rng = np.random.default_rng(5)
+        plan = DeploymentPlan.from_mapping(
+            {"app": zones2.hosts_in_zone("zone0")[:3]}
+        )
+        baseline = len(CROSS_ZONE.violations(plan, zones2))
+        assert baseline == 1
+        for _ in range(25):
+            move = plan.propose_move(zones2, rng=rng, zone_constraints=CROSS_ZONE)
+            candidate = move.apply(plan)
+            count = len(CROSS_ZONE.violations(candidate, zones2))
+            assert count == 0 or count < baseline
+            plan = candidate
+            baseline = len(CROSS_ZONE.violations(plan, zones2))
+        assert CROSS_ZONE.satisfied_by(plan, zones2)
+
+    def test_no_constraints_keeps_rng_stream(self, zones2):
+        """zone_constraints=None must not perturb the draw sequence."""
+        plan = DeploymentPlan.from_mapping(
+            {"app": zones2.hosts_in_zone("zone0")[:3]}
+        )
+        bare = plan.propose_move(zones2, rng=17)
+        gated = plan.propose_move(zones2, rng=17, zone_constraints=None)
+        assert (bare.old_host, bare.new_host) == (gated.old_host, gated.new_host)
+
+
+# ----------------------------------------------------------------------
+# Constrained search, checkpoints, symmetry
+# ----------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self, step=0.01):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def _zone_search(zones2, zone_model, **kwargs):
+    kwargs.setdefault("rng", 11)
+    kwargs.setdefault("clock", FakeClock())
+    return DeploymentSearch.from_config(
+        zones2,
+        zone_model,
+        AssessmentConfig(rounds=600, rng=5),
+        **kwargs,
+    )
+
+
+class TestConstrainedSearch:
+    def test_search_result_satisfies_constraints(self, zones2, zone_model):
+        spec = SearchSpec(
+            STRUCTURE,
+            max_seconds=30.0,
+            max_iterations=10,
+            zone_constraints=CROSS_ZONE,
+        )
+        result = _zone_search(zones2, zone_model).search(spec)
+        assert CROSS_ZONE.satisfied_by(result.best_plan, zones2)
+
+    def test_spec_round_trip(self):
+        spec = SearchSpec(
+            STRUCTURE,
+            max_seconds=5.0,
+            zone_constraints=CROSS_ZONE,
+        )
+        document = serialization.search_spec_to_dict(spec)
+        restored = serialization.search_spec_from_dict(document)
+        assert restored.zone_constraints == CROSS_ZONE
+
+    def test_spec_round_trip_without_constraints(self):
+        spec = SearchSpec(STRUCTURE, max_seconds=5.0)
+        document = serialization.search_spec_to_dict(spec)
+        assert document["zone_constraints"] is None
+        assert serialization.search_spec_from_dict(spec_document_legacy(document)).zone_constraints is None
+
+    def test_checkpoint_resume_keeps_constraints(
+        self, zones2, zone_model, tmp_path
+    ):
+        """A search interrupted mid-anneal resumes with its zone
+        constraints intact and finishes on a compliant plan."""
+        ckpt = str(tmp_path / "zones.json")
+        spec = SearchSpec(
+            STRUCTURE,
+            max_seconds=50.0,
+            max_iterations=6,
+            zone_constraints=CROSS_ZONE,
+        )
+        _zone_search(
+            zones2, zone_model, checkpoint_path=ckpt, checkpoint_every=2
+        ).search(spec)
+
+        document = serialization.load(ckpt)
+        restored_spec = serialization.search_spec_from_dict(document["spec"])
+        assert restored_spec.zone_constraints == CROSS_ZONE
+
+        resumed = _zone_search(
+            zones2, zone_model, checkpoint_path=ckpt, checkpoint_every=2
+        ).resume(ckpt, max_iterations=12)
+        assert resumed.iterations == 12
+        assert CROSS_ZONE.satisfied_by(resumed.best_plan, zones2)
+
+
+def spec_document_legacy(document):
+    """A pre-zone checkpoint document: no zone_constraints key at all."""
+    legacy = dict(document)
+    legacy.pop("zone_constraints", None)
+    return legacy
+
+
+class TestZoneSymmetry:
+    def test_hosts_differing_only_by_zone_are_not_equivalent(
+        self, zones2, zone_model
+    ):
+        """The mirror host in the other zone has a different shared-root
+        context, so swapping zones is a real move, not a symmetry skip."""
+        checker = SymmetryChecker(zones2, zone_model)
+        filt = BatchSymmetryFilter(checker)
+        h0 = "zone0/host/0/0/0"
+        mirror = "zone1/host/0/0/0"
+        assert filt.host_context_label(h0) != filt.host_context_label(mirror)
+
+        other = ["zone0/host/1/0/0", "zone1/host/2/1/1"]
+        plan_a = DeploymentPlan.from_mapping({"app": [h0] + other})
+        plan_b = DeploymentPlan.from_mapping({"app": [mirror] + other})
+        assert not filt.equivalent(plan_a, plan_b)
+        assert not checker.equivalent(plan_a, plan_b)
+
+    def test_same_zone_mirror_hosts_are_equivalent(self, zones2, zone_model):
+        """Within one zone the fat-tree symmetry still collapses mirrors."""
+        checker = SymmetryChecker(zones2, zone_model)
+        filt = BatchSymmetryFilter(checker)
+        a = "zone0/host/0/0/0"
+        b = "zone0/host/0/0/1"  # same edge switch, same pod, same roots
+        assert filt.host_context_label(a) == filt.host_context_label(b)
+        other = ["zone0/host/1/0/0", "zone1/host/2/1/1"]
+        plan_a = DeploymentPlan.from_mapping({"app": [a] + other})
+        plan_b = DeploymentPlan.from_mapping({"app": [b] + other})
+        assert filt.equivalent(plan_a, plan_b) == checker.equivalent(
+            plan_a, plan_b
+        )
+
+
+# ----------------------------------------------------------------------
+# Zone outage injection
+# ----------------------------------------------------------------------
+
+
+class TestZoneOutage:
+    def test_inject_and_revert_restore_probabilities(self, zone_model):
+        before = dict(zone_model.failure_probabilities())
+        outage = ZoneOutage(zone_model, "zone0")
+        roots = outage.inject()
+        assert outage.active
+        after = zone_model.failure_probabilities()
+        for root in roots:
+            assert after[root] == ZONE_OUTAGE_PROBABILITY
+        outage.revert()
+        assert not outage.active
+        assert zone_model.failure_probabilities() == before
+
+    def test_idempotent(self, zone_model):
+        outage = ZoneOutage(zone_model, "zone0")
+        outage.inject()
+        outage.inject()  # no-op, must not overwrite the saved originals
+        outage.revert()
+        outage.revert()
+        probabilities = zone_model.failure_probabilities()
+        for root in outage.root_ids:
+            assert probabilities[root] < 0.5
+
+    def test_context_manager_and_correlated_damage(self, zones2, zone_model):
+        """A zone outage must take down a zone-pinned plan's reliability
+        far below the cross-zone plan's — the correlated event the
+        constraints guard against."""
+        assessor = build_assessor(
+            zones2, zone_model, AssessmentConfig(rounds=1_500, rng=3)
+        )
+        z0 = zones2.hosts_in_zone("zone0")
+        z1 = zones2.hosts_in_zone("zone1")
+        pinned = DeploymentPlan.from_mapping({"app": z0[:3]})
+        spread = DeploymentPlan.from_mapping({"app": [z0[0], z0[1], z1[0]]})
+        with ZoneOutage(zone_model, "zone0"):
+            assessor.refresh_probabilities()
+            pinned_score = assessor.assess(pinned, STRUCTURE).score
+            spread_score = assessor.assess(spread, STRUCTURE).score
+        assessor.refresh_probabilities()
+        healthy_score = assessor.assess(pinned, STRUCTURE).score
+        assert pinned_score < 0.1
+        assert spread_score > 0.8
+        assert healthy_score > 0.9
+
+    def test_rejects_bad_probability(self, zone_model):
+        with pytest.raises(ConfigurationError):
+            ZoneOutage(zone_model, "zone0", probability=1.0)
