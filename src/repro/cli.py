@@ -129,7 +129,26 @@ def cmd_assess(args) -> int:
     hosts = _parse_hosts(args.hosts)
     structure = ApplicationStructure.k_of_n(args.k, len(hosts))
     plan = DeploymentPlan.single_component(hosts, structure.components[0].name)
-    if args.mode == "auto":
+    if args.assessor == "analytic":
+        # The analytic backend is a mode of its own: collect every flag
+        # conflict and report them all at once, like config validation.
+        conflicts = []
+        if args.mode != "auto":
+            conflicts.append(
+                ("mode", f"--assessor analytic conflicts with --mode {args.mode}")
+            )
+        if args.workers > 0:
+            conflicts.append(
+                (
+                    "workers",
+                    "--assessor analytic runs in-process; "
+                    f"--workers {args.workers} has no effect",
+                )
+            )
+        if conflicts:
+            raise ValidationError(conflicts)
+        mode = "analytic"
+    elif args.mode == "auto":
         mode = "parallel" if args.workers > 0 else "sequential"
     else:
         mode = args.mode
@@ -145,6 +164,8 @@ def cmd_assess(args) -> int:
         partial_ok=args.partial_ok,
         kernel=args.kernel,
         metrics=metrics,
+        analytic_shared_bits=args.analytic_shared_bits,
+        analytic_state_bits=args.analytic_state_bits,
     )
     assessor = build_assessor(topology, inventory, config)
     try:
@@ -161,6 +182,13 @@ def cmd_assess(args) -> int:
         f"sampled   : {result.sampled_components} components\n"
         f"elapsed   : {result.elapsed_seconds * 1e3:.1f} ms"
     )
+    if result.estimate.exact:
+        human += "\nmethod    : analytic (exact fault-tree evaluation)"
+    elif args.assessor == "analytic":
+        human += (
+            "\nmethod    : sampled (closure exceeded the analytic "
+            "tractability budget)"
+        )
     if result.runtime is not None:
         runtime = result.runtime
         human += (
@@ -192,12 +220,18 @@ def cmd_search(args) -> int:
         return EXIT_CONFIG
     topology, inventory = _build_context(args)
     metrics = _metrics_for(args)
+    if args.assessor == "analytic":
+        mode = "analytic"
+    else:
+        mode = "incremental" if args.incremental else "sequential"
     config = AssessmentConfig(
         rounds=args.rounds,
         rng=args.seed + 2,
-        mode="incremental" if args.incremental else "sequential",
+        mode=mode,
         kernel=args.kernel,
         metrics=metrics,
+        analytic_shared_bits=args.analytic_shared_bits,
+        analytic_state_bits=args.analytic_state_bits,
     )
     if args.multi_objective:
         workload = HostWorkloadModel.paper_default(topology, seed=args.seed + 3)
@@ -231,6 +265,10 @@ def cmd_search(args) -> int:
         topology,
         inventory,
         config,
+        # With the analytic backend the mode no longer encodes the
+        # hot-path choice, so the sampling fallback's engine is picked
+        # by the flag directly.
+        incremental=args.incremental,
         objective=objective,
         rng=args.seed + 4,
         checkpoint_path=checkpoint_path,
@@ -604,6 +642,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def analytic_flags(p):
+        p.add_argument(
+            "--assessor",
+            choices=("sampled", "analytic"),
+            default="sampled",
+            help="assessment backend: 'sampled' (Monte Carlo dagger "
+            "sampling) or 'analytic' (exact fault-tree evaluation where "
+            "the relevant closure fits the tractability budget, sampled "
+            "fallback elsewhere)",
+        )
+        p.add_argument(
+            "--analytic-state-bits",
+            type=int,
+            default=20,
+            metavar="B",
+            help="analytic tractability budget: closures with more than B "
+            "uncertain basic events (2**B exact states) fall back to "
+            "sampling",
+        )
+        p.add_argument(
+            "--analytic-shared-bits",
+            type=int,
+            default=12,
+            metavar="B",
+            help="analytic marginal-evaluation budget: at most B shared "
+            "basic events conditioned out (2**B conditioning states)",
+        )
+
     def common(p, rounds_default=10_000):
         p.add_argument(
             "--scale",
@@ -671,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="execution mode (auto = parallel when --workers > 0)",
     )
+    analytic_flags(p)
     p.set_defaults(handler=cmd_assess)
 
     p = sub.add_parser("search", help="search for a reliable plan")
@@ -738,6 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(also caps the search at M iterations; the time budget "
         "still applies)",
     )
+    analytic_flags(p)
     p.set_defaults(handler=cmd_search)
 
     p = sub.add_parser("risk", help="single-failure risk report for a plan")

@@ -50,7 +50,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 DEFAULT_ROUNDS = 10_000
 
 #: Execution modes :func:`build_assessor` can dispatch to.
-MODES = ("sequential", "parallel", "incremental")
+MODES = ("sequential", "parallel", "incremental", "analytic")
+
+#: Enumerating more than 2**26 exact states (~8 MiB packed per element
+#: row, ~0.5 GiB weights) stops being "fast exact evaluation" and starts
+#: being a memory hazard; budgets beyond this are a config error.
+MAX_ANALYTIC_BITS = 26
 
 
 @dataclass(frozen=True)
@@ -69,8 +74,11 @@ class AssessmentConfig:
             center instead of the relevant closure (literal Table-1
             semantics; what Fig. 7 times).
         mode: ``"sequential"`` (in-process), ``"parallel"`` (supervised
-            worker pool) or ``"incremental"`` (cached single-move deltas
-            under common random numbers).
+            worker pool), ``"incremental"`` (cached single-move deltas
+            under common random numbers) or ``"analytic"`` (exact
+            fault-tree evaluation where the closure fits the
+            tractability budget, sampled fallback elsewhere; see
+            :mod:`repro.core.analytic`).
         workers: Worker processes for the parallel mode.
         backend: ``"process"`` or ``"inline"`` for the parallel mode.
         retry_policy: Per-portion retry/timeout policy (parallel mode).
@@ -93,6 +101,15 @@ class AssessmentConfig:
             ``RuntimeMetadata.profile``.
         metrics: Externally supplied registry to record into (implies
             nothing about ``profile``; passing one enables collection).
+        analytic_shared_bits: Tractability budget for the exact
+            *marginal* evaluator (:func:`repro.kernel.exact.compute_marginals`):
+            the maximum number of shared basic events conditioned out
+            (``2**bits`` conditioning states). Analytic mode only.
+        analytic_state_bits: Tractability budget for exact *plan-level*
+            evaluation: the maximum number of uncertain basic events in
+            a plan's relevant closure (``2**bits`` enumerated joint
+            states). Closures beyond the budget fall back to the
+            sampling assessor. Analytic mode only.
     """
 
     rounds: int = DEFAULT_ROUNDS
@@ -111,6 +128,8 @@ class AssessmentConfig:
     kernel: bool = False
     profile: bool = False
     metrics: MetricsRegistry | None = field(default=None, compare=False)
+    analytic_shared_bits: int = 12
+    analytic_state_bits: int = 20
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -148,6 +167,32 @@ class AssessmentConfig:
         if self.master_seed is not None and self.master_seed < 0:
             errors.append(
                 ("master_seed", f"must be non-negative, got {self.master_seed}")
+            )
+        if not 0 <= self.analytic_shared_bits <= MAX_ANALYTIC_BITS:
+            errors.append(
+                (
+                    "analytic_shared_bits",
+                    f"must be in [0, {MAX_ANALYTIC_BITS}], "
+                    f"got {self.analytic_shared_bits}",
+                )
+            )
+        if not 0 <= self.analytic_state_bits <= MAX_ANALYTIC_BITS:
+            errors.append(
+                (
+                    "analytic_state_bits",
+                    f"must be in [0, {MAX_ANALYTIC_BITS}], "
+                    f"got {self.analytic_state_bits}",
+                )
+            )
+        elif 0 <= self.analytic_shared_bits <= MAX_ANALYTIC_BITS and (
+            self.analytic_shared_bits > self.analytic_state_bits
+        ):
+            errors.append(
+                (
+                    "analytic_shared_bits",
+                    "conditioning budget cannot exceed the state budget "
+                    f"({self.analytic_shared_bits} > {self.analytic_state_bits})",
+                )
             )
         if topology is not None:
             bad = [
@@ -295,6 +340,10 @@ def build_assessor(
         from repro.core.incremental import IncrementalAssessor
 
         return IncrementalAssessor.from_config(topology, dependency_model, config)
+    if config.mode == "analytic":
+        from repro.core.analytic import AnalyticAssessor
+
+        return AnalyticAssessor.from_config(topology, dependency_model, config)
     from repro.core.assessment import ReliabilityAssessor
 
     return ReliabilityAssessor.from_config(topology, dependency_model, config)

@@ -234,17 +234,31 @@ class DeploymentSearch:
         instead selects the hot-path behaviour: ``"incremental"`` (also
         the default) runs the CRN search assessor through the
         :class:`~repro.core.incremental.IncrementalAssessor` caches,
-        ``"sequential"`` keeps the from-scratch CRN assessor.
+        ``"sequential"`` keeps the from-scratch CRN assessor, and
+        ``"analytic"`` wraps both the outer and the search assessor in
+        the :class:`~repro.core.analytic.AnalyticAssessor` — candidate
+        screening *and* best-so-far confirmation are exact wherever the
+        closure is tractable (the hybrid exact-screen/sampled-confirm
+        mode), falling back to the modes above per plan elsewhere.
         """
         config = config or AssessmentConfig(mode="incremental")
         registry = config.registry()
-        outer = ReliabilityAssessor.from_config(
-            topology,
-            dependency_model,
-            config.with_updates(
-                mode="sequential", master_seed=None, metrics=registry
-            ),
-        )
+        if config.mode == "analytic":
+            from repro.core.analytic import AnalyticAssessor
+
+            outer = AnalyticAssessor.from_config(
+                topology,
+                dependency_model,
+                config.with_updates(master_seed=None, metrics=registry),
+            )
+        else:
+            outer = ReliabilityAssessor.from_config(
+                topology,
+                dependency_model,
+                config.with_updates(
+                    mode="sequential", master_seed=None, metrics=registry
+                ),
+            )
         search_kwargs.setdefault("incremental", config.mode != "sequential")
         if registry is not None:
             search_kwargs.setdefault("metrics", registry)
@@ -267,34 +281,51 @@ class DeploymentSearch:
         path under the same master seed, so enabling it never changes a
         search trajectory, only its cost.
 
+        When the outer assessor is an
+        :class:`~repro.core.analytic.AnalyticAssessor`, the CRN assessor
+        built here becomes its new sampling fallback (``with_inner``):
+        exact screening results are RNG-free, so the exact memo is
+        shared between the search and the outer confirmations, while
+        intractable plans still ride the CRN machinery below.
+
         ``master_seed`` is drawn by :meth:`search` (and recorded in
         checkpoints so :meth:`resume` rebuilds the identical streams).
         """
+        from repro.core.analytic import AnalyticAssessor
+
         if master_seed is None:
             return self.assessor
+        outer = self.assessor
+        analytic = outer if isinstance(outer, AnalyticAssessor) else None
+        if analytic is not None:
+            outer = analytic.inner
         config = AssessmentConfig(
-            rounds=self.assessor.rounds,
-            engine=self.assessor.engine,
+            rounds=outer.rounds,
+            engine=outer.engine,
             master_seed=master_seed,
-            sample_full_infrastructure=self.assessor.sample_full_infrastructure,
-            kernel=getattr(getattr(self.assessor, "config", None), "kernel", False),
+            sample_full_infrastructure=outer.sample_full_infrastructure,
+            kernel=getattr(getattr(outer, "config", None), "kernel", False),
             metrics=self.metrics,
         )
         if self.incremental:
             from repro.core.incremental import IncrementalAssessor
 
-            return IncrementalAssessor.from_config(
-                self.assessor.topology,
-                self.assessor.dependency_model,
+            crn = IncrementalAssessor.from_config(
+                outer.topology,
+                outer.dependency_model,
                 config.with_updates(mode="incremental"),
             )
-        return ReliabilityAssessor.from_config(
-            self.assessor.topology,
-            self.assessor.dependency_model,
-            config.with_updates(
-                sampler=CommonRandomDaggerSampler(master_seed), rng=self.rng
-            ),
-        )
+        else:
+            crn = ReliabilityAssessor.from_config(
+                outer.topology,
+                outer.dependency_model,
+                config.with_updates(
+                    sampler=CommonRandomDaggerSampler(master_seed), rng=self.rng
+                ),
+            )
+        if analytic is not None:
+            return analytic.with_inner(crn)
+        return crn
 
     # ------------------------------------------------------------------
 

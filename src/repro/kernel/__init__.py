@@ -35,6 +35,15 @@ import numpy as np
 
 from repro.kernel.arena import INDEX_DTYPE, ComponentArena
 from repro.kernel.compiler import CompiledForest, FaultTreeCompiler, ForestStats
+from repro.kernel.exact import (
+    ExactBudget,
+    ExactDeclined,
+    Marginals,
+    compute_marginals,
+    enumeration_rows,
+    enumeration_weights,
+    exact_tree_probability,
+)
 from repro.kernel.packed import (
     PACK_DTYPE,
     PackedBatch,
@@ -57,9 +66,16 @@ __all__ = [
     "AssessmentKernel",
     "ComponentArena",
     "CompiledForest",
+    "ExactBudget",
+    "ExactDeclined",
     "FaultTreeCompiler",
     "ForestStats",
+    "Marginals",
     "PackedBatch",
+    "compute_marginals",
+    "enumeration_rows",
+    "enumeration_weights",
+    "exact_tree_probability",
     "kernel_supported",
     "pack_bool_matrix",
     "pack_indices",

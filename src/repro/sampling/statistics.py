@@ -31,6 +31,10 @@ class ReliabilityEstimate:
             probability.
         rounds: Number of sampling rounds n behind the estimate.
         reliable_rounds: Number of rounds in which the plan was reliable.
+        exact: True for analytically computed scores
+            (:mod:`repro.kernel.exact`): the score is the ground-truth
+            probability, the CI has zero width, and no sampling rounds
+            back the estimate (``rounds == reliable_rounds == 0``).
     """
 
     score: float
@@ -38,6 +42,7 @@ class ReliabilityEstimate:
     confidence_interval_width: float
     rounds: int
     reliable_rounds: int
+    exact: bool = False
 
     @property
     def failure_odds(self) -> float:
@@ -63,6 +68,8 @@ class ReliabilityEstimate:
         return self.ci_lower <= true_reliability <= self.ci_upper
 
     def __str__(self) -> str:
+        if self.exact:
+            return f"R={self.score:.6f} (exact, zero-width CI)"
         return (
             f"R={self.score:.6f} (95% CI width {self.confidence_interval_width:.2e}, "
             f"{self.reliable_rounds}/{self.rounds} rounds reliable)"
@@ -88,6 +95,25 @@ def estimate_from_results(result_list: np.ndarray) -> ReliabilityEstimate:
         confidence_interval_width=ci_width,
         rounds=n,
         reliable_rounds=int(results.sum()),
+    )
+
+
+def exact_estimate(score: float) -> ReliabilityEstimate:
+    """An analytically computed estimate: zero variance, zero-width CI.
+
+    Built by the analytic assessor (:mod:`repro.core.analytic`) when the
+    exact evaluator succeeds; ``rounds == 0`` records that no sampling
+    backs the number (it needs none).
+    """
+    if not 0.0 <= score <= 1.0:
+        raise ConfigurationError(f"exact score must be in [0, 1], got {score}")
+    return ReliabilityEstimate(
+        score=float(score),
+        variance=0.0,
+        confidence_interval_width=0.0,
+        rounds=0,
+        reliable_rounds=0,
+        exact=True,
     )
 
 

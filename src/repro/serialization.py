@@ -150,6 +150,7 @@ def estimate_to_dict(estimate: ReliabilityEstimate) -> dict:
             "confidence_interval_width": estimate.confidence_interval_width,
             "rounds": estimate.rounds,
             "reliable_rounds": estimate.reliable_rounds,
+            "exact": estimate.exact,
         },
     )
 
@@ -163,6 +164,8 @@ def estimate_from_dict(document: dict) -> ReliabilityEstimate:
             confidence_interval_width=float(document["confidence_interval_width"]),
             rounds=int(document["rounds"]),
             reliable_rounds=int(document["reliable_rounds"]),
+            # Absent in pre-analytic artifacts: those are always sampled.
+            exact=bool(document.get("exact", False)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(

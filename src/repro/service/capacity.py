@@ -6,11 +6,16 @@ of ``n`` workers serves its target load while at least ``k`` of them are
 alive, where ``k`` is fixed by throughput; each worker is independently
 unavailable for the failover window around every crash. That is exactly
 a K-of-N fault tree over worker basic events, so the planner reuses the
-repository's own assessment machinery — :func:`~repro.faults.faulttree.
-exact_failure_probability` for small fleets, the vectorised
-:meth:`~repro.faults.faulttree.FaultTree.evaluate` Monte Carlo sampler
-with :func:`~repro.sampling.statistics.estimate_from_results` beyond the
-enumeration limit — and recommends the smallest ``n`` whose availability
+repository's own assessment machinery: the analytic evaluator
+(:func:`~repro.kernel.exact.exact_tree_probability`), whose
+Poisson-binomial propagation handles a K-of-N gate over *any* fleet size
+in ``O(n * k)`` — the historical ``2**n`` enumeration cutoff with a
+Monte Carlo fallback above 20 workers is gone (the ``2**n`` enumerator
+survives only as the test oracle). The vectorised
+:meth:`~repro.faults.faulttree.FaultTree.evaluate` sampler with
+:func:`~repro.sampling.statistics.estimate_from_results` remains as a
+defensive fallback should the analytic evaluator ever decline. The
+planner recommends the smallest ``n`` whose availability
 (conservatively, the CI lower bound when sampled) meets the SLO.
 
 PCRAFT (PAPERS.md) frames the same question for stateless VM fleets;
@@ -23,19 +28,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.faults.faulttree import (
-    FaultTree,
-    basic,
-    exact_failure_probability,
-    k_of_n_gate,
-)
+from repro.faults.faulttree import FaultTree, basic, k_of_n_gate
+from repro.kernel.exact import ExactDeclined, exact_tree_probability
 from repro.sampling.statistics import estimate_from_results
 from repro.util.errors import ConfigurationError
 from repro.util.rng import make_rng
-
-#: Above this fleet size the 2**n exact enumeration is intractable and
-#: the planner switches to Monte Carlo (same limit faulttree enforces).
-EXACT_LIMIT = 20
 
 
 def worker_unavailability(
@@ -82,7 +79,7 @@ class CandidateFleet:
     workers: int
     availability: float
     availability_lower: float  # CI lower bound (== availability when exact)
-    method: str  # "exact" | "monte-carlo"
+    method: str  # "analytic" | "monte-carlo"
     meets_slo: bool
 
     def to_dict(self) -> dict:
@@ -134,22 +131,29 @@ def assess_fleet(
     rounds: int = 200_000,
     seed: int = 7,
 ) -> CandidateFleet:
-    """Availability of one fleet size, exact when tractable.
+    """Availability of one fleet size, analytically exact for any size.
 
-    Sampled fleets use the CI *lower* bound for the SLO decision — a
-    capacity plan should err toward one worker too many, never one too
-    few on sampling noise.
+    Independent workers under one K-of-N gate need no conditioning, so
+    the analytic evaluator's Poisson-binomial propagation is exact in
+    ``O(n * k)`` regardless of fleet size. The Monte Carlo path only
+    runs if the evaluator declines — impossible for the trees built
+    here, kept as a defensive fallback; sampled fleets then use the CI
+    *lower* bound for the SLO decision (a capacity plan should err
+    toward one worker too many, never one too few on sampling noise).
     """
     tree = fleet_fault_tree(workers, k_required)
     probabilities = {f"worker-{i}": unavailability for i in range(workers)}
-    if workers <= EXACT_LIMIT:
-        down = exact_failure_probability(tree, probabilities)
+    try:
+        down = exact_tree_probability(tree, probabilities)
+    except ExactDeclined:
+        pass
+    else:
         availability = 1.0 - down
         return CandidateFleet(
             workers=workers,
             availability=availability,
             availability_lower=availability,
-            method="exact",
+            method="analytic",
             meets_slo=False,  # decided by the caller against the SLO
         )
     rng = make_rng(seed + workers)

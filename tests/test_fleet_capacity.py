@@ -58,26 +58,34 @@ class TestFleetFaultTree:
 
 
 class TestAssessFleet:
-    def test_exact_matches_the_binomial_closed_form(self):
+    def test_analytic_matches_the_binomial_closed_form(self):
         p = 0.05
         candidate = assess_fleet(6, 4, p)
-        assert candidate.method == "exact"
+        assert candidate.method == "analytic"
         assert candidate.availability == pytest.approx(
             binomial_availability(6, 4, p), abs=1e-12
         )
         assert candidate.availability_lower == candidate.availability
 
-    def test_large_fleets_switch_to_monte_carlo(self):
+    def test_large_fleets_stay_analytic(self):
+        # 25 workers used to exceed the 2**n enumeration limit and fall
+        # back to Monte Carlo; the Poisson-binomial propagation is exact
+        # at any size.
         p = 0.05
-        candidate = assess_fleet(25, 20, p, rounds=120_000, seed=3)
-        assert candidate.method == "monte-carlo"
+        candidate = assess_fleet(25, 20, p)
+        assert candidate.method == "analytic"
         truth = binomial_availability(25, 20, p)
-        assert candidate.availability == pytest.approx(truth, abs=0.01)
-        # The decision bound is conservative: never above the point
-        # estimate.
-        assert candidate.availability_lower <= candidate.availability
+        assert candidate.availability == pytest.approx(truth, abs=1e-12)
+        assert candidate.availability_lower == candidate.availability
 
-    def test_monte_carlo_is_deterministic_under_a_seed(self):
+    def test_very_large_fleets_match_the_closed_form(self):
+        p = 0.02
+        candidate = assess_fleet(120, 100, p)
+        assert candidate.method == "analytic"
+        truth = binomial_availability(120, 100, p)
+        assert candidate.availability == pytest.approx(truth, abs=1e-10)
+
+    def test_results_are_deterministic(self):
         first = assess_fleet(25, 20, 0.05, rounds=50_000, seed=9)
         second = assess_fleet(25, 20, 0.05, rounds=50_000, seed=9)
         assert first.availability == second.availability
