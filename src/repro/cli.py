@@ -69,6 +69,7 @@ EXIT_CONFIG = 2
 EXIT_UNSATISFIED = 3
 EXIT_PREEMPTED = 4
 EXIT_DEGRADED = 5
+EXIT_DRILL = 6
 
 
 def _build_context(args):
@@ -630,6 +631,79 @@ def cmd_redeploy(args) -> int:
     return EXIT_OK
 
 
+def cmd_drill(args) -> int:
+    from repro.drill.engine import (
+        replay_reproducer,
+        run_campaign,
+        write_verdict,
+    )
+
+    if args.replay is not None:
+        result = replay_reproducer(args.replay)
+        document = result.to_dict()
+        lines = [
+            f"replay     : {args.replay}",
+            f"drill      : seed {result.seed}, {len(result.schedule)} "
+            f"event(s), {result.ticks} tick(s), {result.crashes} crash(es)",
+        ]
+        if result.passed:
+            lines.append("verdict    : PASS — the failure no longer reproduces")
+        else:
+            lines.append(
+                f"verdict    : REPRODUCED — {len(result.violations)} "
+                "invariant violation(s)"
+            )
+            for violation in result.violations:
+                lines.append(f"  {violation.invariant}: {violation.detail}")
+        _emit(args, document, "\n".join(lines))
+        return EXIT_OK if result.passed else EXIT_DRILL
+
+    report = run_campaign(
+        rounds=args.rounds,
+        seed=args.seed,
+        bug=args.seed_bug,
+        shards=args.shards,
+        requests=args.requests,
+        max_events=args.max_events,
+        shrink_failures=not args.no_shrink,
+        out_dir=args.out,
+    )
+    if args.out is not None:
+        write_verdict(args.out, report)
+    document = report.to_dict()
+    lines = [
+        f"campaign   : {report.rounds_run}/{report.rounds} round(s), "
+        f"seed {report.seed}"
+        + (f", seeded bug {report.bug!r}" if report.bug else ""),
+        f"injected   : {report.total_faults} fault(s), "
+        f"{report.total_crashes} simulated crash(es), "
+        f"{report.total_submissions} client submission(s)",
+    ]
+    if report.passed:
+        lines.append("verdict    : PASS — zero invariant violations")
+    else:
+        lines.append(
+            f"verdict    : FAIL at round {report.failed_round} "
+            f"(drill seed {report.failure.seed})"
+        )
+        for violation in report.failure.violations:
+            lines.append(f"  {violation.invariant}: {violation.detail}")
+        if report.shrunk_events is not None:
+            lines.append(
+                f"shrunk     : {report.original_events} -> "
+                f"{report.shrunk_events} event(s) in {report.shrink_runs} "
+                "re-run(s)"
+            )
+        if report.reproducer_path is not None:
+            lines.append(f"reproducer : {report.reproducer_path}")
+            lines.append(
+                f"             re-run: repro drill --replay "
+                f"{report.reproducer_path}"
+            )
+    _emit(args, document, "\n".join(lines))
+    return EXIT_OK if report.passed else EXIT_DRILL
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -1067,6 +1141,61 @@ def build_parser() -> argparse.ArgumentParser:
         "(demonstrates the outage -> redeploy loop)",
     )
     p.set_defaults(handler=cmd_redeploy)
+
+    p = sub.add_parser(
+        "drill",
+        help="deterministic whole-stack failure drills "
+        "(randomized fault schedules + invariant checks)",
+    )
+    p.add_argument(
+        "--rounds",
+        type=int,
+        default=30,
+        help="random fault schedules to run (stops at the first failure)",
+    )
+    p.add_argument("--seed", type=int, default=7, help="campaign seed")
+    p.add_argument(
+        "--shards", type=int, default=3, help="simulated fleet shards"
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=10,
+        help="client submissions per drill",
+    )
+    p.add_argument(
+        "--max-events",
+        type=int,
+        default=5,
+        help="fault events per random schedule (1..N)",
+    )
+    p.add_argument(
+        "--seed-bug",
+        default=None,
+        metavar="NAME",
+        help="graft a known bug onto every schedule (self-test that the "
+        "invariants catch it); see repro.drill.schedule.SEEDED_BUGS",
+    )
+    p.add_argument(
+        "--replay",
+        default=None,
+        metavar="FILE",
+        help="re-run a reproducer JSON instead of a campaign",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for reproducer JSON and the campaign verdict "
+        "(default: current directory, verdict not written)",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging the failing schedule",
+    )
+    p.add_argument("--json", action="store_true", help="machine output")
+    p.set_defaults(handler=cmd_drill)
 
     return parser
 

@@ -1,0 +1,167 @@
+"""Fault schedules: the serializable "what goes wrong when" of a drill.
+
+A schedule is an ordered list of :class:`FaultEvent` — each names a seam
+from the :data:`~repro.drill.faultpoints.CATALOG`, the occurrence index
+it strikes at (``None`` = every occurrence) and the command kind. A
+drill is bit-reproducible from ``(seed, schedule)`` alone, so schedules
+round-trip through JSON: the campaign serializes every failing
+(shrunken) schedule to a reproducer file that ``repro drill --replay``
+re-runs verbatim.
+
+:func:`random_schedule` draws campaign schedules from the *fault* half
+of the catalog only — environment misfortune a correct system must
+tolerate. Deliberate bugs (``skip_fsync``) never appear in random
+schedules; they are injected explicitly via :data:`SEEDED_BUGS` to prove
+the invariant checkers have teeth.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.drill.faultpoints import (
+    FAULT_CATALOG,
+    FaultCommand,
+    FaultPoints,
+)
+
+#: Roughly how many times each seam fires in a default drill — the
+#: occurrence range random schedules draw from, per point. Too-large
+#: occurrences simply never fire, which wastes campaign coverage.
+_OCCURRENCE_RANGE = {
+    "journal.append": 36,
+    "store.put": 10,
+    "redeploy.journal": 16,
+    "redeploy.persist": 3,
+    "fleet.route.accepted": 6,
+    "fleet.record_terminal": 8,
+    "worker.task.started": 12,
+    "worker.task.compute": 12,
+    "worker.task.respond": 12,
+    "worker.heartbeat": 96,
+    "supervisor.admit": 12,
+    "supervisor.tick": 40,
+}
+
+#: Points random schedules never draw: ``journal.fsync`` carries only
+#: the deliberate skip-fsync bug, and ``fleet.worker.send`` sits on the
+#: real fleet's pipe (the sim covers that failure mode through the
+#: ``worker.task.*`` seams instead).
+_UNDRAWN_POINTS = ("journal.fsync", "fleet.worker.send")
+
+#: Named deliberate bugs for campaign self-tests: each is the list of
+#: events that recreate the defect. ``no-journal-fsync`` disables the
+#: write-ahead journal's fsync wholesale and then cuts the power — the
+#: canonical lost-acknowledged-write defect.
+SEEDED_BUGS = {
+    "no-journal-fsync": (
+        ("journal.fsync", None, "skip_fsync", None),
+        ("supervisor.tick", 24, "power_crash", None),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled misfortune: strike ``point`` at its ``occurrence``-th
+    hit (``None`` = every hit) with ``command`` (``arg`` = byte offset
+    for ``torn``)."""
+
+    point: str
+    command: str
+    occurrence: int | None = None
+    arg: int | None = None
+
+    def to_dict(self) -> dict:
+        document: dict = {"point": self.point, "command": self.command}
+        if self.occurrence is not None:
+            document["occurrence"] = self.occurrence
+        if self.arg is not None:
+            document["arg"] = self.arg
+        return document
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultEvent":
+        return cls(
+            point=str(payload["point"]),
+            command=str(payload["command"]),
+            occurrence=(
+                int(payload["occurrence"])
+                if payload.get("occurrence") is not None
+                else None
+            ),
+            arg=int(payload["arg"]) if payload.get("arg") is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, JSON-serializable ordered set of fault events."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def build(self) -> FaultPoints:
+        """The armed-registry form of this schedule."""
+        registry = FaultPoints()
+        for event in self.events:
+            registry.add(
+                event.point,
+                FaultCommand(event.command, event.arg),
+                occurrence=event.occurrence,
+            )
+        return registry
+
+    def with_bug(self, bug: str) -> "FaultSchedule":
+        """This schedule plus the events of a named seeded bug."""
+        extra = tuple(
+            FaultEvent(point, command, occurrence, arg)
+            for point, occurrence, command, arg in SEEDED_BUGS[bug]
+        )
+        return FaultSchedule(extra + self.events)
+
+    # ------------------------------------------------------------------
+
+    def to_list(self) -> list[dict]:
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_list(cls, payload: list) -> "FaultSchedule":
+        return cls(tuple(FaultEvent.from_dict(item) for item in payload))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_list(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_list(json.loads(text))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def random_schedule(
+    rng: random.Random, max_events: int = 5, points: tuple[str, ...] | None = None
+) -> FaultSchedule:
+    """Draw a seeded fault schedule from the fault catalog.
+
+    Every command is addressed at an explicit occurrence (never ``None``)
+    so a schedule is a *finite* amount of misfortune — a wildcard crash
+    would restart the stack forever and no campaign round could quiesce.
+    """
+    if points is None:
+        points = tuple(
+            point
+            for point in sorted(FAULT_CATALOG)
+            if point not in _UNDRAWN_POINTS
+        )
+    count = rng.randint(1, max_events)
+    events = []
+    for _ in range(count):
+        point = rng.choice(points)
+        command = rng.choice(FAULT_CATALOG[point])
+        occurrence = rng.randrange(_OCCURRENCE_RANGE.get(point, 20))
+        arg = rng.randrange(96) if command == "torn" else None
+        events.append(FaultEvent(point, command, occurrence, arg))
+    return FaultSchedule(tuple(events))

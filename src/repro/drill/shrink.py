@@ -1,0 +1,112 @@
+"""Delta-debugging shrink of a failing fault schedule.
+
+A randomized campaign fails with a schedule of up to a handful of fault
+events, but usually only a subset is load-bearing. :func:`shrink_schedule`
+runs classic ddmin over the event list — repeatedly re-running the drill
+on complements of ever-finer partitions and keeping any complement that
+still violates the *same* invariant — followed by a one-at-a-time
+removal pass, so the reproducer handed to a human is 1-minimal: deleting
+any single remaining event makes the failure vanish.
+
+Every probe is a full deterministic drill on a fresh scratch directory,
+so the predicate is exact, not heuristic; a run budget bounds the worst
+case (the budget exhausting early just leaves a larger — still failing —
+reproducer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.drill.schedule import FaultSchedule
+
+
+@dataclass
+class ShrinkReport:
+    """What shrinking achieved and what it cost."""
+
+    schedule: FaultSchedule
+    original_events: int
+    runs: int
+    invariant: str
+
+    @property
+    def shrunk_events(self) -> int:
+        return len(self.schedule)
+
+
+def shrink_schedule(
+    seed: int,
+    schedule: FaultSchedule,
+    violations,
+    shards: int = 3,
+    requests: int = 10,
+    max_ticks: int = 1200,
+    budget: int = 160,
+) -> ShrinkReport:
+    """Minimize ``schedule`` while the drill still violates the same
+    invariant the original run violated first."""
+    from repro.drill.engine import run_drill
+
+    target = violations[0].invariant
+    runs = 0
+
+    def failing(events) -> bool:
+        nonlocal runs
+        if runs >= budget:
+            return False
+        runs += 1
+        result = run_drill(
+            seed,
+            FaultSchedule(tuple(events)),
+            shards=shards,
+            requests=requests,
+            max_ticks=max_ticks,
+        )
+        return any(v.invariant == target for v in result.violations)
+
+    events = list(schedule.events)
+    events = _ddmin(events, failing)
+    events = _one_minimal(events, failing)
+    return ShrinkReport(
+        schedule=FaultSchedule(tuple(events)),
+        original_events=len(schedule),
+        runs=runs,
+        invariant=target,
+    )
+
+
+def _ddmin(events: list, failing) -> list:
+    granularity = 2
+    while len(events) >= 2:
+        chunk = max(1, len(events) // granularity)
+        chunks = [events[i : i + chunk] for i in range(0, len(events), chunk)]
+        reduced = False
+        for index in range(len(chunks)):
+            complement = [
+                event
+                for j, part in enumerate(chunks)
+                if j != index
+                for event in part
+            ]
+            if complement and failing(complement):
+                events = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    return events
+
+
+def _one_minimal(events: list, failing) -> list:
+    index = 0
+    while len(events) > 1 and index < len(events):
+        candidate = events[:index] + events[index + 1 :]
+        if failing(candidate):
+            events = candidate
+        else:
+            index += 1
+    return events

@@ -1,0 +1,926 @@
+"""Single-process deterministic simulation of the full service stack.
+
+The drill runs the *real* durability machinery — :class:`~repro.service.
+journal.RequestJournal` segment families, the :class:`~repro.service.
+store.ResultStore`, the consistent :class:`~repro.service.fleet.HashRing`,
+:class:`~repro.service.heartbeat.HeartbeatTracker`/:class:`RestartPolicy`
+failure detection, per-request seeds from :func:`~repro.service.executor.
+request_seed`, and the real :class:`~repro.service.redeploy.
+RedeploymentController` commit point — but replaces the nondeterministic
+substrate (threads, processes, pipes, wall clocks) with a discrete-event
+tick loop and a virtual clock. Workers are protocol state machines that
+advance one step per tick (``started → compute → respond``), so a fault
+schedule addressing "the 3rd heartbeat" or "the 7th journal append"
+strikes the same instant on every run: the whole drill is a pure
+function of ``(seed, schedule)``.
+
+A :class:`~repro.drill.faultpoints.SimulatedCrash` raised from any seam
+kills the simulated process: in-memory queues, tickets and the
+controller vanish; the next tick rebuilds the service *from its durable
+files alone* — the same recovery path a real restart takes. A
+``power_loss`` crash additionally truncates every file with un-fsync'd
+bytes back to its last durable offset before the rebuild.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.plan import DeploymentPlan
+from repro.drill.faultpoints import (
+    FaultPoints,
+    SimulatedCrash,
+    fault_hit,
+    raise_if_crash,
+)
+from repro.service.executor import request_seed
+from repro.service.fleet import HashRing
+from repro.service.heartbeat import HeartbeatTracker, RestartPolicy
+from repro.service.journal import RequestJournal
+from repro.service.redeploy import DegradationEvent, RedeploymentController
+from repro.service.store import ResultStore
+
+#: Virtual seconds per tick, and the failure-detection knobs expressed
+#: in virtual time. One protocol step per tick keeps interleavings wide.
+TICK_SECONDS = 0.05
+HEARTBEAT_INTERVAL = 0.1
+HEARTBEAT_MISSES = 4
+RESPAWN_BACKOFF = 0.2
+RESPAWN_CAP = 1.0
+QUARANTINE_RESTARTS = 4
+QUARANTINE_WINDOW = 1_000.0
+
+#: Small segments so drills exercise rotation and sealed-segment GC
+#: invariants, not just a single live file.
+SEGMENT_BYTES = 4096
+
+#: After this many injected crashes the registry is disabled so a
+#: pathological schedule cannot livelock the run restarting forever.
+MAX_CRASHES = 20
+
+#: The controller polls every this-many ticks.
+REDEPLOY_EVERY = 7
+
+
+def _plan(index: int) -> DeploymentPlan:
+    return DeploymentPlan.from_mapping(
+        {"app": [f"host-{index}", f"host-{index + 1}"]}
+    )
+
+
+INITIAL_PLAN = _plan(0)
+
+
+# ----------------------------------------------------------------------
+# Deterministic stand-ins for the search stack. The controller only ever
+# calls refresh/assess/search; scores come from the drill's script so a
+# redeploy decision is a pure function of the event sequence.
+# ----------------------------------------------------------------------
+
+
+class _StubEstimate:
+    def __init__(self, score: float):
+        self.score = score
+
+
+class _StubAssessment:
+    def __init__(self, score: float):
+        self.estimate = _StubEstimate(score)
+
+
+class _StubResult:
+    def __init__(self, plan: DeploymentPlan, score: float):
+        self.best_plan = plan
+        self.best_assessment = _StubAssessment(score)
+
+
+class _StubSearch:
+    """Duck-typed ``DeploymentSearch`` driven by scripted scores."""
+
+    def __init__(self):
+        self.assessor = self
+        self.topology = None
+        self.score = 0.95
+        self.candidate_plan = INITIAL_PLAN
+        self.candidate_score = 0.95
+
+    def refresh_probabilities(self) -> None:
+        pass
+
+    def clear_caches(self) -> None:
+        pass
+
+    def assess(self, plan, structure) -> _StubAssessment:
+        return _StubAssessment(self.score)
+
+    def search(self, spec, initial_plan=None) -> _StubResult:
+        return _StubResult(self.candidate_plan, self.candidate_score)
+
+
+# ----------------------------------------------------------------------
+# Workload and client-side trace
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkOp:
+    """One scripted client action at a virtual tick."""
+
+    tick: int
+    action: str  # "submit" | "resubmit" | "cancel" | "degrade"
+    index: int  # submission index (submit) or referenced index
+    key: str | None = None
+
+
+def make_workload(rng: random.Random, requests: int) -> list[WorkOp]:
+    """A seeded mix of keyed/unkeyed submits, resubmits, cancels and
+    degradation signals, spread over virtual time."""
+    ops: list[WorkOp] = []
+    tick = 1
+    for index in range(requests):
+        tick += rng.randint(1, 3)
+        key = f"key-{index}" if rng.random() < 0.65 else None
+        ops.append(WorkOp(tick, "submit", index, key))
+        if key is not None and rng.random() < 0.35:
+            ops.append(WorkOp(tick + rng.randint(2, 14), "resubmit", index, key))
+        if key is None and rng.random() < 0.25:
+            ops.append(WorkOp(tick + 1, "cancel", index))
+        if rng.random() < 0.3:
+            ops.append(WorkOp(tick + rng.randint(0, 4), "degrade", index))
+    ops.sort(key=lambda op: (op.tick, op.action, op.index))
+    return ops
+
+
+@dataclass
+class Submission:
+    """One client-side attempt travelling through the drill."""
+
+    seq: int
+    index: int
+    kind: str
+    key: str | None
+    request: dict
+    acked: bool = False
+    request_id: str | None = None
+    gave_up: bool = False
+    attempts: int = 0
+    retry_at: int | None = None
+    responses: list[dict] = field(default_factory=list)
+
+
+@dataclass
+class DrillTrace:
+    """Client-side ground truth; survives every simulated crash."""
+
+    submissions: list[Submission] = field(default_factory=list)
+    waiters: dict[str, list[Submission]] = field(default_factory=dict)
+    executions: dict[str, list[dict]] = field(default_factory=dict)
+    apply_calls: list[str] = field(default_factory=list)
+    crashes: int = 0
+    power_losses: int = 0
+    restarts: int = 0
+    failovers: int = 0
+
+
+# ----------------------------------------------------------------------
+# Server-side state (rebuilt from durable files on every crash)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SimTask:
+    request_id: str
+    kind: str
+    request: dict
+    key: str | None
+    fingerprint: str | None
+    shard: int
+    recovered: bool = False
+    phase: str = "start"  # start -> compute -> respond
+    result: dict | None = None
+
+
+@dataclass
+class SimWorker:
+    shard: int
+    state: str = "alive"  # alive | hung | exited | down | quarantined
+    task: SimTask | None = None
+    generation: int = 1
+    respawn_at: float | None = None
+
+    @property
+    def name(self) -> str:
+        return f"shard-{self.shard}"
+
+
+class _SimClock:
+    def __init__(self):
+        self._now = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        self._now += seconds
+
+
+class _ServiceState:
+    """Everything a simulated process holds in memory. Constructed from
+    the durable directories alone — that *is* the recovery path."""
+
+    def __init__(self, sim: "DrillSim"):
+        self.journals = {
+            shard: RequestJournal(
+                sim.journal_dir, segment_bytes=SEGMENT_BYTES, shard=shard
+            )
+            for shard in range(sim.shards)
+        }
+        self.store = ResultStore(os.path.join(sim.journal_dir, "results"))
+        self.ring = HashRing(sim.shards)
+        self.heartbeats = HeartbeatTracker(clock=sim.clock.now)
+        self.restarts = RestartPolicy(
+            backoff_seconds=RESPAWN_BACKOFF,
+            backoff_cap_seconds=RESPAWN_CAP,
+            quarantine_restarts=QUARANTINE_RESTARTS,
+            quarantine_window_seconds=QUARANTINE_WINDOW,
+            clock=sim.clock.now,
+        )
+        self.workers = {shard: SimWorker(shard) for shard in range(sim.shards)}
+        self.queues: dict[int, deque[SimTask]] = {
+            shard: deque() for shard in range(sim.shards)
+        }
+        self.tickets: dict[str, SimTask] = {}
+        self.keys: dict[str, tuple] = {}
+        self.answered: dict[str, dict] = {}
+        self.terminal_ids: set[str] = set()
+
+        # Global fold across every segment family: the per-shard
+        # constructors above already truncated any torn live tails.
+        state = RequestJournal.scan(sim.journal_dir)
+        self.next_number = state.max_request_number + 1
+        self.terminal_ids.update(state.terminal_ids)
+        for key, (fingerprint, status) in state.keys.items():
+            self.keys[key] = ("completed", fingerprint, status)
+        for entry in state.pending:
+            shard = entry.shard if entry.shard in self.workers else None
+            if shard is None:
+                shard = self.ring.owner(
+                    entry.idempotency_key or entry.request_id
+                )
+            task = SimTask(
+                request_id=entry.request_id,
+                kind=entry.kind,
+                request=entry.request,
+                key=entry.idempotency_key,
+                fingerprint=entry.fingerprint,
+                shard=shard,
+                recovered=True,
+            )
+            self.tickets[task.request_id] = task
+            self.queues[shard].append(task)
+            if task.key is not None:
+                self.keys[task.key] = (
+                    "inflight",
+                    task.fingerprint,
+                    task.request_id,
+                )
+
+        for worker in self.workers.values():
+            self.heartbeats.beat(worker.name, busy=False)
+
+        # The real controller, recovering its commit point from disk.
+        # The fresh stub answers "search finds nothing better than the
+        # current substrate" until the next scripted degradation, so an
+        # uninstructed poll after a restart settles (one rejected
+        # decision at most) instead of re-deciding forever.
+        self.stub = _StubSearch()
+        self.stub.score = sim.current_score
+        self.stub.candidate_score = sim.current_score
+        self.stub.candidate_plan = _plan(sim.plan_counter)
+        self.controller = RedeploymentController(
+            search=self.stub,
+            structure=None,
+            state_dir=sim.redeploy_dir,
+            incumbent=INITIAL_PLAN,
+            min_gain=0.002,
+            degradation_threshold=0.005,
+            search_seconds=0.1,
+            max_retries=2,
+            backoff_seconds=0.0,
+            apply_plan=lambda plan: sim.trace.apply_calls.append(
+                plan.canonical_key()
+            ),
+            sleep=lambda seconds: None,
+        )
+
+    def routable(self) -> list[int]:
+        return [
+            shard
+            for shard in sorted(self.workers)
+            if self.workers[shard].state != "quarantined"
+        ]
+
+    def close_handles(self) -> None:
+        """Drop file handles without the graceful-close fsync — this
+        process model just crashed; nothing graceful happens."""
+        for journal in self.journals.values():
+            with contextlib.suppress(Exception):
+                journal._handle.close()
+
+
+# ----------------------------------------------------------------------
+# The drill itself
+# ----------------------------------------------------------------------
+
+
+class DrillSim:
+    """One deterministic drill: seeded workload + armed fault schedule."""
+
+    def __init__(
+        self,
+        seed: int,
+        root: str,
+        registry: FaultPoints,
+        shards: int = 3,
+        requests: int = 10,
+        max_ticks: int = 1200,
+    ):
+        self.seed = seed
+        self.shards = shards
+        self.requests = requests
+        self.max_ticks = max_ticks
+        self.registry = registry
+        self.journal_dir = os.path.join(root, "journal")
+        self.redeploy_dir = os.path.join(root, "redeploy")
+        os.makedirs(self.journal_dir, exist_ok=True)
+        os.makedirs(self.redeploy_dir, exist_ok=True)
+
+        self.clock = _SimClock()
+        self.trace = DrillTrace()
+        self.ops = make_workload(random.Random(seed), requests)
+        self.redeploy_rng = random.Random(seed ^ 0x5EED)
+        self.current_score = 0.95
+        self.plan_counter = 0
+        self.op_cursor = 0
+        self.tick = 0
+        self.next_seq = 0
+        self.service: _ServiceState | None = None
+        self.quiesced = False
+        self.fatal_error: str | None = None
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> "DrillSim":
+        while self.tick < self.max_ticks and self._work_remaining():
+            self.tick += 1
+            self.clock.advance(TICK_SECONDS)
+            try:
+                if self.service is None:
+                    self.service = _ServiceState(self)
+                    self.trace.restarts += 1
+                raise_if_crash(
+                    fault_hit("supervisor.tick", tick=self.tick),
+                    "supervisor.tick",
+                )
+                self._client_ops()
+                self._beat_workers()
+                self._monitor()
+                self._dispatch()
+                self._worker_steps()
+                if self.tick % REDEPLOY_EVERY == 0:
+                    self.service.controller.step()
+            except SimulatedCrash as crash:
+                self._handle_crash(crash)
+        self.quiesced = not self._work_remaining()
+        if self.service is None:
+            # Crashed on the very last permitted tick: one final rebuild
+            # so the invariant checkers see a recovered system.
+            with contextlib.suppress(SimulatedCrash):
+                self.service = _ServiceState(self)
+                self.trace.restarts += 1
+        self._final_fetches()
+        return self
+
+    def _work_remaining(self) -> bool:
+        if self.op_cursor < len(self.ops):
+            return True
+        for sub in self.trace.submissions:
+            if sub.retry_at is not None and not sub.acked and not sub.gave_up:
+                return True
+        service = self.service
+        if service is None:
+            return True
+        if service.tickets:
+            return True
+        return any(
+            worker.state in ("hung", "exited")
+            for worker in service.workers.values()
+        )
+
+    def _handle_crash(self, crash: SimulatedCrash) -> None:
+        self.trace.crashes += 1
+        service, self.service = self.service, None
+        if service is not None:
+            service.close_handles()
+        if crash.power_loss:
+            self.trace.power_losses += 1
+            self.registry.apply_power_loss()
+        if self.trace.crashes >= MAX_CRASHES:
+            self.registry.disable()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def _client_ops(self) -> None:
+        while (
+            self.op_cursor < len(self.ops)
+            and self.ops[self.op_cursor].tick <= self.tick
+        ):
+            op = self.ops[self.op_cursor]
+            self.op_cursor += 1
+            self._apply_op(op)
+        for sub in self.trace.submissions:
+            if (
+                sub.retry_at is not None
+                and sub.retry_at <= self.tick
+                and not sub.acked
+                and not sub.gave_up
+            ):
+                sub.retry_at = None
+                self._guarded_submit(sub)
+
+    def _apply_op(self, op: WorkOp) -> None:
+        if op.action in ("submit", "resubmit"):
+            request: dict = {"hosts": [f"h{op.index}"], "k": 1}
+            if op.key is not None:
+                request["idempotency_key"] = op.key
+            sub = Submission(
+                seq=self.next_seq,
+                index=op.index,
+                kind="assess",
+                key=op.key,
+                request=request,
+            )
+            self.next_seq += 1
+            self.trace.submissions.append(sub)
+            self._guarded_submit(sub)
+        elif op.action == "cancel":
+            self._cancel(op.index)
+        elif op.action == "degrade":
+            self._redeploy_degrade()
+
+    def _guarded_submit(self, sub: Submission) -> None:
+        """Submit; on a mid-admission crash apply the client retry rules
+        (keyed requests re-send, unkeyed ones must not)."""
+        try:
+            self._submit(sub)
+        except SimulatedCrash:
+            if sub.key is not None and sub.attempts < 3:
+                sub.retry_at = self.tick + 5
+            else:
+                sub.gave_up = True
+            raise
+
+    def _submit(self, sub: Submission) -> None:
+        sub.attempts += 1
+        service = self.service
+        key = sub.key
+        if key is not None:
+            entry = service.keys.get(key)
+            if entry is not None and entry[0] == "completed":
+                stored = service.store.get(key)
+                if stored is not None:
+                    self._deliver_to(sub, dict(stored, replayed=True))
+                    return
+                # Stored result unreadable: degrade to re-execution.
+            elif entry is not None and entry[0] == "inflight":
+                request_id = entry[2]
+                sub.acked = True
+                sub.request_id = request_id
+                self.trace.waiters.setdefault(request_id, []).append(sub)
+                if request_id in service.answered:
+                    self._deliver_to(sub, service.answered[request_id])
+                return
+        routable = service.routable()
+        if not routable:
+            self._deliver_to(
+                sub,
+                {
+                    "request_id": None,
+                    "status": "rejected",
+                    "error": {"reason": "all shard workers are quarantined"},
+                },
+            )
+            return
+        raise_if_crash(
+            fault_hit("supervisor.admit", seq=sub.seq), "supervisor.admit"
+        )
+        request_id = f"req-{service.next_number}"
+        fingerprint = None
+        if key is not None:
+            fingerprint = hashlib.sha256(
+                json.dumps(sub.request, sort_keys=True).encode("utf-8")
+            ).hexdigest()[:16]
+            shard = service.ring.owner(key, routable)
+        else:
+            shard = min(
+                routable, key=lambda s: (len(service.queues[s]), s)
+            )
+        # Write-ahead: the accepted record is durable before the client
+        # is acked or the task can dispatch. Seams may crash in here.
+        service.journals[shard].accepted(
+            request_id, sub.kind, sub.request, key, fingerprint
+        )
+        service.next_number += 1
+        task = SimTask(
+            request_id=request_id,
+            kind=sub.kind,
+            request=sub.request,
+            key=key,
+            fingerprint=fingerprint,
+            shard=shard,
+        )
+        service.tickets[request_id] = task
+        service.queues[shard].append(task)
+        if key is not None:
+            service.keys[key] = ("inflight", fingerprint, request_id)
+        sub.acked = True
+        sub.request_id = request_id
+        self.trace.waiters.setdefault(request_id, []).append(sub)
+
+    def _cancel(self, index: int) -> None:
+        service = self.service
+        target = None
+        for sub in self.trace.submissions:
+            if sub.index == index and sub.request_id is not None:
+                target = sub
+        if target is None:
+            return
+        task = service.tickets.get(target.request_id)
+        if task is None:
+            return
+        if any(worker.task is task for worker in service.workers.values()):
+            return  # already executing; the drill only cancels queued work
+        queue = service.queues[task.shard]
+        if task not in queue:
+            return
+        queue.remove(task)
+        service.journals[task.shard].cancelled(
+            task.request_id, reason="client-cancel", started=False
+        )
+        service.tickets.pop(task.request_id, None)
+        service.terminal_ids.add(task.request_id)
+        if task.key is not None:
+            entry = service.keys.get(task.key)
+            if entry is not None and entry[0] == "inflight":
+                service.keys.pop(task.key, None)
+        response = {"request_id": task.request_id, "status": "cancelled"}
+        service.answered[task.request_id] = response
+        self._deliver(task.request_id, response)
+
+    def _deliver(self, request_id: str, response: dict) -> None:
+        for sub in self.trace.waiters.get(request_id, []):
+            self._deliver_to(sub, response)
+
+    def _deliver_to(self, sub: Submission, response: dict) -> None:
+        sub.responses.append(response)
+
+    def _final_fetches(self) -> None:
+        """The client's last retry pass: keyed submissions that never saw
+        a response re-fetch their key — the stored-response replay path."""
+        service = self.service
+        if service is None:
+            return
+        for sub in self.trace.submissions:
+            if not sub.acked or sub.responses or sub.key is None:
+                continue
+            entry = service.keys.get(sub.key)
+            if entry is not None and entry[0] == "completed":
+                stored = service.store.get(sub.key)
+                if stored is not None:
+                    self._deliver_to(sub, dict(stored, replayed=True))
+                    continue
+            if sub.request_id in service.answered:
+                self._deliver_to(sub, service.answered[sub.request_id])
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _beat_workers(self) -> None:
+        service = self.service
+        for shard in sorted(service.workers):
+            worker = service.workers[shard]
+            if worker.state != "alive":
+                continue
+            command = fault_hit("worker.heartbeat", shard=shard)
+            if command is not None and command.kind == "hang":
+                worker.state = "hung"
+                continue
+            if command is not None and command.kind == "drop":
+                continue
+            service.heartbeats.beat(worker.name, busy=worker.task is not None)
+
+    def _monitor(self) -> None:
+        service = self.service
+        now = self.clock.now()
+        for shard in sorted(service.workers):
+            worker = service.workers[shard]
+            if (
+                worker.state == "down"
+                and worker.respawn_at is not None
+                and worker.respawn_at <= now
+            ):
+                worker.state = "alive"
+                worker.generation += 1
+                worker.respawn_at = None
+                service.heartbeats.beat(worker.name, busy=False)
+            elif worker.state == "exited":
+                self._fail_worker(worker, "process exited")
+            elif worker.state in ("alive", "hung") and service.heartbeats.missed(
+                worker.name, HEARTBEAT_INTERVAL, HEARTBEAT_MISSES
+            ):
+                self._fail_worker(
+                    worker, f"missed {HEARTBEAT_MISSES} heartbeats"
+                )
+
+    def _fail_worker(self, worker: SimWorker, reason: str) -> None:
+        """Declare a worker dead: take over its work, then let the
+        restart policy decide respawn vs quarantine."""
+        service = self.service
+        shard = worker.shard
+        self.trace.failovers += 1
+
+        # The live task objects are the primary takeover source (a task
+        # stolen from another shard's family lives only here); the dead
+        # family's journal scan cross-checks for supervisor amnesia.
+        orphans: list[tuple[SimTask, bool]] = []
+        if worker.task is not None:
+            task = worker.task
+            worker.task = None
+            task.phase = "start"
+            task.result = None
+            task.recovered = True
+            orphans.append((task, True))
+        for task in service.queues[shard]:
+            orphans.append((task, False))
+        service.queues[shard].clear()
+        known = {task.request_id for task, _ in orphans}
+        scan = RequestJournal.scan(self.journal_dir, shard=shard)
+        for entry in scan.pending:
+            if (
+                entry.request_id in service.terminal_ids
+                or entry.request_id in known
+            ):
+                continue
+            live = service.tickets.get(entry.request_id)
+            if live is not None and live.shard != shard:
+                continue  # stolen or already moved; it lives elsewhere
+            if live is not None:
+                live.phase = "start"
+                live.result = None
+                live.recovered = True
+                orphans.append((live, False))
+                continue
+            orphans.append(
+                (
+                    SimTask(
+                        request_id=entry.request_id,
+                        kind=entry.kind,
+                        request=entry.request,
+                        key=entry.idempotency_key,
+                        fingerprint=entry.fingerprint,
+                        shard=shard,
+                        recovered=True,
+                    ),
+                    False,
+                )
+            )
+
+        worker.state = "down"
+        delay = service.restarts.record_failure(worker.name)
+        if delay is None:
+            worker.state = "quarantined"
+        else:
+            worker.respawn_at = self.clock.now() + delay
+        service.heartbeats.beat(worker.name, busy=False)
+
+        survivors = [s for s in service.routable() if s != shard]
+        for task, front in orphans:
+            request_id = task.request_id
+            if not survivors:
+                service.journals[shard].cancelled(
+                    request_id, reason="failover", started=False
+                )
+                service.tickets.pop(request_id, None)
+                service.terminal_ids.add(request_id)
+                if task.key is not None:
+                    service.keys.pop(task.key, None)
+                response = {"request_id": request_id, "status": "rejected"}
+                service.answered[request_id] = response
+                self._deliver(request_id, response)
+                continue
+            if task.key is not None:
+                new_shard = service.ring.owner(task.key, survivors)
+            else:
+                new_shard = min(
+                    survivors, key=lambda s: (len(service.queues[s]), s)
+                )
+            # Re-accept into the survivor's segment family before it can
+            # dispatch there — the write-ahead contract, again.
+            service.journals[new_shard].accepted(
+                request_id,
+                task.kind,
+                task.request,
+                task.key,
+                task.fingerprint,
+            )
+            raise_if_crash(
+                fault_hit("fleet.route.accepted", request=request_id),
+                "fleet.route.accepted",
+            )
+            task.shard = new_shard
+            task.recovered = True
+            service.tickets[request_id] = task
+            if front:
+                service.queues[new_shard].appendleft(task)
+            else:
+                service.queues[new_shard].append(task)
+            if task.key is not None:
+                service.keys[task.key] = (
+                    "inflight",
+                    task.fingerprint,
+                    request_id,
+                )
+
+    def _dispatch(self) -> None:
+        service = self.service
+        for shard in sorted(service.workers):
+            worker = service.workers[shard]
+            if worker.state != "alive" or worker.task is not None:
+                continue
+            if service.queues[shard]:
+                worker.task = service.queues[shard].popleft()
+            else:
+                # Steal an unkeyed task from the longest other queue.
+                candidates = sorted(
+                    (
+                        (-len(service.queues[s]), s)
+                        for s in sorted(service.workers)
+                        if s != shard and service.queues[s]
+                    ),
+                )
+                for _, other in candidates:
+                    stolen = next(
+                        (t for t in service.queues[other] if t.key is None),
+                        None,
+                    )
+                    if stolen is not None:
+                        service.queues[other].remove(stolen)
+                        stolen.shard = shard
+                        worker.task = stolen
+                        break
+            if worker.task is not None:
+                worker.task.phase = "start"
+
+    def _worker_steps(self) -> None:
+        service = self.service
+        for shard in sorted(service.workers):
+            worker = service.workers[shard]
+            if worker.state != "alive" or worker.task is None:
+                continue
+            task = worker.task
+            if task.phase == "start":
+                command = fault_hit(
+                    "worker.task.started", shard=shard, request=task.request_id
+                )
+                if self._worker_fault(worker, command):
+                    continue
+                if command is None or command.kind != "drop":
+                    service.journals[task.shard].started(task.request_id)
+                task.phase = "compute"
+            elif task.phase == "compute":
+                command = fault_hit(
+                    "worker.task.compute", shard=shard, request=task.request_id
+                )
+                if self._worker_fault(worker, command):
+                    continue
+                task.result = self._execute(task)
+                self.trace.executions.setdefault(
+                    task.key or task.request_id, []
+                ).append(task.result)
+                task.phase = "respond"
+            elif task.phase == "respond":
+                command = fault_hit(
+                    "worker.task.respond", shard=shard, request=task.request_id
+                )
+                if self._worker_fault(worker, command):
+                    continue
+                response = {
+                    "request_id": task.request_id,
+                    "status": "ok",
+                    "result": task.result,
+                    "recovered": task.recovered,
+                }
+                self._record_terminal(task, response)
+                worker.task = None
+
+    def _worker_fault(self, worker: SimWorker, command) -> bool:
+        if command is None:
+            return False
+        if command.kind == "kill":
+            # The process dies; the supervisor-side ticket stays on the
+            # slot until the monitor notices and takes the work over.
+            worker.state = "exited"
+            return True
+        if command.kind == "hang":
+            worker.state = "hung"
+            return True
+        return False
+
+    def _execute(self, task: SimTask) -> dict:
+        """The deterministic stand-in for an assessment: a pure function
+        of the per-request seed, which derives from the idempotency key
+        (or the journaled request id) — so any re-execution, in any
+        process incarnation, is bit-identical."""
+        seed = request_seed(self.seed, task.kind, task.key or task.request_id)
+        digest = hashlib.sha256(f"drill:{seed}".encode("utf-8")).hexdigest()
+        return {
+            "score": int(digest[:8], 16) / 0xFFFFFFFF,
+            "digest": digest[:16],
+            "seed": seed,
+        }
+
+    def _record_terminal(self, task: SimTask, response: dict) -> None:
+        """Store-then-journal, the same order the fleet uses: the result
+        must be durable before the journal forgets the request."""
+        service = self.service
+        if task.key is not None:
+            try:
+                service.store.put(
+                    task.key,
+                    {
+                        "request_id": task.request_id,
+                        "status": response["status"],
+                        "result": task.result,
+                    },
+                )
+            except OSError:
+                # Mirror the fleet: answer the client, leave the journal
+                # without a terminal record — recovery will re-execute
+                # (bit-identically) after a restart.
+                service.tickets.pop(task.request_id, None)
+                service.answered[task.request_id] = response
+                self._deliver(task.request_id, response)
+                return
+        # The window the real fleet guards with the same seam: result
+        # durable, journal still unaware — a crash here must re-execute
+        # bit-identically, not lose or double the answer.
+        raise_if_crash(
+            fault_hit("fleet.record_terminal", request=task.request_id),
+            "fleet.record_terminal",
+        )
+        service.journals[task.shard].completed(
+            task.request_id, response["status"]
+        )
+        service.terminal_ids.add(task.request_id)
+        service.tickets.pop(task.request_id, None)
+        if task.key is not None:
+            service.keys[task.key] = (
+                "completed",
+                task.fingerprint,
+                response["status"],
+            )
+        service.answered[task.request_id] = response
+        self._deliver(task.request_id, response)
+
+    # ------------------------------------------------------------------
+    # Redeployment controller script
+    # ------------------------------------------------------------------
+
+    def _redeploy_degrade(self) -> None:
+        service = self.service
+        drop = 0.01
+        gain = self.redeploy_rng.choice([0.0005, 0.008, 0.02])
+        self.current_score = round(self.current_score - drop, 6)
+        self.plan_counter += 1
+        stub = service.stub
+        stub.score = self.current_score
+        stub.candidate_plan = _plan(self.plan_counter)
+        stub.candidate_score = round(self.current_score + gain, 6)
+        service.controller.observe(
+            DegradationEvent(kind="score-drop", detail="drill degradation")
+        )
+        decision = service.controller.step()
+        if decision is not None and decision.action == "applied":
+            self.current_score = stub.candidate_score
+            stub.score = self.current_score

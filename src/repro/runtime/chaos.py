@@ -197,14 +197,32 @@ class ZoneOutage:
         return self._saved is not None
 
     def inject(self) -> list[str]:
-        """Fail the zone's shared roots; returns the affected root ids."""
+        """Fail the zone's shared roots; returns the affected root ids.
+
+        All-or-nothing: the roots are overridden one at a time, each
+        original saved *before* its mutation, and any failure rolls back
+        every override already applied before re-raising. Without that, a
+        root that rejects its override would leak a half-failed zone —
+        and ``with ZoneOutage(...)`` never reaches ``__exit__`` when
+        ``__enter__`` raises, so nothing else would clean it up.
+        """
         if self.active:
             return self.root_ids
         probabilities = self.dependency_model.failure_probabilities()
-        self._saved = {rid: probabilities[rid] for rid in self.root_ids}
-        self.dependency_model.override_probabilities(
-            {rid: self.probability for rid in self.root_ids}
-        )
+        saved: dict[str, float] = {}
+        try:
+            for rid in self.root_ids:
+                saved[rid] = probabilities[rid]
+                self.dependency_model.override_probabilities(
+                    {rid: self.probability}
+                )
+        except BaseException:
+            if saved:
+                # The failing root may or may not have been applied;
+                # restoring its saved original either way is harmless.
+                self.dependency_model.override_probabilities(saved)
+            raise
+        self._saved = saved
         return self.root_ids
 
     def revert(self) -> None:

@@ -99,7 +99,7 @@ class HttpServiceClient:
         backoff_seconds: float = 0.2,
         max_backoff_seconds: float = 5.0,
         sleep=time.sleep,
-        rng: random.Random | None = None,
+        rng: random.Random | int | None = None,
     ):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -109,7 +109,12 @@ class HttpServiceClient:
         self.backoff_seconds = backoff_seconds
         self.max_backoff_seconds = max_backoff_seconds
         self._sleep = sleep
-        self._rng = rng or random.Random()
+        # An int seeds a private stream so retry timing is reproducible
+        # (drills and tests); None keeps the unseeded production default.
+        if isinstance(rng, random.Random):
+            self._rng = rng
+        else:
+            self._rng = random.Random(rng) if rng is not None else random.Random()
 
     # ------------------------------------------------------------------
 

@@ -49,6 +49,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 
+from repro.drill.faultpoints import fault_hit, raise_if_crash
 from repro.service.executor import RequestExecutor
 from repro.service.health import DRAINING, SERVING, STOPPED, HealthMonitor
 from repro.service.heartbeat import HeartbeatTracker, RestartPolicy
@@ -236,7 +237,16 @@ def shard_worker_main(
         request_cls = (
             SearchRequest if message["kind"] == "search" else AssessRequest
         )
-        send({"type": "started", "id": request_id})
+        # Drill seam: die or lose the protocol message at a chosen step
+        # (no-op in production; a dropped "started" is harmless — the
+        # journal simply never learns the request began executing).
+        command = fault_hit(
+            "fleet.worker.send", message="started", shard=shard
+        )
+        if command is not None and command.kind == "exit":
+            os._exit(70)
+        if command is None or command.kind != "drop":
+            send({"type": "started", "id": request_id})
         try:
             request = request_cls.from_dict(message["request"])
             response = executor.run(
@@ -255,6 +265,13 @@ def shard_worker_main(
             )
         with tokens_lock:
             tokens.pop(request_id, None)
+        # Drill seam: a lost response means a dead pipe, and a worker
+        # with a dead pipe exits — both kinds end the process here.
+        command = fault_hit(
+            "fleet.worker.send", message="response", shard=shard
+        )
+        if command is not None and command.kind in ("exit", "drop"):
+            os._exit(70)
         send({"type": "response", "id": request_id, "response": response.to_dict()})
     conn.close()
 
@@ -687,6 +704,13 @@ class FleetSupervisor:
                 if key is not None
                 else None,
             )
+            # Drill seam: supervisor death between the write-ahead
+            # record and the enqueue — the request must be recovered
+            # from the journal alone.
+            raise_if_crash(
+                fault_hit("fleet.route.accepted", request=ticket.id),
+                "fleet.route.accepted",
+            )
         if front:
             self._queues[shard].appendleft(ticket)
         else:
@@ -1004,6 +1028,13 @@ class FleetSupervisor:
             if response.status in ("ok", "degraded", "error"):
                 if key is not None and self._store is not None:
                     self._store.put(key, response.to_dict())
+                # Drill seam: supervisor death between the durable result
+                # and the journal's terminal record — the request must
+                # re-execute bit-identically after recovery.
+                raise_if_crash(
+                    fault_hit("fleet.record_terminal", request=ticket.id),
+                    "fleet.record_terminal",
+                )
                 journal.completed(ticket.id, response.status)
                 if key is not None:
                     with self._keys_lock:
@@ -1148,7 +1179,11 @@ class FleetSupervisor:
                         "pid": slot.process.pid if slot.process else None,
                         "generation": slot.generation,
                         "restarts": self.restarts.total_restarts(slot.name),
+                        "window_restarts": self.restarts.restarts(slot.name),
                         "quarantined": self.restarts.is_quarantined(slot.name),
+                        "lifetime_quarantines": self.restarts.total_quarantines(
+                            slot.name
+                        ),
                         "queue_depth": len(self._queues[slot.shard]),
                         "inflight": slot.inflight.id if slot.inflight else None,
                         "heartbeat_age_seconds": self.heartbeats.age(slot.name),
@@ -1169,6 +1204,10 @@ class FleetSupervisor:
                 "shards": shards,
                 "alive": sum(1 for s in shards if s["state"] == "alive"),
                 "quarantined": sum(1 for s in shards if s["state"] == "quarantined"),
+                "lifetime_restarts": sum(s["restarts"] for s in shards),
+                "lifetime_quarantines": sum(
+                    s["lifetime_quarantines"] for s in shards
+                ),
                 "workers": self.config.fleet_workers,
             },
             "durability": {
@@ -1176,4 +1215,15 @@ class FleetSupervisor:
                 "journal_dir": self.config.journal_dir,
                 "known_keys": len(self._keys),
             },
+            "drill": self._drill_verdict(),
         }
+
+    def _drill_verdict(self) -> dict | None:
+        """The last ``repro drill`` verdict written next to this journal,
+        so ``/healthz`` shows whether the stack passed its latest failure
+        drill (``None`` when no campaign has run against this state dir)."""
+        if not self.config.journal_dir:
+            return None
+        from repro.drill.engine import load_verdict
+
+        return load_verdict(self.config.journal_dir)

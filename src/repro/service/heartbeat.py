@@ -125,6 +125,7 @@ class RestartPolicy:
     clock: object = time.monotonic
     _restarts: dict[str, list[float]] = field(default_factory=dict)
     _lifetime: dict[str, int] = field(default_factory=dict)
+    _quarantines: dict[str, int] = field(default_factory=dict)
     _quarantined: set[str] = field(default_factory=set)
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -146,6 +147,7 @@ class RestartPolicy:
             history.append(now)
             if len(history) > self.quarantine_restarts:
                 self._quarantined.add(name)
+                self._quarantines[name] = self._quarantines.get(name, 0) + 1
                 return None
             return min(
                 self.backoff_cap_seconds,
@@ -168,6 +170,13 @@ class RestartPolicy:
         """Lifetime failures recorded for ``name`` (never pruned)."""
         with self._lock:
             return self._lifetime.get(name, 0)
+
+    def total_quarantines(self, name: str) -> int:
+        """Lifetime quarantine *events* for ``name``: how many times it
+        crossed the flap threshold, surviving :meth:`reinstate` (which
+        clears the quarantine but not the operator-facing history)."""
+        with self._lock:
+            return self._quarantines.get(name, 0)
 
     def reinstate(self, name: str) -> None:
         """Operator override: clear quarantine and history for a worker."""

@@ -49,6 +49,12 @@ import time
 import zlib
 from dataclasses import dataclass, field
 
+from repro.drill.faultpoints import (
+    SimulatedCrash,
+    fault_hit,
+    raise_if_crash,
+    raise_if_crash_after,
+)
 from repro.serialization import fsync_dir
 from repro.util.errors import ConfigurationError
 
@@ -396,9 +402,30 @@ class RequestJournal:
             handle = self._handle
             if handle is None:
                 raise ConfigurationError("journal is closed")
+            # Drill seams (no-op unless a fault registry is armed): a
+            # crash before the write, a write torn at an arbitrary byte
+            # offset, a skipped fsync, or a crash after the append.
+            command = fault_hit(
+                "journal.append",
+                event=record.get("event"),
+                path=self._current_path,
+            )
+            raise_if_crash(command, "journal.append")
+            durable = handle.tell()
+            if command is not None and command.kind == "torn":
+                cut = len(data) // 2 if command.arg is None else command.arg
+                cut = max(1, min(int(cut), len(data) - 1))
+                handle.write(data[:cut])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise SimulatedCrash("journal.append")
             handle.write(data)
             handle.flush()
-            os.fsync(handle.fileno())
+            fsync_command = fault_hit(
+                "journal.fsync", path=self._current_path, durable=durable
+            )
+            if fsync_command is None or fsync_command.kind != "skip_fsync":
+                os.fsync(handle.fileno())
             if record.get("event") == "accepted":
                 # Keep the segment->ids map live for gc: this admission's
                 # memory lives in the current segment until it is dropped.
@@ -407,6 +434,7 @@ class RequestJournal:
                 ).add(record["id"])
             if handle.tell() >= self.segment_bytes:
                 self._rotate()
+            raise_if_crash_after(command, "journal.append")
 
     def _rotate(self) -> None:
         """Seal the current segment and open the next (lock held)."""

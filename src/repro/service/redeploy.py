@@ -46,6 +46,12 @@ from typing import Callable
 
 from repro.core.plan import DeploymentPlan, ZoneConstraints
 from repro.core.search import DeploymentSearch, SearchSpec
+from repro.drill.faultpoints import (
+    SimulatedCrash,
+    fault_hit,
+    raise_if_crash,
+    raise_if_crash_after,
+)
 from repro.util.errors import ConfigurationError
 
 #: Journal file name inside the controller's state directory.
@@ -118,33 +124,71 @@ class DecisionJournal:
         self.path = os.fspath(path)
 
     def append(self, record: dict) -> None:
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        data = (
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        # Drill seams: crash before the append, tear the line at a byte
+        # offset, or crash after it is durable (no-op in production).
+        command = fault_hit(
+            "redeploy.journal", record=record.get("record"), path=self.path
+        )
+        raise_if_crash(command, "redeploy.journal")
+        if command is not None and command.kind == "torn":
+            cut = len(data) // 2 if command.arg is None else command.arg
+            cut = max(1, min(int(cut), len(data) - 1))
+            with open(self.path, "ab") as handle:
+                handle.write(data[:cut])
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise SimulatedCrash("redeploy.journal")
+        with open(self.path, "ab") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
+        raise_if_crash_after(command, "redeploy.journal")
 
-    def scan(self) -> tuple[list[dict], int]:
-        """All decodable records plus the number of torn tail lines."""
+    def scan(self, repair: bool = False) -> tuple[list[dict], int]:
+        """All decodable records plus the number of torn tail lines.
+
+        With ``repair=True`` a torn tail is also *truncated away*, so the
+        next :meth:`append` starts on a clean line — without that, an
+        append after a torn crash would concatenate onto the partial
+        line and turn a tolerated tail into loud mid-file corruption.
+        Recovery runs with repair; read-only inspection does not.
+        """
         if not os.path.exists(self.path):
             return [], 0
+        with open(self.path, "rb") as handle:
+            data = handle.read()
         records: list[dict] = []
         torn = 0
-        with open(self.path, encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for index, line in enumerate(lines):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                records.append(json.loads(stripped))
-            except json.JSONDecodeError:
-                if index == len(lines) - 1:
-                    torn += 1  # torn tail: the crash interrupted this append
-                    continue
-                raise ConfigurationError(
-                    f"redeploy journal {self.path!r} is corrupt at line {index + 1}"
-                )
+        good_bytes = 0
+        parts = data.split(b"\n")
+        complete, remainder = parts[:-1], parts[-1]
+        for index, raw in enumerate(complete):
+            stripped = raw.strip()
+            if stripped:
+                try:
+                    records.append(json.loads(stripped.decode("utf-8")))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    if index == len(complete) - 1 and not remainder:
+                        torn += 1  # the crash interrupted this append
+                        break
+                    raise ConfigurationError(
+                        f"redeploy journal {self.path!r} is corrupt at "
+                        f"line {index + 1}"
+                    )
+            good_bytes += len(raw) + 1  # +1 for the real newline
+        if remainder.strip():
+            # An unterminated final line is torn *even when it parses*:
+            # the newline is part of the record's durability, and only
+            # truncation keeps the next append off the partial line.
+            torn += 1
+        if repair and torn and good_bytes < len(data):
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
         return records, torn
 
 
@@ -247,7 +291,7 @@ class RedeploymentController:
         state dir) finds nothing left to complete.
         """
         report = RecoveryReport()
-        records, report.torn_records_dropped = self.journal.scan()
+        records, report.torn_records_dropped = self.journal.scan(repair=True)
 
         committed_plan = self._load_committed_incumbent()
         if committed_plan is not None:
@@ -314,9 +358,13 @@ class RedeploymentController:
     def _persist_incumbent(self, plan: DeploymentPlan) -> None:
         from repro import serialization
 
+        # Drill seam: crash on either side of the commit-point persist.
+        command = fault_hit("redeploy.persist", path=self.incumbent_path)
+        raise_if_crash(command, "redeploy.persist")
         serialization.dump(
             serialization.plan_to_dict(plan), self.incumbent_path, checksum=True
         )
+        raise_if_crash_after(command, "redeploy.persist")
 
     # ------------------------------------------------------------------
     # Degradation signals

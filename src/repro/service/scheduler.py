@@ -889,4 +889,14 @@ class AssessmentService:
                 "journal_dir": self.config.journal_dir,
                 "known_keys": len(self._keys),
             },
+            "drill": self._drill_verdict(),
         }
+
+    def _drill_verdict(self) -> dict | None:
+        """The last ``repro drill`` verdict written next to this journal
+        (``None`` when no campaign has run against this state dir)."""
+        if not self.config.journal_dir:
+            return None
+        from repro.drill.engine import load_verdict
+
+        return load_verdict(self.config.journal_dir)

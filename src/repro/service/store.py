@@ -21,6 +21,11 @@ import os
 import time
 
 from repro import serialization
+from repro.drill.faultpoints import (
+    fault_hit,
+    raise_if_crash,
+    raise_if_crash_after,
+)
 from repro.util.errors import ConfigurationError
 
 logger = logging.getLogger("repro.service")
@@ -48,6 +53,14 @@ class ResultStore:
 
     def put(self, key: str, response: dict) -> None:
         """Durably store a terminal response document under ``key``."""
+        # Drill seams: crash before/after the atomic write, or fail it
+        # the way a full disk fails ``os.replace`` (no-op in production).
+        command = fault_hit("store.put", key=key)
+        raise_if_crash(command, "store.put")
+        if command is not None and command.kind == "io_error":
+            raise OSError(
+                f"drill: simulated os.replace failure storing key {key!r}"
+            )
         document = {
             "format": RESULT_FORMAT,
             "version": serialization.FORMAT_VERSION,
@@ -56,6 +69,7 @@ class ResultStore:
             "response": response,
         }
         serialization.dump(document, self._path(key), checksum=True)
+        raise_if_crash_after(command, "store.put")
 
     def get(self, key: str) -> dict | None:
         """The stored response for ``key``, or ``None``.

@@ -121,6 +121,36 @@ class TestAdmissionShedRetries:
         # The cap holds even with jitter on top.
         assert max(sleeps) <= 4.0 * 1.25
 
+    def test_int_seed_gives_reproducible_backoff(self, monkeypatch):
+        """``rng=<int>`` seeds a private jitter stream: two clients built
+        from the same seed sleep identical schedules, a different seed
+        diverges."""
+
+        def run(seed):
+            transport = _Transport([_http_error(503, SHED_BODY) for _ in range(5)])
+            client, sleeps = _client(
+                monkeypatch, transport, max_attempts=5, rng=seed
+            )
+            with pytest.raises(AdmissionRejected):
+                client.assess(["h0"], k=1)
+            return sleeps
+
+        first = run(99)
+        assert first == run(99)
+        assert first != run(100)
+
+    def test_int_seed_matches_explicit_random_instance(self, monkeypatch):
+        def run(rng):
+            transport = _Transport([_http_error(503, SHED_BODY) for _ in range(4)])
+            client, sleeps = _client(
+                monkeypatch, transport, max_attempts=4, rng=rng
+            )
+            with pytest.raises(AdmissionRejected):
+                client.assess(["h0"], k=1)
+            return sleeps
+
+        assert run(7) == run(random.Random(7))
+
     def test_non_admission_503_is_not_retried(self, monkeypatch):
         # /readyz answers 503 while draining — that is state, not overload.
         transport = _Transport([_http_error(503, {"status": "draining"})])

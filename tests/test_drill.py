@@ -1,0 +1,343 @@
+"""The deterministic failure-drill engine.
+
+Covers the layers bottom-up: the occurrence-addressed fault-point
+registry, schedule (de)serialization, the seams threaded into the
+production durability modules (journal, store, decision journal), the
+whole-stack drill with its invariant checkers, campaign + shrinking +
+reproducer replay, and the ``repro drill`` CLI. The heavyweight proof —
+that a deliberately seeded fsync bug is caught, shrunk to a handful of
+events and replays deterministically — lives in ``TestSeededBug``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+
+import pytest
+
+from repro.cli import EXIT_DRILL, EXIT_OK, main
+from repro.drill.engine import (
+    load_verdict,
+    replay_reproducer,
+    run_campaign,
+    run_drill,
+    write_verdict,
+)
+from repro.drill.faultpoints import (
+    CATALOG,
+    FAULT_CATALOG,
+    FaultCommand,
+    FaultPoints,
+    SimulatedCrash,
+    armed,
+    fault_hit,
+)
+from repro.drill.schedule import (
+    _UNDRAWN_POINTS,
+    FaultEvent,
+    FaultSchedule,
+    random_schedule,
+)
+from repro.service.journal import RequestJournal
+from repro.service.redeploy import DecisionJournal
+from repro.service.store import ResultStore
+from repro.util.errors import ConfigurationError
+
+
+class TestFaultPoints:
+    def test_rejects_unknown_point_and_kind(self):
+        registry = FaultPoints()
+        with pytest.raises(ValueError, match="unknown fault point"):
+            registry.add("no.such.seam", FaultCommand("crash"))
+        with pytest.raises(ValueError, match="does not honour"):
+            registry.add("journal.append", FaultCommand("kill"))
+
+    def test_occurrence_addressing(self):
+        registry = FaultPoints()
+        registry.add("store.put", FaultCommand("crash"), occurrence=2)
+        assert registry.hit("store.put") is None
+        assert registry.hit("store.put") is None
+        assert registry.hit("store.put").kind == "crash"
+        assert registry.hit("store.put") is None
+        assert registry.counters["store.put"] == 4
+        assert registry.fired == [
+            {"point": "store.put", "occurrence": 2, "kind": "crash"}
+        ]
+
+    def test_wildcard_occurrence_fires_every_time(self):
+        registry = FaultPoints()
+        registry.add("worker.heartbeat", FaultCommand("drop"))
+        assert registry.hit("worker.heartbeat").kind == "drop"
+        assert registry.hit("worker.heartbeat").kind == "drop"
+
+    def test_disarmed_seam_is_noop(self):
+        assert fault_hit("journal.append") is None
+
+    def test_armed_scopes_the_registry(self):
+        registry = FaultPoints()
+        registry.add("store.put", FaultCommand("crash"), occurrence=0)
+        with armed(registry):
+            assert fault_hit("store.put").kind == "crash"
+        assert fault_hit("store.put") is None
+        assert registry.counters["store.put"] == 1
+
+    def test_disable_stops_injecting_but_keeps_counting(self):
+        registry = FaultPoints()
+        registry.add("store.put", FaultCommand("crash"))
+        registry.disable()
+        assert registry.hit("store.put") is None
+        assert registry.counters["store.put"] == 1
+
+    def test_power_loss_truncates_to_durable_watermark(self, tmp_path):
+        path = tmp_path / "file.bin"
+        path.write_bytes(b"0123456789")
+        registry = FaultPoints()
+        registry.add("journal.fsync", FaultCommand("skip_fsync"))
+        registry.hit("journal.fsync", path=str(path), durable=4)
+        lost = registry.apply_power_loss()
+        assert lost == [(str(path), 4)]
+        assert path.read_bytes() == b"0123"
+        assert registry.unsynced == {}
+
+    def test_fault_catalog_excludes_deliberate_bugs(self):
+        assert "journal.fsync" in CATALOG
+        assert "journal.fsync" not in FAULT_CATALOG
+
+
+class TestSchedule:
+    def test_json_round_trip(self):
+        schedule = random_schedule(random.Random(3), max_events=5)
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_random_schedules_draw_faults_only_at_finite_occurrences(self):
+        rng = random.Random(17)
+        for _ in range(200):
+            for event in random_schedule(rng, max_events=5).events:
+                assert event.point in FAULT_CATALOG
+                assert event.point not in _UNDRAWN_POINTS
+                assert event.occurrence is not None
+                assert event.command in FAULT_CATALOG[event.point]
+
+    def test_with_bug_prepends_the_bug_events(self):
+        base = FaultSchedule((FaultEvent("store.put", "io_error", 3),))
+        seeded = base.with_bug("no-journal-fsync")
+        assert len(seeded) == 3
+        assert seeded.events[0].point == "journal.fsync"
+        assert seeded.events[0].command == "skip_fsync"
+        assert seeded.events[-1] == base.events[0]
+
+    def test_build_validates_against_the_catalog(self):
+        bad = FaultSchedule((FaultEvent("journal.append", "kill", 0),))
+        with pytest.raises(ValueError):
+            bad.build()
+
+
+class TestProductionSeams:
+    def test_journal_torn_append_truncated_on_reopen(self, tmp_path):
+        registry = FaultPoints()
+        registry.add(
+            "journal.append", FaultCommand("torn", arg=7), occurrence=1
+        )
+        with armed(registry):
+            journal = RequestJournal(tmp_path)
+            journal.accepted("req-1", "assess", {"hosts": ["h0"], "k": 1})
+            with pytest.raises(SimulatedCrash):
+                journal.accepted("req-2", "assess", {"hosts": ["h0"], "k": 1})
+        # The torn tail is dropped on reopen; req-1 survives untouched and
+        # the journal is appendable again.
+        journal = RequestJournal(tmp_path)
+        state = journal.replay()
+        assert [p.request_id for p in state.pending] == ["req-1"]
+        journal.completed("req-1", "ok")
+        journal.close()
+        assert RequestJournal.scan(tmp_path).terminal_ids == {"req-1"}
+
+    def test_skip_fsync_bug_loses_acked_records_on_power_loss(self, tmp_path):
+        registry = FaultPoints()
+        registry.add("journal.fsync", FaultCommand("skip_fsync"))
+        with armed(registry):
+            journal = RequestJournal(tmp_path)
+            journal.accepted("req-1", "assess", {"hosts": ["h0"], "k": 1})
+            journal.accepted("req-2", "assess", {"hosts": ["h0"], "k": 1})
+            registry.apply_power_loss()
+            journal.close()
+        # Both acknowledged admissions evaporated with the page cache —
+        # exactly the defect the no-journal-fsync campaign must catch.
+        state = RequestJournal.scan(tmp_path)
+        assert state.pending == []
+        assert state.max_request_number == 0
+
+    def test_store_put_io_error_is_transient(self, tmp_path):
+        store = ResultStore(tmp_path)
+        registry = FaultPoints()
+        registry.add("store.put", FaultCommand("io_error"), occurrence=0)
+        with armed(registry):
+            with pytest.raises(OSError):
+                store.put("key", {"status": "ok"})
+            store.put("key", {"status": "ok"})
+        assert store.get("key") == {"status": "ok"}
+
+    def test_decision_journal_unterminated_line_is_torn(self, tmp_path):
+        path = tmp_path / "decisions.jsonl"
+        journal = DecisionJournal(str(path))
+        journal.append({"record": "a"})
+        # A crash after the bytes but before the newline: the line parses,
+        # but without its terminator it is not durable.
+        with open(path, "ab") as handle:
+            handle.write(json.dumps({"record": "b"}).encode("utf-8"))
+        records, torn = journal.scan()
+        assert [r["record"] for r in records] == ["a"]
+        assert torn == 1
+        records, torn = journal.scan(repair=True)
+        assert torn == 1
+        journal.append({"record": "c"})
+        records, torn = journal.scan()
+        assert [r["record"] for r in records] == ["a", "c"]
+        assert torn == 0
+
+    def test_decision_journal_mid_file_corruption_is_loud(self, tmp_path):
+        path = tmp_path / "decisions.jsonl"
+        journal = DecisionJournal(str(path))
+        journal.append({"record": "a"})
+        journal.append({"record": "b"})
+        data = path.read_bytes().replace(b'"a"', b'"a', 1)
+        path.write_bytes(data)
+        with pytest.raises(ConfigurationError, match="corrupt at line"):
+            journal.scan()
+
+
+class TestDrillEngine:
+    def test_clean_drill_is_bit_reproducible(self):
+        schedule = random_schedule(random.Random(11), max_events=3)
+        first = run_drill(11, schedule, shards=2, requests=6)
+        second = run_drill(11, schedule, shards=2, requests=6)
+        assert first.passed, first.violations
+        assert first.to_dict() == second.to_dict()
+
+    def test_clean_campaign_passes(self):
+        report = run_campaign(rounds=3, seed=7, shards=2, requests=6)
+        assert report.passed
+        assert report.rounds_run == 3
+        assert report.total_submissions > 0
+
+    def test_unknown_bug_name_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown seeded bug"):
+            run_campaign(rounds=1, seed=7, bug="no-such-bug")
+
+    def test_verdict_round_trips_and_tolerates_absence(self, tmp_path):
+        assert load_verdict(str(tmp_path)) is None
+        report = run_campaign(rounds=1, seed=3, shards=2, requests=4)
+        write_verdict(str(tmp_path), report)
+        verdict = load_verdict(str(tmp_path))
+        assert verdict["passed"] is True
+        assert verdict["rounds_run"] == 1
+
+
+class TestSeededBug:
+    def test_fsync_bug_is_caught_shrunk_and_replays_deterministically(
+        self, tmp_path
+    ):
+        report = run_campaign(
+            rounds=5,
+            seed=7,
+            bug="no-journal-fsync",
+            out_dir=str(tmp_path),
+        )
+        # Caught: the campaign fails, and the invariant that trips is the
+        # durability contract the bug breaks.
+        assert not report.passed
+        violated = {v.invariant for v in report.failure.violations}
+        assert violated  # at least one named invariant
+        # Shrunk: the minimal reproducer is a handful of events.
+        assert report.shrunk_events is not None
+        assert report.shrunk_events <= 5
+        assert report.shrunk_events <= report.original_events
+        # Replayable: the reproducer file re-runs to the same verdict,
+        # bit-for-bit, twice.
+        assert report.reproducer_path is not None
+        assert os.path.exists(report.reproducer_path)
+        first = replay_reproducer(report.reproducer_path)
+        second = replay_reproducer(report.reproducer_path)
+        assert not first.passed
+        assert first.to_dict() == second.to_dict()
+        assert violated & {v.invariant for v in first.violations}
+
+
+class TestDrillCli:
+    def test_campaign_pass_exits_zero(self, capsys):
+        assert (
+            main(
+                ["drill", "--rounds", "2", "--seed", "7", "--shards", "2",
+                 "--requests", "6"]
+            )
+            == EXIT_OK
+        )
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_seeded_bug_campaign_fails_and_replays(self, tmp_path, capsys):
+        code = main(
+            [
+                "drill",
+                "--rounds", "5",
+                "--seed", "7",
+                "--seed-bug", "no-journal-fsync",
+                "--out", os.fspath(tmp_path),
+            ]
+        )
+        assert code == EXIT_DRILL
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "shrunk" in out
+        verdict = load_verdict(os.fspath(tmp_path))
+        assert verdict["passed"] is False
+        reproducers = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.startswith("drill-repro-")
+        ]
+        assert len(reproducers) == 1
+        replay_path = os.path.join(os.fspath(tmp_path), reproducers[0])
+        assert main(["drill", "--replay", replay_path]) == EXIT_DRILL
+        assert "REPRODUCED" in capsys.readouterr().out
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the worker fleet requires the fork start method",
+)
+class TestRealFleetSeam:
+    def test_dropped_started_message_is_harmless(self, tmp_path):
+        """The real forked fleet inherits an armed registry; dropping a
+        worker's ``started`` protocol message must not affect the reply
+        (the journal simply never learns the request began)."""
+        from repro.service.fleet import FleetSupervisor
+        from repro.service.requests import AssessRequest
+        from repro.service.scheduler import ServiceConfig
+
+        registry = FaultPoints()
+        # Each worker's first send is its first task's "started".
+        registry.add("fleet.worker.send", FaultCommand("drop"), occurrence=0)
+        config = ServiceConfig(
+            scale="tiny",
+            seed=1,
+            rounds=200,
+            chunks=4,
+            queue_capacity=16,
+            fleet_workers=2,
+            journal_dir=os.fspath(tmp_path),
+        )
+        with armed(registry):
+            with FleetSupervisor(config) as fleet:
+                hosts = tuple(
+                    c
+                    for c in fleet.topology.components
+                    if c.startswith("host")
+                )[:3]
+                response = fleet.assess(
+                    AssessRequest(hosts=hosts, k=2), timeout=60
+                )
+                assert response.status == "ok"

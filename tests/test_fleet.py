@@ -141,6 +141,28 @@ class TestFleetBasics:
                 assert row["heartbeat_age_seconds"] is not None
                 assert row["status"] == "alive"
             assert status["durability"]["journaling"] is True
+            # Lifetime restart/quarantine counters start at zero and no
+            # drill verdict exists until a campaign writes one.
+            for shard in shards:
+                assert shard["window_restarts"] == 0
+                assert shard["lifetime_quarantines"] == 0
+            assert status["fleet"]["lifetime_restarts"] == 0
+            assert status["fleet"]["lifetime_quarantines"] == 0
+            assert status["drill"] is None
+
+    def test_status_surfaces_last_drill_verdict(self, tmp_path):
+        from repro.drill.engine import CampaignReport, write_verdict
+
+        with FleetSupervisor(_config(tmp_path)) as fleet:
+            assert fleet.status()["drill"] is None
+            write_verdict(
+                fleet.config.journal_dir,
+                CampaignReport(rounds=2, rounds_run=2, seed=7, bug=None),
+            )
+            verdict = fleet.status()["drill"]
+            assert verdict["passed"] is True
+            assert verdict["rounds_run"] == 2
+            assert verdict["seed"] == 7
 
     def test_submit_sheds_failover_when_no_shard_routable(self, tmp_path):
         fleet = FleetSupervisor(_config(tmp_path))
@@ -205,6 +227,9 @@ class TestFleetRecovery:
             ), fleet.status()
             status = fleet.status()
             assert status["fleet"]["shards"][0]["restarts"] == 1
+            assert status["fleet"]["shards"][0]["window_restarts"] == 1
+            assert status["fleet"]["lifetime_restarts"] == 1
+            assert status["fleet"]["lifetime_quarantines"] == 0
             assert fleet._slots[0].process.pid != victim
             hosts = _hosts(fleet)
             response = fleet.assess(AssessRequest(hosts=hosts, k=2), timeout=60)
@@ -220,6 +245,8 @@ class TestFleetRecovery:
             ), fleet.status()
             status = fleet.status()
             assert status["fleet"]["quarantined"] == 1
+            assert status["fleet"]["shards"][0]["lifetime_quarantines"] == 1
+            assert status["fleet"]["lifetime_quarantines"] == 1
             hosts = _hosts(fleet)
             # Every key now lands on the survivor, including ones the
             # dead shard used to own.

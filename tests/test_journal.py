@@ -132,6 +132,55 @@ class TestJournalLifecycle:
         journal.close()
         assert RequestJournal.scan(tmp_path).terminal_ids == {"req-1"}
 
+    def test_torn_tail_truncated_at_every_byte_offset(self, tmp_path):
+        """Property: a crash may tear the live segment's final record at
+        *any* byte. Every cut must behave identically — the complete
+        prefix records survive, the partial record is silently dropped,
+        and the journal reopens appendable. (The cut at the record
+        boundary itself is the clean-shutdown case and rides along.)"""
+        seed_root = tmp_path / "seed"
+        with RequestJournal(seed_root) as journal:
+            journal.accepted("req-1", "assess", {"hosts": ["h0"], "k": 1})
+            prefix_len = os.path.getsize(journal._current_path)
+            journal.completed("req-1", "ok")
+            segment_name = os.path.basename(journal._current_path)
+            whole = open(journal._current_path, "rb").read()
+        assert len(whole) > prefix_len + 2  # the final record spans many cuts
+        for cut in range(prefix_len, len(whole)):
+            root = tmp_path / f"cut-{cut}"
+            root.mkdir()
+            (root / segment_name).write_bytes(whole[:cut])
+            journal = RequestJournal(root)
+            state = journal.replay()
+            # The completed record is gone at every cut: req-1 pends again.
+            assert [p.request_id for p in state.pending] == ["req-1"]
+            journal.completed("req-1", "ok")
+            journal.close()
+            assert RequestJournal.scan(root).terminal_ids == {"req-1"}
+
+    def test_sealed_segment_torn_at_every_byte_offset_is_loud(self, tmp_path):
+        """Property: the same cuts inside a *sealed* segment are not a
+        torn tail — sealed segments were fsync'd, so a short read there
+        is real corruption and every offset must refuse loudly."""
+        seed_root = tmp_path / "seed"
+        with RequestJournal(seed_root, segment_bytes=1) as journal:
+            journal.accepted("req-1", "assess", {"hosts": ["h0"], "k": 1})
+            journal.completed("req-1", "ok")
+        segments = sorted(
+            p for p in os.listdir(seed_root) if p.endswith(".waj")
+        )
+        assert len(segments) >= 2
+        sealed = segments[0]
+        whole = (seed_root / sealed).read_bytes()
+        for cut in range(1, len(whole)):
+            root = tmp_path / f"cut-{cut}"
+            root.mkdir()
+            for name in segments:
+                data = (seed_root / name).read_bytes()
+                (root / name).write_bytes(data[:cut] if name == sealed else data)
+            with pytest.raises(ConfigurationError, match="corrupt mid-stream"):
+                RequestJournal(root)
+
     def test_corrupt_sealed_segment_is_loud(self, tmp_path):
         with RequestJournal(tmp_path, segment_bytes=1) as journal:
             # segment_bytes=1 seals a segment after every record.

@@ -476,3 +476,38 @@ class TestZoneOutage:
     def test_rejects_bad_probability(self, zone_model):
         with pytest.raises(ConfigurationError):
             ZoneOutage(zone_model, "zone0", probability=1.0)
+
+    def test_partial_inject_failure_restores_mutated_roots(self, zone_model):
+        """An override that fails partway through inject() must roll back
+        the roots already driven to the outage probability: ``with``
+        never reaches ``__exit__`` when ``__enter__`` raises, so inject
+        itself has to be all-or-nothing."""
+
+        class FlakyModel:
+            """Delegating proxy whose override refuses one poisoned root —
+            but only when driving it *to* the outage probability, so the
+            rollback's restore of the original value still goes through."""
+
+            def __init__(self, model, poison, probability):
+                self._model = model
+                self._poison = poison
+                self._probability = probability
+
+            def __getattr__(self, name):
+                return getattr(self._model, name)
+
+            def override_probabilities(self, overrides):
+                if overrides.get(self._poison) == self._probability:
+                    raise RuntimeError("chaos: override refused")
+                self._model.override_probabilities(overrides)
+
+        before = dict(zone_model.failure_probabilities())
+        roots = zone_shared_root_ids(zone_model, "zone0")
+        assert len(roots) >= 2  # the partial-application hazard needs >1 root
+        flaky = FlakyModel(zone_model, roots[-1], ZONE_OUTAGE_PROBABILITY)
+        outage = ZoneOutage(flaky, "zone0")
+        with pytest.raises(RuntimeError):
+            with outage:
+                pass  # pragma: no cover - inject raises before the body
+        assert not outage.active
+        assert zone_model.failure_probabilities() == before
